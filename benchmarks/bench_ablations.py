@@ -1,0 +1,259 @@
+"""Ablation benches for the design choices DESIGN.md §7 calls out.
+
+A1 — the set-synchronization barrier is the root cause of Figure 6/7.
+A2 — the dynamic/static gap grows with the task-duration tail.
+A3 — checkpoint policy family comparison (fixed / budget / hybrid).
+A4 — paste fan-in: why the GWAS workflow pastes in two phases.
+A5 — codegen granularity: per-component templates maximize reuse.
+"""
+
+import numpy as np
+
+from repro._util import format_table
+from repro.apps.irf.loop import feature_run_durations
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.cluster.job import Task
+from repro.savanna import PilotExecutor, StaticSetExecutor
+
+
+def _cluster(nodes=16, seed=0):
+    return SimulatedCluster(
+        ClusterSpec(nodes=nodes, queue_sigma=0.0, queue_median_wait=60.0,
+                    node_mttf=None, fs_load=None),
+        seed=seed,
+    )
+
+
+def _tasks(n, sigma, seed=9, median=300.0):
+    durations = feature_run_durations(
+        n, median_seconds=median, sigma=sigma, max_seconds=6000.0, seed=seed
+    )
+    return [Task(name=f"t{i}", duration=float(d)) for i, d in enumerate(durations)]
+
+
+def test_a1_barrier_is_the_root_cause(benchmark, save_result):
+    """A1: same workload, same nodes — removing only the barrier recovers
+    nearly all of the dynamic scheduler's makespan win."""
+
+    def run():
+        rows = []
+        for label, make in (
+            ("static (barrier)", lambda c: StaticSetExecutor(c, set_gap=0.0)),
+            ("dynamic (no barrier)", lambda c: PilotExecutor(c)),
+        ):
+            cluster = _cluster()
+            result = make(cluster).run(
+                _tasks(128, sigma=1.2), nodes=16, walltime=10**7, max_allocations=1
+            )
+            rows.append((label, f"{result.makespan():.0f}s", len(result.completed)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    save_result(
+        "ablation_a1_barrier",
+        "A1 — barrier ablation (identical workload, identical nodes)\n"
+        + format_table(("scheduler", "makespan", "completed"), rows),
+    )
+    static_s = float(rows[0][1][:-1])
+    dynamic_s = float(rows[1][1][:-1])
+    assert static_s > 1.3 * dynamic_s
+
+
+def test_a2_speedup_grows_with_tail(benchmark, save_result):
+    """A2: dynamic/static makespan ratio rises with duration-tail weight."""
+
+    def run():
+        rows = []
+        for sigma in (0.25, 0.75, 1.25):
+            static = StaticSetExecutor(_cluster()).run(
+                _tasks(96, sigma=sigma), nodes=16, walltime=10**7, max_allocations=1
+            )
+            dynamic = PilotExecutor(_cluster()).run(
+                _tasks(96, sigma=sigma), nodes=16, walltime=10**7, max_allocations=1
+            )
+            rows.append((sigma, static.makespan() / dynamic.makespan()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_a2_tail",
+        "A2 — dynamic-over-static makespan ratio vs duration-tail sigma\n"
+        + format_table(("sigma", "static/dynamic makespan"), rows),
+    )
+    ratios = [r for _s, r in rows]
+    assert ratios[-1] > ratios[0], "heavier tails must widen the gap"
+
+
+def test_a3_policy_family(benchmark, save_result):
+    """A3: fixed-interval vs overhead-budget vs hybrid, same system draw.
+
+    The budget policy holds overhead near the target; fixed-interval
+    overshoots or undershoots depending on system state; the hybrid adds
+    a bounded-gap guarantee at slightly higher overhead."""
+    from repro.apps.simulation.checkpoint import (
+        FixedIntervalPolicy,
+        HybridPolicy,
+        OverheadBudgetPolicy,
+    )
+    from repro.apps.simulation.restart import expected_lost_work
+    from repro.apps.simulation.run import CheckpointedRun, RunConfig
+
+    config = RunConfig()
+
+    def run():
+        rows = []
+        for policy in (
+            FixedIntervalPolicy(5),
+            OverheadBudgetPolicy(0.10),
+            HybridPolicy(0.10, max_gap=10),
+        ):
+            report = CheckpointedRun(config, policy, seed=7).execute()
+            rows.append(
+                (
+                    report.policy_name,
+                    report.checkpoints_written,
+                    f"{report.overhead_fraction:.1%}",
+                    f"{expected_lost_work(report.checkpoint_timesteps, config.timesteps):.1f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    save_result(
+        "ablation_a3_policies",
+        "A3 — checkpoint policy family (50 steps, same seeds)\n"
+        + format_table(
+            ("policy", "checkpoints", "achieved overhead", "E[lost steps]"), rows
+        ),
+    )
+    by_policy = {r[0]: r for r in rows}
+    budget_overhead = float(by_policy["overhead-budget(10%)"][2].rstrip("%"))
+    fixed_overhead = float(by_policy["fixed-interval(5)"][2].rstrip("%"))
+    assert budget_overhead <= 13.0
+    assert fixed_overhead > budget_overhead  # fixed ignores the system state
+    # hybrid bounds the gap between checkpoints
+    hybrid = by_policy["hybrid(10%, gap<=10)"]
+    assert float(hybrid[3]) <= 6.0
+
+
+def test_a4_paste_fan_in(benchmark, save_result):
+    """A4: single-phase paste hits the filesystem metadata knee; two-phase
+    with moderate groups dodges it; absurdly small groups pay re-read cost."""
+    from repro.apps.gwas.paste import estimate_paste_time
+    from repro.cluster.filesystem import ParallelFilesystem
+
+    n_files, bytes_per_file = 20000, 5e7  # 1 TB total, the paper's scale class
+
+    def run():
+        rows = []
+        for label, group in (
+            ("single-phase", None),
+            ("two-phase, groups of 10", 10),
+            ("two-phase, groups of 100", 100),
+            ("two-phase, groups of 1000", 1000),
+        ):
+            fs = ParallelFilesystem(peak_bandwidth=5e10, load_model=None)
+            seconds = estimate_paste_time(n_files, bytes_per_file, fs, group_size=group)
+            rows.append((label, f"{seconds:.0f}s"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    save_result(
+        "ablation_a4_fan_in",
+        "A4 — paste strategy cost at 20k files x 50 MB (simulated PFS)\n"
+        + format_table(("strategy", "estimated time"), rows),
+    )
+    seconds = {label: float(t[:-1]) for label, t in rows}
+    assert seconds["two-phase, groups of 100"] < seconds["single-phase"]
+
+
+def test_a6_node_heterogeneity(benchmark, save_result):
+    """A6: per-node speed spread is a second straggler source the barrier
+    amplifies — the dynamic advantage grows with fleet heterogeneity even
+    when the *workload* skew is held fixed."""
+
+    def run():
+        rows = []
+        durations = feature_run_durations(96, median_seconds=120.0, sigma=0.5, seed=13)
+        for speed_sigma in (0.0, 0.25, 0.5):
+            def make_cluster():
+                return SimulatedCluster(
+                    ClusterSpec(
+                        nodes=16, queue_sigma=0.0, queue_median_wait=0.0,
+                        node_mttf=None, fs_load=None, node_speed_sigma=speed_sigma,
+                    ),
+                    seed=13,
+                )
+
+            def tasks():
+                from repro.cluster.job import Task
+
+                return [
+                    Task(name=f"t{i}", duration=float(d))
+                    for i, d in enumerate(durations)
+                ]
+
+            static = StaticSetExecutor(make_cluster()).run(
+                tasks(), nodes=16, walltime=10**7
+            )
+            dynamic = PilotExecutor(make_cluster()).run(
+                tasks(), nodes=16, walltime=10**7
+            )
+            rows.append(
+                (speed_sigma, f"{static.makespan() / dynamic.makespan():.2f}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_a6_heterogeneity",
+        "A6 — static/dynamic makespan ratio vs node-speed sigma "
+        "(workload skew fixed)\n"
+        + format_table(("node speed sigma", "static/dynamic makespan"), rows),
+    )
+    ratios = [float(r) for _s, r in rows]
+    assert ratios[-1] > ratios[0]
+
+
+def test_a5_codegen_granularity(benchmark, save_result):
+    """A5: per-component templates mean a policy change regenerates zero
+    communication lines, and a schema change regenerates only marshalling
+    lines — the right-sized granularity claim of the conclusion."""
+    from repro.dataflow.codegen import CommunicationCodegen, generated_source_reuse
+    from repro.metadata.schema import DataSchema, Field
+    from repro.metadata.semantics import DataSemanticsDescriptor, Ordering
+
+    semantics = DataSemanticsDescriptor(ordering=Ordering.ORDERED)
+    base = DataSchema("telemetry", "1", (Field("v", "int64"), Field("t", "float64")))
+
+    def run():
+        cg = CommunicationCodegen()
+        files = cg.generate(base, semantics)
+        rows = []
+        for label, schema, sem in (
+            ("policy swap (no regeneration)", base, semantics),
+            (
+                "add one field",
+                DataSchema("telemetry", "1", base.fields + (Field("q", "int8"),)),
+                semantics,
+            ),
+            (
+                "flip order semantics",
+                base,
+                DataSemanticsDescriptor(ordering=Ordering.UNORDERED),
+            ),
+        ):
+            after = cg.generate(schema, sem)
+            rows.append((label, f"{generated_source_reuse(files, after):.1%}"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    save_result(
+        "ablation_a5_granularity",
+        "A5 — generated-communication reuse across change classes\n"
+        + format_table(("change", "line reuse"), rows),
+    )
+    reuse = {label: float(v.rstrip("%")) for label, v in rows}
+    assert reuse["policy swap (no regeneration)"] == 100.0
+    assert reuse["add one field"] > 80.0
+    assert reuse["flip order semantics"] > 90.0

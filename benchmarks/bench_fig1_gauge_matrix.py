@@ -1,0 +1,26 @@
+"""Figure 1 — the six-gauge tier matrix and exemplar assessments.
+
+Regenerates the gauge-property matrix of Figure 1 and assesses the GWAS
+workflow before/after its Skel refactoring on all six axes.  The bench
+also measures the cost of a mechanical assessment, since "machine
+actionable" only matters if acting is cheap.
+"""
+
+from repro.apps.gwas.workflow import workflow_components_before_after
+from repro.experiments import fig1_gauge_matrix
+from repro.gauges import assess
+
+
+def test_fig1_gauge_matrix(benchmark, save_result):
+    result = benchmark.pedantic(fig1_gauge_matrix, rounds=3, iterations=1)
+    save_result("fig1_gauge_matrix", result.to_text())
+    profiles = result.extra["assessments"]
+    assert profiles["skel+cheetah workflow"].dominates(profiles["black-box script"])
+    assert len({row[0] for row in result.rows}) == 6
+
+
+def test_assessment_throughput(benchmark):
+    """Mechanical assessment of a fully described component is microseconds."""
+    _before, after = workflow_components_before_after()
+    result = benchmark(assess, after)
+    assert result.profile.as_vector() != (0,) * 6

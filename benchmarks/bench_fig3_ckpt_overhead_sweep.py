@@ -1,0 +1,30 @@
+"""Figure 3 — checkpoints written vs permitted I/O overhead.
+
+Paper setup: reaction-diffusion benchmark on Summit, 4096 MPI processes
+over 128 nodes, 50 timesteps at ~1 TB each; checkpoints issued only while
+the observed I/O overhead stays within the declared budget.  Expected
+shape: checkpoint count increases monotonically with the permitted
+overhead and saturates at the 50-step ceiling.
+"""
+
+from repro.experiments import fig3_overhead_sweep
+
+
+def test_fig3_overhead_sweep(benchmark, save_result):
+    result = benchmark.pedantic(fig3_overhead_sweep, rounds=2, iterations=1)
+    save_result("fig3_ckpt_overhead_sweep", result.to_text())
+    series = result.extra["series"]
+    counts = [n for _o, n in series]
+    assert counts == sorted(counts), "checkpoint count must rise with the budget"
+    assert counts[-1] > counts[0]
+    assert all(n <= 50 for n in counts)
+
+
+def test_fig3_policy_decision_cost(benchmark):
+    """The per-timestep policy decision is nanosecond-scale bookkeeping."""
+    from repro.apps.simulation.checkpoint import CheckpointStats, OverheadBudgetPolicy
+
+    policy = OverheadBudgetPolicy(0.10)
+    stats = CheckpointStats(timestep=25, compute_seconds=750.0, io_seconds=60.0)
+    decision = benchmark(policy.should_checkpoint, stats, 30.0)
+    assert decision in (True, False)

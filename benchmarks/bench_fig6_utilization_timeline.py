@@ -1,0 +1,40 @@
+"""Figure 6 — workflow timeline: original set-synchronized vs Cheetah.
+
+Paper observation: "The original workflow required all runs within a set
+to complete before moving to the next set, resulting in idle nodes.  This
+is eliminated using Cheetah."  Expected shape: the static baseline shows
+large idle fractions (nodes waiting at set barriers behind stragglers);
+the dynamic pilot keeps nodes busy until the work runs out.
+"""
+
+from repro.experiments import fig6_timeline
+
+
+def test_fig6_utilization_timeline(benchmark, save_result):
+    result = benchmark.pedantic(
+        fig6_timeline,
+        kwargs={"n_tasks": 120, "nodes": 20, "walltime": 7200.0, "seed": 21},
+        rounds=2,
+        iterations=1,
+    )
+    timelines = result.extra["timelines"]
+    text = result.to_text() + "\n\n" + "\n\n".join(
+        f"-- {label} --\n{tl}" for label, tl in timelines.items()
+    )
+    save_result("fig6_utilization_timeline", text)
+    idle = result.extra["idle"]
+    assert idle["static"] > 2 * idle["dynamic"], (
+        "set barriers must idle nodes far more than dynamic scheduling"
+    )
+
+
+def test_fig6_simulation_cost(benchmark):
+    """One full 120-task allocation simulation costs milliseconds — cheap
+    enough to sweep."""
+    from repro.experiments import fig6_timeline as run
+
+    result = benchmark.pedantic(
+        run, kwargs={"n_tasks": 60, "nodes": 10, "walltime": 3600.0, "seed": 5},
+        rounds=3, iterations=1,
+    )
+    assert result.rows

@@ -1,0 +1,108 @@
+"""Microbenchmarks for the substrates the figures stand on.
+
+These track the costs that make the reproduction practical: the
+discrete-event core, template rendering, conversion planning, tree
+fitting, and the paste kernel.  They are classic pytest-benchmark
+measurements (many rounds), unlike the figure benches.
+"""
+
+import numpy as np
+
+from repro.cluster.engine import Simulator
+
+
+def test_des_event_throughput(benchmark):
+    """Events/second through the discrete-event core."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 5000
+
+
+def test_template_render_throughput(benchmark):
+    """Rendering a looping, branching template."""
+    from repro.skel.templates import Template
+
+    template = Template(
+        "{% for g in groups %}job ${g.i}: {% if g.i == 0 %}first{% else %}rest{% endif %}\n{% endfor %}"
+    )
+    context = {"groups": [{"i": i} for i in range(100)]}
+    out = benchmark(template.render, context)
+    assert out.count("\n") == 100
+
+
+def test_conversion_planning(benchmark):
+    """Shortest-path planning over a 40-format converter graph."""
+    from repro.metadata.schema import FormatConverterRegistry
+
+    reg = FormatConverterRegistry()
+    for i in range(40):
+        reg.register(f"fmt{i}", f"fmt{i + 1}", lambda d: d)
+    plan = benchmark(reg.plan, "fmt0", "fmt40")
+    assert plan.length == 40
+
+
+def test_tree_fit_cost(benchmark):
+    """One CART fit on 1000 x 20 (the per-node vectorized split search)."""
+    from repro.apps.irf.tree import DecisionTreeRegressor
+
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((1000, 20))
+    y = X[:, 3] * 2 + np.sin(X[:, 7]) + 0.1 * rng.standard_normal(1000)
+
+    def fit():
+        return DecisionTreeRegressor(max_depth=6, max_features="sqrt", seed=1).fit(X, y)
+
+    tree = benchmark(fit)
+    assert tree.feature_importances_.sum() > 0
+
+
+def test_grayscott_step_cost(benchmark):
+    """One vectorized reaction-diffusion step on a 128x128 grid."""
+    from repro.apps.simulation.grayscott import GrayScottParams, GrayScottSimulation
+
+    sim = GrayScottSimulation(GrayScottParams(n=128), seed=0)
+    benchmark(sim.step, 1)
+    assert np.all(np.isfinite(sim.u))
+
+
+def test_paste_kernel_cost(benchmark, tmp_path):
+    """Streaming column paste of 20 files x 500 rows."""
+    from repro.apps.gwas.paste import paste_files
+
+    paths = []
+    for i in range(20):
+        p = tmp_path / f"f{i}.tsv"
+        p.write_text("\n".join(f"{i}.{r}" for r in range(500)) + "\n")
+        paths.append(p)
+
+    out = benchmark(paste_files, paths, tmp_path / "out.tsv")
+    assert len(out.read_text().splitlines()) == 500
+
+
+def test_campaign_manifest_roundtrip_cost(benchmark):
+    """Serialize + parse a 1606-run manifest (the Fig 7 campaign)."""
+    from repro.cheetah import AppSpec, Campaign, RangeParameter, Sweep
+    from repro.cheetah.manifest import manifest_from_json, manifest_to_json
+
+    camp = Campaign("c", app=AppSpec("irf"))
+    camp.sweep_group("g", nodes=20, walltime=7200.0).add(
+        Sweep([RangeParameter("feature", 0, 1606)])
+    )
+    manifest = camp.to_manifest()
+
+    def roundtrip():
+        return manifest_from_json(manifest_to_json(manifest))
+
+    assert len(benchmark(roundtrip)) == 1606

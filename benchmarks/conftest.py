@@ -1,0 +1,34 @@
+"""Benchmark-suite helpers.
+
+Every figure bench saves its rendered table under ``benchmarks/results/``
+so the paper comparison survives the captured-stdout of a quiet pytest
+run; it also prints, so ``pytest benchmarks/ --benchmark-only -s`` shows
+the tables live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist (and echo) a figure reproduction table."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Quickstart: the six-gauge reusability model in five minutes.
+
+Describes a workflow component, assesses it mechanically, scores its
+technical debt under the built-in reuse scenarios, raises two gauge
+tiers, and shows the debt trend — the paper's core loop.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.gauges import (
+    ComponentKind,
+    ComponentRegistry,
+    DataPort,
+    Gauge,
+    ReusabilityTrajectory,
+    SoftwareMetadata,
+    WorkflowComponent,
+    assess,
+    builtin_scenarios,
+    score,
+)
+from repro.metadata import (
+    AccessInterface,
+    AccessProtocol,
+    ConsumptionPattern,
+    DataAccessDescriptor,
+    DataSchema,
+    DataSemanticsDescriptor,
+    Field,
+)
+
+
+def main() -> None:
+    # -- 1. Describe a component as you found it: mostly a black box. -----
+    component = WorkflowComponent(
+        name="variant-caller",
+        description="inherited analysis script",
+        ports=(
+            DataPort(
+                name="reads",
+                direction="in",
+                access=DataAccessDescriptor(protocol=AccessProtocol.POSIX_FILE),
+            ),
+            DataPort(name="calls", direction="out"),
+        ),
+        software=SoftwareMetadata(kind=ComponentKind.EXECUTABLE),
+    )
+
+    assessment = assess(component)
+    print("== initial assessment ==")
+    for gauge, tier in assessment.profile.as_dict().items():
+        print(f"  {gauge:28s} {tier}")
+
+    # -- 2. Score the human cost of reusing it. ----------------------------
+    scenarios = builtin_scenarios()
+    print("\n== technical debt (manual minutes per reuse) ==")
+    for name, scenario in scenarios.items():
+        report = score(component, scenario)
+        print(
+            f"  {name:18s} {report.manual_minutes:6.0f} min manual, "
+            f"{report.automation_fraction:.0%} automated"
+        )
+
+    # -- 3. Invest: declare the schema and expose the configuration. -------
+    described = WorkflowComponent(
+        name="variant-caller",
+        description="same script, now described",
+        ports=(
+            DataPort(
+                name="reads",
+                direction="in",
+                access=DataAccessDescriptor(
+                    protocol=AccessProtocol.POSIX_FILE,
+                    interface=AccessInterface.DELIMITED_TEXT,
+                ),
+                schema=DataSchema(
+                    "read-table", "1", (Field("sequence", "str"), Field("quality", "int8"))
+                ),
+                semantics=DataSemanticsDescriptor(consumption=ConsumptionPattern.ELEMENT),
+            ),
+            DataPort(
+                name="calls",
+                direction="out",
+                access=DataAccessDescriptor(
+                    protocol=AccessProtocol.POSIX_FILE,
+                    interface=AccessInterface.DELIMITED_TEXT,
+                ),
+                schema=DataSchema("vcf-like", "1", (Field("site", "int64"),)),
+                semantics=DataSemanticsDescriptor(consumption=ConsumptionPattern.ELEMENT),
+            ),
+        ),
+        software=SoftwareMetadata(
+            kind=ComponentKind.EXECUTABLE,
+            config_template="variant-caller launch template",
+            exposed_variables=("reference", "threads", "min_quality"),
+            generation_model={"schema": "variant-caller"},
+        ),
+    )
+
+    # -- 4. Track the trajectory; gauges never silently regress. -----------
+    trajectory = ReusabilityTrajectory("variant-caller")
+    trajectory.record("as-found", assessment.profile)
+    trajectory.record("described", assess(described).profile)
+    print("\n== gauge advances ==")
+    for src, dst, gauge, old, new in trajectory.advances():
+        print(f"  {gauge.value:28s} {old} -> {new}  ({src} -> {dst})")
+    print(f"  monotone: {trajectory.is_monotone()}")
+
+    print("\n== debt trend (new-dataset scenario) ==")
+    for label, minutes in trajectory.debt_trend(scenarios["new-dataset"]):
+        print(f"  {label:10s} {minutes:6.0f} min")
+
+    # -- 5. Catalog components; plan the next automation investment. -------
+    registry = ComponentRegistry()
+    registry.register(component)
+    registry.register(described)
+    print("\n== cheapest next advance (new-machine scenario) ==")
+    for name, gauge, tier, saved in registry.cheapest_advance(scenarios["new-machine"]):
+        print(f"  {name:16s} raise {gauge.value} to tier {tier}: saves {saved:.0f} min")
+
+    # -- 6. The FAIR view (conclusion: R1.2 / R1.3 / I3). -------------------
+    from repro.gauges import fair_report
+
+    print()
+    print(fair_report(assess(described).profile))
+
+
+if __name__ == "__main__":
+    main()

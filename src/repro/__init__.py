@@ -1,0 +1,64 @@
+"""fairflow — a reproduction of "Reusability First: Toward FAIR Workflows"
+(Wolf, Logan, Mehta, et al., IEEE CLUSTER 2021).
+
+The package implements the paper's primary contribution — the six-gauge
+reusability abstraction — together with every substrate its evaluation
+depends on:
+
+=====================  =====================================================
+:mod:`repro.gauges`     the six-gauge model, technical-debt scoring,
+                        component registry, reusability trajectories
+:mod:`repro.metadata`   machine-actionable descriptors (access / schema /
+                        semantics / provenance) + format-conversion planner
+:mod:`repro.skel`       model-driven code generation (template engine,
+                        generation models, generator, template library)
+:mod:`repro.cheetah`    campaign composition (Campaign / SweepGroup /
+                        Sweep, JSON manifest, campaign directory schema)
+:mod:`repro.savanna`    campaign execution (dynamic pilot, set-synchronized
+                        baseline, local thread-pool executor, resume)
+:mod:`repro.cluster`    discrete-event HPC simulator (nodes, batch
+                        scheduler, parallel filesystem, failures)
+:mod:`repro.dataflow`   streaming workflow substrate (virtual data queues,
+                        runtime-installable policies, generated comms)
+:mod:`repro.apps`       GWAS paste workflow, iRF / iRF-LOOP, reaction-
+                        diffusion + checkpoint-restart
+:mod:`repro.experiments` one driver per paper figure (1-7)
+=====================  =====================================================
+
+Quickstart::
+
+    from repro import gauges, skel, cheetah, savanna, cluster
+
+    # Describe a component, assess its reusability, score its debt:
+    assessment = gauges.assess(component)
+    report = gauges.score(component, gauges.builtin_scenarios()["new-dataset"])
+
+    # Compose a campaign and execute it on a simulated machine:
+    camp = cheetah.Campaign("study", app=cheetah.AppSpec("sim"))
+    camp.sweep_group("sweep", nodes=20, walltime=7200).add(
+        cheetah.Sweep([cheetah.RangeParameter("x", 0, 100)]))
+    sim = cluster.SimulatedCluster(cluster.ClusterSpec(nodes=20), seed=1)
+    tasks = savanna.tasks_from_manifest(camp.to_manifest(), lambda p: 60.0)
+    result = savanna.PilotExecutor(sim).run(tasks, nodes=20, walltime=7200)
+"""
+
+from repro import apps, cheetah, cluster, dataflow, experiments, gauges, metadata, research, savanna, skel
+from repro.research import export_research_object, load_research_object
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "gauges",
+    "metadata",
+    "skel",
+    "cheetah",
+    "savanna",
+    "cluster",
+    "dataflow",
+    "apps",
+    "experiments",
+    "research",
+    "export_research_object",
+    "load_research_object",
+    "__version__",
+]

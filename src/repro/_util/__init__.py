@@ -1,0 +1,27 @@
+"""Shared internal helpers: deterministic RNG plumbing, validation, text tables.
+
+Nothing in this package is part of the public API; modules elsewhere in
+:mod:`repro` import from here freely, external users should not.
+"""
+
+from repro._util.rng import as_generator, spawn_children
+from repro._util.tables import format_table, format_series
+from repro._util.validate import (
+    check_positive,
+    check_nonnegative,
+    check_fraction,
+    check_type,
+    ValidationError,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_children",
+    "format_table",
+    "format_series",
+    "check_positive",
+    "check_nonnegative",
+    "check_fraction",
+    "check_type",
+    "ValidationError",
+]

@@ -1,0 +1,42 @@
+"""Plain-text table/series rendering used by the experiment harness.
+
+Benchmarks print paper-figure data as aligned text tables; keeping the
+formatter here avoids each bench reinventing padding logic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, *, xlabel: str = "x", ylabel: str = "y") -> str:
+    """Render a named (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    body = format_table([xlabel, ylabel], zip(xs, ys))
+    return f"{name}\n{body}"

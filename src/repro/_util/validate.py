@@ -1,0 +1,39 @@
+"""Small argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+
+class ValidationError(ValueError):
+    """Raised when a user-supplied model/parameter value is invalid.
+
+    Subclasses :class:`ValueError` so generic callers may catch either.
+    """
+
+
+def check_positive(name: str, value) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_nonnegative(name: str, value) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(name: str, value) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not (0 <= value <= 1):
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_type(name: str, value, expected: type | tuple) -> None:
+    """Require ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        exp = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise ValidationError(f"{name} must be {exp}, got {type(value).__name__}")

@@ -1,0 +1,8 @@
+"""Application substrates used by the paper's experiments.
+
+- :mod:`repro.apps.gwas` — the GWAS preprocessing workflow of §II-A/§V-A.
+- :mod:`repro.apps.irf` — iterative random forests and iRF-LOOP
+  (§II-B/§V-D), implemented from scratch.
+- :mod:`repro.apps.simulation` — the reaction-diffusion benchmark and
+  checkpoint-restart middleware of §V-B.
+"""

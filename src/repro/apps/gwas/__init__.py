@@ -1,0 +1,72 @@
+"""The GWAS preprocessing workflow (§II-A, §V-A, Figure 2).
+
+The experiment's unit of work is the *column-wise paste*: merging a large
+number of per-chunk tabular files into one matrix, done in two phases to
+dodge the filesystem's many-open-files bottleneck.
+
+- :mod:`repro.apps.gwas.data` — synthetic genotype/phenotype table writer.
+- :mod:`repro.apps.gwas.formats` — annotation format converters
+  (BED / GFF3-like / custom) registered in the schema gauge's conversion
+  registry, the §II-A "multiple formats for single types of data" story.
+- :mod:`repro.apps.gwas.paste` — real column-wise paste (single and
+  two-phase) plus the filesystem cost model that motivates two phases.
+- :mod:`repro.apps.gwas.workflow` — the Skel-driven paste workflow: model
+  in, scripts + campaign spec out; with the manual-intervention and gauge
+  comparison against the traditional script (Figure 2).
+"""
+
+from repro.apps.gwas.data import write_genotype_tables, write_phenotype_table, write_gwas_dataset
+from repro.apps.gwas.formats import (
+    AnnotationRecord,
+    parse_bed,
+    to_bed,
+    parse_gff3,
+    to_gff3,
+    parse_custom,
+    to_custom,
+    annotation_registry,
+)
+from repro.apps.gwas.paste import (
+    paste_files,
+    two_phase_paste,
+    split_columns,
+    estimate_paste_time,
+    PasteError,
+)
+from repro.apps.gwas.association import GwasScanResult, gwas_scan, recovery_rate
+from repro.apps.gwas.structure import genotype_pcs, variance_explained, structured_gwas
+from repro.apps.gwas.workflow import (
+    derive_groups,
+    GwasPasteWorkflow,
+    manual_vs_generated,
+    workflow_components_before_after,
+)
+
+__all__ = [
+    "write_genotype_tables",
+    "write_phenotype_table",
+    "write_gwas_dataset",
+    "AnnotationRecord",
+    "parse_bed",
+    "to_bed",
+    "parse_gff3",
+    "to_gff3",
+    "parse_custom",
+    "to_custom",
+    "annotation_registry",
+    "paste_files",
+    "two_phase_paste",
+    "split_columns",
+    "estimate_paste_time",
+    "PasteError",
+    "GwasScanResult",
+    "gwas_scan",
+    "recovery_rate",
+    "genotype_pcs",
+    "variance_explained",
+    "structured_gwas",
+    "derive_groups",
+    "GwasPasteWorkflow",
+    "manual_vs_generated",
+    "workflow_components_before_after",
+]

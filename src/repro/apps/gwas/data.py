@@ -1,0 +1,113 @@
+"""Synthetic genotype/phenotype table writer.
+
+Produces the file layout the paste workflow consumes: many per-chunk TSV
+tables (rows = samples, columns = SNPs), one phenotype table.  Real GWAS
+inputs are TB-scale; the workflow logic is size-invariant, so small files
+exercise the identical code path (the TB-scale costs live in the paste
+cost model).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import as_generator, check_positive
+from repro.apps.irf.datasets import synthetic_gwas
+
+
+def write_genotype_tables(
+    directory: Path,
+    n_files: int = 10,
+    n_samples: int = 50,
+    snps_per_file: int = 20,
+    prefix: str = "chunk",
+    seed=None,
+) -> list[Path]:
+    """Write ``n_files`` per-chunk genotype TSVs; returns the paths.
+
+    Files are named ``{prefix}_{i:04d}.tsv`` so a glob such as
+    ``chunk_*.tsv`` enumerates them in paste order.  Each file holds the
+    same ``n_samples`` rows (a column-paste precondition).
+    """
+    check_positive("n_files", n_files)
+    check_positive("n_samples", n_samples)
+    check_positive("snps_per_file", snps_per_file)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rng = as_generator(seed)
+    data = synthetic_gwas(
+        n_samples=n_samples, n_snps=n_files * snps_per_file, n_causal=min(5, n_files * snps_per_file), seed=rng
+    )
+    paths = []
+    for i in range(n_files):
+        cols = data.genotypes[:, i * snps_per_file : (i + 1) * snps_per_file]
+        path = directory / f"{prefix}_{i:04d}.tsv"
+        header = "\t".join(
+            data.snp_names[i * snps_per_file : (i + 1) * snps_per_file]
+        )
+        body = "\n".join("\t".join(str(int(v)) for v in row) for row in cols)
+        path.write_text(header + "\n" + body + "\n")
+        paths.append(path)
+    return paths
+
+
+def write_gwas_dataset(
+    directory: Path,
+    n_files: int = 10,
+    n_samples: int = 50,
+    snps_per_file: int = 20,
+    n_causal: int = 5,
+    heritability: float = 0.8,
+    prefix: str = "chunk",
+    seed=None,
+):
+    """Write a *consistent* GWAS dataset: genotype chunks + phenotype.
+
+    Unlike :func:`write_genotype_tables` (which only needs pasteable
+    tables), this keeps the phenotype tied to the genotypes it was
+    generated from, so a downstream :func:`~repro.apps.gwas.association.
+    gwas_scan` over the pasted matrix can actually recover the causal
+    SNPs.  Returns ``(chunk_paths, phenotype_path, data)`` where ``data``
+    is the underlying :class:`~repro.apps.irf.datasets.GwasData` (the
+    ground truth).
+    """
+    check_positive("n_files", n_files)
+    check_positive("snps_per_file", snps_per_file)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    data = synthetic_gwas(
+        n_samples=n_samples,
+        n_snps=n_files * snps_per_file,
+        n_causal=n_causal,
+        heritability=heritability,
+        seed=seed,
+    )
+    paths = []
+    for i in range(n_files):
+        cols = data.genotypes[:, i * snps_per_file : (i + 1) * snps_per_file]
+        header = "\t".join(data.snp_names[i * snps_per_file : (i + 1) * snps_per_file])
+        body = "\n".join("\t".join(str(int(v)) for v in row) for row in cols)
+        path = directory / f"{prefix}_{i:04d}.tsv"
+        path.write_text(header + "\n" + body + "\n")
+        paths.append(path)
+    phenotype_path = directory / "phenotype.tsv"
+    phenotype_path.write_text(
+        "trait\n" + "\n".join(f"{v:.6f}" for v in data.phenotype) + "\n"
+    )
+    return paths, phenotype_path, data
+
+
+def write_phenotype_table(
+    directory: Path, n_samples: int = 50, trait: str = "trait", seed=None
+) -> Path:
+    """Write a one-column phenotype TSV alongside the genotype chunks."""
+    check_positive("n_samples", n_samples)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rng = as_generator(seed)
+    values = rng.standard_normal(n_samples)
+    path = directory / f"{trait}.tsv"
+    path.write_text(trait + "\n" + "\n".join(f"{v:.6f}" for v in values) + "\n")
+    return path

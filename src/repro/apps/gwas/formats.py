@@ -1,0 +1,265 @@
+"""Genome-annotation formats and automated conversion (§II-A).
+
+"There can exist multiple formats for single types of data (e.g. genome
+annotations can be in BED, GTF2, GFF3, or PSL formats)" — and hand-rolled
+converters are the §II-A technical-debt exhibit.  Here three concrete
+formats (BED, a GFF3 subset, and a deliberately idiosyncratic "custom"
+lab format) convert through a neutral record type, all registered in a
+:class:`~repro.metadata.schema.FormatConverterRegistry` so any pair is
+reachable as a conversion *plan* rather than bespoke code.
+
+Coordinate conventions are where annotation bugs live, so they are
+handled explicitly: BED is 0-based half-open; GFF3 is 1-based closed; the
+custom format is 1-based closed with a ``chrom:start-end`` locus string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metadata.schema import FormatConverterRegistry
+
+
+@dataclass(frozen=True)
+class AnnotationRecord:
+    """Neutral annotation record: 0-based half-open coordinates."""
+
+    chrom: str
+    start: int  # 0-based inclusive
+    end: int  # exclusive
+    name: str = "."
+    score: float = 0.0
+    strand: str = "."
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end <= self.start:
+            raise ValueError(f"empty interval: [{self.start}, {self.end})")
+        if self.strand not in ("+", "-", "."):
+            raise ValueError(f"strand must be +, - or ., got {self.strand!r}")
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+# -- BED: 0-based half-open, tab-separated, 6 columns -------------------------
+
+
+def parse_bed(text: str) -> list[AnnotationRecord]:
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith(("#", "track", "browser")):
+            continue
+        parts = line.split("\t")
+        if len(parts) < 3:
+            raise ValueError(f"BED line {lineno}: expected >= 3 columns, got {len(parts)}")
+        chrom, start, end = parts[0], int(parts[1]), int(parts[2])
+        name = parts[3] if len(parts) > 3 else "."
+        score = float(parts[4]) if len(parts) > 4 and parts[4] != "." else 0.0
+        strand = parts[5] if len(parts) > 5 else "."
+        records.append(AnnotationRecord(chrom, start, end, name, score, strand))
+    return records
+
+
+def to_bed(records: list[AnnotationRecord]) -> str:
+    lines = [
+        f"{r.chrom}\t{r.start}\t{r.end}\t{r.name}\t{r.score:g}\t{r.strand}"
+        for r in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- GFF3 subset: 1-based closed, 9 columns ------------------------------------
+
+
+def parse_gff3(text: str) -> list[AnnotationRecord]:
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 9:
+            raise ValueError(f"GFF3 line {lineno}: expected 9 columns, got {len(parts)}")
+        chrom, _source, _type, start, end, score, strand, _phase, attrs = parts
+        name = "."
+        for field in attrs.split(";"):
+            if field.startswith(("ID=", "Name=")):
+                name = field.split("=", 1)[1]
+                break
+        records.append(
+            AnnotationRecord(
+                chrom=chrom,
+                start=int(start) - 1,  # 1-based closed -> 0-based half-open
+                end=int(end),
+                name=name,
+                score=0.0 if score == "." else float(score),
+                strand=strand if strand in ("+", "-") else ".",
+            )
+        )
+    return records
+
+
+def to_gff3(records: list[AnnotationRecord]) -> str:
+    lines = ["##gff-version 3"]
+    for r in records:
+        score = "." if r.score == 0.0 else f"{r.score:g}"
+        lines.append(
+            f"{r.chrom}\tfairflow\tregion\t{r.start + 1}\t{r.end}\t{score}\t{r.strand}\t.\tID={r.name}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- the idiosyncratic lab format: "name @ chrom:start-end [strand] score" -----
+
+
+def parse_custom(text: str) -> list[AnnotationRecord]:
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        try:
+            name, rest = line.split(" @ ", 1)
+            locus, rest = rest.split(" [", 1)
+            strand, score = rest.split("] ", 1)
+            chrom, span = locus.split(":")
+            start, end = span.split("-")
+        except ValueError:
+            raise ValueError(f"custom format line {lineno}: cannot parse {line!r}") from None
+        records.append(
+            AnnotationRecord(
+                chrom=chrom,
+                start=int(start) - 1,  # 1-based closed -> neutral
+                end=int(end),
+                name=name,
+                score=float(score),
+                strand=strand,
+            )
+        )
+    return records
+
+
+def to_custom(records: list[AnnotationRecord]) -> str:
+    lines = [
+        f"{r.name} @ {r.chrom}:{r.start + 1}-{r.end} [{r.strand}] {r.score:g}"
+        for r in records
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- GTF2 subset: GFF-like columns, attribute grammar `key "value";` ----------
+
+
+def parse_gtf2(text: str) -> list[AnnotationRecord]:
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 9:
+            raise ValueError(f"GTF2 line {lineno}: expected 9 columns, got {len(parts)}")
+        chrom, _source, _feature, start, end, score, strand, _frame, attrs = parts
+        name = "."
+        for field in attrs.strip().split(";"):
+            field = field.strip()
+            if field.startswith("gene_id "):
+                name = field.split(" ", 1)[1].strip().strip('"')
+                break
+        records.append(
+            AnnotationRecord(
+                chrom=chrom,
+                start=int(start) - 1,  # 1-based closed, like GFF3
+                end=int(end),
+                name=name,
+                score=0.0 if score == "." else float(score),
+                strand=strand if strand in ("+", "-") else ".",
+            )
+        )
+    return records
+
+
+def to_gtf2(records: list[AnnotationRecord]) -> str:
+    lines = []
+    for r in records:
+        score = "." if r.score == 0.0 else f"{r.score:g}"
+        lines.append(
+            f"{r.chrom}\tfairflow\texon\t{r.start + 1}\t{r.end}\t{score}\t{r.strand}\t.\t"
+            f'gene_id "{r.name}"; transcript_id "{r.name}.t1";'
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- PSL-lite: the BLAT column subset our record type can carry ----------------
+# Full PSL has 21 columns; columns we cannot derive are written as zeros,
+# which real PSL consumers tolerate for ungapped single-block alignments.
+
+
+def parse_psl(text: str) -> list[AnnotationRecord]:
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith(("psLayout", "match", "-")):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 21:
+            raise ValueError(f"PSL line {lineno}: expected 21 columns, got {len(parts)}")
+        matches = float(parts[0])
+        strand = parts[8] if parts[8] in ("+", "-") else "."
+        q_name = parts[9]
+        t_name = parts[13]
+        t_start, t_end = int(parts[15]), int(parts[16])  # 0-based half-open
+        records.append(
+            AnnotationRecord(
+                chrom=t_name,
+                start=t_start,
+                end=t_end,
+                name=q_name,
+                score=matches,
+                strand=strand,
+            )
+        )
+    return records
+
+
+def to_psl(records: list[AnnotationRecord]) -> str:
+    lines = []
+    for r in records:
+        size = len(r)
+        cols = [
+            f"{r.score:g}",  # matches
+            "0", "0", "0", "0", "0", "0", "0",  # mismatches..tBaseInsert
+            r.strand if r.strand != "." else "+",
+            r.name,  # qName
+            str(size), "0", str(size),  # qSize qStart qEnd
+            r.chrom,  # tName
+            str(r.end),  # tSize (>= tEnd; minimal consistent value)
+            str(r.start), str(r.end),  # tStart tEnd (0-based half-open)
+            "1",  # blockCount
+            f"{size},", "0,", f"{r.start},",  # blockSizes qStarts tStarts
+        ]
+        lines.append("\t".join(cols))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def annotation_registry() -> FormatConverterRegistry:
+    """All annotation converters, hub-and-spoke through ``records``.
+
+    Any format pair converts through the neutral record list: registering
+    one new format (two converters) makes it reachable from every other —
+    the network effect that retires per-pair custom scripts.
+    """
+    reg = FormatConverterRegistry()
+    reg.register("bed", "records", parse_bed)
+    reg.register("records", "bed", to_bed)
+    reg.register("gff3", "records", parse_gff3)
+    reg.register("records", "gff3", to_gff3)
+    reg.register("gtf2", "records", parse_gtf2)
+    reg.register("records", "gtf2", to_gtf2)
+    # PSL carries alignments, not plain annotations: conversion through it
+    # is lossy for strand "." (PSL requires +/-), so make it slightly more
+    # expensive than the lossless spokes — plans prefer other routes.
+    reg.register("psl", "records", parse_psl, cost=1.5)
+    reg.register("records", "psl", to_psl, cost=1.5)
+    reg.register("custom", "records", parse_custom)
+    reg.register("records", "custom", to_custom)
+    return reg

@@ -1,0 +1,59 @@
+"""Iterative Random Forests and iRF-LOOP (§II-B, §V-D) — from scratch.
+
+iRF-LOOP "will treat each individual feature as the dependent variable
+... and create an iRF model with the remaining n-1 features as the
+independent variables"; the n importance vectors are "normalized and
+concatenated into an n x n directional adjacency matrix".
+
+- :mod:`repro.apps.irf.tree` — a vectorized CART regression tree with
+  impurity-decrease feature importances.
+- :mod:`repro.apps.irf.forest` — bootstrap random forest with weighted
+  feature sampling.
+- :mod:`repro.apps.irf.iterative` — iRF: iterated forests reweighting
+  features by the previous iteration's importances.
+- :mod:`repro.apps.irf.loop` — the all-to-all iRF-LOOP network builder
+  plus the HPC run-duration model used by the campaign experiments.
+- :mod:`repro.apps.irf.datasets` — synthetic census-like and GWAS-like
+  data with planted dependency structure (ground truth for evaluation).
+- :mod:`repro.apps.irf.network` — network extraction and scoring against
+  planted truth.
+"""
+
+from repro.apps.irf.tree import DecisionTreeRegressor
+from repro.apps.irf.forest import RandomForestRegressor
+from repro.apps.irf.iterative import IterativeRandomForest, IRFResult
+from repro.apps.irf.loop import irf_loop, irf_loop_parallel, IRFLoopResult, feature_run_durations, duration_model
+from repro.apps.irf.datasets import census_like, synthetic_gwas, CensusLikeData, GwasData
+from repro.apps.irf.network import network_from_adjacency, top_edges, precision_at_k
+from repro.apps.irf.importance import PermutationImportanceResult, permutation_importance
+from repro.apps.irf.workflow import (
+    build_irf_campaign,
+    ManualEffortEstimate,
+    manual_effort_comparison,
+    irf_reuse_scenario,
+)
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "IterativeRandomForest",
+    "IRFResult",
+    "irf_loop",
+    "irf_loop_parallel",
+    "IRFLoopResult",
+    "feature_run_durations",
+    "duration_model",
+    "census_like",
+    "synthetic_gwas",
+    "CensusLikeData",
+    "GwasData",
+    "network_from_adjacency",
+    "top_edges",
+    "precision_at_k",
+    "PermutationImportanceResult",
+    "permutation_importance",
+    "build_irf_campaign",
+    "ManualEffortEstimate",
+    "manual_effort_comparison",
+    "irf_reuse_scenario",
+]

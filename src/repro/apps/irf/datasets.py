@@ -1,0 +1,144 @@
+"""Synthetic datasets with planted structure.
+
+Substitutions for data we cannot ship:
+
+- :func:`census_like` replaces the 2019 American Community Survey matrix
+  (1606 features × 3220 counties, §V-D): same shape on request, with a
+  *planted* dependency graph (each derived feature is a noisy function of
+  a few parent features) so network-recovery quality is checkable.
+- :func:`synthetic_gwas` replaces the §II-A genotype/phenotype data: a
+  0/1/2 SNP matrix under Hardy–Weinberg proportions with an additive
+  phenotype over known causal SNPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_generator, check_positive, check_fraction
+
+
+@dataclass
+class CensusLikeData:
+    """A correlated feature matrix plus its planted dependency graph."""
+
+    X: np.ndarray  # (n_samples, n_features), standardized
+    feature_names: tuple
+    true_edges: frozenset  # {(parent_idx, child_idx)}
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+
+def census_like(
+    n_features: int = 1606,
+    n_samples: int = 3220,
+    derived_fraction: float = 0.5,
+    parents_per_feature: int = 3,
+    noise: float = 0.3,
+    nonlinear_fraction: float = 0.3,
+    seed=None,
+) -> CensusLikeData:
+    """Generate a census-like matrix with planted feature dependencies.
+
+    A ``1 - derived_fraction`` share of features are independent "root"
+    features; each remaining feature is a weighted combination of
+    ``parents_per_feature`` earlier features (a ``nonlinear_fraction`` of
+    derived features square or interact their parents) plus Gaussian
+    noise.  Edges parent→child form the ground-truth network.
+    """
+    check_positive("n_features", n_features)
+    check_positive("n_samples", n_samples)
+    check_fraction("derived_fraction", derived_fraction)
+    check_fraction("nonlinear_fraction", nonlinear_fraction)
+    check_positive("parents_per_feature", parents_per_feature)
+    if n_features < parents_per_feature + 1:
+        raise ValueError(
+            f"need > {parents_per_feature} features for {parents_per_feature} parents"
+        )
+    rng = as_generator(seed)
+    n_roots = max(parents_per_feature, int(round(n_features * (1 - derived_fraction))))
+    X = np.empty((n_samples, n_features))
+    X[:, :n_roots] = rng.standard_normal((n_samples, n_roots))
+    edges = set()
+    for j in range(n_roots, n_features):
+        parents = rng.choice(j, size=parents_per_feature, replace=False)
+        weights = rng.uniform(0.5, 1.5, size=parents_per_feature) * rng.choice(
+            [-1.0, 1.0], size=parents_per_feature
+        )
+        base = X[:, parents] @ weights
+        if rng.random() < nonlinear_fraction:
+            # interaction of the two strongest parents — tree-learnable,
+            # invisible to linear methods
+            base = base + X[:, parents[0]] * X[:, parents[1]]
+        column = base + noise * rng.standard_normal(n_samples)
+        X[:, j] = column
+        edges.update((int(p), j) for p in parents)
+    # Standardize: iRF sampling weights should reflect structure, not scale.
+    X = (X - X.mean(axis=0)) / X.std(axis=0)
+    names = tuple(f"feat_{j:04d}" for j in range(n_features))
+    return CensusLikeData(X=X, feature_names=names, true_edges=frozenset(edges))
+
+
+@dataclass
+class GwasData:
+    """Genotypes, phenotype, and the causal truth behind them."""
+
+    genotypes: np.ndarray  # (n_samples, n_snps) in {0, 1, 2}
+    phenotype: np.ndarray  # (n_samples,)
+    causal_snps: tuple
+    effect_sizes: np.ndarray
+    snp_names: tuple
+
+
+def synthetic_gwas(
+    n_samples: int = 500,
+    n_snps: int = 1000,
+    n_causal: int = 10,
+    maf_range: tuple = (0.05, 0.5),
+    heritability: float = 0.5,
+    seed=None,
+) -> GwasData:
+    """Generate a GWAS dataset: HW genotypes + additive phenotype.
+
+    Each SNP's minor-allele frequency is uniform over ``maf_range``;
+    genotypes are Binomial(2, maf).  The phenotype is a weighted sum over
+    ``n_causal`` SNPs plus Gaussian noise scaled so the genetic variance
+    fraction equals ``heritability``.
+    """
+    check_positive("n_samples", n_samples)
+    check_positive("n_snps", n_snps)
+    check_positive("n_causal", n_causal)
+    check_fraction("heritability", heritability)
+    if n_causal > n_snps:
+        raise ValueError(f"n_causal={n_causal} > n_snps={n_snps}")
+    lo, hi = maf_range
+    if not (0 < lo <= hi <= 0.5):
+        raise ValueError(f"maf_range must satisfy 0 < lo <= hi <= 0.5, got {maf_range}")
+    rng = as_generator(seed)
+    mafs = rng.uniform(lo, hi, size=n_snps)
+    genotypes = rng.binomial(2, mafs, size=(n_samples, n_snps)).astype(np.int8)
+    causal = tuple(int(i) for i in rng.choice(n_snps, size=n_causal, replace=False))
+    effects = rng.normal(0.0, 1.0, size=n_causal)
+    genetic = genotypes[:, list(causal)].astype(float) @ effects
+    g_var = genetic.var()
+    if heritability > 0 and g_var > 0:
+        noise_sd = np.sqrt(g_var * (1 - heritability) / heritability)
+    else:
+        noise_sd = 1.0
+    phenotype = genetic + rng.normal(0.0, noise_sd, size=n_samples)
+    names = tuple(f"snp_{i:05d}" for i in range(n_snps))
+    return GwasData(
+        genotypes=genotypes,
+        phenotype=phenotype,
+        causal_snps=causal,
+        effect_sizes=effects,
+        snp_names=names,
+    )

@@ -1,0 +1,121 @@
+"""Bootstrap random forest with weighted feature sampling.
+
+The weighted sampling is the hook iRF needs: iteration k+1 samples split
+candidates proportionally to iteration k's importances, concentrating the
+forest on stable predictive features (Basu et al., PNAS 2018).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive, spawn_children
+from repro.apps.irf.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Average of bootstrap CART trees.
+
+    Parameters mirror :class:`DecisionTreeRegressor`, plus:
+
+    n_estimators:
+        Number of trees.
+    bootstrap:
+        Sample training rows with replacement per tree (out-of-bag rows
+        are tracked for the OOB R² diagnostic).
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        n_jobs: int = 1,
+        seed=None,
+    ):
+        check_positive("n_estimators", n_estimators)
+        check_positive("n_jobs", n_jobs)
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.n_jobs = n_jobs
+        self._seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+        self.feature_importances_: np.ndarray | None = None
+        self.oob_score_: float | None = None
+
+    def fit(self, X, y, feature_weights=None) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        n = X.shape[0]
+        rngs = spawn_children(self._seed, self.n_estimators + 1)
+        boot_rng = rngs[-1]
+        # Bootstrap rows are drawn up front, in tree order, so the result
+        # is identical whatever n_jobs is (determinism survives threads).
+        all_rows = (
+            [boot_rng.integers(0, n, size=n) for _ in range(self.n_estimators)]
+            if self.bootstrap
+            else [None] * self.n_estimators
+        )
+
+        def fit_tree(i: int) -> DecisionTreeRegressor:
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=rngs[i],
+            )
+            rows = all_rows[i]
+            if rows is not None:
+                tree.fit(X[rows], y[rows], feature_weights=feature_weights)
+            else:
+                tree.fit(X, y, feature_weights=feature_weights)
+            return tree
+
+        if self.n_jobs == 1:
+            self.trees_ = [fit_tree(i) for i in range(self.n_estimators)]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.n_jobs) as pool:
+                self.trees_ = list(pool.map(fit_tree, range(self.n_estimators)))
+
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n, dtype=int)
+        importances = np.zeros(X.shape[1])
+        for tree, rows in zip(self.trees_, all_rows):
+            if rows is not None:
+                oob_mask = np.ones(n, dtype=bool)
+                oob_mask[np.unique(rows)] = False
+                if oob_mask.any():
+                    oob_sum[oob_mask] += tree.predict(X[oob_mask])
+                    oob_count[oob_mask] += 1
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        if self.bootstrap:
+            covered = oob_count > 0
+            if covered.sum() >= 2:
+                pred = oob_sum[covered] / oob_count[covered]
+                resid = y[covered] - pred
+                denom = ((y[covered] - y[covered].mean()) ** 2).sum()
+                self.oob_score_ = (
+                    1.0 - float(resid @ resid) / float(denom) if denom > 0 else 0.0
+                )
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            out += tree.predict(X)
+        return out / len(self.trees_)

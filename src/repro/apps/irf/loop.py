@@ -1,0 +1,214 @@
+"""iRF-LOOP: the all-to-all predictive network builder (§II-B).
+
+For each feature j, fit an iRF with y = column j and X = the remaining
+columns; the n importance vectors are normalized and assembled into an
+n × n directional adjacency matrix A where ``A[i, j]`` is the importance
+of feature i for predicting feature j.
+
+Also home to :func:`feature_run_durations`, the HPC run-duration model the
+campaign experiments (Figures 6/7) use: per-feature iRF fit times on a
+cluster are heavy-tailed (tree depth and split counts vary wildly with
+the target's structure), which is exactly what makes set-synchronized
+scheduling pay its straggler tax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_generator, check_positive, spawn_children
+from repro.apps.irf.iterative import IterativeRandomForest
+
+
+@dataclass
+class IRFLoopResult:
+    """The all-to-all network plus per-target diagnostics."""
+
+    adjacency: np.ndarray  # A[i, j]: importance of feature i for target j
+    feature_names: tuple
+    oob_scores: list
+
+    @property
+    def n_features(self) -> int:
+        return self.adjacency.shape[0]
+
+    def column_sums(self) -> np.ndarray:
+        """Per-target importance mass (1 for targets with any signal)."""
+        return self.adjacency.sum(axis=0)
+
+
+def irf_loop(
+    X,
+    feature_names=None,
+    n_iterations: int = 3,
+    seed=None,
+    targets=None,
+    **forest_kwargs,
+) -> IRFLoopResult:
+    """Build the iRF-LOOP network for ``X`` (samples × features).
+
+    ``targets`` restricts the loop to a subset of target columns (the
+    campaign decomposition: each target is one independent HPC run); the
+    returned adjacency always has full n × n shape with zero columns for
+    targets not fitted.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n_samples, n_features = X.shape
+    if n_features < 2:
+        raise ValueError("iRF-LOOP needs at least 2 features")
+    if feature_names is None:
+        feature_names = tuple(f"feature_{j:04d}" for j in range(n_features))
+    feature_names = tuple(feature_names)
+    if len(feature_names) != n_features:
+        raise ValueError(
+            f"{len(feature_names)} names for {n_features} features"
+        )
+    targets = range(n_features) if targets is None else list(targets)
+    rngs = spawn_children(seed, n_features)
+    adjacency = np.zeros((n_features, n_features))
+    oob: list = []
+    others_cache = np.arange(n_features)
+    for j in targets:
+        if not 0 <= j < n_features:
+            raise ValueError(f"target index {j} out of range [0, {n_features})")
+        others = others_cache[others_cache != j]
+        irf = IterativeRandomForest(
+            n_iterations=n_iterations, seed=rngs[j], **forest_kwargs
+        )
+        result = irf.fit(X[:, others], X[:, j])
+        imp = result.importances
+        total = imp.sum()
+        if total > 0:
+            adjacency[others, j] = imp / total
+        oob.append(result.oob_scores[-1])
+    return IRFLoopResult(
+        adjacency=adjacency, feature_names=feature_names, oob_scores=oob
+    )
+
+
+def irf_loop_parallel(
+    X,
+    feature_names=None,
+    n_iterations: int = 3,
+    seed=None,
+    max_workers: int = 4,
+    **forest_kwargs,
+) -> IRFLoopResult:
+    """iRF-LOOP with per-target fits running on a thread pool.
+
+    Produces the *identical* network to :func:`irf_loop` for the same
+    seed: each target's RNG stream is derived independently, so execution
+    order cannot change the result — determinism survives parallelism.
+    numpy's kernels release the GIL, so targets genuinely overlap.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n_features = X.shape[1]
+    if n_features < 2:
+        raise ValueError("iRF-LOOP needs at least 2 features")
+    if feature_names is None:
+        feature_names = tuple(f"feature_{j:04d}" for j in range(n_features))
+    feature_names = tuple(feature_names)
+    if len(feature_names) != n_features:
+        raise ValueError(f"{len(feature_names)} names for {n_features} features")
+    check_positive("max_workers", max_workers)
+    rngs = spawn_children(seed, n_features)
+    adjacency = np.zeros((n_features, n_features))
+    oob: list = [None] * n_features
+    indices = np.arange(n_features)
+
+    def fit_target(j: int):
+        others = indices[indices != j]
+        irf = IterativeRandomForest(
+            n_iterations=n_iterations, seed=rngs[j], **forest_kwargs
+        )
+        result = irf.fit(X[:, others], X[:, j])
+        return j, others, result
+
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        for j, others, result in pool.map(fit_target, range(n_features)):
+            imp = result.importances
+            total = imp.sum()
+            if total > 0:
+                adjacency[others, j] = imp / total
+            oob[j] = result.oob_scores[-1]
+    return IRFLoopResult(
+        adjacency=adjacency, feature_names=feature_names, oob_scores=oob
+    )
+
+
+def feature_run_durations(
+    n_features: int,
+    median_seconds: float = 360.0,
+    sigma: float = 1.4,
+    max_seconds: float | None = None,
+    seed=None,
+) -> np.ndarray:
+    """Heavy-tailed per-feature HPC run durations for the campaign model.
+
+    Lognormal with the given median and shape: most iRF runs are minutes,
+    a few are hours ("the run times between the individual iRF processes
+    can differ within one submission", §II-B).  Deterministic per seed so
+    the static/dynamic comparison runs the *same* workload.
+
+    ``max_seconds`` truncates the tail (clip).  Campaign experiments pass
+    a value below the allocation walltime: in the real workflow, users
+    size runs to fit their allocation — an *untruncated* tail would plant
+    tasks that can never complete in any allocation, which is a workload
+    bug, not a scheduler property.
+    """
+    check_positive("n_features", n_features)
+    check_positive("median_seconds", median_seconds)
+    check_positive("sigma", sigma)
+    rng = as_generator(seed)
+    durations = median_seconds * rng.lognormal(mean=0.0, sigma=sigma, size=n_features)
+    if max_seconds is not None:
+        check_positive("max_seconds", max_seconds)
+        if max_seconds <= median_seconds:
+            raise ValueError(
+                f"max_seconds={max_seconds} must exceed median_seconds={median_seconds}"
+            )
+        durations = np.minimum(durations, max_seconds)
+    return durations
+
+
+def duration_model(
+    median_seconds: float = 360.0,
+    sigma: float = 1.4,
+    max_seconds: float | None = None,
+    seed=None,
+):
+    """A manifest-compatible duration model keyed by the ``feature`` parameter.
+
+    Returns ``fn(parameters) -> seconds`` drawing each feature's duration
+    once (memoized), so repeated queries — and retries of the same run —
+    are consistent.  See :func:`feature_run_durations` for ``max_seconds``.
+    """
+    check_positive("median_seconds", median_seconds)
+    check_positive("sigma", sigma)
+    if max_seconds is not None and max_seconds <= median_seconds:
+        raise ValueError(
+            f"max_seconds={max_seconds} must exceed median_seconds={median_seconds}"
+        )
+    rng = as_generator(seed)
+    cache: dict = {}
+
+    def model(parameters: dict) -> float:
+        key = parameters.get("feature")
+        if key is None:
+            raise KeyError("duration model expects a 'feature' parameter")
+        if key not in cache:
+            value = float(median_seconds * rng.lognormal(mean=0.0, sigma=sigma))
+            if max_seconds is not None:
+                value = min(value, max_seconds)
+            cache[key] = value
+        return cache[key]
+
+    return model

@@ -1,0 +1,149 @@
+"""The iRF-LOOP workflow: manual baseline vs Cheetah-Savanna (§II-B, §V-D).
+
+"We gauge the reusability of this system using the manual effort required
+to set up, track, and submit additional runs for different parameters
+using differently-sized allocations."  This module makes that gauge
+concrete: an explicit inventory of the original workflow's human steps
+(scripted set construction, job babysitting, failure curation,
+resubmission script surgery) priced per campaign, against the Cheetah
+composition (write the sweep once, resubmit the SweepGroup mechanically).
+
+It also builds the paper's campaign object for any dataset shape, so the
+Figure 6/7 experiments, the examples, and user code share one entry
+point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.cheetah.campaign import AppSpec, Campaign, Sweep
+from repro.cheetah.parameters import RangeParameter
+from repro.gauges.debt import ManualStep, ReuseScenario
+from repro.gauges.levels import CustomizabilityTier, Gauge, ProvenanceTier
+
+
+def build_irf_campaign(
+    n_features: int,
+    nodes: int = 20,
+    walltime: float = 7200.0,
+    name: str = "irf-loop",
+) -> Campaign:
+    """The iRF-LOOP campaign: one run per target feature (§V-D)."""
+    check_positive("n_features", n_features)
+    campaign = Campaign(
+        name,
+        app=AppSpec("irf", executable="irf"),
+        objective="all-to-all predictive network (iRF-LOOP)",
+    )
+    group = campaign.sweep_group("features", nodes=nodes, walltime=walltime)
+    group.add(Sweep([RangeParameter("feature", 0, n_features)]))
+    return campaign
+
+
+@dataclass(frozen=True)
+class ManualEffortEstimate:
+    """Human minutes per campaign for one workflow style."""
+
+    workflow: str
+    setup_minutes: float
+    tracking_minutes: float
+    failure_minutes: float
+    resubmission_minutes: float
+
+    @property
+    def total_minutes(self) -> float:
+        return (
+            self.setup_minutes
+            + self.tracking_minutes
+            + self.failure_minutes
+            + self.resubmission_minutes
+        )
+
+
+def manual_effort_comparison(
+    n_features: int,
+    nodes: int = 20,
+    expected_allocations: int | None = None,
+    failure_rate: float = 0.02,
+) -> tuple[ManualEffortEstimate, ManualEffortEstimate]:
+    """Price the §II-B human steps for both workflow styles.
+
+    Per-step minute costs are order-of-magnitude estimates (the gauge
+    philosophy: relative comparison, not absolute scoring):
+
+    original — write the set-construction script and size sets for the
+    allocation (30 min + 1 min per set), check job state a few times per
+    allocation (5 min each), hand-curate the failed-run list (2 min per
+    failed run), and build a fresh submit script per resubmission (15 min
+    each).  cheetah — compose the sweep once (20 min) and issue one
+    resubmit command per extra allocation (1 min); tracking and failure
+    curation are the tool's job.
+    """
+    check_positive("n_features", n_features)
+    check_positive("nodes", nodes)
+    if expected_allocations is None:
+        # sets of `nodes` runs; a handful of sets fit per allocation
+        expected_allocations = max(1, math.ceil(n_features / (nodes * 3)))
+    n_sets = math.ceil(n_features / nodes)
+    expected_failures = max(1, round(n_features * failure_rate))
+
+    original = ManualEffortEstimate(
+        workflow="original (hand-scripted sets)",
+        setup_minutes=30 + 1.0 * n_sets,
+        tracking_minutes=5.0 * 3 * expected_allocations,
+        failure_minutes=2.0 * expected_failures,
+        resubmission_minutes=15.0 * max(0, expected_allocations - 1 + 1),  # incl. failure pass
+    )
+    cheetah = ManualEffortEstimate(
+        workflow="cheetah-savanna",
+        setup_minutes=20.0,
+        tracking_minutes=0.0,
+        failure_minutes=0.0,
+        resubmission_minutes=1.0 * max(0, expected_allocations - 1),
+    )
+    return original, cheetah
+
+
+def irf_reuse_scenario() -> ReuseScenario:
+    """§II-B as a debt scenario: apply the iRF-LOOP model to new data or
+    new hardware."""
+    return ReuseScenario(
+        name="irf-new-data-or-machine",
+        description="re-run iRF-LOOP on a new dataset or differently-sized "
+        "allocation (§II-B)",
+        steps=(
+            ManualStep(
+                "manually assign runtime parameters and gauge the resource division",
+                45,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.MODELED),
+            ),
+            ManualStep(
+                "manually create the submit scripts for all of the iRF runs",
+                60,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.MODELED),
+            ),
+            ManualStep(
+                "track job progress on the system by hand",
+                30,
+                Gauge.SOFTWARE_PROVENANCE,
+                int(ProvenanceTier.EXECUTION_LOGS),
+            ),
+            ManualStep(
+                "curate the failed-run list and build a resubmission script",
+                45,
+                Gauge.SOFTWARE_PROVENANCE,
+                int(ProvenanceTier.CAMPAIGN_KNOWLEDGE),
+            ),
+            ManualStep(
+                "teach the next user the whole procedure",
+                120,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.MODELED),
+            ),
+        ),
+    )

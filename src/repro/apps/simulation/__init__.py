@@ -1,0 +1,65 @@
+"""Checkpoint-restart experiment substrate (§V-B, Figures 3 & 4).
+
+A Gray-Scott reaction-diffusion solver stands in for "a common
+reaction-diffusion benchmark on Summit"; the checkpoint middleware applies
+either the conventional fixed-interval policy or the paper's
+overhead-budget policy against the simulated parallel filesystem.
+
+- :mod:`repro.apps.simulation.grayscott` — the numerical application.
+- :mod:`repro.apps.simulation.checkpoint` — policies + middleware.
+- :mod:`repro.apps.simulation.run` — the checkpointed-run harness on a
+  virtual clock (compute cost model + filesystem write costs).
+- :mod:`repro.apps.simulation.restart` — failure/restart accounting
+  (lost work given a checkpoint schedule).
+- :mod:`repro.apps.simulation.allocations` — checkpoint-restart across
+  batch allocations (walltime kills + resume), optionally coupled to the
+  real app so restart *numerical* correctness is verified.
+- :mod:`repro.apps.simulation.faulty` — run-to-completion under an
+  exponential failure process (what a checkpoint policy is worth on an
+  unreliable machine).
+"""
+
+from repro.apps.simulation.grayscott import GrayScottSimulation, GrayScottParams
+from repro.apps.simulation.checkpoint import (
+    CheckpointStats,
+    CheckpointPolicy,
+    FixedIntervalPolicy,
+    OverheadBudgetPolicy,
+    HybridPolicy,
+    CheckpointMiddleware,
+)
+from repro.apps.simulation.run import CheckpointedRun, RunConfig, RunReport, StepRecord
+from repro.apps.simulation.restart import lost_work_on_failure, expected_lost_work
+from repro.apps.simulation.allocations import (
+    AllocationSegment,
+    CrossAllocationReport,
+    run_across_allocations,
+)
+from repro.apps.simulation.faulty import (
+    FaultyRunReport,
+    run_to_completion,
+    policy_comparison_under_failures,
+)
+
+__all__ = [
+    "GrayScottSimulation",
+    "GrayScottParams",
+    "CheckpointStats",
+    "CheckpointPolicy",
+    "FixedIntervalPolicy",
+    "OverheadBudgetPolicy",
+    "HybridPolicy",
+    "CheckpointMiddleware",
+    "CheckpointedRun",
+    "RunConfig",
+    "RunReport",
+    "StepRecord",
+    "lost_work_on_failure",
+    "expected_lost_work",
+    "AllocationSegment",
+    "CrossAllocationReport",
+    "run_across_allocations",
+    "FaultyRunReport",
+    "run_to_completion",
+    "policy_comparison_under_failures",
+]

@@ -1,0 +1,179 @@
+"""Checkpoint-restart across batch allocations.
+
+Long simulations outlive a single batch job: the walltime kill discards
+everything since the last checkpoint, and the run resumes in the next
+allocation after a queue wait.  This harness runs a checkpointed
+simulation across as many allocations as it takes, which is where
+checkpoint *placement* earns its keep — the final timesteps of every
+allocation are at risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_nonnegative, check_positive, spawn_children
+from repro.apps.simulation.checkpoint import CheckpointMiddleware, CheckpointPolicy
+from repro.apps.simulation.run import RunConfig
+from repro.cluster.filesystem import FilesystemLoadModel, ParallelFilesystem
+
+
+@dataclass
+class AllocationSegment:
+    """What one batch job achieved."""
+
+    index: int
+    start_step: int  # durable progress at entry (last checkpoint)
+    end_step: int  # durable progress at exit
+    steps_computed: int  # includes work later lost to the walltime kill
+    io_seconds: float
+    killed_mid_flight: bool
+
+
+@dataclass
+class CrossAllocationReport:
+    """Outcome of running a simulation to completion across batch jobs."""
+
+    policy_name: str
+    segments: list = field(default_factory=list)
+    total_wall_seconds: float = 0.0  # includes queue waits
+    queue_seconds: float = 0.0
+    lost_steps: int = 0
+    checkpoints_written: int = 0
+    final_state: dict | None = None  # the app's durable snapshot, if coupled
+
+    @property
+    def allocations_used(self) -> int:
+        return len(self.segments)
+
+    @property
+    def computed_steps(self) -> int:
+        return sum(s.steps_computed for s in self.segments)
+
+
+def run_across_allocations(
+    config: RunConfig,
+    policy: CheckpointPolicy,
+    walltime: float,
+    queue_wait: float = 600.0,
+    max_allocations: int = 1000,
+    app=None,
+    seed=None,
+) -> CrossAllocationReport:
+    """Run ``config.timesteps`` steps across batch jobs of ``walltime`` seconds.
+
+    Within an allocation the simulation steps and checkpoints under
+    ``policy``; at the walltime the job dies mid-whatever-it-was-doing and
+    progress reverts to the last checkpoint.  Raises if an allocation ends
+    without advancing the durable frontier (the policy checkpoints too
+    rarely for this walltime).
+
+    With ``app`` set (a :class:`~repro.apps.simulation.grayscott.
+    GrayScottSimulation`), the *real* numerical state advances, is
+    snapshotted at every checkpoint, and is restored at every walltime
+    kill — so the returned ``report.final_state`` must equal an
+    uninterrupted run's state bit-for-bit.  That equality is the
+    correctness contract of checkpoint-restart, and the tests assert it.
+    """
+    check_positive("walltime", walltime)
+    check_nonnegative("queue_wait", queue_wait)
+    check_positive("max_allocations", max_allocations)
+    rng_steps, rng_fs = spawn_children(seed, 2)
+    fs = ParallelFilesystem(
+        peak_bandwidth=config.effective_bandwidth,
+        load_model=FilesystemLoadModel(mean_load=config.fs_mean_load, sigma=config.fs_sigma),
+        seed=rng_fs,
+    )
+    middleware = CheckpointMiddleware(fs, policy, config.checkpoint_bytes)
+
+    def step_seconds() -> float:
+        base = config.mean_step_seconds * config.compute_intensity
+        if config.step_noise_sigma == 0:
+            return base
+        s = config.step_noise_sigma
+        return base * float(rng_steps.lognormal(mean=-0.5 * s * s, sigma=s))
+
+    report = CrossAllocationReport(policy_name=policy.describe())
+    durable = 0  # timestep recoverable from the last checkpoint
+    clock = 0.0
+    snapshot = app.checkpoint() if app is not None else None  # durable app state
+
+    for index in range(max_allocations):
+        if index > 0 or queue_wait > 0:
+            report.queue_seconds += queue_wait
+            clock += queue_wait
+        # restart: re-read the checkpoint if we have one, rewind the app
+        if durable > 0:
+            clock += fs.read_time(config.checkpoint_bytes, clock)
+        if app is not None and snapshot is not None:
+            app.restore(snapshot)
+        alloc_end = clock + walltime
+        frontier = durable
+        steps_computed = 0
+        io_this_alloc = 0.0
+        killed = False
+        while frontier < config.timesteps:
+            compute = step_seconds()
+            if clock + compute > alloc_end:
+                killed = True
+                clock = alloc_end
+                break
+            clock += compute
+            frontier += 1
+            steps_computed += 1
+            if app is not None:
+                app.step()
+            prev_gap = middleware.stats.steps_since_checkpoint
+            prev_estimate = middleware.stats.last_write_seconds
+            io = middleware.end_of_timestep(compute, now=clock)
+            if clock + io > alloc_end:
+                # The write doesn't finish before the kill: void it — the
+                # middleware accounting must look as if it never started.
+                middleware.stats.checkpoints_written -= 1
+                middleware.stats.io_seconds -= io
+                middleware.stats.steps_since_checkpoint = prev_gap + 1
+                middleware.stats.last_write_seconds = prev_estimate
+                middleware.write_times.pop()
+                killed = True
+                clock = alloc_end
+                break
+            clock += io
+            io_this_alloc += io
+            if io > 0:
+                durable = frontier
+                if app is not None:
+                    snapshot = app.checkpoint()
+        if not killed and frontier >= config.timesteps:
+            durable = frontier  # final state is written out at completion
+            if app is not None:
+                snapshot = app.checkpoint()
+        report.segments.append(
+            AllocationSegment(
+                index=index,
+                start_step=report.segments[-1].end_step if report.segments else 0,
+                end_step=durable,
+                steps_computed=steps_computed,
+                io_seconds=io_this_alloc,
+                killed_mid_flight=killed,
+            )
+        )
+        report.lost_steps += frontier - durable if killed else 0
+        if durable >= config.timesteps:
+            break
+        if killed and durable == report.segments[-1].start_step:
+            # No durable progress this allocation — the policy checkpoints
+            # too rarely for this walltime, or a single step exceeds it.
+            # Either way the next allocation would repeat identically-ish;
+            # diverge loudly instead of spinning.
+            raise RuntimeError(
+                f"allocation {index} made no durable progress "
+                f"(policy {policy.describe()}, walltime {walltime}, "
+                f"{steps_computed} steps computed then lost)"
+            )
+    else:
+        raise RuntimeError(f"did not finish within {max_allocations} allocations")
+
+    report.total_wall_seconds = clock
+    report.checkpoints_written = middleware.stats.checkpoints_written
+    report.final_state = snapshot
+    return report

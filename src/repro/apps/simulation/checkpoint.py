@@ -1,0 +1,155 @@
+"""Checkpoint policies and the I/O middleware (§V-B).
+
+The conventional approach writes "a checkpoint after a preset number of
+'timesteps'"; the paper's reusable alternative exposes *intent-level*
+parameters — here the maximum acceptable checkpoint-I/O overhead as a
+fraction of total runtime — and lets the middleware decide per step:
+"The I/O middleware issues a checkpoint only as long as the current I/O
+overhead is within the preset value."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_fraction, check_positive
+from repro.cluster.filesystem import ParallelFilesystem
+
+
+@dataclass
+class CheckpointStats:
+    """Running accounting the policies decide from."""
+
+    timestep: int = 0
+    compute_seconds: float = 0.0
+    io_seconds: float = 0.0
+    checkpoints_written: int = 0
+    last_write_seconds: float | None = None
+    steps_since_checkpoint: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.io_seconds
+
+    def overhead_fraction(self) -> float:
+        """Current checkpoint-I/O overhead as a fraction of total runtime."""
+        total = self.total_seconds
+        return self.io_seconds / total if total > 0 else 0.0
+
+    def projected_overhead(self, write_seconds: float) -> float:
+        """Overhead if a write costing ``write_seconds`` happened now."""
+        total = self.total_seconds + write_seconds
+        return (self.io_seconds + write_seconds) / total if total > 0 else 1.0
+
+
+class CheckpointPolicy:
+    """Decide, at the end of each timestep, whether to write a checkpoint."""
+
+    def should_checkpoint(self, stats: CheckpointStats, projected_write: float) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class FixedIntervalPolicy(CheckpointPolicy):
+    """The conventional baseline: write every ``interval`` timesteps."""
+
+    def __init__(self, interval: int):
+        check_positive("interval", interval)
+        self.interval = interval
+
+    def should_checkpoint(self, stats: CheckpointStats, projected_write: float) -> bool:
+        return (stats.timestep % self.interval) == 0
+
+    def describe(self) -> str:
+        return f"fixed-interval({self.interval})"
+
+
+class OverheadBudgetPolicy(CheckpointPolicy):
+    """The paper's policy: write while projected I/O overhead stays within
+    the declared budget.
+
+    ``max_overhead`` is the application's declared "maximum allowable
+    checkpointing I/O overhead as a percentage of the total application
+    runtime", expressed as a fraction.
+    """
+
+    def __init__(self, max_overhead: float):
+        check_fraction("max_overhead", max_overhead)
+        self.max_overhead = max_overhead
+
+    def should_checkpoint(self, stats: CheckpointStats, projected_write: float) -> bool:
+        return stats.projected_overhead(projected_write) <= self.max_overhead
+
+    def describe(self) -> str:
+        return f"overhead-budget({self.max_overhead:.0%})"
+
+
+class HybridPolicy(CheckpointPolicy):
+    """Overhead budget plus a minimum-frequency floor (§V-B: "further
+    fine-tuning may be done to ensure a certain minimum frequency").
+
+    Writes when the budget allows, and *forces* a write whenever
+    ``max_gap`` timesteps have passed without one — the failure-exposure
+    backstop — even if that temporarily exceeds the budget.
+    """
+
+    def __init__(self, max_overhead: float, max_gap: int):
+        check_fraction("max_overhead", max_overhead)
+        check_positive("max_gap", max_gap)
+        self.budget = OverheadBudgetPolicy(max_overhead)
+        self.max_gap = max_gap
+
+    def should_checkpoint(self, stats: CheckpointStats, projected_write: float) -> bool:
+        if stats.steps_since_checkpoint >= self.max_gap:
+            return True
+        return self.budget.should_checkpoint(stats, projected_write)
+
+    def describe(self) -> str:
+        return f"hybrid({self.budget.max_overhead:.0%}, gap<={self.max_gap})"
+
+
+class CheckpointMiddleware:
+    """The I/O layer between the application and the filesystem.
+
+    Owns the policy, the accounting, and the write path.  The projected
+    write cost shown to the policy is estimated from the *last observed*
+    write (first write is estimated from current filesystem load) — the
+    middleware cannot see the future load, exactly like the real system.
+    """
+
+    def __init__(self, filesystem: ParallelFilesystem, policy: CheckpointPolicy, checkpoint_bytes: int):
+        check_positive("checkpoint_bytes", checkpoint_bytes)
+        self.filesystem = filesystem
+        self.policy = policy
+        self.checkpoint_bytes = checkpoint_bytes
+        self.stats = CheckpointStats()
+        self.write_times: list[tuple[int, float]] = []  # (timestep, seconds)
+
+    def _estimate_write(self, now: float) -> float:
+        if self.stats.last_write_seconds is not None:
+            return self.stats.last_write_seconds
+        # First write: estimate from nominal bandwidth at mean load; the
+        # middleware has no observation yet.
+        return self.checkpoint_bytes / self.filesystem.peak_bandwidth
+
+    def end_of_timestep(self, compute_seconds: float, now: float) -> float:
+        """Account one finished timestep; maybe write.  Returns I/O seconds.
+
+        ``now`` is the virtual wall clock at the end of compute; the
+        filesystem's load process is evaluated at that instant.
+        """
+        self.stats.timestep += 1
+        self.stats.steps_since_checkpoint += 1
+        self.stats.compute_seconds += compute_seconds
+        projected = self._estimate_write(now)
+        if not self.policy.should_checkpoint(self.stats, projected):
+            return 0.0
+        seconds = self.filesystem.write_time(self.checkpoint_bytes, now)
+        self.stats.io_seconds += seconds
+        self.stats.checkpoints_written += 1
+        self.stats.last_write_seconds = seconds
+        self.stats.steps_since_checkpoint = 0
+        self.write_times.append((self.stats.timestep, seconds))
+        return seconds

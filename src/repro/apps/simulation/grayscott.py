@@ -1,0 +1,121 @@
+"""Gray-Scott reaction-diffusion — the science application of §V-B.
+
+A real, vectorized 2-D solver (periodic boundaries, forward-Euler, 5-point
+Laplacian via ``np.roll``).  The paper ran this class of benchmark at 4096
+MPI ranks with a terabyte per timestep; we run a laptop-sized grid for the
+*numerics* and scale the checkpoint volume through
+:attr:`GrayScottParams.checkpoint_bytes` for the *I/O model* — the
+experiments measure checkpoint policy behaviour, which depends on bytes
+and bandwidth, not on grid points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_generator, check_positive
+
+
+@dataclass(frozen=True)
+class GrayScottParams:
+    """Model and discretization parameters.
+
+    Defaults give the classic "mitosis" pattern regime and a stable
+    explicit step (dt bounded by the diffusion CFL condition).
+    """
+
+    n: int = 128  # grid is n x n
+    du: float = 0.16
+    dv: float = 0.08
+    feed: float = 0.035
+    kill: float = 0.060
+    dt: float = 1.0
+    checkpoint_bytes: int = int(1e12)  # science-scale state volume per step
+
+    def __post_init__(self) -> None:
+        check_positive("n", self.n)
+        check_positive("du", self.du)
+        check_positive("dv", self.dv)
+        check_positive("dt", self.dt)
+        check_positive("checkpoint_bytes", self.checkpoint_bytes)
+        # Forward-Euler stability for the 5-point Laplacian: D*dt <= 1/4.
+        limit = max(self.du, self.dv) * self.dt
+        if limit > 0.25:
+            raise ValueError(
+                f"unstable discretization: max(du,dv)*dt = {limit} > 0.25"
+            )
+
+
+def _laplacian(field: np.ndarray) -> np.ndarray:
+    """5-point periodic Laplacian (no copies beyond the roll views)."""
+    return (
+        np.roll(field, 1, axis=0)
+        + np.roll(field, -1, axis=0)
+        + np.roll(field, 1, axis=1)
+        + np.roll(field, -1, axis=1)
+        - 4.0 * field
+    )
+
+
+class GrayScottSimulation:
+    """A running Gray-Scott simulation with checkpoint/restore support."""
+
+    def __init__(self, params: GrayScottParams | None = None, seed=None):
+        self.params = params or GrayScottParams()
+        rng = as_generator(seed)
+        n = self.params.n
+        # Standard initialization: U=1, V=0, with a perturbed central square.
+        self.u = np.ones((n, n))
+        self.v = np.zeros((n, n))
+        r = max(2, n // 10)
+        lo, hi = n // 2 - r, n // 2 + r
+        self.u[lo:hi, lo:hi] = 0.50
+        self.v[lo:hi, lo:hi] = 0.25
+        self.u += 0.02 * rng.random((n, n))
+        self.v += 0.02 * rng.random((n, n))
+        self.timestep = 0
+
+    def step(self, n_steps: int = 1) -> None:
+        """Advance the solution ``n_steps`` forward-Euler steps in place."""
+        check_positive("n_steps", n_steps)
+        p = self.params
+        u, v = self.u, self.v
+        for _ in range(n_steps):
+            uvv = u * v * v
+            u += p.dt * (p.du * _laplacian(u) - uvv + p.feed * (1.0 - u))
+            v += p.dt * (p.dv * _laplacian(v) + uvv - (p.feed + p.kill) * v)
+            self.timestep += 1
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot the full state (the payload the middleware writes)."""
+        return {
+            "timestep": self.timestep,
+            "u": self.u.copy(),
+            "v": self.v.copy(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rewind to ``snapshot`` (the restart path of checkpoint-restart)."""
+        if snapshot["u"].shape != self.u.shape:
+            raise ValueError(
+                f"snapshot grid {snapshot['u'].shape} does not match "
+                f"simulation grid {self.u.shape}"
+            )
+        self.timestep = int(snapshot["timestep"])
+        self.u = snapshot["u"].copy()
+        self.v = snapshot["v"].copy()
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def mass(self) -> tuple[float, float]:
+        """Mean concentrations (bounded diagnostics for tests)."""
+        return float(self.u.mean()), float(self.v.mean())
+
+    @property
+    def checkpoint_bytes(self) -> int:
+        """Science-scale checkpoint volume this app writes per snapshot."""
+        return self.params.checkpoint_bytes

@@ -1,0 +1,41 @@
+"""Restart accounting: what a checkpoint schedule buys you.
+
+"The advantage of this approach is that the system may allow more
+frequent checkpointing if the cost of I/O is low, thereby allowing the
+simulation to restart from a more recent checkpoint in case of a failure"
+(§V-B).  These helpers quantify that: given the timesteps at which
+checkpoints were written, how much work is lost if the job dies at step
+``t`` — and in expectation over a failure distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+
+
+def lost_work_on_failure(checkpoint_timesteps, failure_timestep: int) -> int:
+    """Timesteps of work lost if the job fails right after ``failure_timestep``.
+
+    Lost work is the distance back to the most recent checkpoint at or
+    before the failure point (all of it if no checkpoint precedes it).
+    """
+    check_positive("failure_timestep", failure_timestep)
+    prior = [t for t in checkpoint_timesteps if t <= failure_timestep]
+    last = max(prior) if prior else 0
+    return failure_timestep - last
+
+
+def expected_lost_work(checkpoint_timesteps, total_timesteps: int) -> float:
+    """Mean lost timesteps over a uniform failure point in ``[1, total]``.
+
+    Uniform failure timing is the right first-order model for a constant
+    hazard over a run much shorter than the MTTF.
+    """
+    check_positive("total_timesteps", total_timesteps)
+    losses = [
+        lost_work_on_failure(checkpoint_timesteps, t)
+        for t in range(1, total_timesteps + 1)
+    ]
+    return float(np.mean(losses))

@@ -1,0 +1,201 @@
+"""The checkpointed-run harness (Figures 3 & 4).
+
+Drives the application for ``timesteps`` steps on a *virtual clock*:
+per-step compute cost comes from a configurable intensity profile (the
+paper varied the application "to perform more/less computations and
+communication"), checkpoint writes cost what the simulated filesystem
+says they cost at that instant.  The small real Gray-Scott grid advances
+alongside so the run produces genuine science output, while the cost
+model carries the leadership-class scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import as_generator, check_positive, spawn_children
+from repro.apps.simulation.checkpoint import CheckpointMiddleware, CheckpointPolicy
+from repro.apps.simulation.grayscott import GrayScottParams, GrayScottSimulation
+from repro.cluster.filesystem import FilesystemLoadModel, ParallelFilesystem
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One experiment configuration matching the paper's setup.
+
+    Defaults mirror §V-B: 50 timesteps, 1 TB per checkpoint, 4096 ranks
+    over 128 nodes.  ``effective_bandwidth`` is the delivered collective
+    write bandwidth this job sees (a 4096-rank writer on a shared PFS gets
+    a slice of peak, not peak).  ``compute_intensity`` scales per-step
+    compute time — the paper's "more/less computations" knob.
+    """
+
+    timesteps: int = 50
+    checkpoint_bytes: int = int(1e12)
+    ranks: int = 4096
+    nodes: int = 128
+    mean_step_seconds: float = 30.0
+    step_noise_sigma: float = 0.15  # lognormal sigma of per-step compute jitter
+    compute_intensity: float = 1.0
+    effective_bandwidth: float = 5.0e10  # bytes/s delivered to this job
+    fs_mean_load: float = 1.6
+    fs_sigma: float = 0.35
+    grid_n: int = 64  # real numerics grid (small; the cost model carries scale)
+
+    def __post_init__(self) -> None:
+        check_positive("timesteps", self.timesteps)
+        check_positive("mean_step_seconds", self.mean_step_seconds)
+        check_positive("compute_intensity", self.compute_intensity)
+        check_positive("effective_bandwidth", self.effective_bandwidth)
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Per-timestep accounting row."""
+
+    timestep: int
+    compute_seconds: float
+    io_seconds: float
+    wrote_checkpoint: bool
+    clock: float  # virtual time at end of step
+
+
+@dataclass
+class RunReport:
+    """Outcome of one checkpointed run."""
+
+    config: RunConfig
+    policy_name: str
+    checkpoints_written: int
+    compute_seconds: float
+    io_seconds: float
+    overhead_fraction: float
+    checkpoint_timesteps: list
+    steps: list = field(default_factory=list)  # list[StepRecord]
+    final_mass: tuple = (0.0, 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.io_seconds
+
+
+class CheckpointedRun:
+    """Run the reaction-diffusion app under a checkpoint policy."""
+
+    def __init__(self, config: RunConfig, policy: CheckpointPolicy, seed=None):
+        self.config = config
+        self.policy = policy
+        rng_steps, rng_fs, rng_app = spawn_children(seed, 3)
+        self._rng = rng_steps
+        self.filesystem = ParallelFilesystem(
+            peak_bandwidth=config.effective_bandwidth,
+            load_model=FilesystemLoadModel(
+                mean_load=config.fs_mean_load, sigma=config.fs_sigma
+            ),
+            seed=rng_fs,
+        )
+        self.middleware = CheckpointMiddleware(
+            self.filesystem, policy, config.checkpoint_bytes
+        )
+        self.app = GrayScottSimulation(
+            GrayScottParams(n=config.grid_n, checkpoint_bytes=config.checkpoint_bytes),
+            seed=rng_app,
+        )
+
+    def _step_compute_seconds(self) -> float:
+        c = self.config
+        base = c.mean_step_seconds * c.compute_intensity
+        if c.step_noise_sigma == 0:
+            return base
+        # lognormal jitter normalized to mean 1
+        sigma = c.step_noise_sigma
+        return base * float(
+            self._rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma)
+        )
+
+    def execute(self) -> RunReport:
+        """Run all timesteps; returns the accounting report."""
+        clock = 0.0
+        steps: list[StepRecord] = []
+        for _ in range(self.config.timesteps):
+            self.app.step()
+            compute = self._step_compute_seconds()
+            clock += compute
+            io = self.middleware.end_of_timestep(compute, now=clock)
+            clock += io
+            steps.append(
+                StepRecord(
+                    timestep=self.middleware.stats.timestep,
+                    compute_seconds=compute,
+                    io_seconds=io,
+                    wrote_checkpoint=io > 0,
+                    clock=clock,
+                )
+            )
+        stats = self.middleware.stats
+        return RunReport(
+            config=self.config,
+            policy_name=self.policy.describe(),
+            checkpoints_written=stats.checkpoints_written,
+            compute_seconds=stats.compute_seconds,
+            io_seconds=stats.io_seconds,
+            overhead_fraction=stats.overhead_fraction(),
+            checkpoint_timesteps=[t for t, _s in self.middleware.write_times],
+            steps=steps,
+            final_mass=self.app.mass(),
+        )
+
+
+def overhead_sweep(
+    overheads,
+    config: RunConfig | None = None,
+    seed=0,
+) -> list[tuple[float, int]]:
+    """Figure 3 series: permitted overhead → checkpoints written.
+
+    Each point uses the same seed so filesystem and compute draws are
+    shared across the sweep: the *policy threshold* is the only thing
+    changing, as in the paper's controlled runs.
+    """
+    from repro.apps.simulation.checkpoint import OverheadBudgetPolicy
+
+    config = config or RunConfig()
+    out = []
+    for overhead in overheads:
+        report = CheckpointedRun(config, OverheadBudgetPolicy(overhead), seed=seed).execute()
+        out.append((overhead, report.checkpoints_written))
+    return out
+
+
+def variation_study(
+    n_runs: int,
+    overhead: float = 0.10,
+    config: RunConfig | None = None,
+    seed=0,
+    vary_intensity: bool = True,
+) -> list[RunReport]:
+    """Figure 4 series: repeated runs at one overhead budget.
+
+    Run-to-run changes come from (a) fresh filesystem load trajectories
+    and (b) per-run compute-intensity perturbation (the paper's
+    application-behaviour changes).
+    """
+    from dataclasses import replace
+
+    from repro.apps.simulation.checkpoint import OverheadBudgetPolicy
+
+    check_positive("n_runs", n_runs)
+    config = config or RunConfig()
+    master = as_generator(seed)
+    reports = []
+    for i in range(n_runs):
+        cfg = config
+        if vary_intensity:
+            cfg = replace(
+                config,
+                compute_intensity=config.compute_intensity
+                * float(master.uniform(0.7, 1.3)),
+            )
+        run = CheckpointedRun(cfg, OverheadBudgetPolicy(overhead), seed=master)
+        reports.append(run.execute())
+    return reports

@@ -1,0 +1,149 @@
+"""The campaign directory schema — Cheetah's on-disk end point.
+
+"The composition engine further adopts its own directory schema to
+represent a campaign end-point.  The directory hierarchy represents
+simulation runs, and campaign metadata is hidden from the user" (§IV).
+
+Layout::
+
+    <root>/<campaign>/
+      .cheetah/manifest.json        # hidden campaign metadata
+      .cheetah/status.json          # per-run status (the resume record)
+      <group>/run-NNNN/params.json  # one directory per run
+
+Status is the machine-actionable face of "users may simply re-submit a
+partially completed SweepGroup ... to continue execution" (§V-D).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from pathlib import Path
+
+from repro.cheetah.manifest import CampaignManifest, manifest_from_json, manifest_to_json
+
+
+class RunStatus(enum.Enum):
+    """Lifecycle of a run within a campaign directory."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class CampaignDirectory:
+    """Create/read the campaign end-point directory for a manifest."""
+
+    METADATA_DIR = ".cheetah"
+
+    def __init__(self, root: Path, manifest: CampaignManifest):
+        self.root = Path(root) / manifest.campaign
+        self.manifest = manifest
+
+    # -- creation ------------------------------------------------------------
+
+    def create(self) -> Path:
+        """Materialize the directory schema; idempotent for same manifest."""
+        meta = self.root / self.METADATA_DIR
+        meta.mkdir(parents=True, exist_ok=True)
+        manifest_path = meta / "manifest.json"
+        text = manifest_to_json(self.manifest)
+        if manifest_path.exists() and manifest_path.read_text() != text:
+            raise RuntimeError(
+                f"campaign directory {self.root} already holds a different manifest"
+            )
+        manifest_path.write_text(text)
+        for run in self.manifest.runs:
+            run_dir = self.root / run.run_id
+            run_dir.mkdir(parents=True, exist_ok=True)
+            (run_dir / "params.json").write_text(
+                json.dumps(run.parameters, indent=2, sort_keys=True)
+            )
+        status_path = meta / "status.json"
+        if not status_path.exists():
+            self._write_status(
+                {run.run_id: RunStatus.PENDING.value for run in self.manifest.runs}
+            )
+        return self.root
+
+    @classmethod
+    def open(cls, campaign_root: Path) -> "CampaignDirectory":
+        """Open an existing campaign end point from its root directory."""
+        campaign_root = Path(campaign_root)
+        manifest_path = campaign_root / cls.METADATA_DIR / "manifest.json"
+        manifest = manifest_from_json(manifest_path.read_text())
+        obj = cls.__new__(cls)
+        obj.root = campaign_root
+        obj.manifest = manifest
+        return obj
+
+    # -- status --------------------------------------------------------------
+
+    def _status_path(self) -> Path:
+        return self.root / self.METADATA_DIR / "status.json"
+
+    def _write_status(self, status: dict) -> None:
+        self._status_path().write_text(json.dumps(status, indent=2, sort_keys=True))
+
+    def read_status(self) -> dict:
+        """``{run_id: RunStatus}`` for every run."""
+        raw = json.loads(self._status_path().read_text())
+        return {run_id: RunStatus(value) for run_id, value in raw.items()}
+
+    def set_status(self, run_id: str, status: RunStatus) -> None:
+        current = json.loads(self._status_path().read_text())
+        if run_id not in current:
+            raise KeyError(f"unknown run_id {run_id!r}")
+        current[run_id] = status.value
+        self._write_status(current)
+
+    def update_status(self, updates: dict) -> None:
+        """Batch status update ``{run_id: RunStatus}``."""
+        current = json.loads(self._status_path().read_text())
+        for run_id, status in updates.items():
+            if run_id not in current:
+                raise KeyError(f"unknown run_id {run_id!r}")
+            current[run_id] = status.value
+        self._write_status(current)
+
+    def pending_runs(self, group: str | None = None) -> tuple:
+        """RunSpecs not yet DONE (FAILED counts as pending for resubmission)."""
+        status = self.read_status()
+        out = []
+        for run in self.manifest.runs:
+            if group is not None and run.group != group:
+                continue
+            if status[run.run_id] is not RunStatus.DONE:
+                out.append(run)
+        return tuple(out)
+
+    def runs_where(self, status: RunStatus | None = None, **param_filters) -> tuple:
+        """Query runs by status and/or exact parameter values (§IV: "an API
+        to submit a campaign and query its status").
+
+        Example: ``directory.runs_where(status=RunStatus.FAILED, feature=7)``.
+        """
+        statuses = self.read_status()
+        out = []
+        for run in self.manifest.runs:
+            if status is not None and statuses[run.run_id] is not status:
+                continue
+            if any(
+                key not in run.parameters or run.parameters[key] != value
+                for key, value in param_filters.items()
+            ):
+                continue
+            out.append(run)
+        return tuple(out)
+
+    def summary(self) -> dict:
+        """Counts by status — the campaign query API of §IV."""
+        counts: dict[str, int] = {s.value: 0 for s in RunStatus}
+        for status in self.read_status().values():
+            counts[status.value] += 1
+        return counts
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / run_id

@@ -1,0 +1,77 @@
+"""Codesign objectives (§II-C).
+
+"A codesign abstraction that allows declaring an *objective* of the study
+using different metrics such as searching for optimal runtime, minimizing
+storage space, reducing communication overhead etc. can further help
+build high-level composition and query interfaces."
+
+An :class:`Objective` names a metric and a direction; the campaign
+catalog evaluates objectives over collected run metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """Which way an objective's metric improves."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A declared study objective over one run metric."""
+
+    name: str
+    metric: str
+    direction: Direction = Direction.MINIMIZE
+    description: str = ""
+
+    def better(self, a: float, b: float) -> bool:
+        """True if metric value ``a`` beats ``b`` under this objective."""
+        if self.direction is Direction.MINIMIZE:
+            return a < b
+        return a > b
+
+    def best_of(self, values) -> float:
+        values = list(values)
+        if not values:
+            raise ValueError(f"objective {self.name!r}: no values to compare")
+        return min(values) if self.direction is Direction.MINIMIZE else max(values)
+
+
+def standard_objectives() -> dict:
+    """The §II-C exemplar objectives, keyed by name."""
+    return {
+        o.name: o
+        for o in (
+            Objective(
+                "optimal-runtime",
+                metric="runtime_seconds",
+                direction=Direction.MINIMIZE,
+                description="search for the fastest configuration",
+            ),
+            Objective(
+                "minimal-storage",
+                metric="storage_bytes",
+                direction=Direction.MINIMIZE,
+                description="minimize storage footprint",
+            ),
+            Objective(
+                "minimal-communication",
+                metric="communication_seconds",
+                direction=Direction.MINIMIZE,
+                description="reduce communication overhead",
+            ),
+            Objective(
+                "maximal-throughput",
+                metric="throughput",
+                direction=Direction.MAXIMIZE,
+                description="maximize delivered throughput",
+            ),
+        )
+    }

@@ -1,0 +1,98 @@
+"""Parameter types for campaign sweeps.
+
+Parameters "are scattered across the application domain ..., middleware
+..., and the underlying distributed system" (§II-C); composition treats
+them uniformly: a parameter is a name plus an ordered list of values.
+:class:`DerivedParameter` covers values computed from other parameters in
+the same run configuration (a first step toward the customizability
+gauge's RELATED tier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+class ParameterError(ValueError):
+    """Invalid parameter definition."""
+
+
+@dataclass(frozen=True)
+class SweepParameter:
+    """An explicit list of values for one parameter."""
+
+    name: str
+    values: tuple
+
+    def __init__(self, name: str, values):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", tuple(values))
+        if not self.name:
+            raise ParameterError("parameter name must be non-empty")
+        if not self.values:
+            raise ParameterError(f"parameter {name!r} has no values")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class RangeParameter(SweepParameter):
+    """Integer range parameter, ``start <= v < stop`` stepping ``step``."""
+
+    def __init__(self, name: str, start: int, stop: int, step: int = 1):
+        if step <= 0:
+            raise ParameterError(f"step must be > 0, got {step}")
+        if stop <= start:
+            raise ParameterError(f"empty range: start={start}, stop={stop}")
+        super().__init__(name, range(start, stop, step))
+
+
+class LinspaceParameter(SweepParameter):
+    """``count`` evenly spaced floats over ``[lo, hi]``."""
+
+    def __init__(self, name: str, lo: float, hi: float, count: int):
+        if count < 2:
+            raise ParameterError(f"count must be >= 2, got {count}")
+        if hi <= lo:
+            raise ParameterError(f"empty interval: lo={lo}, hi={hi}")
+        super().__init__(name, (float(v) for v in np.linspace(lo, hi, count)))
+
+
+class LogspaceParameter(SweepParameter):
+    """``count`` log-spaced values over ``[lo, hi]`` (HPC sweeps — buffer
+    sizes, process counts, message sizes — are usually log-scaled)."""
+
+    def __init__(self, name: str, lo: float, hi: float, count: int, as_int: bool = False):
+        if count < 2:
+            raise ParameterError(f"count must be >= 2, got {count}")
+        if lo <= 0 or hi <= lo:
+            raise ParameterError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+        values = np.logspace(np.log10(lo), np.log10(hi), count)
+        if as_int:
+            ints = sorted({int(round(v)) for v in values})
+            super().__init__(name, ints)
+        else:
+            super().__init__(name, (float(v) for v in values))
+
+
+@dataclass(frozen=True)
+class DerivedParameter:
+    """A parameter computed from the other values of a run configuration.
+
+    ``fn`` receives the partially built configuration dict and returns the
+    value.  Derived parameters are evaluated after all swept parameters,
+    in declaration order.
+    """
+
+    name: str
+    fn: Callable[[dict], object]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("parameter name must be non-empty")
+        if not callable(self.fn):
+            raise ParameterError(f"derived parameter {self.name!r}: fn must be callable")

@@ -1,0 +1,58 @@
+"""Task failure injection.
+
+The iRF-LOOP scenario (§II-B) calls out failed runs that must be manually
+curated and resubmitted; the checkpoint scenario (§V-B) motivates
+checkpoint frequency by the system's mean time to failure.  Both reduce to
+the same primitive: given a task occupying ``nodes`` nodes for ``duration``
+seconds, does it fail, and if so when?
+
+Failures are exponential in accumulated node-seconds (a constant hazard
+per node), the standard MTTF model.  A deterministic "no failures" mode is
+``FailureModel(mttf=None)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import as_generator, check_positive
+
+
+class FailureModel:
+    """Exponential (constant-hazard) per-node failure model.
+
+    Parameters
+    ----------
+    mttf:
+        Mean time to failure of a *single node*, in seconds.  ``None``
+        disables failures entirely.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, mttf: float | None = 3.0e6, seed=None):
+        if mttf is not None:
+            check_positive("mttf", mttf)
+        self.mttf = mttf
+        self._rng = as_generator(seed)
+
+    def failure_probability(self, duration: float, nodes: int = 1) -> float:
+        """P(at least one failure) over ``duration`` seconds on ``nodes`` nodes."""
+        if self.mttf is None:
+            return 0.0
+        hazard = nodes / self.mttf
+        return 1.0 - math.exp(-hazard * duration)
+
+    def sample_failure_time(self, duration: float, nodes: int = 1) -> float | None:
+        """Time-to-failure within ``[0, duration)``, or None if it survives."""
+        if self.mttf is None:
+            return None
+        hazard = nodes / self.mttf
+        t = float(self._rng.exponential(1.0 / hazard))
+        return t if t < duration else None
+
+    def expected_failures(self, duration: float, nodes: int = 1) -> float:
+        """Expected failure count over the interval (Poisson mean)."""
+        if self.mttf is None:
+            return 0.0
+        return nodes * duration / self.mttf

@@ -1,0 +1,118 @@
+"""Parallel-filesystem model with time-correlated load.
+
+The checkpoint experiments (Figures 3 and 4) hinge on one quantity: how
+long a collective checkpoint write takes *right now*.  On the paper's
+machine that depends on GPFS load from other tenants; here we model the
+effective delivered bandwidth as
+
+``bandwidth(t) = peak_bandwidth / load(t)``
+
+where ``load(t) >= 1`` follows a mean-reverting AR(1) process in log space
+(an Ornstein–Uhlenbeck discretization).  Mean reversion gives the
+time-correlated "the filesystem is having a bad hour" behaviour that makes
+run-to-run checkpoint counts vary (Figure 4) without being pure white
+noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._util import as_generator, check_positive, check_nonnegative
+
+
+@dataclass
+class FilesystemLoadModel:
+    """Mean-reverting stochastic load multiplier.
+
+    ``log(load)`` follows an OU process with reversion rate ``theta``
+    (1/seconds), stationary standard deviation ``sigma``, and mean
+    ``log(mean_load)``.  ``load`` is clipped below at 1.0 — the filesystem
+    never delivers more than its peak.
+    """
+
+    mean_load: float = 1.6
+    sigma: float = 0.35
+    theta: float = 1.0 / 600.0  # ~10-minute correlation time
+
+    def __post_init__(self) -> None:
+        check_positive("mean_load", self.mean_load)
+        check_nonnegative("sigma", self.sigma)
+        check_positive("theta", self.theta)
+
+
+class ParallelFilesystem:
+    """Simulated parallel filesystem shared by all jobs.
+
+    Parameters
+    ----------
+    peak_bandwidth:
+        Aggregate delivered write bandwidth with no contention, bytes/s.
+        The default is Summit-era GPFS scale (2.5 TB/s).
+    load_model:
+        Stochastic contention model; ``None`` gives a constant-load FS
+        (useful in unit tests).
+    seed:
+        RNG seed for the load process.
+    """
+
+    def __init__(
+        self,
+        peak_bandwidth: float = 2.5e12,
+        load_model: FilesystemLoadModel | None = None,
+        seed=None,
+    ):
+        check_positive("peak_bandwidth", peak_bandwidth)
+        self.peak_bandwidth = peak_bandwidth
+        self.load_model = load_model
+        self._rng = as_generator(seed)
+        self._log_load = 0.0 if load_model is None else math.log(load_model.mean_load)
+        self._last_update = 0.0
+        self.bytes_written = 0
+        self.write_log: list[tuple[float, int, float]] = []  # (time, bytes, seconds)
+
+    def current_load(self, now: float) -> float:
+        """Advance the OU process to ``now`` and return the load multiplier."""
+        if self.load_model is None:
+            return 1.0
+        dt = max(0.0, now - self._last_update)
+        self._last_update = now
+        if dt > 0:
+            m = self.load_model
+            mu = math.log(m.mean_load)
+            decay = math.exp(-m.theta * dt)
+            # Exact OU transition: conditional mean + conditional stddev.
+            cond_sd = m.sigma * math.sqrt(max(0.0, 1.0 - decay * decay))
+            self._log_load = (
+                mu + (self._log_load - mu) * decay + cond_sd * self._rng.standard_normal()
+            )
+        return max(1.0, math.exp(self._log_load))
+
+    def write_time(self, nbytes: int, now: float) -> float:
+        """Seconds to write ``nbytes`` collectively, given load at ``now``."""
+        check_nonnegative("nbytes", nbytes)
+        load = self.current_load(now)
+        seconds = nbytes / (self.peak_bandwidth / load)
+        self.bytes_written += nbytes
+        self.write_log.append((now, nbytes, seconds))
+        return seconds
+
+    def read_time(self, nbytes: int, now: float) -> float:
+        """Seconds to read ``nbytes``; reads see the same contention."""
+        check_nonnegative("nbytes", nbytes)
+        load = self.current_load(now)
+        return nbytes / (self.peak_bandwidth / load)
+
+    def metadata_op_time(self, n_files: int, now: float) -> float:
+        """Metadata cost of touching ``n_files`` files at once.
+
+        Models the "too many files at once" bottleneck the GWAS paste
+        workflow plans around: cost is superlinear past a knee.
+        """
+        check_nonnegative("n_files", n_files)
+        load = self.current_load(now)
+        base = 2e-4 * n_files  # 0.2 ms per open/close pair at zero load
+        knee = 1000.0
+        penalty = 0.0 if n_files <= knee else 5e-4 * (n_files - knee) ** 1.3
+        return (base + penalty) * load

@@ -1,0 +1,112 @@
+"""Tasks, task attempts, and batch allocations.
+
+The unit of science work is a :class:`Task` — one iRF run, one paste
+sub-job, one ensemble member.  A task carries its *nominal* duration; the
+executor may perturb it (stragglers) and the failure model may abort it.
+A :class:`TaskAttempt` records what actually happened to one placement of
+a task, so resubmission (Savanna's partial-SweepGroup resume) is a new
+attempt of the same task.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro._util import check_positive
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task within a campaign execution."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    KILLED = "killed"  # walltime expired while running
+
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identity (e.g. ``"irf-feature-0413"``).
+    duration:
+        Nominal wall seconds of compute on one node.
+    nodes:
+        Nodes required simultaneously (1 for bag-of-tasks work; >1 models
+        small MPI jobs inside an allocation).
+    payload:
+        Arbitrary campaign metadata (parameter values, run directory).
+    """
+
+    name: str
+    duration: float
+    nodes: int = 1
+    payload: dict = field(default_factory=dict)
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    state: TaskState = TaskState.PENDING
+    attempts: list["TaskAttempt"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive("duration", self.duration)
+        check_positive("nodes", self.nodes)
+
+    @property
+    def done(self) -> bool:
+        return self.state is TaskState.DONE
+
+
+@dataclass
+class TaskAttempt:
+    """One placement of a task onto nodes: start/end times and outcome."""
+
+    task: Task
+    node_indices: list[int]
+    start: float
+    end: float | None = None
+    outcome: TaskState = TaskState.RUNNING
+
+    @property
+    def elapsed(self) -> float:
+        if self.end is None:
+            raise RuntimeError("attempt still running")
+        return self.end - self.start
+
+
+@dataclass
+class AllocationRequest:
+    """A batch-job request: ``nodes`` for ``walltime`` seconds."""
+
+    nodes: int
+    walltime: float
+    name: str = "job"
+
+    def __post_init__(self) -> None:
+        check_positive("nodes", self.nodes)
+        check_positive("walltime", self.walltime)
+
+
+@dataclass
+class Allocation:
+    """A granted batch job: concrete nodes plus its deadline."""
+
+    request: AllocationRequest
+    nodes: list  # list[Node]
+    start: float
+
+    @property
+    def deadline(self) -> float:
+        """Absolute simulation time at which the scheduler kills the job."""
+        return self.start + self.request.walltime
+
+    def remaining(self, now: float) -> float:
+        """Wall seconds left before the walltime kill."""
+        return max(0.0, self.deadline - now)

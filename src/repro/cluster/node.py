@@ -1,0 +1,118 @@
+"""Compute nodes and busy-interval accounting.
+
+A :class:`Node` records the half-open ``[start, end)`` intervals during
+which it executed work.  Figure 6 (the utilization timeline) and the
+idle-fraction numbers behind Figure 7 are computed directly from these
+intervals, so the recording lives with the node rather than in the
+executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import check_positive
+
+
+@dataclass
+class Node:
+    """One compute node in the simulated cluster.
+
+    Parameters
+    ----------
+    index:
+        Stable identifier within the pool.
+    cores:
+        Core count; tasks may declare core requirements (defaults model a
+        whole-node schedule, the paper's iRF-LOOP placement).
+    speed:
+        Relative execution speed: a task's wall time on this node is
+        ``nominal_duration / speed``.  Heterogeneous speeds model aging
+        parts, thermal throttling, and OS jitter — a second straggler
+        source on real machines beyond workload skew.
+    """
+
+    index: int
+    cores: int = 42  # Summit nodes expose 42 usable cores
+    speed: float = 1.0
+    busy_intervals: list[tuple[float, float]] = field(default_factory=list)
+    _busy_since: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive("cores", self.cores)
+        check_positive("speed", self.speed)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy_since is not None
+
+    def mark_busy(self, now: float) -> None:
+        """Record the start of an executing task."""
+        if self._busy_since is not None:
+            raise RuntimeError(f"node {self.index} already busy since {self._busy_since}")
+        self._busy_since = now
+
+    def mark_idle(self, now: float) -> None:
+        """Record the end of the currently executing task."""
+        if self._busy_since is None:
+            raise RuntimeError(f"node {self.index} is not busy")
+        if now < self._busy_since:
+            raise ValueError(f"end {now} before start {self._busy_since}")
+        self.busy_intervals.append((self._busy_since, now))
+        self._busy_since = None
+
+    def close(self, now: float) -> None:
+        """Flush an in-flight interval at end of simulation (walltime kill)."""
+        if self._busy_since is not None:
+            self.mark_idle(now)
+
+    def busy_time(self, horizon: float | None = None) -> float:
+        """Total busy seconds, optionally clipped to ``[0, horizon)``."""
+        total = 0.0
+        for start, end in self.busy_intervals:
+            if horizon is not None:
+                start, end = min(start, horizon), min(end, horizon)
+            total += max(0.0, end - start)
+        return total
+
+
+class NodePool:
+    """A fixed set of nodes with free-list bookkeeping.
+
+    Allocation hands out the lowest-index free nodes first, which makes
+    placement deterministic and timelines easy to read.
+    """
+
+    def __init__(self, count: int, cores: int = 42, speeds=None):
+        check_positive("count", count)
+        if speeds is None:
+            speeds = [1.0] * count
+        speeds = list(speeds)
+        if len(speeds) != count:
+            raise ValueError(f"{len(speeds)} speeds for {count} nodes")
+        self.nodes = [
+            Node(index=i, cores=cores, speed=float(s)) for i, s in enumerate(speeds)
+        ]
+        self._free = sorted(range(count), reverse=True)  # pop() yields lowest index
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def acquire(self, n: int) -> list[Node]:
+        """Take ``n`` free nodes (lowest indices first)."""
+        if n > len(self._free):
+            raise RuntimeError(f"requested {n} nodes, only {len(self._free)} free")
+        taken = [self._free.pop() for _ in range(n)]
+        return [self.nodes[i] for i in taken]
+
+    def release(self, nodes: list[Node]) -> None:
+        """Return nodes to the free list."""
+        for node in nodes:
+            if node.index in self._free:
+                raise RuntimeError(f"node {node.index} released twice")
+            self._free.append(node.index)
+        self._free.sort(reverse=True)

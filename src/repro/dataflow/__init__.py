@@ -1,0 +1,78 @@
+"""Streaming dataflow substrate — the synthetic workflow of §V-C (Figure 5).
+
+A collection/selection/forwarding workflow: data captured at an
+instrument flows through a *data scheduler* to downstream consumers.  The
+pieces that rarely change (communication: collection and forwarding) are
+*generated* from data descriptors; the piece that changes at runtime
+(the selection policy) is installed dynamically through a control
+("data punctuation") channel — including policies unknown at
+code-generation time.  The data scheduler maintains *virtual data queues*,
+one per installed policy, selectively invoked by control input.
+
+- :mod:`repro.dataflow.channels` — typed FIFO channels carrying data items
+  and punctuation marks.
+- :mod:`repro.dataflow.components` — component base class plus sources,
+  sinks, and transforms.
+- :mod:`repro.dataflow.policies` — selection policies (forward-all,
+  sliding windows, direct selection, sampling).
+- :mod:`repro.dataflow.datascheduler` — the data-scheduler component with
+  runtime policy installation and virtual queues.
+- :mod:`repro.dataflow.graph` — the dataflow graph and its deterministic
+  round-based run loop.
+- :mod:`repro.dataflow.codegen` — Skel-driven generation of the
+  communication components from data descriptors, with a code-reuse
+  metric across regenerations.
+"""
+
+from repro.dataflow.channels import Channel, DataItem, Punctuation, ChannelClosed
+from repro.dataflow.components import (
+    Component,
+    Source,
+    Sink,
+    Transform,
+    Filter,
+    Merge,
+    ControlSource,
+    PortError,
+)
+from repro.dataflow.policies import (
+    SelectionPolicy,
+    ForwardAll,
+    SlidingWindowCount,
+    SlidingWindowTime,
+    DirectSelection,
+    SampleEveryK,
+)
+from repro.dataflow.datascheduler import DataScheduler, VirtualQueue
+from repro.dataflow.graph import DataflowGraph, GraphValidationError
+from repro.dataflow.codegen import (
+    CommunicationCodegen,
+    generated_source_reuse,
+)
+
+__all__ = [
+    "Channel",
+    "DataItem",
+    "Punctuation",
+    "ChannelClosed",
+    "Component",
+    "Source",
+    "Sink",
+    "Transform",
+    "Filter",
+    "Merge",
+    "ControlSource",
+    "PortError",
+    "SelectionPolicy",
+    "ForwardAll",
+    "SlidingWindowCount",
+    "SlidingWindowTime",
+    "DirectSelection",
+    "SampleEveryK",
+    "DataScheduler",
+    "VirtualQueue",
+    "DataflowGraph",
+    "GraphValidationError",
+    "CommunicationCodegen",
+    "generated_source_reuse",
+]

@@ -1,0 +1,111 @@
+"""Typed FIFO channels carrying data items and punctuation.
+
+Channels are the generated "communication components" of §V-C: their
+behaviour is fully determined by data descriptors, so they can be (and
+in :mod:`repro.dataflow.codegen`, are) produced mechanically.  A channel
+carries two kinds of traffic:
+
+- :class:`DataItem` — a sequence-numbered, timestamped payload.
+- :class:`Punctuation` — a control mark "signaling abstract divisions
+  between groups of data" or carrying policy-control commands.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._util import check_positive
+
+
+class ChannelClosed(RuntimeError):
+    """Pushed to a channel whose producer already signalled completion."""
+
+
+_seq_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One unit of science data in flight."""
+
+    payload: Any
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class Punctuation:
+    """A control mark: group boundary, policy command, end-of-stream."""
+
+    kind: str  # e.g. "group-boundary", "install-policy", "activate", "eos"
+    payload: Any = None
+
+
+class Channel:
+    """A bounded FIFO between two components.
+
+    ``capacity`` bounds in-flight items (backpressure: a full channel
+    rejects pushes and the graph loop retries the producer next round).
+    Punctuation bypasses the capacity check — control must never be
+    blocked behind data.
+    """
+
+    def __init__(self, name: str, capacity: int = 1024):
+        check_positive("capacity", capacity)
+        self.name = name
+        self.capacity = capacity
+        self._queue: deque = deque()
+        self.closed = False
+        self.pushed_count = 0
+        self.popped_count = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def data_backlog(self) -> int:
+        return sum(1 for x in self._queue if isinstance(x, DataItem))
+
+    def can_push(self) -> bool:
+        return not self.closed and self.data_backlog < self.capacity
+
+    def push(self, item) -> None:
+        """Append a DataItem (capacity-checked) or Punctuation (always)."""
+        if self.closed:
+            raise ChannelClosed(f"channel {self.name!r} is closed")
+        if isinstance(item, DataItem):
+            if self.data_backlog >= self.capacity:
+                raise RuntimeError(
+                    f"channel {self.name!r} full (capacity {self.capacity})"
+                )
+        elif not isinstance(item, Punctuation):
+            raise TypeError(
+                f"channel {self.name!r}: expected DataItem or Punctuation, "
+                f"got {type(item).__name__}"
+            )
+        self._queue.append(item)
+        self.pushed_count += 1
+
+    def pop(self):
+        """Remove and return the oldest entry; None when empty."""
+        if not self._queue:
+            return None
+        self.popped_count += 1
+        return self._queue.popleft()
+
+    def peek(self):
+        return self._queue[0] if self._queue else None
+
+    def close(self) -> None:
+        """Producer signals end-of-stream; pending entries stay readable."""
+        if not self.closed:
+            self.closed = True
+            self._queue.append(Punctuation(kind="eos"))
+
+    @property
+    def drained(self) -> bool:
+        """Closed and fully consumed."""
+        return self.closed and not self._queue

@@ -1,0 +1,185 @@
+"""Skel-driven generation of communication components (§V-C).
+
+"In this workflow, all data formats are known beforehand, and so the
+communication code necessary can be automatically generated."  Given a
+port's :class:`~repro.metadata.schema.DataSchema` and
+:class:`~repro.metadata.semantics.DataSemanticsDescriptor`, this module
+generates the Python source of the *collector* (schema-validating ingest)
+and *forwarder* (field-order marshalling, order-preservation enforcement)
+components, and can materialize the source into live classes.
+
+The generated text is the reuse unit: swapping selection policies leaves
+it untouched (reuse fraction 1.0), while a schema change regenerates only
+the affected marshalling lines — :func:`generated_source_reuse` measures
+exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.metadata.schema import DataSchema
+from repro.metadata.semantics import DataSemanticsDescriptor
+from repro.skel.generator import GeneratedFile, Generator, TemplateLibrary
+from repro.skel.model import ModelField, ModelSchema, SkelModel
+
+_COLLECTOR_TEMPLATE = '''"""Collector for schema ${schema_name} v${schema_version} (generated)."""
+from repro.dataflow.channels import DataItem
+from repro.dataflow.components import Source
+
+
+EXPECTED_FIELDS = (
+{% for f in fields %}    ("${f.name}", "${f.dtype}"),
+{% endfor %})
+
+
+class ${class_name}Collector(Source):
+    """Validating instrument-capture source for ${schema_name}."""
+
+    def __init__(self, name, items, output="out", clock=None):
+        super().__init__(name, self._validate_stream(items), output=output, clock=clock)
+
+    @staticmethod
+    def _validate_stream(items):
+        for record in items:
+            missing = [n for n, _t in EXPECTED_FIELDS if n not in record]
+            if missing:
+                raise ValueError(
+                    f"record missing fields {missing} (schema ${schema_name})"
+                )
+            yield {n: record[n] for n, _t in EXPECTED_FIELDS}
+'''
+
+_FORWARDER_TEMPLATE = '''"""Forwarder for schema ${schema_name} v${schema_version} (generated)."""
+from repro.dataflow.channels import DataItem, Punctuation
+from repro.dataflow.components import Component
+
+FIELD_ORDER = ({% for f in fields %}"${f.name}", {% endfor %})
+PRESERVE_ORDER = ${preserve_order}
+
+
+class ${class_name}Forwarder(Component):
+    """Marshalling forwarder: payload dict -> field-ordered tuple."""
+
+    def __init__(self, name, input="in", output="out"):
+        super().__init__(name, inputs=(input,), outputs=(output,))
+        self._input = input
+        self._output = output
+        self._eos = False
+        self._last_seq = -1
+
+    def step(self):
+        out = self.out_channels[self._output]
+        if not out.can_push():
+            return False
+        entry = self.in_channels[self._input].pop()
+        if entry is None:
+            return False
+        if isinstance(entry, Punctuation):
+            if entry.kind == "eos":
+                self._eos = True
+                self.close_outputs()
+            else:
+                out.push(entry)
+            return True
+        if PRESERVE_ORDER and entry.seq <= self._last_seq:
+            raise RuntimeError(
+                f"order violation: seq {entry.seq} after {self._last_seq} "
+                "(stream semantics require order preservation)"
+            )
+        self._last_seq = max(self._last_seq, entry.seq)
+        self.items_in += 1
+        marshalled = tuple(entry.payload[f] for f in FIELD_ORDER)
+        self._emit(self._output, DataItem(payload=marshalled, seq=entry.seq,
+                                          timestamp=entry.timestamp))
+        return True
+
+    def finished(self):
+        return self._eos
+'''
+
+
+def _comm_schema() -> ModelSchema:
+    return ModelSchema(
+        name="dataflow-comm",
+        description="Communication-component generation model.",
+        fields=(
+            ModelField("schema_name", "string"),
+            ModelField("schema_version", "string"),
+            ModelField("class_name", "string"),
+            ModelField("fields", "list"),
+            ModelField("preserve_order", "string"),
+        ),
+    )
+
+
+class CommunicationCodegen:
+    """Generate collector/forwarder source from data descriptors."""
+
+    def __init__(self) -> None:
+        self.library = TemplateLibrary()
+        self.library.add("collector", "collector_${schema_name|lower}.py", _COLLECTOR_TEMPLATE)
+        self.library.add("forwarder", "forwarder_${schema_name|lower}.py", _FORWARDER_TEMPLATE)
+        self._generator = Generator(self.library)
+        self._schema = _comm_schema()
+
+    def model_for(
+        self,
+        schema: DataSchema,
+        semantics: DataSemanticsDescriptor,
+        class_prefix: str = "Generated",
+    ) -> SkelModel:
+        """Build the generation model for one port's descriptors."""
+        if schema.tier_index() < 3:
+            raise ValueError(
+                "communication generation requires a SELF_DESCRIBING schema "
+                f"(tier 3); {schema.format_name!r} is at tier {schema.tier_index()}"
+            )
+        return SkelModel(
+            self._schema,
+            {
+                "schema_name": schema.format_name,
+                "schema_version": schema.format_version,
+                "class_name": f"{class_prefix}{schema.format_name.title().replace('-', '')}",
+                "fields": [{"name": f.name, "dtype": f.dtype} for f in schema.fields],
+                "preserve_order": str(semantics.requires_order_preservation()),
+            },
+        )
+
+    def generate(self, schema: DataSchema, semantics: DataSemanticsDescriptor) -> list[GeneratedFile]:
+        """Render collector + forwarder source for the descriptors."""
+        return self._generator.generate(self.model_for(schema, semantics))
+
+    def materialize(self, files: list[GeneratedFile]) -> dict[str, type]:
+        """Exec the generated source; returns ``{class_name: class}``.
+
+        Generated code is our own template output, not user input, so an
+        in-process exec is the honest equivalent of the paper's
+        generate-compile-link cycle.
+        """
+        out: dict[str, type] = {}
+        for f in files:
+            namespace: dict = {}
+            exec(compile(f.content, f.relpath, "exec"), namespace)  # noqa: S102
+            for name, value in namespace.items():
+                if isinstance(value, type) and name.startswith("Generated"):
+                    out[name] = value
+        return out
+
+
+def generated_source_reuse(before: list[GeneratedFile], after: list[GeneratedFile]) -> float:
+    """Fraction of generated lines unchanged between two generation runs.
+
+    Matching is per-file by template name, line-set based, fingerprint
+    header excluded (the stamp always changes with the model).
+    """
+    before_by_template = {f.template_name: f for f in before}
+    shared_lines = 0
+    total_lines = 0
+    for f in after:
+        old = before_by_template.get(f.template_name)
+        new_lines = [l for l in f.content.splitlines() if "model-fingerprint" not in l]
+        total_lines += len(new_lines)
+        if old is None:
+            continue
+        old_set = {l for l in old.content.splitlines() if "model-fingerprint" not in l}
+        shared_lines += sum(1 for l in new_lines if l in old_set)
+    return shared_lines / total_lines if total_lines else 1.0

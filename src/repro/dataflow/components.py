@@ -1,0 +1,304 @@
+"""Dataflow components: the nodes of the workflow graph.
+
+A :class:`Component` owns named input/output *ports*; the graph binds
+ports to channels.  Execution is round-based and single-threaded: the
+graph calls :meth:`Component.step` repeatedly; a step returns True when
+it made progress (consumed or produced something), so the loop detects
+quiescence deterministically — important both for tests and for the
+"technical debt of debugging a workflow" story: every run of a graph on
+the same input is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.dataflow.channels import Channel, DataItem, Punctuation
+
+
+class PortError(ValueError):
+    """Unknown or already-bound port."""
+
+
+class Component:
+    """Base class: named ports, channel binding, lifecycle."""
+
+    def __init__(self, name: str, inputs: tuple = (), outputs: tuple = ()):
+        self.name = name
+        self.input_names = tuple(inputs)
+        self.output_names = tuple(outputs)
+        overlap = set(self.input_names) & set(self.output_names)
+        if overlap:
+            raise PortError(f"{name!r}: ports used as both input and output: {overlap}")
+        self.in_channels: dict[str, Channel] = {}
+        self.out_channels: dict[str, Channel] = {}
+        self.items_in = 0
+        self.items_out = 0
+
+    # -- binding (called by the graph) ---------------------------------------
+
+    def bind_input(self, port: str, channel: Channel) -> None:
+        if port not in self.input_names:
+            raise PortError(f"{self.name!r} has no input port {port!r}")
+        if port in self.in_channels:
+            raise PortError(f"{self.name!r}: input port {port!r} already bound")
+        self.in_channels[port] = channel
+
+    def bind_output(self, port: str, channel: Channel) -> None:
+        if port not in self.output_names:
+            raise PortError(f"{self.name!r} has no output port {port!r}")
+        if port in self.out_channels:
+            raise PortError(f"{self.name!r}: output port {port!r} already bound")
+        self.out_channels[port] = channel
+
+    def fully_bound(self) -> bool:
+        return set(self.in_channels) == set(self.input_names) and set(
+            self.out_channels
+        ) == set(self.output_names)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Do one unit of work; return True if progress was made."""
+        raise NotImplementedError
+
+    def finished(self) -> bool:
+        """True when this component will never produce again."""
+        raise NotImplementedError
+
+    def _emit(self, port: str, item) -> None:
+        self.out_channels[port].push(item)
+        if isinstance(item, DataItem):
+            self.items_out += 1
+
+    def close_outputs(self) -> None:
+        for channel in self.out_channels.values():
+            channel.close()
+
+
+class Source(Component):
+    """Produces items from an iterable — the instrument of Figure 5."""
+
+    def __init__(self, name: str, items: Iterable, output: str = "out", clock: Callable[[int], float] | None = None):
+        super().__init__(name, inputs=(), outputs=(output,))
+        self._iter = iter(items)
+        self._output = output
+        self._clock = clock or (lambda i: float(i))
+        self._count = 0
+        self._done = False
+
+    def step(self) -> bool:
+        if self._done:
+            return False
+        channel = self.out_channels[self._output]
+        if not channel.can_push():
+            return False
+        try:
+            payload = next(self._iter)
+        except StopIteration:
+            self._done = True
+            self.close_outputs()
+            return True
+        self._emit(
+            self._output, DataItem(payload=payload, timestamp=self._clock(self._count))
+        )
+        self._count += 1
+        return True
+
+    def finished(self) -> bool:
+        return self._done
+
+
+class Sink(Component):
+    """Collects items — a downstream consumer of Figure 5."""
+
+    def __init__(self, name: str, input: str = "in"):
+        super().__init__(name, inputs=(input,), outputs=())
+        self._input = input
+        self.received: list[DataItem] = []
+        self.punctuation: list[Punctuation] = []
+        self._eos = False
+
+    def step(self) -> bool:
+        # Sinks drain everything available: they are terminal, so there is
+        # no downstream backpressure to respect.
+        progressed = False
+        while True:
+            entry = self.in_channels[self._input].pop()
+            if entry is None:
+                return progressed
+            progressed = True
+            if isinstance(entry, Punctuation):
+                if entry.kind == "eos":
+                    self._eos = True
+                else:
+                    self.punctuation.append(entry)
+            else:
+                self.received.append(entry)
+                self.items_in += 1
+
+    def finished(self) -> bool:
+        return self._eos and len(self.in_channels[self._input]) == 0
+
+    def payloads(self) -> list:
+        return [item.payload for item in self.received]
+
+
+class Filter(Component):
+    """Drops items whose payload fails ``predicate`` — the simplest
+    selection stage; contrast with the data scheduler's *policies*, which
+    are stateful and runtime-swappable."""
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool], input: str = "in", output: str = "out"):
+        super().__init__(name, inputs=(input,), outputs=(output,))
+        self._predicate = predicate
+        self._input = input
+        self._output = output
+        self._eos = False
+        self.dropped = 0
+
+    def step(self) -> bool:
+        out = self.out_channels[self._output]
+        if not out.can_push():
+            return False
+        entry = self.in_channels[self._input].pop()
+        if entry is None:
+            return False
+        if isinstance(entry, Punctuation):
+            if entry.kind == "eos":
+                self._eos = True
+                self.close_outputs()
+            else:
+                out.push(entry)
+            return True
+        self.items_in += 1
+        if self._predicate(entry.payload):
+            self._emit(self._output, entry)
+        else:
+            self.dropped += 1
+        return True
+
+    def finished(self) -> bool:
+        return self._eos
+
+
+class Merge(Component):
+    """Fan-in: merge several input streams into one output.
+
+    Deterministic round-robin service across inputs; the output closes
+    when every input has reached end-of-stream.  Non-eos punctuation from
+    any input flows through.  This is the aggregation half of Figure 5's
+    collection/forwarding structure when multiple instruments feed one
+    data scheduler.
+    """
+
+    def __init__(self, name: str, inputs: tuple, output: str = "out"):
+        if not inputs:
+            raise PortError(f"{name!r}: merge needs at least one input")
+        super().__init__(name, inputs=tuple(inputs), outputs=(output,))
+        self._output = output
+        self._eos: set[str] = set()
+        self._next = 0
+
+    def step(self) -> bool:
+        out = self.out_channels[self._output]
+        if not out.can_push():
+            return False
+        ports = self.input_names
+        for offset in range(len(ports)):
+            port = ports[(self._next + offset) % len(ports)]
+            entry = self.in_channels[port].pop()
+            if entry is None:
+                continue
+            self._next = (self._next + offset + 1) % len(ports)
+            if isinstance(entry, Punctuation):
+                if entry.kind == "eos":
+                    self._eos.add(port)
+                    if len(self._eos) == len(ports):
+                        self.close_outputs()
+                else:
+                    out.push(entry)
+                return True
+            self.items_in += 1
+            self._emit(self._output, entry)
+            return True
+        return False
+
+    def finished(self) -> bool:
+        return len(self._eos) == len(self.input_names)
+
+
+class ControlSource(Component):
+    """Emits a scripted sequence of punctuation — the steering input of §V-C.
+
+    Each entry of ``script`` is ``(after_seen, punctuation)``: the mark is
+    released once the observed target (a :class:`DataScheduler` or any
+    object with ``items_seen``) has processed at least ``after_seen`` data
+    items, modelling a remote steering process reacting to the stream.
+    With ``watch=None`` marks are released one per step, immediately.
+    """
+
+    def __init__(self, name: str, script, watch=None, output: str = "out"):
+        super().__init__(name, inputs=(), outputs=(output,))
+        self._script = list(script)
+        for entry in self._script:
+            if not (isinstance(entry, tuple) and len(entry) == 2 and isinstance(entry[1], Punctuation)):
+                raise TypeError(
+                    f"{name!r}: script entries must be (after_seen, Punctuation)"
+                )
+        self._watch = watch
+        self._output = output
+        self._next = 0
+        self._done = False
+
+    def step(self) -> bool:
+        if self._done:
+            return False
+        if self._next >= len(self._script):
+            self._done = True
+            self.close_outputs()
+            return True
+        after_seen, mark = self._script[self._next]
+        if self._watch is not None and getattr(self._watch, "items_seen") < after_seen:
+            return False
+        self._emit(self._output, mark)
+        self._next += 1
+        return True
+
+    def finished(self) -> bool:
+        return self._done
+
+
+class Transform(Component):
+    """Applies ``fn`` to each payload — summarize/transform of §V-C."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Any], input: str = "in", output: str = "out"):
+        super().__init__(name, inputs=(input,), outputs=(output,))
+        self._fn = fn
+        self._input = input
+        self._output = output
+        self._eos = False
+
+    def step(self) -> bool:
+        out = self.out_channels[self._output]
+        if not out.can_push():
+            return False
+        entry = self.in_channels[self._input].pop()
+        if entry is None:
+            return False
+        if isinstance(entry, Punctuation):
+            if entry.kind == "eos":
+                self._eos = True
+                self.close_outputs()
+            else:
+                out.push(entry)  # punctuation flows through
+            return True
+        self.items_in += 1
+        self._emit(
+            self._output,
+            DataItem(payload=self._fn(entry.payload), seq=entry.seq, timestamp=entry.timestamp),
+        )
+        return True
+
+    def finished(self) -> bool:
+        return self._eos

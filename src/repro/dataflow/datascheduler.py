@@ -1,0 +1,176 @@
+"""The data-scheduler component: virtual data queues + runtime control.
+
+"The data scheduler implements a number of virtual data queues, each
+defined by its own selection policy", with policies installed and
+"selectively invoked using input from the control channel" (§V-C).  The
+communication shell of this component is generated (see
+:mod:`repro.dataflow.codegen`); the policy objects plug in at runtime.
+
+Control-channel punctuation commands (``Punctuation.kind`` / payload):
+
+- ``install-policy`` / ``(queue_name, policy)`` — install or replace the
+  policy of a virtual queue (the policy object may be one that did not
+  exist at code-generation time).
+- ``activate`` / ``queue_name`` — resume a paused queue.
+- ``deactivate`` / ``queue_name`` — pause a queue (items skip it).
+- ``group-boundary`` / anything — forwarded to every active subscriber.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dataflow.channels import Punctuation
+from repro.dataflow.components import Component
+from repro.dataflow.policies import ForwardAll, SelectionPolicy
+
+
+@dataclass
+class VirtualQueue:
+    """One subscriber-facing queue: a policy bound to an output port."""
+
+    name: str
+    port: str
+    policy: SelectionPolicy
+    active: bool = True
+    emitted: int = 0
+    installs: list = field(default_factory=list)  # (item_seq_watermark, policy name)
+
+
+class DataScheduler(Component):
+    """Collection/selection/forwarding hub with per-subscriber policies.
+
+    Parameters
+    ----------
+    name:
+        Component name.
+    subscribers:
+        Output port names, one virtual queue each; every queue starts
+        with the Figure 5 initial policy (forward each item received).
+    """
+
+    def __init__(self, name: str, subscribers: tuple):
+        if not subscribers:
+            raise ValueError("data scheduler needs at least one subscriber port")
+        super().__init__(name, inputs=("in", "control"), outputs=tuple(subscribers))
+        self.queues: dict[str, VirtualQueue] = {
+            port: VirtualQueue(name=port, port=port, policy=ForwardAll())
+            for port in subscribers
+        }
+        self.items_seen = 0
+        self.control_commands = 0
+        self._eos = False  # data end-of-stream observed
+        self._closed = False  # outputs closed (backlog fully drained)
+        # Released items waiting for subscriber-channel space (backpressure).
+        self._backlog: dict[str, deque] = {port: deque() for port in subscribers}
+
+    # -- control -------------------------------------------------------------
+
+    def _handle_control(self, mark: Punctuation) -> None:
+        self.control_commands += 1
+        if mark.kind == "install-policy":
+            queue_name, policy = mark.payload
+            queue = self._queue(queue_name)
+            if not isinstance(policy, SelectionPolicy):
+                raise TypeError(
+                    f"install-policy payload must be a SelectionPolicy, "
+                    f"got {type(policy).__name__}"
+                )
+            queue.policy = policy
+            queue.installs.append((self.items_seen, policy.describe()))
+        elif mark.kind == "activate":
+            self._queue(mark.payload).active = True
+        elif mark.kind == "deactivate":
+            self._queue(mark.payload).active = False
+        elif mark.kind == "group-boundary":
+            if not self._closed:  # once outputs close there is nobody to notify
+                for queue in self.queues.values():
+                    if queue.active:
+                        self.out_channels[queue.port].push(mark)
+        elif mark.kind == "eos":
+            pass  # control stream ended; data flow continues
+        else:
+            raise ValueError(f"unknown control command {mark.kind!r}")
+
+    def _queue(self, name: str) -> VirtualQueue:
+        try:
+            return self.queues[name]
+        except KeyError:
+            raise KeyError(
+                f"no virtual queue {name!r}; known: {sorted(self.queues)}"
+            ) from None
+
+    # -- execution ------------------------------------------------------------
+
+    def _release(self, queue: VirtualQueue, items) -> None:
+        """Queue released items for emission (through the backlog)."""
+        self._backlog[queue.port].extend(items)
+
+    def _flush_backlog(self) -> bool:
+        """Push backlogged releases while subscriber channels have space."""
+        progressed = False
+        for port, backlog in self._backlog.items():
+            channel = self.out_channels[port]
+            queue = self.queues[port]
+            while backlog and channel.can_push():
+                channel.push(backlog.popleft())
+                queue.emitted += 1
+                self.items_out += 1
+                progressed = True
+        return progressed
+
+    def step(self) -> bool:
+        # Control first: policy changes must apply before the next data item.
+        mark = self.in_channels["control"].pop()
+        if mark is not None:
+            if isinstance(mark, Punctuation):
+                self._handle_control(mark)
+            else:
+                raise TypeError("control channel must carry only Punctuation")
+            return True
+        progressed = self._flush_backlog()
+        if any(self._backlog.values()):
+            # Backpressure: don't consume new data while releases are stuck.
+            return progressed
+        if self._eos:
+            if not self._closed:
+                self.close_outputs()
+                self._closed = True
+                return True
+            return progressed
+        entry = self.in_channels["in"].pop()
+        if entry is None:
+            return progressed
+        if isinstance(entry, Punctuation):
+            if entry.kind == "eos":
+                self._eos = True
+                for queue in self.queues.values():
+                    if queue.active:
+                        self._release(queue, queue.policy.flush())
+                self._flush_backlog()
+            return True
+        self.items_in += 1
+        self.items_seen += 1
+        for queue in self.queues.values():
+            if not queue.active:
+                continue
+            self._release(queue, queue.policy.admit(entry))
+        self._flush_backlog()
+        return True
+
+    def finished(self) -> bool:
+        return self._closed
+
+    # -- metrics ---------------------------------------------------------------
+
+    def queue_stats(self) -> dict:
+        """Per-queue (policy, emitted, active) — the Figure 5 series data."""
+        return {
+            name: {
+                "policy": q.policy.describe(),
+                "emitted": q.emitted,
+                "active": q.active,
+            }
+            for name, q in self.queues.items()
+        }

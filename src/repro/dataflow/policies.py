@@ -1,0 +1,154 @@
+"""Selection policies for the data scheduler's virtual queues.
+
+A policy decides, per incoming item, what its virtual queue releases
+downstream.  Policies are deliberately tiny state machines so they can be
+installed at runtime through the control channel — "including policies
+not known at code generation or compile time" (§V-C).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro._util import check_positive
+from repro.dataflow.channels import DataItem
+
+
+class SelectionPolicy:
+    """Base policy: override :meth:`admit` (and optionally :meth:`flush`)."""
+
+    #: Name used by control punctuation to address this policy.
+    name: str = "policy"
+
+    def admit(self, item: DataItem) -> list[DataItem]:
+        """Consume one incoming item; return the items to release now."""
+        raise NotImplementedError
+
+    def flush(self) -> list[DataItem]:
+        """Release anything still buffered (called at end-of-stream)."""
+        return []
+
+    def describe(self) -> str:
+        return self.name
+
+
+class ForwardAll(SelectionPolicy):
+    """Figure 5's initial policy: forward each item to subscribers."""
+
+    name = "forward-all"
+
+    def admit(self, item: DataItem) -> list[DataItem]:
+        return [item]
+
+
+class SlidingWindowCount(SelectionPolicy):
+    """Release the newest ``size`` items every ``stride`` arrivals.
+
+    A count-based sliding window: with ``size=4, stride=2`` subscribers
+    see overlapping 4-item windows advancing by 2.  Windows are released
+    as their member items (flattened) following a window-boundary mark in
+    ``windows`` for consumers that need grouping.
+    """
+
+    name = "window-count"
+
+    def __init__(self, size: int, stride: int | None = None):
+        check_positive("size", size)
+        self.size = size
+        self.stride = stride if stride is not None else size
+        check_positive("stride", self.stride)
+        self._buffer: deque = deque(maxlen=size)
+        self._since_release = 0
+        self._admitted = 0
+        self._released_through = 0  # admit count when the last window closed
+        self.windows: list[tuple] = []
+
+    def admit(self, item: DataItem) -> list[DataItem]:
+        self._buffer.append(item)
+        self._admitted += 1
+        self._since_release += 1
+        if len(self._buffer) == self.size and self._since_release >= self.stride:
+            self._since_release = 0
+            self._released_through = self._admitted
+            window = tuple(self._buffer)
+            self.windows.append(window)
+            return list(window)
+        return []
+
+    def flush(self) -> list[DataItem]:
+        """Release items admitted after the last window closed.
+
+        Overlapping-window members already delivered are not re-sent: a
+        flush delivers exactly the never-released tail.
+        """
+        pending = min(self._admitted - self._released_through, len(self._buffer))
+        if pending <= 0:
+            return []
+        tail = tuple(self._buffer)[-pending:]
+        self._released_through = self._admitted
+        self.windows.append(tail)
+        return list(tail)
+
+
+class SlidingWindowTime(SelectionPolicy):
+    """Release all items whose timestamps fall in the trailing ``span``.
+
+    Each arrival triggers a release of the in-span buffer (time-based
+    window, advancing with the stream clock).
+    """
+
+    name = "window-time"
+
+    def __init__(self, span: float):
+        check_positive("span", span)
+        self.span = span
+        self._buffer: deque = deque()
+
+    def admit(self, item: DataItem) -> list[DataItem]:
+        self._buffer.append(item)
+        cutoff = item.timestamp - self.span
+        while self._buffer and self._buffer[0].timestamp < cutoff:
+            self._buffer.popleft()
+        return list(self._buffer)
+
+
+class DirectSelection(SelectionPolicy):
+    """Steering-driven selection of queued items (§V-C's remote-steering
+    example): buffer arrivals, release only what a predicate admits.
+
+    The predicate typically arrives *with* the policy through the control
+    channel — the part of the workflow unknown at code-generation time.
+    """
+
+    name = "direct-selection"
+
+    def __init__(self, predicate: Callable[[DataItem], bool], keep_buffer: int = 1024):
+        check_positive("keep_buffer", keep_buffer)
+        self.predicate = predicate
+        self._buffer: deque = deque(maxlen=keep_buffer)
+
+    def admit(self, item: DataItem) -> list[DataItem]:
+        self._buffer.append(item)
+        return [item] if self.predicate(item) else []
+
+    def select_from_queue(self, predicate: Callable[[DataItem], bool]) -> list[DataItem]:
+        """One-shot direct selection over the retained queue."""
+        return [item for item in self._buffer if predicate(item)]
+
+
+class SampleEveryK(SelectionPolicy):
+    """Decimation: forward every k-th item (monitoring taps)."""
+
+    name = "sample-every-k"
+
+    def __init__(self, k: int):
+        check_positive("k", k)
+        self.k = k
+        self._count = 0
+
+    def admit(self, item: DataItem) -> list[DataItem]:
+        self._count += 1
+        if self._count % self.k == 0:
+            return [item]
+        return []

@@ -1,0 +1,31 @@
+"""Experiment harness: one entry point per paper figure.
+
+Each ``figN_*`` function reproduces the data behind the corresponding
+figure of the paper and returns an :class:`ExperimentResult` that renders
+to the same rows/series the paper reports.  The benchmark files under
+``benchmarks/`` are thin wrappers over these functions, so the paper's
+evaluation can also be regenerated programmatically (see
+``EXPERIMENTS.md``).
+"""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    fig1_gauge_matrix,
+    fig2_manual_vs_skel,
+    fig3_overhead_sweep,
+    fig4_variation,
+    fig5_policies,
+    fig6_timeline,
+    fig7_campaign,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "fig1_gauge_matrix",
+    "fig2_manual_vs_skel",
+    "fig3_overhead_sweep",
+    "fig4_variation",
+    "fig5_policies",
+    "fig6_timeline",
+    "fig7_campaign",
+]

@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments                 # all figures, print tables
+    python -m repro.experiments --figure 3 7    # a subset
+    python -m repro.experiments --out results/  # also write one file each
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    fig1_gauge_matrix,
+    fig2_manual_vs_skel,
+    fig3_overhead_sweep,
+    fig4_variation,
+    fig5_policies,
+    fig6_timeline,
+    fig7_campaign,
+)
+
+DRIVERS = {
+    1: fig1_gauge_matrix,
+    2: fig2_manual_vs_skel,
+    3: fig3_overhead_sweep,
+    4: fig4_variation,
+    5: fig5_policies,
+    6: fig6_timeline,
+    7: fig7_campaign,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the evaluation figures of 'Reusability First: "
+        "Toward FAIR Workflows' (CLUSTER 2021).",
+    )
+    parser.add_argument(
+        "--figure",
+        type=int,
+        nargs="+",
+        choices=sorted(DRIVERS),
+        default=sorted(DRIVERS),
+        help="figure numbers to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write one table file per figure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for number in args.figure:
+        t0 = time.perf_counter()
+        result = DRIVERS[number]()
+        elapsed = time.perf_counter() - t0
+        text = result.to_text()
+        print(text)
+        print(f"[figure {number} regenerated in {elapsed:.1f}s]\n")
+        if args.out is not None:
+            path = args.out / f"figure{number}.txt"
+            path.write_text(text + "\n")
+            print(f"[written to {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

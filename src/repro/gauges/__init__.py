@@ -1,0 +1,106 @@
+"""The six-gauge reusability abstraction — the paper's primary contribution.
+
+Box I / Figure 1 of the paper define six *gauge properties*, three for
+data and three for software::
+
+    Data:     Access, Schema, Semantics
+    Software: Granularity, Customizability, Provenance
+
+Each gauge is a ladder of tiers of increasingly explicit, increasingly
+machine-actionable metadata.  A gauge is *not* a metric: it tracks one
+workflow's progress toward reusability, it does not score arbitrary
+workflows against each other (§III-A).
+
+Package contents:
+
+- :mod:`repro.gauges.levels` — the gauge and tier enumerations plus the
+  Figure 1 tier matrix.
+- :mod:`repro.gauges.model` — :class:`GaugeProfile` (a point on all six
+  ladders), :class:`WorkflowComponent` (a described artifact), and
+  :func:`assess` (derive a profile mechanically from attached metadata,
+  honoring the paper's cross-gauge dependencies).
+- :mod:`repro.gauges.debt` — the technical-debt model: reuse scenarios as
+  lists of manual steps, each automatable at some gauge tier; debt is the
+  human time left un-automated.
+- :mod:`repro.gauges.registry` — a metadata catalog of components with
+  queries ("which components block automation of scenario X?").
+- :mod:`repro.gauges.continuum` — trajectory tracking: snapshots of a
+  profile over a workflow's life, with monotonicity auditing.
+"""
+
+from repro.gauges.levels import (
+    Gauge,
+    AccessTier,
+    SchemaTier,
+    SemanticsTier,
+    GranularityTier,
+    CustomizabilityTier,
+    ProvenanceTier,
+    TIER_TYPES,
+    tier_matrix,
+    tier_description,
+)
+from repro.gauges.model import (
+    GaugeProfile,
+    ComponentKind,
+    DataPort,
+    SoftwareMetadata,
+    ParameterRelation,
+    WorkflowComponent,
+    AssessmentNote,
+    ReusabilityAssessment,
+    assess,
+)
+from repro.gauges.debt import (
+    ManualStep,
+    ReuseScenario,
+    DebtReport,
+    score,
+    automation_gain,
+    builtin_scenarios,
+)
+from repro.gauges.registry import ComponentRegistry
+from repro.gauges.continuum import ReusabilityTrajectory, TrajectorySnapshot
+from repro.gauges.fair import (
+    Alignment,
+    PrincipleMapping,
+    FAIR_MAPPINGS,
+    fair_alignment,
+    fair_report,
+)
+
+__all__ = [
+    "Gauge",
+    "AccessTier",
+    "SchemaTier",
+    "SemanticsTier",
+    "GranularityTier",
+    "CustomizabilityTier",
+    "ProvenanceTier",
+    "TIER_TYPES",
+    "tier_matrix",
+    "tier_description",
+    "GaugeProfile",
+    "ComponentKind",
+    "DataPort",
+    "SoftwareMetadata",
+    "ParameterRelation",
+    "WorkflowComponent",
+    "AssessmentNote",
+    "ReusabilityAssessment",
+    "assess",
+    "ManualStep",
+    "ReuseScenario",
+    "DebtReport",
+    "score",
+    "automation_gain",
+    "builtin_scenarios",
+    "ComponentRegistry",
+    "ReusabilityTrajectory",
+    "TrajectorySnapshot",
+    "Alignment",
+    "PrincipleMapping",
+    "FAIR_MAPPINGS",
+    "fair_alignment",
+    "fair_report",
+]

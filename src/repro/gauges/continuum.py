@@ -1,0 +1,89 @@
+"""Reusability as a continuum: trajectory tracking.
+
+The paper's key insight is that "reuse represents a continuum of actions"
+(§I) and that gauges "track the progress of a workflow toward
+reusability" (§III-A).  A :class:`ReusabilityTrajectory` is that progress
+record: labelled profile snapshots over a workflow's life, with
+regression auditing and debt-trend reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gauges.debt import ReuseScenario, score
+from repro.gauges.levels import Gauge
+from repro.gauges.model import GaugeProfile
+
+
+@dataclass(frozen=True)
+class TrajectorySnapshot:
+    """One labelled point in a workflow's reusability history."""
+
+    label: str
+    profile: GaugeProfile
+
+
+class ReusabilityTrajectory:
+    """Ordered snapshots of one workflow's gauge profile.
+
+    Snapshots are append-only.  Regressions (a tier dropping between
+    consecutive snapshots) are allowed — refactoring sometimes temporarily
+    loses metadata — but they are recorded and queryable, because a gauge
+    that silently moves backwards defeats the point of tracking.
+    """
+
+    def __init__(self, workflow_name: str):
+        self.workflow_name = workflow_name
+        self._snapshots: list[TrajectorySnapshot] = []
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    @property
+    def snapshots(self) -> tuple:
+        return tuple(self._snapshots)
+
+    def record(self, label: str, profile: GaugeProfile) -> TrajectorySnapshot:
+        """Append a snapshot; labels must be unique."""
+        if any(s.label == label for s in self._snapshots):
+            raise ValueError(f"duplicate snapshot label {label!r}")
+        snap = TrajectorySnapshot(label=label, profile=profile)
+        self._snapshots.append(snap)
+        return snap
+
+    def current(self) -> TrajectorySnapshot:
+        if not self._snapshots:
+            raise RuntimeError("trajectory has no snapshots")
+        return self._snapshots[-1]
+
+    def regressions(self) -> list[tuple[str, str, Gauge, int, int]]:
+        """(from label, to label, gauge, old tier, new tier) for every drop."""
+        out = []
+        for prev, cur in zip(self._snapshots, self._snapshots[1:]):
+            for gauge in Gauge:
+                old, new = int(prev.profile.tier(gauge)), int(cur.profile.tier(gauge))
+                if new < old:
+                    out.append((prev.label, cur.label, gauge, old, new))
+        return out
+
+    def is_monotone(self) -> bool:
+        """True if no gauge ever moved backwards."""
+        return not self.regressions()
+
+    def advances(self) -> list[tuple[str, str, Gauge, int, int]]:
+        """(from label, to label, gauge, old tier, new tier) for every raise."""
+        out = []
+        for prev, cur in zip(self._snapshots, self._snapshots[1:]):
+            for gauge in Gauge:
+                old, new = int(prev.profile.tier(gauge)), int(cur.profile.tier(gauge))
+                if new > old:
+                    out.append((prev.label, cur.label, gauge, old, new))
+        return out
+
+    def debt_trend(self, scenario: ReuseScenario) -> list[tuple[str, float]]:
+        """Manual minutes under ``scenario`` at each snapshot (the payoff curve)."""
+        return [
+            (s.label, score(s.profile, scenario).manual_minutes)
+            for s in self._snapshots
+        ]

@@ -1,0 +1,259 @@
+"""The technical-debt model.
+
+§I frames technical debt as "the degree of human effort needed to
+repurpose or reuse a piece of data or code": anything not explicitly
+represented must be serviced by a human at reuse time.  We model a *reuse
+scenario* as a list of manual steps, each carrying an estimated human cost
+(minutes) and the gauge tier at which that step becomes automatable.  The
+debt of a component under a scenario is the cost of the steps its current
+profile does **not** automate.
+
+This turns Figure 2's "red fields" into numbers: each red field of the
+traditional script is a manual step automated by the Skel model
+(CUSTOMIZABILITY >= MODELED), so the generated workflow's debt collapses
+to the single model edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gauges.levels import (
+    AccessTier,
+    CustomizabilityTier,
+    Gauge,
+    GranularityTier,
+    ProvenanceTier,
+    SchemaTier,
+    SemanticsTier,
+    TIER_TYPES,
+)
+from repro.gauges.model import GaugeProfile, WorkflowComponent, assess
+from repro._util import check_positive
+
+
+@dataclass(frozen=True)
+class ManualStep:
+    """One human intervention required to reuse an artifact.
+
+    Parameters
+    ----------
+    name:
+        What the human does ("run down the hall", "edit the submit script").
+    minutes:
+        Estimated human cost per reuse.
+    gauge / automated_at:
+        The gauge tier at which this step becomes automatable.  ``None``
+        gauge marks a step that no metadata tier removes (irreducibly
+        human, e.g. deciding the science question).
+    """
+
+    name: str
+    minutes: float
+    gauge: Gauge | None = None
+    automated_at: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("minutes", self.minutes)
+        if self.gauge is not None:
+            TIER_TYPES[self.gauge](self.automated_at)  # validates the tier value
+
+    def automated_by(self, profile: GaugeProfile) -> bool:
+        """True if ``profile`` is high enough to automate this step."""
+        if self.gauge is None:
+            return False
+        return int(profile.tier(self.gauge)) >= self.automated_at
+
+
+@dataclass(frozen=True)
+class ReuseScenario:
+    """A named reuse context with its manual-step inventory."""
+
+    name: str
+    steps: tuple  # tuple[ManualStep, ...]
+    description: str | None = None
+
+    def total_minutes(self) -> float:
+        return sum(s.minutes for s in self.steps)
+
+
+@dataclass(frozen=True)
+class DebtReport:
+    """Debt of one component under one scenario."""
+
+    component_name: str
+    scenario_name: str
+    manual_minutes: float
+    automated_minutes: float
+    remaining_steps: tuple
+    automated_steps: tuple
+
+    @property
+    def automation_fraction(self) -> float:
+        total = self.manual_minutes + self.automated_minutes
+        return self.automated_minutes / total if total > 0 else 1.0
+
+
+def score(component_or_profile, scenario: ReuseScenario) -> DebtReport:
+    """Compute the debt of a component (or bare profile) under a scenario."""
+    if isinstance(component_or_profile, WorkflowComponent):
+        name = component_or_profile.name
+        profile = assess(component_or_profile).profile
+    elif isinstance(component_or_profile, GaugeProfile):
+        name = "<profile>"
+        profile = component_or_profile
+    else:
+        raise TypeError(
+            "expected WorkflowComponent or GaugeProfile, got "
+            f"{type(component_or_profile).__name__}"
+        )
+    remaining, automated = [], []
+    for step in scenario.steps:
+        (automated if step.automated_by(profile) else remaining).append(step)
+    return DebtReport(
+        component_name=name,
+        scenario_name=scenario.name,
+        manual_minutes=sum(s.minutes for s in remaining),
+        automated_minutes=sum(s.minutes for s in automated),
+        remaining_steps=tuple(remaining),
+        automated_steps=tuple(automated),
+    )
+
+
+def automation_gain(
+    before: GaugeProfile, after: GaugeProfile, scenario: ReuseScenario
+) -> float:
+    """Minutes of human effort per reuse removed by moving ``before`` → ``after``."""
+    return score(before, scenario).manual_minutes - score(after, scenario).manual_minutes
+
+
+def builtin_scenarios() -> dict:
+    """The paper's exemplar reuse contexts (§I, §II) as scenarios.
+
+    Minute estimates are order-of-magnitude placeholders meant for
+    *relative* comparison across profiles — the gauge philosophy: track
+    progress of one workflow, don't score arbitrary pairs.
+    """
+    new_dataset = ReuseScenario(
+        name="new-dataset",
+        description="Re-run an existing workflow on a new data set (§II-A GWAS).",
+        steps=(
+            ManualStep(
+                "discover file layout/naming of the new data ('run down the hall')",
+                30,
+                Gauge.DATA_ACCESS,
+                int(AccessTier.INTERFACE),
+            ),
+            ManualStep(
+                "hand-write format conversion for tool-specific input layout",
+                120,
+                Gauge.DATA_SCHEMA,
+                int(SchemaTier.SELF_DESCRIBING),
+            ),
+            ManualStep(
+                "re-derive element ordering / windowing assumptions",
+                45,
+                Gauge.DATA_SEMANTICS,
+                int(SemanticsTier.DATA_FUSION),
+            ),
+            ManualStep(
+                "edit paths, partitions and scheduler fields in run scripts",
+                60,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.MODELED),
+            ),
+        ),
+    )
+    new_machine = ReuseScenario(
+        name="new-machine",
+        description="Port the workflow to a different HPC system (§II-B iRF-LOOP).",
+        steps=(
+            ManualStep(
+                "restructure build system for the new machine",
+                180,
+                Gauge.SOFTWARE_GRANULARITY,
+                int(GranularityTier.CONFIGURED),
+            ),
+            ManualStep(
+                "manually size runs / create submit scripts for the scheduler",
+                90,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.MODELED),
+            ),
+            ManualStep(
+                "curate failed runs and build resubmission scripts",
+                60,
+                Gauge.SOFTWARE_PROVENANCE,
+                int(ProvenanceTier.CAMPAIGN_KNOWLEDGE),
+            ),
+            ManualStep(
+                "re-tune inter-dependent runtime parameters",
+                45,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.RELATED),
+            ),
+        ),
+    )
+    new_collaborator = ReuseScenario(
+        name="new-collaborator",
+        description="Hand the workflow to a new team member (§II-B teaching cost).",
+        steps=(
+            ManualStep(
+                "explain component boundaries and what each script does",
+                120,
+                Gauge.SOFTWARE_GRANULARITY,
+                int(GranularityTier.COMPONENT),
+            ),
+            ManualStep(
+                "explain which knobs are safe to change",
+                60,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.EXPOSED),
+            ),
+            ManualStep(
+                "walk through past runs to show expected behaviour",
+                60,
+                Gauge.SOFTWARE_PROVENANCE,
+                int(ProvenanceTier.EXECUTION_LOGS),
+            ),
+            ManualStep(
+                "explain data file meanings and element roles",
+                45,
+                Gauge.DATA_SEMANTICS,
+                int(SemanticsTier.DATASET_SEMANTICS),
+            ),
+        ),
+    )
+    new_runtime = ReuseScenario(
+        name="new-runtime",
+        description="Move a workflow fragment between workflow systems (§I Parsl→Pegasus).",
+        steps=(
+            ManualStep(
+                "reverse-engineer data interchange between fragments",
+                120,
+                Gauge.DATA_SCHEMA,
+                int(SchemaTier.DECLARED),
+            ),
+            ManualStep(
+                "wrap components for the target runtime's task model",
+                150,
+                Gauge.SOFTWARE_GRANULARITY,
+                int(GranularityTier.CONFIGURED),
+            ),
+            ManualStep(
+                "re-express parameterization in the target system",
+                90,
+                Gauge.SOFTWARE_CUSTOMIZABILITY,
+                int(CustomizabilityTier.MODELED),
+            ),
+            ManualStep(
+                "decide which provenance to carry across",
+                30,
+                Gauge.SOFTWARE_PROVENANCE,
+                int(ProvenanceTier.EXPORTABLE),
+            ),
+        ),
+    )
+    return {
+        s.name: s for s in (new_dataset, new_machine, new_collaborator, new_runtime)
+    }

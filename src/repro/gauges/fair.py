@@ -1,0 +1,121 @@
+"""FAIR-principle alignment reporting.
+
+The conclusion positions the gauge abstraction as "a refinement of the
+requirements for community-specified metadata for Reusability and
+Interoperability (particularly points R1.2, R1.3, and I3 from [11])".
+This module makes that mapping executable: given a gauge profile, report
+which FAIR sub-principles the captured metadata supports, partially
+supports, or leaves unmet.
+
+The mapping is deliberately conservative: a principle counts as *met*
+only when every gauge it leans on has reached the stated tier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gauges.levels import (
+    AccessTier,
+    CustomizabilityTier,
+    Gauge,
+    GranularityTier,
+    ProvenanceTier,
+    SchemaTier,
+    SemanticsTier,
+)
+from repro.gauges.model import GaugeProfile
+
+
+class Alignment(enum.Enum):
+    """How fully a profile's metadata supports one FAIR sub-principle."""
+
+    UNMET = "unmet"
+    PARTIAL = "partial"
+    MET = "met"
+
+
+@dataclass(frozen=True)
+class PrincipleMapping:
+    """One FAIR sub-principle and the gauge tiers that realize it."""
+
+    principle: str
+    statement: str
+    requirements: tuple  # tuple[(Gauge, minimum tier int), ...]
+
+    def evaluate(self, profile: GaugeProfile) -> Alignment:
+        satisfied = [
+            int(profile.tier(gauge)) >= minimum for gauge, minimum in self.requirements
+        ]
+        if all(satisfied):
+            return Alignment.MET
+        if any(satisfied):
+            return Alignment.PARTIAL
+        return Alignment.UNMET
+
+
+#: The paper's named principles plus the interoperability neighbours the
+#: gauges naturally cover.
+FAIR_MAPPINGS: tuple = (
+    PrincipleMapping(
+        "I1",
+        "(meta)data use a formal, accessible, shared, broadly applicable "
+        "language for knowledge representation",
+        ((Gauge.DATA_SCHEMA, int(SchemaTier.DECLARED)),),
+    ),
+    PrincipleMapping(
+        "I3",
+        "(meta)data include qualified references to other (meta)data",
+        (
+            (Gauge.DATA_ACCESS, int(AccessTier.INTERFACE)),
+            (Gauge.DATA_SEMANTICS, int(SemanticsTier.FORMAT_EVOLUTION)),
+        ),
+    ),
+    PrincipleMapping(
+        "R1",
+        "meta(data) are richly described with a plurality of accurate and "
+        "relevant attributes",
+        (
+            (Gauge.DATA_SCHEMA, int(SchemaTier.SELF_DESCRIBING)),
+            (Gauge.DATA_SEMANTICS, int(SemanticsTier.DATA_FUSION)),
+            (Gauge.SOFTWARE_GRANULARITY, int(GranularityTier.CONFIGURED)),
+        ),
+    ),
+    PrincipleMapping(
+        "R1.2",
+        "(meta)data are associated with detailed provenance",
+        ((Gauge.SOFTWARE_PROVENANCE, int(ProvenanceTier.CAMPAIGN_KNOWLEDGE)),),
+    ),
+    PrincipleMapping(
+        "R1.3",
+        "(meta)data meet domain-relevant community standards",
+        (
+            (Gauge.DATA_SCHEMA, int(SchemaTier.DECLARED)),
+            (Gauge.SOFTWARE_CUSTOMIZABILITY, int(CustomizabilityTier.MODELED)),
+        ),
+    ),
+)
+
+
+def fair_alignment(profile: GaugeProfile) -> dict:
+    """Evaluate the profile against every mapped FAIR sub-principle.
+
+    Returns ``{principle: Alignment}``.
+    """
+    return {m.principle: m.evaluate(profile) for m in FAIR_MAPPINGS}
+
+
+def fair_report(profile: GaugeProfile) -> str:
+    """Human-readable alignment report."""
+    lines = ["FAIR alignment (conservative: met only when every gauge is high enough)"]
+    for mapping in FAIR_MAPPINGS:
+        status = mapping.evaluate(profile)
+        lines.append(f"  {mapping.principle:5s} [{status.value:7s}] {mapping.statement}")
+        for gauge, minimum in mapping.requirements:
+            current = int(profile.tier(gauge))
+            mark = "ok " if current >= minimum else "LOW"
+            lines.append(
+                f"         {mark} {gauge.value}: tier {current} (needs >= {minimum})"
+            )
+    return "\n".join(lines)

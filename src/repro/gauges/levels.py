@@ -1,0 +1,147 @@
+"""Gauge and tier enumerations — the Figure 1 matrix in code.
+
+Tiers are :class:`enum.IntEnum` so they order naturally (higher value =
+more explicit metadata = more automatable reuse).  The specific rungs
+follow §III's prose; as the paper notes they are "not intended to be
+exhaustive lists", so each ladder can grow upward without breaking
+comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Gauge(enum.Enum):
+    """The six gauge properties of Box I."""
+
+    DATA_ACCESS = "data-access"
+    DATA_SCHEMA = "data-schema"
+    DATA_SEMANTICS = "data-semantics"
+    SOFTWARE_GRANULARITY = "software-granularity"
+    SOFTWARE_CUSTOMIZABILITY = "software-customizability"
+    SOFTWARE_PROVENANCE = "software-provenance"
+
+    @property
+    def is_data_gauge(self) -> bool:
+        return self in (Gauge.DATA_ACCESS, Gauge.DATA_SCHEMA, Gauge.DATA_SEMANTICS)
+
+    @property
+    def is_software_gauge(self) -> bool:
+        return not self.is_data_gauge
+
+
+class AccessTier(enum.IntEnum):
+    """How explicitly we know how to *reach* the data."""
+
+    UNKNOWN = 0
+    PROTOCOL = 1  # POSIX file, zeroMQ queue, database — transport known
+    INTERFACE = 2  # library interface known: CSV reader, HDF5-like API
+    QUERY = 3  # query model known: linear / random / declarative
+
+
+class SchemaTier(enum.IntEnum):
+    """How explicitly the data's structure is represented."""
+
+    UNKNOWN = 0
+    OPAQUE = 1  # named format, nothing else (a "custom binary blob")
+    DECLARED = 2  # format name + version declared
+    SELF_DESCRIBING = 3  # field-level schema available (ADIOS/HDF5 class)
+
+
+class SemanticsTier(enum.IntEnum):
+    """How explicitly the *intended use* of the data is represented."""
+
+    UNKNOWN = 0
+    DATA_FUSION = 1  # ordering/consumption constraints captured
+    FORMAT_EVOLUTION = 2  # version lineage, conversions to earlier versions
+    DATASET_SEMANTICS = 3  # element roles within a complete dataset
+
+
+class GranularityTier(enum.IntEnum):
+    """How explicitly the software component's boundary is represented."""
+
+    BLACK_BOX = 0
+    COMPONENT = 1  # scale declared: fragment / executable / workflow / service
+    CONFIGURED = 2  # explicit build/launch/execute configuration (templates)
+    IO_SEMANTICS = 3  # component I/O semantics captured (e.g. first-precious)
+
+
+class CustomizabilityTier(enum.IntEnum):
+    """How explicitly the component's degrees of freedom are represented."""
+
+    NONE = 0
+    EXPOSED = 1  # which configuration variables may change is explicit
+    MODELED = 2  # machine-actionable generation model (Skel-style)
+    RELATED = 3  # inter-parameter relationships, tied to campaign context
+
+
+class ProvenanceTier(enum.IntEnum):
+    """How explicitly execution history is represented."""
+
+    NONE = 0
+    EXECUTION_LOGS = 1  # standard per-run provenance
+    CAMPAIGN_KNOWLEDGE = 2  # explicit campaign context for each execution
+    EXPORTABLE = 3  # export policy: what belongs in a reusable object
+
+
+#: Which tier enum each gauge uses.
+TIER_TYPES = {
+    Gauge.DATA_ACCESS: AccessTier,
+    Gauge.DATA_SCHEMA: SchemaTier,
+    Gauge.DATA_SEMANTICS: SemanticsTier,
+    Gauge.SOFTWARE_GRANULARITY: GranularityTier,
+    Gauge.SOFTWARE_CUSTOMIZABILITY: CustomizabilityTier,
+    Gauge.SOFTWARE_PROVENANCE: ProvenanceTier,
+}
+
+#: Human-readable tier descriptions — the cells of the Figure 1 matrix.
+#: Keyed by (tier type, value): IntEnum members from *different* ladders
+#: hash equal when their integer values match, so they cannot share a dict.
+TIER_DESCRIPTIONS = {
+    (AccessTier, AccessTier.UNKNOWN): "nothing known about access",
+    (AccessTier, AccessTier.PROTOCOL): "basic protocol known (POSIX file, zeroMQ queue)",
+    (AccessTier, AccessTier.INTERFACE): "data I/O interface known (CSV, HDF5)",
+    (AccessTier, AccessTier.QUERY): "query capability known (linear/random/declarative)",
+    (SchemaTier, SchemaTier.UNKNOWN): "nothing known about structure",
+    (SchemaTier, SchemaTier.OPAQUE): "opaque bytes with a format name",
+    (SchemaTier, SchemaTier.DECLARED): "format name and version declared",
+    (SchemaTier, SchemaTier.SELF_DESCRIBING): "field-level self-describing schema",
+    (SemanticsTier, SemanticsTier.UNKNOWN): "nothing known about intended use",
+    (SemanticsTier, SemanticsTier.DATA_FUSION): "ordering/consumption constraints (data fusion)",
+    (SemanticsTier, SemanticsTier.FORMAT_EVOLUTION): "format version lineage (format evolution)",
+    (SemanticsTier, SemanticsTier.DATASET_SEMANTICS): "dataset-level element roles",
+    (GranularityTier, GranularityTier.BLACK_BOX): "black box",
+    (GranularityTier, GranularityTier.COMPONENT): "component scale declared",
+    (GranularityTier, GranularityTier.CONFIGURED): "explicit build/launch/execute configuration",
+    (GranularityTier, GranularityTier.IO_SEMANTICS): "component I/O semantics captured",
+    (CustomizabilityTier, CustomizabilityTier.NONE): "no customization points exposed",
+    (CustomizabilityTier, CustomizabilityTier.EXPOSED): "relevant variables identified",
+    (CustomizabilityTier, CustomizabilityTier.MODELED): "machine-actionable generation model",
+    (CustomizabilityTier, CustomizabilityTier.RELATED): "parameter relationships + campaign context",
+    (ProvenanceTier, ProvenanceTier.NONE): "no provenance",
+    (ProvenanceTier, ProvenanceTier.EXECUTION_LOGS): "per-execution provenance logs",
+    (ProvenanceTier, ProvenanceTier.CAMPAIGN_KNOWLEDGE): "campaign context for executions",
+    (ProvenanceTier, ProvenanceTier.EXPORTABLE): "exportability policy for reuse objects",
+}
+
+
+def tier_description(tier) -> str:
+    """Human-readable description of one tier value."""
+    return TIER_DESCRIPTIONS[(type(tier), tier)]
+
+
+def max_tier(gauge: Gauge) -> int:
+    """Highest tier currently defined for ``gauge``."""
+    return max(int(t) for t in TIER_TYPES[gauge])
+
+
+def tier_matrix() -> list[tuple[str, int, str, str]]:
+    """Flatten the Figure 1 matrix: (gauge, tier value, tier name, description)."""
+    rows = []
+    for gauge, tier_type in TIER_TYPES.items():
+        for tier in tier_type:
+            rows.append(
+                (gauge.value, int(tier), tier.name, tier_description(tier))
+            )
+    return rows

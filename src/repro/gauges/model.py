@@ -1,0 +1,306 @@
+"""Gauge profiles, workflow components, and mechanical assessment.
+
+A :class:`GaugeProfile` is a point on all six ladders; a
+:class:`WorkflowComponent` is a described software artifact with data
+ports and software metadata attached.  :func:`assess` derives a profile
+*mechanically* from the attached metadata — the machine-actionable half
+of the paper's claim — and enforces the cross-gauge dependencies §III
+calls out (e.g. a QUERY-tier access rating "would need some minimal
+degree of data schema characterization to be available").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.gauges.levels import (
+    AccessTier,
+    CustomizabilityTier,
+    Gauge,
+    GranularityTier,
+    ProvenanceTier,
+    SchemaTier,
+    SemanticsTier,
+    TIER_TYPES,
+)
+from repro.metadata.access import DataAccessDescriptor
+from repro.metadata.provenance import CampaignContext, ExportPolicy
+from repro.metadata.schema import DataSchema
+from repro.metadata.semantics import ConsumptionPattern, DataSemanticsDescriptor
+
+
+class ComponentKind(enum.Enum):
+    """The granularity scale of §III: fragment → executable → workflow → service."""
+
+    UNKNOWN = "unknown"
+    CODE_FRAGMENT = "code-fragment"
+    EXECUTABLE = "executable"
+    BUNDLED_WORKFLOW = "bundled-workflow"
+    INTERNAL_SERVICE = "internal-service"
+
+
+@dataclass(frozen=True)
+class GaugeProfile:
+    """An immutable point on all six gauge ladders.
+
+    Profiles form a partial order: ``a.dominates(b)`` iff ``a`` is at least
+    as high as ``b`` on every gauge.  There is deliberately no total
+    "reusability score" — the paper argues a single cross-workflow metric
+    is less useful than per-axis, actionable positions (§III-A).
+    """
+
+    data_access: AccessTier = AccessTier.UNKNOWN
+    data_schema: SchemaTier = SchemaTier.UNKNOWN
+    data_semantics: SemanticsTier = SemanticsTier.UNKNOWN
+    software_granularity: GranularityTier = GranularityTier.BLACK_BOX
+    software_customizability: CustomizabilityTier = CustomizabilityTier.NONE
+    software_provenance: ProvenanceTier = ProvenanceTier.NONE
+
+    _FIELD_BY_GAUGE = {
+        Gauge.DATA_ACCESS: "data_access",
+        Gauge.DATA_SCHEMA: "data_schema",
+        Gauge.DATA_SEMANTICS: "data_semantics",
+        Gauge.SOFTWARE_GRANULARITY: "software_granularity",
+        Gauge.SOFTWARE_CUSTOMIZABILITY: "software_customizability",
+        Gauge.SOFTWARE_PROVENANCE: "software_provenance",
+    }
+
+    @classmethod
+    def baseline(cls) -> "GaugeProfile":
+        """The zero profile: a fully black-box artifact."""
+        return cls()
+
+    def tier(self, gauge: Gauge):
+        """The tier of ``gauge`` in this profile."""
+        return getattr(self, self._FIELD_BY_GAUGE[gauge])
+
+    def advance(self, gauge: Gauge, tier) -> "GaugeProfile":
+        """Return a profile with ``gauge`` raised to ``tier``.
+
+        Raising to a tier at or below the current one is rejected: gauges
+        track *progress*; use :meth:`with_tier` for arbitrary (including
+        downward) edits when modelling regressions.
+        """
+        tier = TIER_TYPES[gauge](tier)
+        current = self.tier(gauge)
+        if int(tier) <= int(current):
+            raise ValueError(
+                f"advance({gauge.value}) must raise the tier: {current.name} -> {tier.name}"
+            )
+        return self.with_tier(gauge, tier)
+
+    def with_tier(self, gauge: Gauge, tier) -> "GaugeProfile":
+        """Return a profile with ``gauge`` set to ``tier`` (any direction)."""
+        tier = TIER_TYPES[gauge](tier)
+        return replace(self, **{self._FIELD_BY_GAUGE[gauge]: tier})
+
+    def dominates(self, other: "GaugeProfile") -> bool:
+        """True if this profile is >= ``other`` on every gauge."""
+        return all(int(self.tier(g)) >= int(other.tier(g)) for g in Gauge)
+
+    def as_dict(self) -> dict:
+        """``{gauge value: tier name}`` — the serializable face."""
+        return {g.value: self.tier(g).name for g in Gauge}
+
+    def as_vector(self) -> tuple:
+        """Integer tier values in :class:`Gauge` declaration order."""
+        return tuple(int(self.tier(g)) for g in Gauge)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GaugeProfile":
+        kwargs = {}
+        for g in Gauge:
+            if g.value in data:
+                kwargs[cls._FIELD_BY_GAUGE[g]] = TIER_TYPES[g][data[g.value]]
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class DataPort:
+    """A named data input or output of a component, with its descriptors."""
+
+    name: str
+    direction: str  # "in" | "out"
+    access: DataAccessDescriptor = field(default_factory=DataAccessDescriptor)
+    schema: DataSchema = field(default_factory=DataSchema)
+    semantics: DataSemanticsDescriptor = field(default_factory=DataSemanticsDescriptor)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise ValueError(f"direction must be 'in' or 'out', got {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class ParameterRelation:
+    """A machine-actionable relation between two exposed parameters."""
+
+    source: str
+    target: str
+    relation: str  # e.g. "scales-with", "constrains", "derived-from"
+
+
+@dataclass(frozen=True)
+class SoftwareMetadata:
+    """Software-side metadata of a component (granularity gauge inputs)."""
+
+    kind: ComponentKind = ComponentKind.UNKNOWN
+    config_template: str | None = None  # build/launch/execute template id
+    exposed_variables: tuple = ()
+    generation_model: dict | None = None  # Skel-style model, if any
+    parameter_relations: tuple = ()
+    has_execution_logs: bool = False
+    campaign: CampaignContext | None = None
+    export_policy: ExportPolicy | None = None
+
+
+@dataclass
+class WorkflowComponent:
+    """A described workflow artifact: ports + software metadata.
+
+    This is the unit the registry catalogs, the debt model scores, and the
+    Skel/Cheetah layers consume.
+    """
+
+    name: str
+    ports: tuple = ()
+    software: SoftwareMetadata = field(default_factory=SoftwareMetadata)
+    description: str | None = None
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.ports]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate port names on {self.name!r}: {names}")
+
+    def port(self, name: str) -> DataPort:
+        for p in self.ports:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def inputs(self) -> tuple:
+        return tuple(p for p in self.ports if p.direction == "in")
+
+    def outputs(self) -> tuple:
+        return tuple(p for p in self.ports if p.direction == "out")
+
+
+@dataclass(frozen=True)
+class AssessmentNote:
+    """Why a gauge was capped or flagged during assessment."""
+
+    gauge: Gauge
+    message: str
+
+
+@dataclass(frozen=True)
+class ReusabilityAssessment:
+    """Result of :func:`assess`: the derived profile plus audit notes."""
+
+    component_name: str
+    profile: GaugeProfile
+    notes: tuple = ()
+
+    def note_for(self, gauge: Gauge) -> tuple:
+        return tuple(n for n in self.notes if n.gauge is gauge)
+
+
+def _data_tiers(ports) -> tuple[int, int, int]:
+    """Weakest-link data tiers across ports (a chain is as reusable as its
+    least-described port); components with no ports stay at 0."""
+    if not ports:
+        return 0, 0, 0
+    access = min(p.access.tier_index() for p in ports)
+    schema = min(p.schema.tier_index() for p in ports)
+    semantics = min(p.semantics.tier_index() for p in ports)
+    return access, schema, semantics
+
+
+def assess(component: WorkflowComponent) -> ReusabilityAssessment:
+    """Derive a :class:`GaugeProfile` mechanically from attached metadata.
+
+    Cross-gauge dependencies enforced (each produces an audit note when it
+    caps a tier):
+
+    - ACCESS.QUERY requires SCHEMA >= DECLARED (§III, Data Access).
+    - GRANULARITY.IO_SEMANTICS requires a declared consumption pattern on
+      every port (§III, Software Granularity: I/O semantics "needs to
+      leverage rich information about the schema and semantics").
+    - CUSTOMIZABILITY.RELATED requires PROVENANCE >= CAMPAIGN_KNOWLEDGE
+      (§III, Software Customizability ties parameter relationships to the
+      Provenance gauge's Campaign Knowledge tier).
+    """
+    notes: list[AssessmentNote] = []
+    access_i, schema_i, semantics_i = _data_tiers(component.ports)
+
+    # -- cross-gauge cap: query-tier access needs schema characterization --
+    if access_i >= int(AccessTier.QUERY) and schema_i < int(SchemaTier.DECLARED):
+        access_i = int(AccessTier.INTERFACE)
+        notes.append(
+            AssessmentNote(
+                Gauge.DATA_ACCESS,
+                "QUERY tier requires schema >= DECLARED; capped at INTERFACE",
+            )
+        )
+
+    sw = component.software
+
+    # -- granularity ladder --
+    gran = GranularityTier.BLACK_BOX
+    if sw.kind is not ComponentKind.UNKNOWN:
+        gran = GranularityTier.COMPONENT
+    if gran is GranularityTier.COMPONENT and sw.config_template is not None:
+        gran = GranularityTier.CONFIGURED
+    if gran is GranularityTier.CONFIGURED:
+        ports = component.ports
+        declared = ports and all(
+            p.semantics.consumption is not ConsumptionPattern.UNKNOWN for p in ports
+        )
+        if declared:
+            gran = GranularityTier.IO_SEMANTICS
+        elif ports:
+            notes.append(
+                AssessmentNote(
+                    Gauge.SOFTWARE_GRANULARITY,
+                    "IO_SEMANTICS requires a consumption pattern on every port",
+                )
+            )
+
+    # -- provenance ladder (computed before customizability, which depends on it) --
+    prov = ProvenanceTier.NONE
+    if sw.has_execution_logs:
+        prov = ProvenanceTier.EXECUTION_LOGS
+    if prov is ProvenanceTier.EXECUTION_LOGS and sw.campaign is not None:
+        prov = ProvenanceTier.CAMPAIGN_KNOWLEDGE
+    if prov is ProvenanceTier.CAMPAIGN_KNOWLEDGE and sw.export_policy is not None:
+        prov = ProvenanceTier.EXPORTABLE
+
+    # -- customizability ladder --
+    cust = CustomizabilityTier.NONE
+    if sw.exposed_variables:
+        cust = CustomizabilityTier.EXPOSED
+    if cust is CustomizabilityTier.EXPOSED and sw.generation_model is not None:
+        cust = CustomizabilityTier.MODELED
+    if cust is CustomizabilityTier.MODELED and sw.parameter_relations:
+        if prov >= ProvenanceTier.CAMPAIGN_KNOWLEDGE:
+            cust = CustomizabilityTier.RELATED
+        else:
+            notes.append(
+                AssessmentNote(
+                    Gauge.SOFTWARE_CUSTOMIZABILITY,
+                    "RELATED tier requires provenance >= CAMPAIGN_KNOWLEDGE; "
+                    "capped at MODELED",
+                )
+            )
+
+    profile = GaugeProfile(
+        data_access=AccessTier(access_i),
+        data_schema=SchemaTier(schema_i),
+        data_semantics=SemanticsTier(semantics_i),
+        software_granularity=gran,
+        software_customizability=cust,
+        software_provenance=prov,
+    )
+    return ReusabilityAssessment(
+        component_name=component.name, profile=profile, notes=tuple(notes)
+    )

@@ -1,0 +1,123 @@
+"""Component registry: the metadata catalog of §I.
+
+"Meeting the goals of a FAIR workflow ... go[es] beyond insuring efficient
+human intervention for reuse to structuring metadata catalogs to offer new
+abstractions for automation."  The registry catalogs described components
+and answers the automation-planning queries the tools need: which
+components sit below a tier, which block a scenario, where is the next
+cheapest gauge investment.
+"""
+
+from __future__ import annotations
+
+from repro.gauges.debt import ReuseScenario, score
+from repro.gauges.levels import Gauge, TIER_TYPES
+from repro.gauges.model import (
+    ReusabilityAssessment,
+    WorkflowComponent,
+    assess,
+)
+
+
+class ComponentRegistry:
+    """An in-memory catalog of :class:`WorkflowComponent` with gauge queries."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, WorkflowComponent] = {}
+        self._assessments: dict[str, ReusabilityAssessment] = {}
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def register(self, component: WorkflowComponent) -> ReusabilityAssessment:
+        """Add (or re-describe) a component; returns its fresh assessment."""
+        assessment = assess(component)
+        self._components[component.name] = component
+        self._assessments[component.name] = assessment
+        return assessment
+
+    def get(self, name: str) -> WorkflowComponent:
+        return self._components[name]
+
+    def assessment(self, name: str) -> ReusabilityAssessment:
+        return self._assessments[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._components)
+
+    def below_tier(self, gauge: Gauge, tier) -> list[str]:
+        """Components whose ``gauge`` sits strictly below ``tier``."""
+        tier = TIER_TYPES[gauge](tier)
+        return [
+            name
+            for name in self.names()
+            if int(self._assessments[name].profile.tier(gauge)) < int(tier)
+        ]
+
+    def debt_ranking(self, scenario: ReuseScenario) -> list[tuple[str, float]]:
+        """Components ranked by manual minutes under ``scenario`` (worst first).
+
+        This is the automation-investment queue: fix the top entries first.
+        """
+        ranked = [
+            (name, score(self._components[name], scenario).manual_minutes)
+            for name in self.names()
+        ]
+        ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+        return ranked
+
+    def cheapest_advance(self, scenario: ReuseScenario) -> list[tuple[str, Gauge, int, float]]:
+        """For each component, the single-gauge tier raise that removes the
+        most manual minutes under ``scenario``.
+
+        Returns (component, gauge, target tier value, minutes saved) rows,
+        best saving first, skipping components with nothing to gain.
+        """
+        rows = []
+        for name in self.names():
+            profile = self._assessments[name].profile
+            base = score(profile, scenario).manual_minutes
+            best = None
+            for step in scenario.steps:
+                if step.gauge is None or step.automated_by(profile):
+                    continue
+                raised = profile.with_tier(step.gauge, step.automated_at)
+                saved = base - score(raised, scenario).manual_minutes
+                if saved > 0 and (best is None or saved > best[3]):
+                    best = (name, step.gauge, step.automated_at, saved)
+            if best is not None:
+                rows.append(best)
+        rows.sort(key=lambda r: (-r[3], r[0]))
+        return rows
+
+    def matrix(self) -> list[tuple[str, tuple]]:
+        """(name, 6-tuple of tier ints) for every component — a survey table."""
+        return [
+            (name, self._assessments[name].profile.as_vector())
+            for name in self.names()
+        ]
+
+    def aggregate_profile(self):
+        """The whole catalog viewed "as a single component" (§III): the
+        weakest tier per gauge across every registered component.
+
+        This is the profile an outsider effectively faces when reusing
+        the workflow as one unit — its least-described part gates every
+        gauge.  Raises on an empty registry.
+        """
+        from repro.gauges.levels import TIER_TYPES
+        from repro.gauges.model import GaugeProfile
+
+        if not self._components:
+            raise ValueError("registry is empty")
+        kwargs = {}
+        for gauge in Gauge:
+            minimum = min(
+                int(self._assessments[name].profile.tier(gauge))
+                for name in self._components
+            )
+            kwargs[GaugeProfile._FIELD_BY_GAUGE[gauge]] = TIER_TYPES[gauge](minimum)
+        return GaugeProfile(**kwargs)

@@ -1,0 +1,74 @@
+"""Machine-actionable metadata descriptors (the substrate of the gauges).
+
+The paper's central claim is that reusability metadata must be not just
+auditable by humans but *actionable by machines* (§III, §VII).  This
+package holds the descriptor vocabulary the six gauges are computed from:
+
+- :mod:`repro.metadata.access` — how data is reached (protocol, library
+  interface, query capability).
+- :mod:`repro.metadata.schema` — what the data looks like (fields, format,
+  version) plus an automated format-conversion planner.
+- :mod:`repro.metadata.semantics` — how data is meant to be consumed
+  (ordering, windowing, "first precious" elements, dataset-level roles).
+- :mod:`repro.metadata.provenance` — execution records, campaign context,
+  and export policies for building reusable research objects.
+
+Each descriptor knows how to report the gauge *tier* it supports, so
+:func:`repro.gauges.assess` can derive a profile mechanically.
+"""
+
+from repro.metadata.access import (
+    AccessProtocol,
+    AccessInterface,
+    QueryCapability,
+    DataAccessDescriptor,
+)
+from repro.metadata.schema import (
+    Field,
+    DataSchema,
+    FormatConverterRegistry,
+    ConversionPlan,
+    ConversionError,
+    ProjectionError,
+    infer_schema,
+    project,
+)
+from repro.metadata.semantics import (
+    Ordering,
+    ConsumptionPattern,
+    ElementRole,
+    DataSemanticsDescriptor,
+    FormatLineage,
+)
+from repro.metadata.provenance import (
+    ProvenanceRecord,
+    CampaignContext,
+    ExportPolicy,
+    ExportClass,
+    ProvenanceStore,
+)
+
+__all__ = [
+    "AccessProtocol",
+    "AccessInterface",
+    "QueryCapability",
+    "DataAccessDescriptor",
+    "Field",
+    "DataSchema",
+    "FormatConverterRegistry",
+    "ConversionPlan",
+    "ConversionError",
+    "ProjectionError",
+    "project",
+    "infer_schema",
+    "Ordering",
+    "ConsumptionPattern",
+    "ElementRole",
+    "DataSemanticsDescriptor",
+    "FormatLineage",
+    "ProvenanceRecord",
+    "CampaignContext",
+    "ExportPolicy",
+    "ExportClass",
+    "ProvenanceStore",
+]

@@ -1,0 +1,85 @@
+"""Data-access descriptors.
+
+The data-access gauge (§III, "Data Access") tracks how explicitly we know
+*how to reach* a data object: nothing → transport protocol (POSIX file,
+message queue) → library interface (CSV reader, HDF5-like API) → query
+capability (linear scan, random element access, declarative query).  Each
+step up lets automation construct new interfaces to pre-existing work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AccessProtocol(enum.Enum):
+    """Transport/representation protocol of a data object."""
+
+    UNKNOWN = "unknown"
+    POSIX_FILE = "posix-file"
+    OBJECT_STORE = "object-store"
+    MESSAGE_QUEUE = "message-queue"  # e.g. zeroMQ in the paper's example
+    DATABASE = "database"
+    IN_MEMORY = "in-memory"
+    SERVICE = "service"
+
+
+class AccessInterface(enum.Enum):
+    """Library-level I/O interface, one tier above the raw protocol."""
+
+    UNKNOWN = "unknown"
+    RAW_BYTES = "raw-bytes"
+    DELIMITED_TEXT = "delimited-text"  # CSV/TSV
+    JSON = "json"
+    SELF_DESCRIBING_BINARY = "self-describing-binary"  # HDF5/ADIOS class
+    CUSTOM_BINARY = "custom-binary"
+    SQL = "sql"
+
+
+class QueryCapability(enum.Enum):
+    """What access patterns the interface supports, most capable last."""
+
+    UNKNOWN = "unknown"
+    LINEAR = "linear"
+    RANDOM = "random"
+    DECLARATIVE = "declarative"  # SQL-style predicate queries
+
+
+@dataclass(frozen=True)
+class DataAccessDescriptor:
+    """Explicit, machine-queriable record of how to access a data object.
+
+    Parameters mirror the gauge ladder: a descriptor with only ``protocol``
+    set sits at the PROTOCOL tier; adding ``interface`` reaches INTERFACE;
+    adding ``query`` reaches QUERY.  Higher tiers may depend on other
+    gauges (e.g. a DECLARATIVE query is only meaningful with some schema
+    knowledge — :func:`repro.gauges.assess` enforces that coupling).
+    """
+
+    protocol: AccessProtocol = AccessProtocol.UNKNOWN
+    interface: AccessInterface = AccessInterface.UNKNOWN
+    query: QueryCapability = QueryCapability.UNKNOWN
+    location: str | None = None  # URI/path template, if known
+    extra: dict = field(default_factory=dict)
+
+    def tier_index(self) -> int:
+        """0 = nothing known, 1 = protocol, 2 = interface, 3 = query."""
+        if self.protocol is AccessProtocol.UNKNOWN:
+            return 0
+        if self.interface is AccessInterface.UNKNOWN:
+            return 1
+        if self.query is QueryCapability.UNKNOWN:
+            return 2
+        return 3
+
+    def describe(self) -> str:
+        """One-line human summary (the auditable face of the metadata)."""
+        parts = [self.protocol.value]
+        if self.interface is not AccessInterface.UNKNOWN:
+            parts.append(self.interface.value)
+        if self.query is not QueryCapability.UNKNOWN:
+            parts.append(f"query={self.query.value}")
+        if self.location:
+            parts.append(f"at {self.location}")
+        return ", ".join(parts)

@@ -1,0 +1,196 @@
+"""Provenance records, campaign context, and exportability policy.
+
+The provenance gauge (§III, "Software Provenance") has three rungs above
+nothing: per-execution logs, *campaign knowledge* (the context of the
+study an execution belongs to, after [28]), and *exportability* — an
+explicit policy for which provenance belongs in a distributable research
+object versus which is only meaningful to the original author.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class ExportClass(enum.Enum):
+    """Export disposition of a provenance record."""
+
+    PRIVATE = "private"  # author-only (scratch paths, user names)
+    INTERNAL = "internal"  # shareable within the originating team
+    PUBLIC = "public"  # belongs in the reusable research object
+
+
+_record_ids = itertools.count()
+
+
+@dataclass
+class ProvenanceRecord:
+    """One execution's provenance: what ran, on what, producing what."""
+
+    component: str
+    start_time: float
+    end_time: float
+    inputs: tuple = ()
+    outputs: tuple = ()
+    parameters: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=dict)
+    campaign: str | None = None
+    outcome: str = "success"
+    export_class: ExportClass = ExportClass.INTERNAL
+    record_id: int = field(default_factory=lambda: next(_record_ids))
+
+    def __post_init__(self) -> None:
+        if self.end_time < self.start_time:
+            raise ValueError(
+                f"end_time {self.end_time} before start_time {self.start_time}"
+            )
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (record_id excluded: it is process-local)."""
+        return {
+            "component": self.component,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "parameters": dict(self.parameters),
+            "environment": dict(self.environment),
+            "campaign": self.campaign,
+            "outcome": self.outcome,
+            "export_class": self.export_class.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProvenanceRecord":
+        return cls(
+            component=data["component"],
+            start_time=data["start_time"],
+            end_time=data["end_time"],
+            inputs=tuple(data.get("inputs", ())),
+            outputs=tuple(data.get("outputs", ())),
+            parameters=dict(data.get("parameters", {})),
+            environment=dict(data.get("environment", {})),
+            campaign=data.get("campaign"),
+            outcome=data.get("outcome", "success"),
+            export_class=ExportClass(data.get("export_class", "internal")),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignContext:
+    """Campaign-tier provenance: the study an execution belongs to.
+
+    Records the objective (§II-C: optimal runtime, minimal storage, ...)
+    and the swept parameter names, so heterogeneous per-run logs can be
+    summarized and queried as one study.
+    """
+
+    name: str
+    objective: str
+    swept_parameters: tuple = ()
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class ExportPolicy:
+    """Which export classes (and which environment keys) leave the site."""
+
+    include: frozenset = frozenset({ExportClass.PUBLIC})
+    redact_environment_keys: frozenset = frozenset({"USER", "HOME", "ACCOUNT"})
+
+    def admit(self, record: ProvenanceRecord) -> bool:
+        return record.export_class in self.include
+
+    def sanitize(self, record: ProvenanceRecord) -> ProvenanceRecord:
+        """Return a copy of ``record`` with redacted environment keys removed."""
+        env = {
+            k: v for k, v in record.environment.items() if k not in self.redact_environment_keys
+        }
+        return ProvenanceRecord(
+            component=record.component,
+            start_time=record.start_time,
+            end_time=record.end_time,
+            inputs=record.inputs,
+            outputs=record.outputs,
+            parameters=dict(record.parameters),
+            environment=env,
+            campaign=record.campaign,
+            outcome=record.outcome,
+            export_class=record.export_class,
+        )
+
+
+class ProvenanceStore:
+    """Queryable store of provenance records with campaign grouping.
+
+    The "summarize, evaluate, and enable queries over heterogeneous
+    provenance logs" role from §III, in miniature.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[ProvenanceRecord] = []
+        self._campaigns: dict[str, CampaignContext] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def register_campaign(self, context: CampaignContext) -> None:
+        if context.name in self._campaigns:
+            raise ValueError(f"campaign {context.name!r} already registered")
+        self._campaigns[context.name] = context
+
+    def campaign(self, name: str) -> CampaignContext:
+        return self._campaigns[name]
+
+    @property
+    def campaigns(self) -> tuple:
+        return tuple(self._campaigns.values())
+
+    def add(self, record: ProvenanceRecord) -> None:
+        if record.campaign is not None and record.campaign not in self._campaigns:
+            raise ValueError(
+                f"record references unregistered campaign {record.campaign!r}"
+            )
+        self._records.append(record)
+
+    def query(
+        self,
+        component: str | None = None,
+        campaign: str | None = None,
+        outcome: str | None = None,
+    ) -> list[ProvenanceRecord]:
+        """Filter records by any combination of component/campaign/outcome."""
+        out = []
+        for r in self._records:
+            if component is not None and r.component != component:
+                continue
+            if campaign is not None and r.campaign != campaign:
+                continue
+            if outcome is not None and r.outcome != outcome:
+                continue
+            out.append(r)
+        return out
+
+    def summarize_campaign(self, campaign: str) -> dict:
+        """Aggregate stats for a campaign: counts, outcomes, total runtime."""
+        records = self.query(campaign=campaign)
+        outcomes: dict[str, int] = {}
+        for r in records:
+            outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
+        return {
+            "campaign": campaign,
+            "runs": len(records),
+            "outcomes": outcomes,
+            "total_elapsed": sum(r.elapsed for r in records),
+        }
+
+    def export(self, policy: ExportPolicy | None = None) -> list[ProvenanceRecord]:
+        """Extract the exportable, sanitized subset for a research object."""
+        policy = policy or ExportPolicy()
+        return [policy.sanitize(r) for r in self._records if policy.admit(r)]

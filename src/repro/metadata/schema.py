@@ -1,0 +1,232 @@
+"""Data-schema descriptors and the automated format-conversion planner.
+
+"The more sophisticated the schema information, the more full-functioning
+other automated services can be in creating automated format conversion,
+templatized configurations, and other similar requests" (§III).  Two
+pieces live here:
+
+1. :class:`DataSchema` — a self-describing, field-level schema
+   (the ADIOS/HDF5 role in the paper), inferable from live objects.
+2. :class:`FormatConverterRegistry` — a registry of pairwise format
+   converters over which conversion *plans* are found as shortest paths
+   (networkx).  This is the machine-actionable payoff of the schema gauge:
+   given enough declared formats, conversion between any two connected
+   formats is automated, eliminating the hand-written one-off converters
+   §II-A complains about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import networkx as nx
+import numpy as np
+
+
+class ConversionError(RuntimeError):
+    """No conversion path exists between the requested formats."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One named, typed field of a schema."""
+
+    name: str
+    dtype: str
+    shape: tuple = ()
+    units: str | None = None
+    description: str | None = None
+
+    def compatible_with(self, other: "Field") -> bool:
+        """True if a value of ``self`` can flow into a slot typed ``other``."""
+        return self.name == other.name and self.dtype == other.dtype and self.shape == other.shape
+
+
+@dataclass(frozen=True)
+class DataSchema:
+    """A self-describing schema: declared format plus field-level detail.
+
+    ``format_name``/``format_version`` alone put a dataset at the
+    DECLARED tier; a non-empty ``fields`` tuple reaches SELF_DESCRIBING.
+    """
+
+    format_name: str = ""
+    format_version: str = ""
+    fields: tuple = ()
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate field names in schema: {names}")
+
+    def tier_index(self) -> int:
+        """0 unknown, 1 opaque-but-named bytes, 2 declared format, 3 self-describing."""
+        if not self.format_name:
+            return 0
+        if not self.format_version and not self.fields:
+            return 1
+        if not self.fields:
+            return 2
+        return 3
+
+    def field_names(self) -> tuple:
+        return tuple(f.name for f in self.fields)
+
+    def get(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def is_superset_of(self, other: "DataSchema") -> bool:
+        """True if every field of ``other`` is present and compatible here."""
+        try:
+            return all(self.get(f.name).compatible_with(f) for f in other.fields)
+        except KeyError:
+            return False
+
+
+def infer_schema(obj: Any, format_name: str = "inferred", version: str = "1") -> DataSchema:
+    """Infer a :class:`DataSchema` from a live Python object.
+
+    Supports mappings of name → array/scalar, numpy structured arrays, and
+    plain ndarrays.  This is the low-cost entry ramp the paper insists on:
+    black-box data gets a usable schema without the owner writing one.
+    """
+    fields: list[Field] = []
+    if isinstance(obj, np.ndarray) and obj.dtype.names:
+        for name in obj.dtype.names:
+            sub = obj.dtype[name]
+            fields.append(Field(name=name, dtype=sub.base.name, shape=tuple(sub.shape)))
+    elif isinstance(obj, np.ndarray):
+        fields.append(Field(name="data", dtype=obj.dtype.name, shape=obj.shape))
+    elif isinstance(obj, dict):
+        for name, value in obj.items():
+            arr = np.asarray(value)
+            fields.append(Field(name=str(name), dtype=arr.dtype.name, shape=arr.shape))
+    else:
+        raise TypeError(f"cannot infer schema from {type(obj).__name__}")
+    return DataSchema(format_name=format_name, format_version=version, fields=tuple(fields))
+
+
+class ProjectionError(ValueError):
+    """The target schema asks for fields the source cannot supply."""
+
+
+def project(record: dict, source: DataSchema, target: DataSchema) -> dict:
+    """Project a record from ``source`` shape to ``target`` shape.
+
+    The automated piece of "templatized configurations and other similar
+    requests" (§III): when the target schema is a compatible subset of the
+    source, the conversion is pure field selection — no hand-written
+    adapter.  Field type/shape mismatches and missing fields raise
+    :class:`ProjectionError` with the offending names.
+    """
+    problems = []
+    out = {}
+    for field in target.fields:
+        try:
+            src_field = source.get(field.name)
+        except KeyError:
+            problems.append(f"missing field {field.name!r}")
+            continue
+        if not src_field.compatible_with(field):
+            problems.append(
+                f"field {field.name!r}: source {src_field.dtype}{src_field.shape} "
+                f"!= target {field.dtype}{field.shape}"
+            )
+            continue
+        if field.name not in record:
+            problems.append(f"record lacks declared field {field.name!r}")
+            continue
+        out[field.name] = record[field.name]
+    if problems:
+        raise ProjectionError(
+            f"cannot project {source.format_name!r} -> {target.format_name!r}: "
+            + "; ".join(problems)
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ConversionPlan:
+    """A concrete, executable plan: an ordered chain of converters."""
+
+    source: str
+    target: str
+    steps: tuple  # tuple[tuple[str, str, Callable], ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def apply(self, data: Any) -> Any:
+        """Run the conversion chain on ``data``."""
+        for _src, _dst, fn in self.steps:
+            data = fn(data)
+        return data
+
+    def describe(self) -> str:
+        if not self.steps:
+            return f"{self.source} (identity)"
+        return " -> ".join([self.source] + [dst for _s, dst, _f in self.steps])
+
+
+class FormatConverterRegistry:
+    """Registry of pairwise format converters with shortest-path planning.
+
+    Formats are graph nodes; a registered converter is a directed edge with
+    a cost (default 1).  :meth:`plan` finds the cheapest chain, so adding
+    one converter to a hub format (e.g. GFF3) transitively automates many
+    conversions — the network effect §II-A's bioinformatics example needs.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    def register(self, source: str, target: str, fn: Callable, cost: float = 1.0) -> None:
+        """Register ``fn`` as the converter from ``source`` to ``target``."""
+        if cost <= 0:
+            raise ValueError(f"cost must be > 0, got {cost}")
+        if source == target:
+            raise ValueError("source and target formats must differ")
+        self._graph.add_edge(source, target, fn=fn, cost=cost)
+
+    @property
+    def formats(self) -> set:
+        return set(self._graph.nodes)
+
+    def converters_from(self, source: str) -> list:
+        """Formats directly reachable from ``source``."""
+        if source not in self._graph:
+            return []
+        return sorted(self._graph.successors(source))
+
+    def can_convert(self, source: str, target: str) -> bool:
+        if source == target:
+            return True
+        return (
+            source in self._graph
+            and target in self._graph
+            and nx.has_path(self._graph, source, target)
+        )
+
+    def plan(self, source: str, target: str) -> ConversionPlan:
+        """Find the cheapest conversion chain or raise :class:`ConversionError`."""
+        if source == target:
+            return ConversionPlan(source=source, target=target, steps=())
+        if source not in self._graph or target not in self._graph:
+            raise ConversionError(f"no converters registered for {source!r} -> {target!r}")
+        try:
+            path = nx.shortest_path(self._graph, source, target, weight="cost")
+        except nx.NetworkXNoPath:
+            raise ConversionError(f"no conversion path {source!r} -> {target!r}") from None
+        steps = tuple(
+            (a, b, self._graph.edges[a, b]["fn"]) for a, b in zip(path, path[1:])
+        )
+        return ConversionPlan(source=source, target=target, steps=steps)
+
+    def convert(self, data: Any, source: str, target: str) -> Any:
+        """Plan and apply in one call."""
+        return self.plan(source, target).apply(data)

@@ -1,0 +1,108 @@
+"""Data-semantics descriptors.
+
+The semantics gauge (§III, "Data Semantics") captures *intended use* of
+data independent of any consumer: ordering constraints, consumption
+patterns (element-wise, windowed, "first precious"), format-version
+lineage ("format evolution"), and dataset-level element roles (e.g.
+designating images as cancerous/healthy for a training workflow).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Ordering(enum.Enum):
+    """Whether element order carries meaning for consumers."""
+
+    UNKNOWN = "unknown"
+    UNORDERED = "unordered"
+    ORDERED = "ordered"
+    PARTIALLY_ORDERED = "partially-ordered"
+
+
+class ConsumptionPattern(enum.Enum):
+    """How elements are meant to be consumed (the 'data fusion' tier)."""
+
+    UNKNOWN = "unknown"
+    ELEMENT = "element"  # one at a time, independent
+    WINDOW = "window"  # sliding/stepping window
+    BATCH = "batch"  # whole dataset at once
+    FIRST_PRECIOUS = "first-precious"  # first element calibrates the rest (§III)
+
+
+@dataclass(frozen=True)
+class ElementRole:
+    """A dataset-semantics annotation: which elements play which role."""
+
+    role: str  # e.g. "cancerous", "healthy", "calibration"
+    selector: str  # machine-actionable selector (glob, slice expr, predicate name)
+    description: str | None = None
+
+
+@dataclass(frozen=True)
+class FormatLineage:
+    """Version lineage for the 'format evolution' tier.
+
+    ``versions`` is ordered oldest → newest; the registry of down/up
+    converters between adjacent versions lives in
+    :class:`repro.metadata.schema.FormatConverterRegistry` — lineage here
+    records *which* versions exist and which one this dataset uses.
+    """
+
+    format_name: str
+    versions: tuple
+    current: str
+
+    def __post_init__(self) -> None:
+        if self.current not in self.versions:
+            raise ValueError(
+                f"current version {self.current!r} not in lineage {self.versions}"
+            )
+
+    def predecessors(self) -> tuple:
+        """Versions older than ``current`` (newest-old first)."""
+        idx = self.versions.index(self.current)
+        return tuple(reversed(self.versions[:idx]))
+
+
+@dataclass(frozen=True)
+class DataSemanticsDescriptor:
+    """Complete semantics record for one data object/stream.
+
+    Tier ladder: nothing known (0) → consumption/ordering captured, the
+    "data fusion" tier (1) → format-evolution lineage (2) → dataset-level
+    element roles (3).
+    """
+
+    ordering: Ordering = Ordering.UNKNOWN
+    consumption: ConsumptionPattern = ConsumptionPattern.UNKNOWN
+    lineage: FormatLineage | None = None
+    roles: tuple = ()  # tuple[ElementRole, ...]
+    notes: str | None = None
+
+    def tier_index(self) -> int:
+        if self.roles:
+            return 3
+        if self.lineage is not None:
+            return 2
+        if (
+            self.ordering is not Ordering.UNKNOWN
+            or self.consumption is not ConsumptionPattern.UNKNOWN
+        ):
+            return 1
+        return 0
+
+    def requires_order_preservation(self) -> bool:
+        """Machine-actionable check used by the dataflow codegen: may a
+        reuse context reorder elements without breaking correctness?"""
+        return self.ordering in (Ordering.ORDERED, Ordering.PARTIALLY_ORDERED) or (
+            self.consumption is ConsumptionPattern.FIRST_PRECIOUS
+        )
+
+    def role_for(self, role: str) -> ElementRole:
+        for r in self.roles:
+            if r.role == role:
+                return r
+        raise KeyError(role)

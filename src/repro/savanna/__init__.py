@@ -1,0 +1,63 @@
+"""Savanna: campaign execution (§IV, §V-D).
+
+Savanna "translates a high-level campaign description into actual system
+and scheduler calls, and provides a simple pilot runner to run experiments
+on available resources".  Executor backends:
+
+- :class:`~repro.savanna.pilot.PilotExecutor` — Savanna's dynamic resource
+  manager: tasks are pulled onto nodes the moment they free, no set
+  barriers, failed runs requeued, partially complete groups resumable.
+- :class:`~repro.savanna.static.StaticSetExecutor` — the *original*
+  workflow baseline of §II-B/§V-D: runs submitted in sets with explicit
+  synchronization at the end of each set; stragglers idle nodes; failures
+  are only re-curated manually afterwards.
+- :class:`~repro.savanna.local.LocalExecutor` — executes real Python
+  callables with a thread pool (the examples' backend), demonstrating that
+  the manifest boundary admits multiple executor implementations.
+
+Shared machinery lives in :mod:`repro.savanna.executor` (task/outcome
+types, manifest→task mapping) and :mod:`repro.savanna.runner`
+(multi-allocation campaign loop with resume, the §V-D "simply re-submit
+the SweepGroup" behaviour).
+"""
+
+from repro.savanna.executor import (
+    AllocationOutcome,
+    CampaignResult,
+    tasks_from_manifest,
+    DurationModel,
+)
+from repro.savanna.static import StaticSetExecutor
+from repro.savanna.pilot import PilotExecutor
+from repro.savanna.local import LocalExecutor, LocalRunResult
+from repro.savanna.runner import run_campaign
+from repro.savanna.drive import execute_manifest, execute_campaign
+from repro.savanna.provenance import record_campaign_result, straggler_report
+from repro.savanna.backends import (
+    register_backend,
+    get_backend,
+    available_backends,
+    backend_descriptions,
+    create_executor,
+)
+
+__all__ = [
+    "AllocationOutcome",
+    "CampaignResult",
+    "tasks_from_manifest",
+    "DurationModel",
+    "StaticSetExecutor",
+    "PilotExecutor",
+    "LocalExecutor",
+    "LocalRunResult",
+    "run_campaign",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "backend_descriptions",
+    "create_executor",
+    "execute_manifest",
+    "execute_campaign",
+    "record_campaign_result",
+    "straggler_report",
+]

@@ -1,0 +1,220 @@
+"""Within-allocation execution engines (internal).
+
+Both simulated executors share the same mechanics — place a task on free
+nodes, sample a failure, schedule the end event, finalize attempts when
+the walltime kill arrives — and differ only in *dispatch*: the pilot pulls
+the next task the moment nodes free; the static engine launches fixed sets
+behind a barrier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.job import Allocation, Task, TaskAttempt, TaskState
+from repro.savanna.executor import AllocationOutcome
+
+
+class _BaseAllocationRun:
+    """Common node/event bookkeeping for one allocation."""
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        alloc: Allocation,
+        tasks: list[Task],
+        outcome: AllocationOutcome,
+        done_cb=None,
+    ):
+        self.cluster = cluster
+        self.alloc = alloc
+        self.outcome = outcome
+        self.done_cb = done_cb
+        self.free = list(alloc.nodes)
+        # task -> (attempt, end-event handle, nodes)
+        self.running: dict[int, tuple] = {}
+        self.finished = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Dispatch initial work; called at allocation start."""
+        raise NotImplementedError
+
+    def on_walltime_kill(self) -> None:
+        """Finalize running attempts at the walltime deadline.
+
+        The scheduler has already closed the nodes' busy intervals; here we
+        cancel pending end events and mark the interrupted tasks KILLED so
+        a later resubmission retries them.
+        """
+        now = self.cluster.sim.now
+        for task_id, (attempt, handle, _nodes) in list(self.running.items()):
+            handle.cancel()
+            attempt.end = now
+            attempt.outcome = TaskState.KILLED
+            attempt.task.state = TaskState.KILLED
+            self.outcome.killed.append(attempt.task)
+        self.running.clear()
+        self.finished = True
+
+    # -- task mechanics ------------------------------------------------------
+
+    def _launch(self, task: Task) -> None:
+        """Place ``task`` on free nodes and schedule its completion."""
+        if task.nodes > len(self.free):
+            raise RuntimeError(
+                f"task {task.name!r} needs {task.nodes} nodes, {len(self.free)} free"
+            )
+        nodes = [self.free.pop(0) for _ in range(task.nodes)]
+        now = self.cluster.sim.now
+        for node in nodes:
+            node.mark_busy(now)
+        task.state = TaskState.RUNNING
+        attempt = TaskAttempt(task=task, node_indices=[n.index for n in nodes], start=now)
+        task.attempts.append(attempt)
+        self.outcome.attempts.append(attempt)
+        # A multi-node task runs at the pace of its slowest member node.
+        speed = min(node.speed for node in nodes)
+        wall_duration = task.duration / speed
+        fail_at = self.cluster.failures.sample_failure_time(wall_duration, task.nodes)
+        if fail_at is None:
+            elapsed, result = wall_duration, TaskState.DONE
+        else:
+            elapsed, result = fail_at, TaskState.FAILED
+        handle = self.cluster.sim.schedule(elapsed, self._on_task_end, task, result, nodes)
+        self.running[task.task_id] = (attempt, handle, nodes)
+
+    def _on_task_end(self, task: Task, result: TaskState, nodes) -> None:
+        now = self.cluster.sim.now
+        attempt, _handle, _nodes = self.running.pop(task.task_id)
+        attempt.end = now
+        attempt.outcome = result
+        task.state = result
+        for node in nodes:
+            node.mark_idle(now)
+            self.free.append(node)
+        if result is TaskState.DONE:
+            self.outcome.completed.append(task)
+        self.after_task_end(task, result)
+
+    def after_task_end(self, task: Task, result: TaskState) -> None:
+        """Dispatch hook: decide what to run next."""
+        raise NotImplementedError
+
+    def _maybe_finish(self) -> None:
+        """Signal the runner when no work remains in this allocation."""
+        if not self.finished and not self.running and self.exhausted():
+            self.finished = True
+            if self.done_cb is not None:
+                self.done_cb()
+
+    def exhausted(self) -> bool:
+        """True when the dispatcher has nothing left to launch."""
+        raise NotImplementedError
+
+
+class PilotRun(_BaseAllocationRun):
+    """Savanna's dynamic pilot: greedy FIFO pull onto freed nodes."""
+
+    def __init__(self, cluster, alloc, tasks, outcome, done_cb=None, retry_failed=True, max_retries=2):
+        super().__init__(cluster, alloc, tasks, outcome, done_cb)
+        self.pending = deque(tasks)
+        self.retry_failed = retry_failed
+        self.max_retries = max_retries
+        self._retry_counts: dict[int, int] = {}
+
+    def start(self) -> None:
+        self._fill()
+        self._maybe_finish()
+
+    def _fill(self) -> None:
+        while self.pending and self.pending[0].nodes <= len(self.free):
+            self._launch(self.pending.popleft())
+
+    def after_task_end(self, task: Task, result: TaskState) -> None:
+        if result is TaskState.FAILED:
+            retries = self._retry_counts.get(task.task_id, 0)
+            if self.retry_failed and retries < self.max_retries:
+                self._retry_counts[task.task_id] = retries + 1
+                task.state = TaskState.PENDING
+                self.pending.append(task)
+            else:
+                self.outcome.failed.append(task)
+        self._fill()
+        self._maybe_finish()
+
+    def exhausted(self) -> bool:
+        return not self.pending
+
+
+class StaticSetRun(_BaseAllocationRun):
+    """The original workflow: fixed sets with an end-of-set barrier.
+
+    Tasks are chunked, in order, into sets that fit the allocation; the
+    next set launches only after *every* task of the current set has
+    finished (§V-D: "all experiments in a set must be complete before the
+    next set is run"), plus an optional ``set_gap`` for the bookkeeping
+    the human-driven scripts do between sets.  Failures are not retried —
+    the original workflow curates a failed-run list manually afterwards.
+    """
+
+    def __init__(self, cluster, alloc, tasks, outcome, done_cb=None, set_gap: float = 0.0):
+        super().__init__(cluster, alloc, tasks, outcome, done_cb)
+        self.set_gap = set_gap
+        self.sets = self._partition(tasks, len(alloc.nodes))
+        self.next_set = 0
+        self.in_flight = 0
+
+    @staticmethod
+    def _partition(tasks: list[Task], width: int) -> list[list[Task]]:
+        sets: list[list[Task]] = []
+        current: list[Task] = []
+        used = 0
+        for task in tasks:
+            if task.nodes > width:
+                raise ValueError(
+                    f"task {task.name!r} needs {task.nodes} nodes; allocation has {width}"
+                )
+            if used + task.nodes > width:
+                sets.append(current)
+                current, used = [], 0
+            current.append(task)
+            used += task.nodes
+        if current:
+            sets.append(current)
+        return sets
+
+    def start(self) -> None:
+        self._launch_next_set()
+        self._maybe_finish()
+
+    def _launch_next_set(self) -> None:
+        if self.next_set >= len(self.sets):
+            return
+        batch = self.sets[self.next_set]
+        self.next_set += 1
+        self.in_flight = len(batch)
+        for task in batch:
+            self._launch(task)
+
+    def after_task_end(self, task: Task, result: TaskState) -> None:
+        if result is TaskState.FAILED:
+            self.outcome.failed.append(task)
+        self.in_flight -= 1
+        if self.in_flight == 0:  # barrier reached
+            if self.next_set < len(self.sets):
+                if self.set_gap > 0:
+                    self.cluster.sim.schedule(self.set_gap, self._barrier_release)
+                else:
+                    self._launch_next_set()
+        self._maybe_finish()
+
+    def _barrier_release(self) -> None:
+        if not self.finished:  # the walltime may have killed the job meanwhile
+            self._launch_next_set()
+            self._maybe_finish()
+
+    def exhausted(self) -> bool:
+        return self.next_set >= len(self.sets) and self.in_flight == 0

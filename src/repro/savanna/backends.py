@@ -1,0 +1,78 @@
+"""Executor backend registry.
+
+"While Savanna provides a simple job runner for the campaign, this design
+allows us to import existing workflow tools that provide efficient
+implementations for workflow patterns such as bag-of-tasks, pilot-based
+system, large-scale MPI runs etc." (§IV).  The registry is that import
+point: backends register a factory under a name; campaign drivers look
+executors up by name, so swapping the execution engine is a string
+change, not a code change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_BACKENDS: dict[str, tuple[Callable, str]] = {}
+
+
+def register_backend(name: str, factory: Callable, description: str = "", replace: bool = False) -> None:
+    """Register an executor factory under ``name``.
+
+    ``factory(**kwargs)`` must return an object with the executor protocol
+    (``make_run(alloc, tasks, outcome, done_cb)`` for simulated backends,
+    or ``run(manifest, app_fn)`` for real ones).
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if name in _BACKENDS and not replace:
+        raise ValueError(f"backend {name!r} already registered")
+    _BACKENDS[name] = (factory, description)
+
+
+def get_backend(name: str) -> Callable:
+    """Look up a backend factory by name."""
+    try:
+        return _BACKENDS[name][0]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def backend_descriptions() -> dict:
+    return {name: desc for name, (_f, desc) in _BACKENDS.items()}
+
+
+def create_executor(name: str, **kwargs):
+    """Instantiate a backend: ``create_executor("pilot", cluster=...)``."""
+    return get_backend(name)(**kwargs)
+
+
+def _register_builtins() -> None:
+    from repro.savanna.local import LocalExecutor
+    from repro.savanna.pilot import PilotExecutor
+    from repro.savanna.static import StaticSetExecutor
+
+    register_backend(
+        "pilot",
+        PilotExecutor,
+        "Savanna's dynamic pilot: pull-on-free scheduling with failure requeue",
+    )
+    register_backend(
+        "static-sets",
+        StaticSetExecutor,
+        "the original set-synchronized baseline (barrier per set)",
+    )
+    register_backend(
+        "local-threads",
+        LocalExecutor,
+        "real execution of Python callables on a thread pool",
+    )
+
+
+_register_builtins()

@@ -1,0 +1,130 @@
+"""High-level drive: manifest in, executed campaign + recorded status out.
+
+Ties the layers together the way §V-D describes the user experience: the
+scientist composes the campaign; execution, status tracking, and
+resubmission are the tool's problem.  ``execute_manifest`` runs a
+campaign manifest on a simulated cluster through a named backend and
+(optionally) records per-run outcomes into the campaign directory so a
+later invocation resumes exactly the pending set.
+"""
+
+from __future__ import annotations
+
+from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.cheetah.manifest import CampaignManifest
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.job import TaskState
+from repro.savanna.backends import create_executor
+from repro.savanna.executor import CampaignResult, tasks_from_manifest
+
+_STATE_TO_STATUS = {
+    TaskState.DONE: RunStatus.DONE,
+    TaskState.FAILED: RunStatus.FAILED,
+    TaskState.KILLED: RunStatus.PENDING,  # killed-at-walltime runs are retryable
+    TaskState.PENDING: RunStatus.PENDING,
+    TaskState.RUNNING: RunStatus.RUNNING,
+}
+
+
+def execute_campaign(
+    manifest: CampaignManifest,
+    duration_model,
+    cluster: SimulatedCluster,
+    backend: str = "pilot",
+    directory: CampaignDirectory | None = None,
+    max_allocations_per_group: int = 1,
+    inter_allocation_gap: float = 0.0,
+    **backend_kwargs,
+) -> dict:
+    """Execute every SweepGroup of a campaign, in declaration order.
+
+    Groups run sequentially on the same cluster timeline (each group's
+    allocation is submitted when the previous group finishes), matching
+    how a scientist walks through a multi-group study.  Returns
+    ``{group name: CampaignResult}``.
+    """
+    results: dict[str, CampaignResult] = {}
+    for meta in manifest.groups:
+        results[meta["name"]] = execute_manifest(
+            manifest,
+            duration_model,
+            cluster,
+            group=meta["name"],
+            backend=backend,
+            directory=directory,
+            max_allocations=max_allocations_per_group,
+            inter_allocation_gap=inter_allocation_gap,
+            **backend_kwargs,
+        )
+    return results
+
+
+def execute_manifest(
+    manifest: CampaignManifest,
+    duration_model,
+    cluster: SimulatedCluster,
+    group: str | None = None,
+    backend: str = "pilot",
+    directory: CampaignDirectory | None = None,
+    max_allocations: int = 1,
+    inter_allocation_gap: float = 0.0,
+    **backend_kwargs,
+) -> CampaignResult:
+    """Execute (part of) a campaign manifest on a simulated cluster.
+
+    Parameters
+    ----------
+    manifest:
+        The abstract campaign.
+    duration_model:
+        ``fn(parameters) -> seconds`` mapping runs to nominal durations.
+    group:
+        Restrict execution to one SweepGroup (default: the whole
+        campaign; the manifest must then contain exactly one group so the
+        nodes/walltime envelope is unambiguous).
+    backend:
+        Executor backend name (see :mod:`repro.savanna.backends`);
+        must be a simulated backend taking a ``cluster`` argument.
+    directory:
+        If given, runs already DONE there are skipped (resume) and final
+        statuses are written back.
+    """
+    if group is None:
+        if len(manifest.groups) != 1:
+            raise ValueError(
+                "manifest has multiple groups; pass group= to pick the "
+                f"resource envelope (groups: {[g['name'] for g in manifest.groups]})"
+            )
+        group = manifest.groups[0]["name"]
+    meta = manifest.group_meta(group)
+
+    selected = manifest.runs_in_group(group)
+    if directory is not None:
+        status = directory.read_status()
+        selected = tuple(
+            r for r in selected if status[r.run_id] is not RunStatus.DONE
+        )
+
+    sub = CampaignManifest(
+        campaign=manifest.campaign,
+        app=manifest.app,
+        runs=selected,
+        executable=manifest.executable,
+        objective=manifest.objective,
+        groups=(dict(meta),),
+    )
+    tasks = tasks_from_manifest(sub, duration_model)
+    executor = create_executor(backend, cluster=cluster, **backend_kwargs)
+    result = executor.run(
+        tasks,
+        nodes=meta["nodes"],
+        walltime=meta["walltime"],
+        max_allocations=max_allocations,
+        inter_allocation_gap=inter_allocation_gap,
+        name=f"{manifest.campaign}/{group}",
+    )
+    if directory is not None:
+        directory.update_status(
+            {task.name: _STATE_TO_STATUS[task.state] for task in tasks}
+        )
+    return result

@@ -1,0 +1,132 @@
+"""Shared executor machinery: outcome types and manifest→task mapping.
+
+An executor consumes :class:`~repro.cluster.job.Task` objects.  Campaign
+manifests carry parameters, not durations — durations belong to the
+*application* — so :func:`tasks_from_manifest` takes a
+:class:`DurationModel` mapping parameters to nominal run seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.cluster.job import Allocation, Task, TaskAttempt, TaskState
+from repro.cluster.trace import UtilizationTrace
+
+
+class DurationModel(Protocol):
+    """Anything mapping a run's parameters to nominal wall seconds."""
+
+    def __call__(self, parameters: dict) -> float: ...
+
+
+def tasks_from_manifest(manifest, duration_model: Callable[[dict], float]) -> list[Task]:
+    """Materialize executor tasks for every run in a campaign manifest."""
+    tasks = []
+    for run in manifest.runs:
+        duration = float(duration_model(run.parameters))
+        if duration <= 0:
+            raise ValueError(
+                f"duration model returned {duration} for run {run.run_id!r}"
+            )
+        tasks.append(
+            Task(
+                name=run.run_id,
+                duration=duration,
+                nodes=run.nodes,
+                payload=dict(run.parameters),
+            )
+        )
+    return tasks
+
+
+@dataclass
+class AllocationOutcome:
+    """What happened inside one batch allocation."""
+
+    allocation: Allocation
+    attempts: list = field(default_factory=list)  # list[TaskAttempt]
+    completed: list = field(default_factory=list)  # list[Task]
+    failed: list = field(default_factory=list)  # list[Task] (terminal failures)
+    killed: list = field(default_factory=list)  # list[Task] (walltime kill)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    def last_activity(self) -> float:
+        """Time the final attempt ended (allocation start if nothing ran)."""
+        ends = [a.end for a in self.attempts if a.end is not None]
+        return max(ends) if ends else self.allocation.start
+
+    def trace(self, end: float | None = None) -> UtilizationTrace:
+        """Utilization over ``[alloc start, end)`` (default: the deadline)."""
+        end = end if end is not None else self.allocation.deadline
+        return UtilizationTrace.from_nodes(
+            self.allocation.nodes, self.allocation.start, end
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a (possibly multi-allocation) campaign execution."""
+
+    tasks: list  # every Task handed to the executor
+    outcomes: list = field(default_factory=list)  # list[AllocationOutcome]
+
+    @property
+    def completed(self) -> list:
+        return [t for t in self.tasks if t.state is TaskState.DONE]
+
+    @property
+    def pending(self) -> list:
+        return [
+            t
+            for t in self.tasks
+            if t.state in (TaskState.PENDING, TaskState.KILLED, TaskState.FAILED)
+        ]
+
+    @property
+    def all_done(self) -> bool:
+        return all(t.state is TaskState.DONE for t in self.tasks)
+
+    def completed_per_allocation(self) -> list[int]:
+        return [o.completed_count for o in self.outcomes]
+
+    def mean_completed_per_allocation(self) -> float:
+        counts = self.completed_per_allocation()
+        return sum(counts) / len(counts) if counts else 0.0
+
+    def makespan(self) -> float:
+        """Wall seconds from first allocation start to last activity."""
+        if not self.outcomes:
+            return 0.0
+        start = min(o.allocation.start for o in self.outcomes)
+        end = max(o.last_activity() for o in self.outcomes)
+        return end - start
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the campaign execution."""
+        counts = self.completed_per_allocation()
+        done = len(self.completed)
+        total = len(self.tasks)
+        lines = [
+            f"{done}/{total} tasks completed over {len(self.outcomes)} "
+            f"allocation(s); makespan {self.makespan():.0f}s"
+        ]
+        for i, outcome in enumerate(self.outcomes):
+            lines.append(
+                f"  allocation {i}: {counts[i]} done, "
+                f"{len(outcome.failed)} failed, {len(outcome.killed)} killed, "
+                f"{len(outcome.attempts)} attempts"
+            )
+        return "\n".join(lines)
+
+    def check_conservation(self) -> None:
+        """Invariant: every task is in exactly one terminal/pending bucket."""
+        states = [t.state for t in self.tasks]
+        done = sum(1 for s in states if s is TaskState.DONE)
+        other = len(states) - done
+        if done + other != len(self.tasks):  # pragma: no cover - tautology guard
+            raise AssertionError("task conservation violated")

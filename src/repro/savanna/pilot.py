@@ -1,0 +1,67 @@
+"""The dynamic pilot executor — Savanna's resource manager (§V-D).
+
+"It consists of a resource manager that dynamically schedules and tracks
+runs on the allocated nodes, thereby no longer requiring synchronizing
+runs and leading to better resource utilization."
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.savanna._alloc import PilotRun
+from repro.savanna.executor import AllocationOutcome, CampaignResult
+from repro.savanna.runner import run_campaign
+
+
+class PilotExecutor:
+    """Dynamic within-allocation scheduling with failure requeue.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated machine to execute on.
+    retry_failed:
+        Requeue failed tasks at the tail of the pending queue (up to
+        ``max_retries`` attempts per task per allocation).
+    max_retries:
+        Per-allocation retry budget for a failing task.
+    """
+
+    def __init__(self, cluster: SimulatedCluster, retry_failed: bool = True, max_retries: int = 2):
+        self.cluster = cluster
+        self.retry_failed = retry_failed
+        self.max_retries = max_retries
+
+    def make_run(self, alloc, tasks, outcome: AllocationOutcome, done_cb) -> PilotRun:
+        return PilotRun(
+            self.cluster,
+            alloc,
+            tasks,
+            outcome,
+            done_cb=done_cb,
+            retry_failed=self.retry_failed,
+            max_retries=self.max_retries,
+        )
+
+    def run(
+        self,
+        tasks,
+        nodes: int,
+        walltime: float,
+        max_allocations: int = 1,
+        inter_allocation_gap: float = 0.0,
+        end_early: bool = True,
+        name: str = "pilot",
+    ) -> CampaignResult:
+        """Execute ``tasks`` over up to ``max_allocations`` batch jobs."""
+        return run_campaign(
+            self,
+            self.cluster,
+            tasks,
+            nodes=nodes,
+            walltime=walltime,
+            max_allocations=max_allocations,
+            inter_allocation_gap=inter_allocation_gap,
+            end_early=end_early,
+            name=name,
+        )

@@ -1,0 +1,76 @@
+"""Automatic provenance capture from campaign executions.
+
+"One needs the standard provenance data and logs for each component and
+execution instance, but to support better automation, it is helpful to
+also have explicit context for the campaign in which that execution took
+place" (§III).  This module closes that loop mechanically: hand it an
+executed :class:`~repro.savanna.executor.CampaignResult` and it records
+one :class:`~repro.metadata.provenance.ProvenanceRecord` per task attempt
+under the campaign's context — no per-run bookkeeping by the scientist.
+"""
+
+from __future__ import annotations
+
+from repro.metadata.provenance import (
+    CampaignContext,
+    ExportClass,
+    ProvenanceRecord,
+    ProvenanceStore,
+)
+from repro.savanna.executor import CampaignResult
+
+
+def record_campaign_result(
+    result: CampaignResult,
+    store: ProvenanceStore,
+    context: CampaignContext,
+    export_class: ExportClass = ExportClass.INTERNAL,
+    environment: dict | None = None,
+) -> int:
+    """Record every finished attempt of ``result`` into ``store``.
+
+    Registers ``context`` if it is not already present.  Returns the
+    number of records added.  Attempts still marked running (which only
+    happens if the simulation was stopped mid-flight) are skipped.
+    """
+    if context.name not in {c.name for c in store.campaigns}:
+        store.register_campaign(context)
+    added = 0
+    for outcome in result.outcomes:
+        for attempt in outcome.attempts:
+            if attempt.end is None:
+                continue
+            store.add(
+                ProvenanceRecord(
+                    component=attempt.task.name,
+                    start_time=attempt.start,
+                    end_time=attempt.end,
+                    parameters=dict(attempt.task.payload),
+                    environment=dict(environment or {}),
+                    campaign=context.name,
+                    outcome=attempt.outcome.value,
+                    export_class=export_class,
+                )
+            )
+            added += 1
+    return added
+
+
+def straggler_report(store: ProvenanceStore, campaign: str, threshold: float = 3.0) -> list:
+    """Query: runs whose elapsed time exceeds ``threshold``x the campaign median.
+
+    The §II-B pain ("run time differences can lead to idle nodes") as a
+    provenance query — identifying stragglers is the first step of
+    re-tuning the campaign's resource split.
+    """
+    records = store.query(campaign=campaign, outcome="done")
+    if not records:
+        return []
+    elapsed = sorted(r.elapsed for r in records)
+    median = elapsed[len(elapsed) // 2]
+    if median <= 0:
+        return []
+    return sorted(
+        (r for r in records if r.elapsed > threshold * median),
+        key=lambda r: -r.elapsed,
+    )

@@ -1,0 +1,87 @@
+"""Multi-allocation campaign loop with resume (§V-D).
+
+"If all runs in the SweepGroup cannot be run in the allotted time, the
+SweepGroup is simply re-submitted, and Savanna resumes execution of the
+experiments."  The loop submits batch allocations one after another; each
+new allocation receives every task not yet DONE (killed and failed tasks
+are retried), until the campaign completes or the allocation budget runs
+out.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_nonnegative, check_positive
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.job import AllocationRequest, TaskState
+from repro.savanna.executor import AllocationOutcome, CampaignResult
+
+
+def run_campaign(
+    executor,
+    cluster: SimulatedCluster,
+    tasks,
+    *,
+    nodes: int,
+    walltime: float,
+    max_allocations: int = 1,
+    inter_allocation_gap: float = 0.0,
+    end_early: bool = True,
+    name: str = "campaign",
+) -> CampaignResult:
+    """Drive ``executor`` over up to ``max_allocations`` sequential batch jobs.
+
+    Parameters
+    ----------
+    executor:
+        Provides ``make_run(alloc, tasks, outcome, done_cb)`` — the
+        within-allocation dispatch strategy.
+    inter_allocation_gap:
+        Human think-time before each resubmission (zero for Savanna's
+        mechanical resubmit; hours for the manually curated original).
+    end_early:
+        Release the allocation when no work remains instead of idling to
+        the walltime (real job scripts exit when done).
+    """
+    check_positive("max_allocations", max_allocations)
+    check_nonnegative("inter_allocation_gap", inter_allocation_gap)
+    tasks = list(tasks)
+    result = CampaignResult(tasks=tasks)
+    state = {"submitted": 0, "active_run": None}
+
+    def remaining():
+        return [t for t in tasks if t.state is not TaskState.DONE]
+
+    def submit_next():
+        if not remaining() or state["submitted"] >= max_allocations:
+            return
+        state["submitted"] += 1
+        request = AllocationRequest(
+            nodes=nodes, walltime=walltime, name=f"{name}-{state['submitted']}"
+        )
+
+        def on_start(alloc):
+            outcome = AllocationOutcome(allocation=alloc)
+            result.outcomes.append(outcome)
+            done_cb = (lambda: cluster.scheduler.finish(alloc)) if end_early else None
+            batch = remaining()
+            for t in batch:
+                t.state = TaskState.PENDING  # killed/failed tasks are retried
+            run = executor.make_run(alloc, batch, outcome, done_cb)
+            state["active_run"] = run
+            run.start()
+
+        def on_end(alloc):
+            run = state["active_run"]
+            state["active_run"] = None
+            if run is not None:
+                run.on_walltime_kill()
+            if inter_allocation_gap > 0:
+                cluster.sim.schedule(inter_allocation_gap, submit_next)
+            else:
+                submit_next()
+
+        cluster.scheduler.submit(request, on_start, on_end)
+
+    submit_next()
+    cluster.run()
+    return result

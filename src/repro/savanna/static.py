@@ -1,0 +1,61 @@
+"""The set-synchronized baseline executor — the *original* workflow (§V-D).
+
+"The script creates the directory hierarchy for the runs and submits them
+in groups or 'sets' with explicit synchronization at the end of a set ...
+Straggler processes can severely limit the performance of the overall
+workflow."
+"""
+
+from __future__ import annotations
+
+from repro._util import check_nonnegative
+from repro.cluster.cluster import SimulatedCluster
+from repro.savanna._alloc import StaticSetRun
+from repro.savanna.executor import AllocationOutcome, CampaignResult
+from repro.savanna.runner import run_campaign
+
+
+class StaticSetExecutor:
+    """Fixed sets behind a barrier; no failure retry within an allocation.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated machine to execute on.
+    set_gap:
+        Seconds of bookkeeping between the end of one set and the launch
+        of the next (the hand-driven script's submit/check cycle).
+    """
+
+    def __init__(self, cluster: SimulatedCluster, set_gap: float = 0.0):
+        check_nonnegative("set_gap", set_gap)
+        self.cluster = cluster
+        self.set_gap = set_gap
+
+    def make_run(self, alloc, tasks, outcome: AllocationOutcome, done_cb) -> StaticSetRun:
+        return StaticSetRun(
+            self.cluster, alloc, tasks, outcome, done_cb=done_cb, set_gap=self.set_gap
+        )
+
+    def run(
+        self,
+        tasks,
+        nodes: int,
+        walltime: float,
+        max_allocations: int = 1,
+        inter_allocation_gap: float = 0.0,
+        end_early: bool = True,
+        name: str = "static",
+    ) -> CampaignResult:
+        """Execute ``tasks`` over up to ``max_allocations`` batch jobs."""
+        return run_campaign(
+            self,
+            self.cluster,
+            tasks,
+            nodes=nodes,
+            walltime=walltime,
+            max_allocations=max_allocations,
+            inter_allocation_gap=inter_allocation_gap,
+            end_early=end_early,
+            name=name,
+        )

@@ -1,0 +1,76 @@
+"""Skel: model-driven code generation (§IV).
+
+Skel "couples a model of a desired action with one or more textual
+templates that drive the creation of files that implement the action".
+The user edits a small JSON model — the single point of interaction — and
+every concrete artifact (submit scripts, paste scripts, campaign specs,
+communication components) is regenerated from it.
+
+- :mod:`repro.skel.templates` — a small template engine built from scratch
+  (``${var}`` substitution, ``{% for %}``/``{% if %}`` blocks, filters,
+  strict undefined-variable errors).
+- :mod:`repro.skel.model` — :class:`SkelModel` and :class:`ModelSchema`:
+  typed, validated generation models loadable from JSON.
+- :mod:`repro.skel.generator` — :class:`TemplateLibrary` and
+  :class:`Generator`: model + templates → a file set, stamped with the
+  model fingerprint so staleness is machine-checkable ("no debt accrues
+  from code that can be efficiently deleted and regenerated").
+- :mod:`repro.skel.library` — the built-in template set used by the
+  experiments (GWAS paste workflow, submit scripts, campaign specs,
+  dataflow communication components) plus the *traditional* hand-edited
+  script with its manual fields marked, for the Figure 2 comparison.
+"""
+
+from repro.skel.templates import Template, TemplateError
+from repro.skel.model import ModelField, ModelSchema, SkelModel, ModelValidationError
+from repro.skel.generator import (
+    TemplateLibrary,
+    Generator,
+    GeneratedFile,
+    GENERATED_HEADER_PREFIX,
+    model_fingerprint,
+    is_stale,
+    plan_regeneration,
+    regenerate,
+)
+from repro.skel.relations import (
+    ModelRelation,
+    RelationViolation,
+    check_relations,
+    enforce_relations,
+    paste_relations,
+)
+from repro.skel.library import (
+    builtin_library,
+    paste_model_schema,
+    traditional_paste_script,
+    count_manual_fields,
+    MANUAL_FIELD_PATTERN,
+)
+
+__all__ = [
+    "Template",
+    "TemplateError",
+    "ModelField",
+    "ModelSchema",
+    "SkelModel",
+    "ModelValidationError",
+    "TemplateLibrary",
+    "Generator",
+    "GeneratedFile",
+    "GENERATED_HEADER_PREFIX",
+    "model_fingerprint",
+    "is_stale",
+    "plan_regeneration",
+    "regenerate",
+    "ModelRelation",
+    "RelationViolation",
+    "check_relations",
+    "enforce_relations",
+    "paste_relations",
+    "builtin_library",
+    "paste_model_schema",
+    "traditional_paste_script",
+    "count_manual_fields",
+    "MANUAL_FIELD_PATTERN",
+]

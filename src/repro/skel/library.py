@@ -1,0 +1,172 @@
+"""Built-in template library and the Figure 2 baseline script.
+
+The library holds the templates the experiments instantiate: the GWAS
+two-phase paste scripts, a batch submit script, the campaign spec consumed
+by Cheetah, and a progress/status query script.  The *traditional* script
+— the left side of Figure 2, with every hand-edited field marked — lives
+here too, so the manual-intervention comparison is computed from real
+artifacts rather than asserted.
+
+Manual fields in the traditional script are marked ``<<EDIT:name>>``; the
+marker stands for a value the user must locate and overwrite for every new
+run configuration (the paper's red text).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.skel.generator import TemplateLibrary
+from repro.skel.model import ModelField, ModelSchema
+
+#: Matches one manual-intervention marker in a traditional script.
+MANUAL_FIELD_PATTERN = re.compile(r"<<EDIT:(?P<name>[a-zA-Z0-9_\-]+)>>")
+
+
+def count_manual_fields(text: str) -> dict:
+    """Count manual-edit markers in a script.
+
+    Returns ``{"total": occurrences, "unique": distinct field names,
+    "fields": sorted names}``.
+    """
+    names = MANUAL_FIELD_PATTERN.findall(text)
+    return {"total": len(names), "unique": len(set(names)), "fields": sorted(set(names))}
+
+
+def paste_model_schema() -> ModelSchema:
+    """The focused model for the GWAS paste operation (§V-A).
+
+    Mirrors the paper: dataset under consideration (path and naming
+    conventions), machine-specific resource details, and pasting strategy.
+    """
+    return ModelSchema(
+        name="gwas-paste",
+        description="Column-wise paste of many tabular files into one.",
+        fields=(
+            ModelField("dataset_dir", "string", description="directory of input tables"),
+            ModelField("file_pattern", "string", description="input naming convention glob"),
+            ModelField("output_file", "string", description="final pasted output path"),
+            ModelField("num_files", "int", description="number of input files"),
+            ModelField(
+                "group_size",
+                "int",
+                required=False,
+                default=100,
+                description="files per sub-paste (FS bottleneck guard)",
+            ),
+            ModelField(
+                "strategy",
+                "string",
+                required=False,
+                default="two-phase",
+                choices=("single", "two-phase"),
+                description="pasting strategy",
+            ),
+            ModelField("machine_name", "string", description="target system name"),
+            ModelField("account", "string", description="allocation account"),
+            ModelField("queue", "string", required=False, default="batch"),
+            ModelField("nodes", "int", required=False, default=1),
+            ModelField("walltime_minutes", "int", required=False, default=120),
+            ModelField(
+                "groups",
+                "list",
+                required=False,
+                description="derived sub-paste groups (filled by the workflow)",
+            ),
+        ),
+    )
+
+
+_SUBJOB_TEMPLATE = """#!/bin/bash
+# sub-paste ${group.index} of ${model_name}: files ${group.start}..${group.stop}
+set -euo pipefail
+cd ${dataset_dir}
+paste $(ls ${file_pattern} | sed -n '${group.sed_start},${group.sed_stop}p') \\
+  > subpaste_${group.index}.tsv
+"""
+
+_FINAL_TEMPLATE = """#!/bin/bash
+# final join of ${model_name}
+set -euo pipefail
+cd ${dataset_dir}
+paste {% for g in groups %}subpaste_${g.index}.tsv {% endfor %}> ${output_file}
+rm -f {% for g in groups %}subpaste_${g.index}.tsv {% endfor %}
+"""
+
+_SUBMIT_TEMPLATE = """#!/bin/bash
+#BSUB -P ${account}
+#BSUB -q ${queue}
+#BSUB -W ${walltime_minutes}
+#BSUB -nnodes ${nodes}
+#BSUB -J ${model_name}
+# Submit the generated campaign on ${machine_name}; the workflow engine
+# tracks task completion, so no manual per-subjob submission is needed.
+exec ./run_campaign.sh
+"""
+
+_CAMPAIGN_SPEC_TEMPLATE = """{
+  "campaign": "${model_name}",
+  "machine": "${machine_name}",
+  "strategy": "${strategy}",
+  "tasks": [
+{% for g in groups %}    {"name": "subpaste-${g.index}", "script": "subpaste_${g.index}.sh"}{% if not g.last %},{% endif %}
+{% endfor %}    ,{"name": "final-join", "script": "final_join.sh", "after": "subpastes"}
+  ]
+}
+"""
+
+_STATUS_TEMPLATE = """#!/bin/bash
+# query progress of ${model_name} on ${machine_name}
+set -euo pipefail
+done=$(ls ${dataset_dir}/subpaste_*.tsv 2>/dev/null | wc -l)
+echo "subpastes complete: $done / ${groups|len}"
+test -f ${output_file} && echo "final join: complete" || echo "final join: pending"
+"""
+
+
+def builtin_library() -> TemplateLibrary:
+    """The template set used by the GWAS experiment and the Fig 2 bench."""
+    lib = TemplateLibrary()
+    lib.add("subjob", "subpaste_${group.index}.sh", _SUBJOB_TEMPLATE)
+    lib.add("final-join", "final_join.sh", _FINAL_TEMPLATE)
+    lib.add("submit", "submit_${model_name}.sh", _SUBMIT_TEMPLATE)
+    lib.add("campaign-spec", "campaign_${model_name}.json", _CAMPAIGN_SPEC_TEMPLATE, comment=None)
+    lib.add("status", "status_${model_name}.sh", _STATUS_TEMPLATE)
+    return lib
+
+
+def traditional_paste_script() -> str:
+    """The Figure 2 left-hand side: one hand-maintained script.
+
+    Every ``<<EDIT:...>>`` marker is a field the user edits by hand — and
+    the subset bounds must be re-edited *for every sub-paste job*, then the
+    whole file edited again for the final join and for any failed-job
+    resubmission.
+    """
+    return """#!/bin/bash
+#BSUB -P <<EDIT:account>>
+#BSUB -q <<EDIT:queue>>
+#BSUB -W <<EDIT:walltime>>
+#BSUB -nnodes <<EDIT:nodes>>
+#BSUB -J <<EDIT:job_name>>
+set -euo pipefail
+
+# --- hand-configured for each dataset ---
+DATA_DIR=<<EDIT:dataset_dir>>
+PATTERN="<<EDIT:file_pattern>>"
+OUT=<<EDIT:output_file>>
+
+# --- hand-partitioned: edit bounds for EACH sub-paste job, resubmit each ---
+START=<<EDIT:subset_start>>
+STOP=<<EDIT:subset_stop>>
+SUBSET_OUT=subpaste_<<EDIT:subset_index>>.tsv
+
+cd "$DATA_DIR"
+paste $(ls $PATTERN | sed -n "${START},${STOP}p") > "$SUBSET_OUT"
+
+# --- after ALL subjobs: comment the block above, uncomment below, resubmit ---
+# paste <<EDIT:subpaste_file_list>> > "$OUT"
+
+# --- failed subjobs: re-check bsub output by hand, fix bounds, resubmit ---
+# bkill <<EDIT:failed_job_id>>
+"""

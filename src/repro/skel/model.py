@@ -1,0 +1,178 @@
+"""Skel generation models.
+
+"By defining a model that is a concise representation of the user
+decisions required for an action, and automating the way that the elements
+of the model impact the code, we can avoid the need for a user to have
+extensive interactions with the code itself" (§IV).
+
+A :class:`SkelModel` is a named bag of validated values — loadable from
+the JSON file that is "the single point of user interaction" in the GWAS
+experiment (§V-A).  A :class:`ModelSchema` types and documents the fields,
+which is what makes the model *machine-actionable*: the customizability
+gauge's MODELED tier requires exactly this formalized variable
+identification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+class ModelValidationError(ValueError):
+    """A model value violates its schema."""
+
+
+_TYPES = {
+    "string": str,
+    "int": int,
+    "float": (int, float),
+    "bool": bool,
+    "list": list,
+    "dict": dict,
+}
+
+
+@dataclass(frozen=True)
+class ModelField:
+    """One user decision in a generation model."""
+
+    name: str
+    type: str = "string"
+    required: bool = True
+    default: Any = None
+    description: str = ""
+    choices: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise ValueError(
+                f"unknown field type {self.type!r}; expected one of {sorted(_TYPES)}"
+            )
+
+    def validate(self, value: Any) -> Any:
+        expected = _TYPES[self.type]
+        if self.type == "float" and isinstance(value, bool):
+            raise ModelValidationError(f"field {self.name!r}: bool is not a float")
+        if self.type == "int" and isinstance(value, bool):
+            raise ModelValidationError(f"field {self.name!r}: bool is not an int")
+        if not isinstance(value, expected):
+            raise ModelValidationError(
+                f"field {self.name!r}: expected {self.type}, got {type(value).__name__}"
+            )
+        if self.choices and value not in self.choices:
+            raise ModelValidationError(
+                f"field {self.name!r}: {value!r} not in choices {self.choices}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ModelSchema:
+    """Typed field inventory of a generation model."""
+
+    name: str
+    fields: tuple = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate field names in schema {self.name!r}")
+
+    def field(self, name: str) -> ModelField:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def field_names(self) -> tuple:
+        return tuple(f.name for f in self.fields)
+
+    def validate(self, values: dict) -> dict:
+        """Return a complete, validated value dict (defaults filled in)."""
+        out: dict[str, Any] = {}
+        unknown = set(values) - set(self.field_names())
+        if unknown:
+            raise ModelValidationError(
+                f"unknown model fields for schema {self.name!r}: {sorted(unknown)}"
+            )
+        for f in self.fields:
+            if values.get(f.name) is not None:
+                out[f.name] = f.validate(values[f.name])
+            elif f.name in values and not f.required:
+                # explicit null for an optional field means "use the default"
+                out[f.name] = f.default
+            elif f.required and f.default is None:
+                raise ModelValidationError(
+                    f"missing required model field {f.name!r} (schema {self.name!r})"
+                )
+            else:
+                out[f.name] = f.default
+        return out
+
+
+@dataclass
+class SkelModel:
+    """A validated generation model: schema + concrete values.
+
+    The ``values`` mapping is the template-render context; ``params()``
+    returns it augmented with the model name.
+    """
+
+    schema: ModelSchema
+    values: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = self.schema.validate(self.values)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values[name]
+
+    def updated(self, **changes) -> "SkelModel":
+        """Return a new model with ``changes`` applied (re-validated).
+
+        This is "the user simply updates the model to reflect the current
+        task" — the one edit a new run configuration requires.
+        """
+        merged = dict(self.values)
+        merged.update(changes)
+        return SkelModel(schema=self.schema, values=merged)
+
+    def params(self) -> dict:
+        ctx = dict(self.values)
+        ctx["model_name"] = self.schema.name
+        return ctx
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"schema": self.schema.name, "values": self.values},
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text_or_path, schema: ModelSchema) -> "SkelModel":
+        """Load values from a JSON string or file path against ``schema``."""
+        if isinstance(text_or_path, Path):
+            text = text_or_path.read_text()
+        else:
+            text = text_or_path
+            p = Path(text_or_path)
+            try:
+                if p.exists():
+                    text = p.read_text()
+            except OSError:
+                pass  # long/invalid paths: treat as raw JSON text
+        data = json.loads(text)
+        values = data.get("values", data)
+        declared = data.get("schema")
+        if declared is not None and declared != schema.name:
+            raise ModelValidationError(
+                f"model declares schema {declared!r}, expected {schema.name!r}"
+            )
+        return cls(schema=schema, values=values)

@@ -1,0 +1,100 @@
+"""Machine-actionable parameter relations (the RELATED tier, §III).
+
+"At the next tier of model parameterization, the customization profile
+would also include understanding of how different variables are related
+to one another."  A :class:`ModelRelation` is that understanding in
+executable form: named variables, a predicate over the model values, and
+a human message for when it fails.  Relations are checked at model
+validation time, so an invalid combination is caught before anything is
+generated — one more class of manual debugging converted to automation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.skel.model import ModelValidationError, SkelModel
+
+
+@dataclass(frozen=True)
+class ModelRelation:
+    """One inter-parameter constraint on a generation model."""
+
+    name: str
+    variables: tuple
+    predicate: Callable[[dict], bool]
+    message: str
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError(f"relation {self.name!r} names no variables")
+        if not callable(self.predicate):
+            raise ValueError(f"relation {self.name!r}: predicate must be callable")
+
+    def holds(self, values: dict) -> bool:
+        missing = [v for v in self.variables if v not in values]
+        if missing:
+            raise KeyError(
+                f"relation {self.name!r}: model lacks variables {missing}"
+            )
+        return bool(self.predicate(values))
+
+
+@dataclass(frozen=True)
+class RelationViolation:
+    """A failed relation with its offending values."""
+
+    relation: ModelRelation
+    values: dict
+
+    def describe(self) -> str:
+        shown = {v: self.values[v] for v in self.relation.variables}
+        return f"{self.relation.name}: {self.relation.message} (got {shown})"
+
+
+def check_relations(model: SkelModel, relations) -> list[RelationViolation]:
+    """Evaluate every relation; returns the violations (empty = valid)."""
+    violations = []
+    for relation in relations:
+        if not relation.holds(model.values):
+            violations.append(RelationViolation(relation=relation, values=dict(model.values)))
+    return violations
+
+
+def enforce_relations(model: SkelModel, relations) -> SkelModel:
+    """Raise :class:`ModelValidationError` on any violation; returns the model."""
+    violations = check_relations(model, relations)
+    if violations:
+        raise ModelValidationError(
+            "model violates parameter relations:\n  "
+            + "\n  ".join(v.describe() for v in violations)
+        )
+    return model
+
+
+def paste_relations() -> tuple:
+    """The relations of the GWAS paste model (§V-A)."""
+    return (
+        ModelRelation(
+            name="group-fits-dataset",
+            variables=("group_size", "num_files"),
+            predicate=lambda v: v["group_size"] <= v["num_files"],
+            message="sub-paste group size cannot exceed the file count",
+        ),
+        ModelRelation(
+            name="two-phase-needs-groups",
+            variables=("strategy", "group_size", "num_files"),
+            predicate=lambda v: v["strategy"] != "two-phase"
+            or v["num_files"] > v["group_size"],
+            message="two-phase pasting is pointless with a single group; "
+            "use strategy='single'",
+        ),
+        ModelRelation(
+            name="fan-in-bounded",
+            variables=("group_size",),
+            predicate=lambda v: v["group_size"] <= 1000,
+            message="sub-paste fan-in above ~1000 files hits the filesystem "
+            "metadata knee the two-phase strategy exists to avoid",
+        ),
+    )

@@ -1,0 +1,312 @@
+"""A small text-template engine, built from scratch.
+
+Syntax
+------
+- ``${name}`` — substitute a context variable; dotted lookup
+  (``${machine.nodes}``) descends through mappings and attributes.
+- ``${name|filter}`` — apply a named filter; available filters:
+  ``upper``, ``lower``, ``int``, ``len``, ``json``, ``basename``.
+- ``{% for item in items %} ... {% endfor %}`` — iterate; inside the body
+  ``${item}`` (and ``${loop.index}``, 0-based) are available.
+- ``{% if expr %} ... {% elif expr %} ... {% else %} ... {% endif %}`` —
+  conditionals; ``expr`` is a dotted name (truthiness), optionally negated
+  with ``not``, or a comparison ``name == literal`` / ``name != literal``
+  where the literal is a quoted string or a number.
+- ``$$`` — a literal ``$``.
+
+Undefined variables raise :class:`TemplateError` rather than silently
+rendering empty — generated scripts with holes are exactly the technical
+debt Skel exists to remove.
+"""
+
+from __future__ import annotations
+
+import json
+import posixpath
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+class TemplateError(ValueError):
+    """Malformed template syntax or failed variable lookup."""
+
+
+FILTERS: dict[str, Callable[[Any], Any]] = {
+    "upper": lambda v: str(v).upper(),
+    "lower": lambda v: str(v).lower(),
+    "int": lambda v: int(v),
+    "len": lambda v: len(v),
+    "json": lambda v: json.dumps(v, sort_keys=True),
+    "basename": lambda v: posixpath.basename(str(v)),
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<escape>\$\$)
+  | \$\{(?P<var>[^{}]+)\}
+  | \{%\s*(?P<tag>.*?)\s*%\}
+    """,
+    re.VERBOSE,
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
+
+
+def _lookup(context: dict, dotted: str) -> Any:
+    """Resolve ``a.b.c`` through mappings and attributes."""
+    parts = dotted.split(".")
+    if parts[0] not in context:
+        raise TemplateError(f"undefined template variable: {parts[0]!r}")
+    value = context[parts[0]]
+    for part in parts[1:]:
+        if isinstance(value, dict):
+            if part not in value:
+                raise TemplateError(f"undefined template variable: {dotted!r}")
+            value = value[part]
+        elif hasattr(value, part):
+            value = getattr(value, part)
+        else:
+            raise TemplateError(f"undefined template variable: {dotted!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# AST nodes
+
+
+@dataclass
+class _Text:
+    text: str
+
+    def render(self, context: dict, out: list) -> None:
+        out.append(self.text)
+
+
+@dataclass
+class _Var:
+    dotted: str
+    filters: tuple
+
+    def render(self, context: dict, out: list) -> None:
+        value = _lookup(context, self.dotted)
+        for name in self.filters:
+            try:
+                fn = FILTERS[name]
+            except KeyError:
+                raise TemplateError(f"unknown filter: {name!r}") from None
+            value = fn(value)
+        out.append(str(value))
+
+
+@dataclass
+class _For:
+    var: str
+    iterable: str
+    body: list
+
+    def render(self, context: dict, out: list) -> None:
+        items = _lookup(context, self.iterable)
+        try:
+            iterator = iter(items)
+        except TypeError:
+            raise TemplateError(
+                f"{self.iterable!r} is not iterable (got {type(items).__name__})"
+            ) from None
+        for i, item in enumerate(iterator):
+            child = dict(context)
+            child[self.var] = item
+            child["loop"] = {"index": i, "first": i == 0}
+            for node in self.body:
+                node.render(child, out)
+
+
+@dataclass
+class _If:
+    # list of (condition-or-None, body); None means 'else'
+    branches: list
+    condition_names: list  # root variable names read by the conditions
+
+    def render(self, context: dict, out: list) -> None:
+        for condition, body in self.branches:
+            if condition is None or condition(context):
+                for node in body:
+                    node.render(context, out)
+                return
+
+
+# ---------------------------------------------------------------------------
+# Expression parsing for {% if %}
+
+_LITERAL_RE = re.compile(r"""^('(?P<sq>[^']*)'|"(?P<dq>[^"]*)"|(?P<num>-?\d+(\.\d+)?))$""")
+
+
+def _parse_literal(text: str):
+    m = _LITERAL_RE.match(text.strip())
+    if not m:
+        raise TemplateError(f"expected a quoted string or number literal, got {text!r}")
+    if m.group("sq") is not None:
+        return m.group("sq")
+    if m.group("dq") is not None:
+        return m.group("dq")
+    num = m.group("num")
+    return float(num) if "." in num else int(num)
+
+
+def _compile_condition(expr: str) -> tuple[Callable[[dict], bool], str]:
+    """Compile an if-expression; returns (predicate, root variable name)."""
+    expr = expr.strip()
+    for op, test in (("==", lambda a, b: a == b), ("!=", lambda a, b: a != b)):
+        if op in expr:
+            left, right = expr.split(op, 1)
+            left = left.strip()
+            if not _NAME_RE.match(left):
+                raise TemplateError(f"invalid name in condition: {left!r}")
+            literal = _parse_literal(right)
+            return (
+                lambda ctx, l=left, lit=literal, t=test: t(_lookup(ctx, l), lit),
+                left.split(".")[0],
+            )
+    negate = False
+    if expr.startswith("not "):
+        negate = True
+        expr = expr[4:].strip()
+    if not _NAME_RE.match(expr):
+        raise TemplateError(f"invalid condition expression: {expr!r}")
+    return (
+        lambda ctx, name=expr, neg=negate: bool(_lookup(ctx, name)) ^ neg,
+        expr.split(".")[0],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parser
+
+_FOR_RE = re.compile(r"^for\s+([A-Za-z_][A-Za-z0-9_]*)\s+in\s+(.+)$")
+
+
+def _parse(text: str) -> list:
+    """Parse template text into an AST node list."""
+    nodes: list = []
+    # stack of (kind, payload) frames for nested blocks
+    stack: list[tuple[str, Any, list]] = []
+    current = nodes
+    pos = 0
+    for match in _TOKEN_RE.finditer(text):
+        if match.start() > pos:
+            current.append(_Text(text[pos : match.start()]))
+        pos = match.end()
+        if match.group("escape") is not None:
+            current.append(_Text("$"))
+        elif match.group("var") is not None:
+            raw = match.group("var").strip()
+            parts = [p.strip() for p in raw.split("|")]
+            dotted, filters = parts[0], tuple(parts[1:])
+            if not _NAME_RE.match(dotted):
+                raise TemplateError(f"invalid variable reference: {raw!r}")
+            current.append(_Var(dotted=dotted, filters=filters))
+        else:
+            tag = match.group("tag")
+            if tag.startswith("for "):
+                m = _FOR_RE.match(tag)
+                if not m:
+                    raise TemplateError(f"malformed for tag: {{% {tag} %}}")
+                iterable = m.group(2).strip()
+                if not _NAME_RE.match(iterable):
+                    raise TemplateError(f"invalid iterable name: {iterable!r}")
+                body: list = []
+                stack.append(("for", (m.group(1), iterable), current))
+                current = body
+            elif tag == "endfor":
+                if not stack or stack[-1][0] != "for":
+                    raise TemplateError("endfor without matching for")
+                _kind, (var, iterable), parent = stack.pop()
+                parent.append(_For(var=var, iterable=iterable, body=current))
+                current = parent
+            elif tag.startswith("if "):
+                predicate, root = _compile_condition(tag[3:])
+                node = _If(branches=[(predicate, [])], condition_names=[root])
+                stack.append(("if", node, current))
+                current = node.branches[0][1]
+            elif tag.startswith("elif "):
+                if not stack or stack[-1][0] != "if":
+                    raise TemplateError("elif without matching if")
+                node = stack[-1][1]
+                if node.branches[-1][0] is None:
+                    raise TemplateError("elif after else")
+                body = []
+                predicate, root = _compile_condition(tag[5:])
+                node.branches.append((predicate, body))
+                node.condition_names.append(root)
+                current = body
+            elif tag == "else":
+                if not stack or stack[-1][0] != "if":
+                    raise TemplateError("else without matching if")
+                node = stack[-1][1]
+                if node.branches[-1][0] is None:
+                    raise TemplateError("duplicate else")
+                body = []
+                node.branches.append((None, body))
+                current = body
+            elif tag == "endif":
+                if not stack or stack[-1][0] != "if":
+                    raise TemplateError("endif without matching if")
+                _kind, node, parent = stack.pop()
+                parent.append(node)
+                current = parent
+            else:
+                raise TemplateError(f"unknown tag: {{% {tag} %}}")
+    if stack:
+        raise TemplateError(f"unclosed {stack[-1][0]} block")
+    if pos < len(text):
+        current.append(_Text(text[pos:]))
+    return nodes
+
+
+class Template:
+    """A compiled template.
+
+    Example
+    -------
+    >>> Template("hello ${who|upper}").render({"who": "world"})
+    'hello WORLD'
+    >>> Template("{% for f in files %}${loop.index}:${f} {% endfor %}").render(
+    ...     {"files": ["a", "b"]})
+    '0:a 1:b '
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self._nodes = _parse(text)
+
+    def render(self, context: dict) -> str:
+        """Render with ``context``; unknown variables raise TemplateError."""
+        out: list[str] = []
+        for node in self._nodes:
+            node.render(dict(context), out)
+        return "".join(out)
+
+    def variables(self) -> set:
+        """Top-level names the template reads (for model validation)."""
+        names: set[str] = set()
+
+        def walk(nodes, bound):
+            for node in nodes:
+                if isinstance(node, _Var):
+                    root = node.dotted.split(".")[0]
+                    if root not in bound:
+                        names.add(root)
+                elif isinstance(node, _For):
+                    root = node.iterable.split(".")[0]
+                    if root not in bound:
+                        names.add(root)
+                    walk(node.body, bound | {node.var, "loop"})
+                elif isinstance(node, _If):
+                    for root in node.condition_names:
+                        if root not in bound:
+                            names.add(root)
+                    for _cond, body in node.branches:
+                        walk(body, bound)
+
+        walk(self._nodes, set())
+        return names

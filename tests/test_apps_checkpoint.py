@@ -1,0 +1,202 @@
+"""Tests for checkpoint policies, middleware, runs, and restart accounting."""
+
+import numpy as np
+import pytest
+
+from repro.apps.simulation.checkpoint import (
+    CheckpointMiddleware,
+    CheckpointStats,
+    FixedIntervalPolicy,
+    HybridPolicy,
+    OverheadBudgetPolicy,
+)
+from repro.apps.simulation.restart import expected_lost_work, lost_work_on_failure
+from repro.apps.simulation.run import (
+    CheckpointedRun,
+    RunConfig,
+    overhead_sweep,
+    variation_study,
+)
+from repro.cluster.filesystem import ParallelFilesystem
+
+
+class TestStats:
+    def test_overhead_fraction(self):
+        stats = CheckpointStats(compute_seconds=90.0, io_seconds=10.0)
+        assert stats.overhead_fraction() == pytest.approx(0.1)
+
+    def test_projected_overhead(self):
+        stats = CheckpointStats(compute_seconds=90.0, io_seconds=0.0)
+        assert stats.projected_overhead(10.0) == pytest.approx(0.1)
+
+    def test_zero_time_edge(self):
+        stats = CheckpointStats()
+        assert stats.overhead_fraction() == 0.0
+        assert stats.projected_overhead(0.0) == 1.0
+
+
+class TestPolicies:
+    def test_fixed_interval(self):
+        p = FixedIntervalPolicy(5)
+        decisions = [
+            p.should_checkpoint(CheckpointStats(timestep=t), 1.0) for t in range(1, 11)
+        ]
+        assert decisions == [False] * 4 + [True] + [False] * 4 + [True]
+
+    def test_overhead_budget_blocks_over_budget_write(self):
+        p = OverheadBudgetPolicy(0.10)
+        stats = CheckpointStats(compute_seconds=50.0, io_seconds=0.0)
+        assert not p.should_checkpoint(stats, projected_write=10.0)  # 10/60 > 10%
+        stats2 = CheckpointStats(compute_seconds=200.0, io_seconds=0.0)
+        assert p.should_checkpoint(stats2, projected_write=10.0)  # 10/210 < 10%
+
+    def test_hybrid_forces_after_gap(self):
+        p = HybridPolicy(0.01, max_gap=3)
+        stats = CheckpointStats(compute_seconds=10.0, steps_since_checkpoint=3)
+        assert p.should_checkpoint(stats, projected_write=100.0)
+
+    def test_hybrid_defers_within_gap(self):
+        p = HybridPolicy(0.01, max_gap=3)
+        stats = CheckpointStats(compute_seconds=10.0, steps_since_checkpoint=1)
+        assert not p.should_checkpoint(stats, projected_write=100.0)
+
+    def test_describe_strings(self):
+        assert FixedIntervalPolicy(5).describe() == "fixed-interval(5)"
+        assert OverheadBudgetPolicy(0.1).describe() == "overhead-budget(10%)"
+        assert "gap<=4" in HybridPolicy(0.1, 4).describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedIntervalPolicy(0)
+        with pytest.raises(ValueError):
+            OverheadBudgetPolicy(1.5)
+        with pytest.raises(ValueError):
+            HybridPolicy(0.1, 0)
+
+
+class TestMiddleware:
+    def make(self, policy, bandwidth=1e9):
+        fs = ParallelFilesystem(peak_bandwidth=bandwidth, load_model=None)
+        return CheckpointMiddleware(fs, policy, checkpoint_bytes=int(1e9))
+
+    def test_write_updates_accounting(self):
+        mw = self.make(FixedIntervalPolicy(1))
+        io = mw.end_of_timestep(10.0, now=10.0)
+        assert io == pytest.approx(1.0)
+        assert mw.stats.checkpoints_written == 1
+        assert mw.stats.io_seconds == pytest.approx(1.0)
+        assert mw.stats.steps_since_checkpoint == 0
+
+    def test_skipped_write_costs_nothing(self):
+        mw = self.make(FixedIntervalPolicy(10))
+        io = mw.end_of_timestep(10.0, now=10.0)
+        assert io == 0.0
+        assert mw.stats.checkpoints_written == 0
+        assert mw.stats.steps_since_checkpoint == 1
+
+    def test_projection_uses_last_observed_write(self):
+        mw = self.make(FixedIntervalPolicy(1))
+        mw.end_of_timestep(10.0, now=10.0)
+        assert mw._estimate_write(now=20.0) == pytest.approx(1.0)
+
+    def test_first_write_estimate_from_peak(self):
+        mw = self.make(FixedIntervalPolicy(1))
+        assert mw._estimate_write(now=0.0) == pytest.approx(1.0)
+
+    def test_write_times_log(self):
+        mw = self.make(FixedIntervalPolicy(2))
+        for t in range(1, 5):
+            mw.end_of_timestep(10.0, now=10.0 * t)
+        assert [ts for ts, _s in mw.write_times] == [2, 4]
+
+
+class TestCheckpointedRun:
+    def test_report_consistency(self):
+        config = RunConfig(timesteps=20, grid_n=16)
+        report = CheckpointedRun(config, OverheadBudgetPolicy(0.2), seed=1).execute()
+        assert len(report.steps) == 20
+        assert report.checkpoints_written == len(report.checkpoint_timesteps)
+        assert report.checkpoints_written == sum(s.wrote_checkpoint for s in report.steps)
+        assert report.total_seconds == pytest.approx(
+            report.compute_seconds + report.io_seconds
+        )
+
+    def test_achieved_overhead_near_budget(self):
+        config = RunConfig(timesteps=50, grid_n=16)
+        report = CheckpointedRun(config, OverheadBudgetPolicy(0.10), seed=3).execute()
+        assert report.overhead_fraction <= 0.15
+
+    def test_all_writes_within_timestep_range(self):
+        config = RunConfig(timesteps=30, grid_n=16)
+        report = CheckpointedRun(config, OverheadBudgetPolicy(0.3), seed=2).execute()
+        assert all(1 <= t <= 30 for t in report.checkpoint_timesteps)
+
+    def test_deterministic_per_seed(self):
+        config = RunConfig(timesteps=25, grid_n=16)
+        a = CheckpointedRun(config, OverheadBudgetPolicy(0.1), seed=9).execute()
+        b = CheckpointedRun(config, OverheadBudgetPolicy(0.1), seed=9).execute()
+        assert a.checkpoint_timesteps == b.checkpoint_timesteps
+
+    def test_fixed_interval_counts(self):
+        config = RunConfig(timesteps=50, grid_n=16)
+        report = CheckpointedRun(config, FixedIntervalPolicy(10), seed=1).execute()
+        assert report.checkpoints_written == 5
+
+
+class TestSweeps:
+    def test_overhead_sweep_monotone(self):
+        config = RunConfig(timesteps=50, grid_n=16)
+        series = overhead_sweep([0.02, 0.05, 0.1, 0.2, 0.4], config=config, seed=7)
+        counts = [n for _o, n in series]
+        assert counts == sorted(counts)
+        assert counts[-1] <= 50
+
+    def test_higher_budget_never_fewer_checkpoints(self):
+        config = RunConfig(timesteps=50, grid_n=16)
+        series = overhead_sweep([0.05, 0.5], config=config, seed=7)
+        assert series[1][1] >= series[0][1]
+
+    def test_variation_study_produces_spread(self):
+        config = RunConfig(timesteps=50, grid_n=16)
+        reports = variation_study(6, overhead=0.10, config=config, seed=11)
+        counts = [r.checkpoints_written for r in reports]
+        assert len(reports) == 6
+        assert max(counts) != min(counts)  # run-to-run variation exists
+
+    def test_variation_without_intensity_changes(self):
+        config = RunConfig(timesteps=30, grid_n=16)
+        reports = variation_study(
+            4, overhead=0.10, config=config, seed=11, vary_intensity=False
+        )
+        assert all(r.config.compute_intensity == 1.0 for r in reports)
+
+
+class TestRestartAccounting:
+    def test_lost_work_to_last_checkpoint(self):
+        assert lost_work_on_failure([10, 20, 30], failure_timestep=25) == 5
+
+    def test_no_prior_checkpoint_loses_everything(self):
+        assert lost_work_on_failure([30], failure_timestep=20) == 20
+
+    def test_failure_exactly_at_checkpoint(self):
+        assert lost_work_on_failure([10], failure_timestep=10) == 0
+
+    def test_expected_lost_work_uniform(self):
+        # checkpoints every 10 of 30 steps: mean loss = mean(0..9) = 4.5
+        val = expected_lost_work([10, 20, 30], total_timesteps=30)
+        assert val == pytest.approx(4.5)
+
+    def test_more_checkpoints_less_expected_loss(self):
+        sparse = expected_lost_work([25], 50)
+        dense = expected_lost_work([10, 20, 30, 40, 50], 50)
+        assert dense < sparse
+
+    def test_overhead_budget_reduces_lost_work_vs_too_sparse(self):
+        """End to end: the overhead policy's extra checkpoints buy strictly
+        less expected lost work than a miserly fixed interval."""
+        config = RunConfig(timesteps=50, grid_n=16)
+        budget = CheckpointedRun(config, OverheadBudgetPolicy(0.3), seed=5).execute()
+        sparse = CheckpointedRun(config, FixedIntervalPolicy(50), seed=5).execute()
+        assert expected_lost_work(budget.checkpoint_timesteps, 50) < expected_lost_work(
+            sparse.checkpoint_timesteps, 50
+        )

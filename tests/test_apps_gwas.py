@@ -1,0 +1,360 @@
+"""Tests for the GWAS app: data, formats, paste, and the Skel workflow."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gwas.data import write_genotype_tables, write_phenotype_table
+from repro.apps.gwas.formats import (
+    AnnotationRecord,
+    annotation_registry,
+    parse_bed,
+    parse_custom,
+    parse_gff3,
+    to_bed,
+    to_custom,
+    to_gff3,
+)
+from repro.apps.gwas.paste import (
+    PasteError,
+    estimate_paste_time,
+    paste_files,
+    split_columns,
+    two_phase_paste,
+)
+from repro.apps.gwas.workflow import (
+    GwasPasteWorkflow,
+    derive_groups,
+    manual_vs_generated,
+    workflow_components_before_after,
+)
+from repro.cluster.filesystem import ParallelFilesystem
+from repro.skel.library import paste_model_schema
+from repro.skel.model import SkelModel
+
+
+class TestData:
+    def test_tables_written_with_consistent_rows(self, tmp_path):
+        paths = write_genotype_tables(tmp_path, n_files=5, n_samples=10, snps_per_file=4, seed=0)
+        assert len(paths) == 5
+        line_counts = {len(p.read_text().splitlines()) for p in paths}
+        assert line_counts == {11}  # header + 10 samples
+
+    def test_values_are_genotypes(self, tmp_path):
+        paths = write_genotype_tables(tmp_path, n_files=2, n_samples=5, snps_per_file=3, seed=0)
+        body = paths[0].read_text().splitlines()[1:]
+        values = {v for line in body for v in line.split("\t")}
+        assert values <= {"0", "1", "2"}
+
+    def test_phenotype_table(self, tmp_path):
+        p = write_phenotype_table(tmp_path, n_samples=7, trait="height", seed=0)
+        lines = p.read_text().splitlines()
+        assert lines[0] == "height"
+        assert len(lines) == 8
+
+
+class TestGwasDataset:
+    def test_phenotype_consistent_with_chunks(self, tmp_path):
+        """End-to-end: paste the chunks, scan against the written
+        phenotype, recover most planted causal SNPs."""
+        import numpy as np
+
+        from repro.apps.gwas.association import gwas_scan, recovery_rate
+        from repro.apps.gwas.data import write_gwas_dataset
+
+        paths, phenotype_path, truth = write_gwas_dataset(
+            tmp_path, n_files=8, n_samples=400, snps_per_file=10,
+            n_causal=4, heritability=0.8, seed=5,
+        )
+        merged = paste_files(paths, tmp_path / "merged.tsv")
+        rows = merged.read_text().splitlines()
+        genotypes = np.array([[int(v) for v in r.split("\t")] for r in rows[1:]])
+        phenotype = np.array(
+            [float(v) for v in phenotype_path.read_text().splitlines()[1:]]
+        )
+        assert genotypes.shape == truth.genotypes.shape
+        assert np.array_equal(genotypes, truth.genotypes)
+        scan = gwas_scan(genotypes, phenotype)
+        assert recovery_rate(scan, truth.causal_snps) >= 0.5
+
+    def test_returns_ground_truth(self, tmp_path):
+        from repro.apps.gwas.data import write_gwas_dataset
+
+        _paths, _ppath, truth = write_gwas_dataset(
+            tmp_path, n_files=3, n_samples=30, snps_per_file=5, n_causal=2, seed=1
+        )
+        assert len(truth.causal_snps) == 2
+        assert truth.genotypes.shape == (30, 15)
+
+
+class TestAnnotationFormats:
+    RECORDS = [
+        AnnotationRecord("chr1", 10, 20, "geneA", 5.0, "+"),
+        AnnotationRecord("chr2", 0, 7, "geneB", 0.0, "-"),
+    ]
+
+    def test_bed_roundtrip(self):
+        assert parse_bed(to_bed(self.RECORDS)) == self.RECORDS
+
+    def test_gff3_roundtrip(self):
+        assert parse_gff3(to_gff3(self.RECORDS)) == self.RECORDS
+
+    def test_custom_roundtrip(self):
+        assert parse_custom(to_custom(self.RECORDS)) == self.RECORDS
+
+    def test_coordinate_convention_bed_vs_gff3(self):
+        """BED is 0-based half-open; GFF3 is 1-based closed. Same interval,
+        different numbers on disk."""
+        bed_line = to_bed(self.RECORDS[:1]).splitlines()[0].split("\t")
+        gff_line = to_gff3(self.RECORDS[:1]).splitlines()[1].split("\t")
+        assert (bed_line[1], bed_line[2]) == ("10", "20")
+        assert (gff_line[3], gff_line[4]) == ("11", "20")
+
+    def test_bed_skips_comments_and_headers(self):
+        text = "# comment\ntrack name=x\nchr1\t0\t5\n"
+        assert len(parse_bed(text)) == 1
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(ValueError, match="BED line"):
+            parse_bed("chr1\t5\n")
+        with pytest.raises(ValueError, match="GFF3 line"):
+            parse_gff3("too\tfew\tcolumns\n")
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_custom("garbage line\n")
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            AnnotationRecord("c", 5, 5)
+        with pytest.raises(ValueError, match="strand"):
+            AnnotationRecord("c", 0, 5, strand="x")
+        with pytest.raises(ValueError):
+            AnnotationRecord("c", -1, 5)
+
+    def test_registry_converts_any_pair(self):
+        reg = annotation_registry()
+        bed = to_bed(self.RECORDS)
+        for target, parser in (("gff3", parse_gff3), ("custom", parse_custom)):
+            converted = reg.convert(bed, "bed", target)
+            assert parser(converted) == self.RECORDS
+
+    def test_registry_plan_goes_through_hub(self):
+        reg = annotation_registry()
+        plan = reg.plan("bed", "gff3")
+        assert [dst for _s, dst, _f in plan.steps] == ["records", "gff3"]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["chr1", "chr2", "chrX"]),
+            st.integers(0, 10**6),
+            st.integers(1, 10**4),
+            st.sampled_from(["+", "-", "."]),
+        ),
+        max_size=20,
+    )
+)
+def test_format_conversion_roundtrip_property(raw):
+    """Property: bed -> custom -> gff3 -> bed is the identity."""
+    records = [
+        AnnotationRecord(c, s, s + l, f"r{i}", float(i), strand)
+        for i, (c, s, l, strand) in enumerate(raw)
+    ]
+    reg = annotation_registry()
+    text = to_bed(records)
+    via_custom = reg.convert(text, "bed", "custom")
+    via_gff3 = reg.convert(via_custom, "custom", "gff3")
+    back = reg.convert(via_gff3, "gff3", "bed")
+    assert parse_bed(back) == records
+
+
+class TestPaste:
+    def write(self, tmp_path, columns):
+        paths = []
+        for i, col in enumerate(columns):
+            p = tmp_path / f"in_{i}.tsv"
+            p.write_text("\n".join(col) + "\n")
+            paths.append(p)
+        return paths
+
+    def test_paste_joins_columns(self, tmp_path):
+        paths = self.write(tmp_path, [["a1", "a2"], ["b1", "b2"]])
+        out = paste_files(paths, tmp_path / "out.tsv")
+        assert out.read_text() == "a1\tb1\na2\tb2\n"
+
+    def test_ragged_inputs_rejected(self, tmp_path):
+        paths = self.write(tmp_path, [["a1", "a2"], ["b1"]])
+        with pytest.raises(PasteError, match="differing line counts"):
+            paste_files(paths, tmp_path / "out.tsv")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(PasteError, match="missing input"):
+            paste_files([tmp_path / "nope.tsv"], tmp_path / "out.tsv")
+
+    def test_empty_input_list_rejected(self, tmp_path):
+        with pytest.raises(PasteError, match="no input files"):
+            paste_files([], tmp_path / "out.tsv")
+
+    def test_two_phase_equals_single_phase(self, tmp_path):
+        cols = [[f"c{i}r{r}" for r in range(4)] for i in range(7)]
+        paths = self.write(tmp_path, cols)
+        single = paste_files(paths, tmp_path / "single.tsv")
+        result = two_phase_paste(paths, tmp_path / "two.tsv", group_size=3, workdir=tmp_path / "w")
+        assert (tmp_path / "two.tsv").read_text() == single.read_text()
+        assert result["groups"] == 3
+        assert result["max_fan_in"] <= 3
+
+    def test_split_then_paste_roundtrip(self, tmp_path):
+        table = tmp_path / "t.tsv"
+        table.write_text("a\tb\tc\td\n1\t2\t3\t4\n")
+        parts = split_columns(table, 3, tmp_path / "parts")
+        out = paste_files(parts, tmp_path / "re.tsv")
+        assert out.read_text() == table.read_text()
+
+    def test_split_validation(self, tmp_path):
+        table = tmp_path / "t.tsv"
+        table.write_text("a\tb\n")
+        with pytest.raises(PasteError, match="cannot split"):
+            split_columns(table, 5, tmp_path)
+        ragged = tmp_path / "r.tsv"
+        ragged.write_text("a\tb\nc\n")
+        with pytest.raises(PasteError, match="ragged"):
+            split_columns(ragged, 2, tmp_path)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    rows=st.integers(1, 8),
+    cols=st.integers(1, 10),
+    n_parts=st.integers(1, 10),
+)
+def test_split_paste_roundtrip_property(tmp_path_factory, rows, cols, n_parts):
+    """Property: split into any feasible number of parts, paste, recover."""
+    if n_parts > cols:
+        return
+    tmp = tmp_path_factory.mktemp("prop")
+    table = tmp / "t.tsv"
+    body = "\n".join("\t".join(f"{r}.{c}" for c in range(cols)) for r in range(rows))
+    table.write_text(body + "\n")
+    parts = split_columns(table, n_parts, tmp / "parts")
+    out = paste_files(parts, tmp / "re.tsv")
+    assert out.read_text() == table.read_text()
+
+
+class TestPasteCostModel:
+    def test_two_phase_beats_single_at_large_fan_in(self):
+        fs = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        single = estimate_paste_time(20000, 1e6, fs)
+        fs2 = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        two = estimate_paste_time(20000, 1e6, fs2, group_size=100)
+        assert two < single
+
+    def test_single_phase_fine_at_small_fan_in(self):
+        fs = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        single = estimate_paste_time(50, 1e6, fs)
+        fs2 = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        two = estimate_paste_time(50, 1e6, fs2, group_size=10)
+        assert single < two  # two-phase re-reads everything: pure overhead here
+
+
+class TestDeriveGroups:
+    def test_tiling(self):
+        groups = derive_groups(25, 10)
+        assert [(g["start"], g["stop"]) for g in groups] == [(0, 10), (10, 20), (20, 25)]
+        assert groups[-1]["last"] is True
+        assert all(not g["last"] for g in groups[:-1])
+
+    def test_exact_division(self):
+        groups = derive_groups(20, 10)
+        assert len(groups) == 2
+
+    def test_single_group(self):
+        groups = derive_groups(5, 100)
+        assert len(groups) == 1
+        assert groups[0]["last"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            derive_groups(0, 10)
+        with pytest.raises(ValueError):
+            derive_groups(10, 0)
+
+
+class TestWorkflow:
+    def model(self, td, n_files=12, group_size=5):
+        return SkelModel(
+            paste_model_schema(),
+            {
+                "dataset_dir": str(td),
+                "file_pattern": "chunk_*.tsv",
+                "output_file": "merged.tsv",
+                "num_files": n_files,
+                "group_size": group_size,
+                "machine_name": "simcluster",
+                "account": "ACC1",
+            },
+        )
+
+    def test_generates_complete_artifact_set(self, tmp_path):
+        wf = GwasPasteWorkflow.from_model(self.model(tmp_path))
+        names = {f.relpath for f in wf.files}
+        assert {"final_join.sh", "submit_gwas-paste.sh", "campaign_gwas-paste.json",
+                "status_gwas-paste.sh", "subpaste_0.sh", "subpaste_1.sh", "subpaste_2.sh"} == names
+
+    def test_execute_local_produces_correct_merge(self, tmp_path):
+        write_genotype_tables(tmp_path, n_files=12, n_samples=9, snps_per_file=3, seed=1)
+        wf = GwasPasteWorkflow.from_model(self.model(tmp_path))
+        wf.execute_local(tmp_path)
+        merged = (tmp_path / "merged.tsv").read_text().splitlines()
+        assert len(merged) == 10  # header + 9 samples
+        assert len(merged[0].split("\t")) == 36  # 12 files x 3 snps
+
+    def test_execute_checks_file_count(self, tmp_path):
+        write_genotype_tables(tmp_path, n_files=3, n_samples=4, snps_per_file=2, seed=1)
+        wf = GwasPasteWorkflow.from_model(self.model(tmp_path, n_files=12))
+        with pytest.raises(ValueError, match="declares 12 files"):
+            wf.execute_local(tmp_path)
+
+    def test_from_json_entry_point(self, tmp_path):
+        model = self.model(tmp_path)
+        path = tmp_path / "model.json"
+        path.write_text(model.to_json())
+        wf = GwasPasteWorkflow.from_json(path)
+        assert len(wf.groups) == 3
+
+    def test_campaign_one_run_per_group(self, tmp_path):
+        wf = GwasPasteWorkflow.from_model(self.model(tmp_path))
+        man = wf.campaign().to_manifest()
+        assert len(man) == 3
+        assert [r.parameters["group"] for r in man.runs] == [0, 1, 2]
+
+    def test_write_to_disk(self, tmp_path):
+        wf = GwasPasteWorkflow.from_model(self.model(tmp_path))
+        written = wf.write_to(tmp_path / "generated")
+        assert all(p.exists() for p in written)
+
+
+class TestFigure2Numbers:
+    def test_manual_edit_collapse(self):
+        result = manual_vs_generated(250, 100)
+        assert result["skel_edits_per_configuration"] == 1
+        assert result["traditional_edits_per_configuration"] > 15
+        assert result["reduction_factor"] > 15
+
+    def test_more_groups_more_traditional_edits(self):
+        few = manual_vs_generated(100, 100)
+        many = manual_vs_generated(1000, 100)
+        assert many["traditional_edits_per_configuration"] > few["traditional_edits_per_configuration"]
+        assert many["skel_edits_per_configuration"] == 1
+
+    def test_before_after_gauge_collapse(self):
+        from repro.gauges import assess, builtin_scenarios, score
+
+        before, after = workflow_components_before_after()
+        pa, pb = assess(before).profile, assess(after).profile
+        assert pb.dominates(pa)
+        scenario = builtin_scenarios()["new-dataset"]
+        assert score(after, scenario).manual_minutes < score(before, scenario).manual_minutes

@@ -1,0 +1,301 @@
+"""Tests for the random forest, iRF, iRF-LOOP, and network scoring."""
+
+import numpy as np
+import pytest
+
+from repro.apps.irf.datasets import census_like, synthetic_gwas
+from repro.apps.irf.forest import RandomForestRegressor
+from repro.apps.irf.iterative import IterativeRandomForest
+from repro.apps.irf.loop import duration_model, feature_run_durations, irf_loop
+from repro.apps.irf.network import network_from_adjacency, precision_at_k, top_edges
+
+
+def step_data(n=250, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 5))
+    y = np.where(X[:, 2] > 0.0, 4.0, -1.0) + 0.1 * rng.standard_normal(n)
+    return X, y
+
+
+class TestForest:
+    def test_fits_and_predicts(self):
+        X, y = step_data()
+        rf = RandomForestRegressor(n_estimators=15, seed=0).fit(X, y)
+        pred = rf.predict(X)
+        assert np.corrcoef(pred, y)[0, 1] > 0.95
+
+    def test_oob_score_reasonable(self):
+        X, y = step_data()
+        rf = RandomForestRegressor(n_estimators=25, seed=0).fit(X, y)
+        assert rf.oob_score_ is not None
+        assert rf.oob_score_ > 0.8
+
+    def test_importances_identify_signal(self):
+        X, y = step_data()
+        rf = RandomForestRegressor(n_estimators=20, seed=0).fit(X, y)
+        assert np.argmax(rf.feature_importances_) == 2
+        assert rf.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_no_bootstrap_mode(self):
+        X, y = step_data(n=80)
+        rf = RandomForestRegressor(n_estimators=5, bootstrap=False, seed=0).fit(X, y)
+        assert rf.oob_score_ is None
+        assert len(rf.trees_) == 5
+
+    def test_deterministic_per_seed(self):
+        X, y = step_data(n=100)
+        a = RandomForestRegressor(n_estimators=8, seed=5).fit(X, y)
+        b = RandomForestRegressor(n_estimators=8, seed=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_feature_weights_respected(self):
+        X, y = step_data()
+        weights = np.array([1, 1, 0, 1, 1.0])  # exclude true feature
+        rf = RandomForestRegressor(n_estimators=10, max_features=2, seed=0).fit(
+            X, y, feature_weights=weights
+        )
+        assert rf.feature_importances_[2] == 0.0
+
+
+class TestParallelForest:
+    def test_n_jobs_does_not_change_result(self):
+        X, y = step_data(n=150)
+        serial = RandomForestRegressor(n_estimators=12, seed=4, n_jobs=1).fit(X, y)
+        threaded = RandomForestRegressor(n_estimators=12, seed=4, n_jobs=4).fit(X, y)
+        assert np.array_equal(serial.predict(X), threaded.predict(X))
+        assert serial.oob_score_ == threaded.oob_score_
+        assert np.array_equal(
+            serial.feature_importances_, threaded.feature_importances_
+        )
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_jobs=0)
+
+
+class TestTreeText:
+    def test_renders_splits_and_leaves(self):
+        X, y = step_data(n=150)
+        from repro.apps.irf import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=2, seed=0).fit(X, y)
+        text = tree.to_text(feature_names=["a", "b", "c", "d", "e"])
+        assert "c <=" in text  # the signal feature (index 2)
+        assert "->" in text
+        assert text.count("->") == tree.n_leaves()
+
+    def test_default_labels(self):
+        X, y = step_data(n=80)
+        from repro.apps.irf import DecisionTreeRegressor
+
+        tree = DecisionTreeRegressor(max_depth=1, seed=0).fit(X, y)
+        assert "x[2]" in tree.to_text()
+
+    def test_validation(self):
+        from repro.apps.irf import DecisionTreeRegressor
+
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().to_text()
+        X, y = step_data(n=50)
+        tree = DecisionTreeRegressor(max_depth=1, seed=0).fit(X, y)
+        with pytest.raises(ValueError, match="names for"):
+            tree.to_text(feature_names=["only-one"])
+
+
+class TestIterativeRF:
+    def test_importances_concentrate_over_iterations(self):
+        X, y = step_data()
+        result = IterativeRandomForest(
+            n_iterations=3, n_estimators=12, max_features=2, seed=0
+        ).fit(X, y)
+        first, last = result.history[0], result.history[-1]
+        assert last[2] >= first[2] - 0.05  # signal feature keeps/gains mass
+        assert np.argmax(last) == 2
+
+    def test_history_length_and_stability(self):
+        X, y = step_data(n=120)
+        result = IterativeRandomForest(n_iterations=4, n_estimators=8, seed=1).fit(X, y)
+        assert result.iterations == 4
+        assert -1.0 <= result.stability() <= 1.0
+
+    def test_single_iteration_equals_plain_forest_shape(self):
+        X, y = step_data(n=100)
+        result = IterativeRandomForest(n_iterations=1, n_estimators=5, seed=2).fit(X, y)
+        assert result.iterations == 1
+        assert result.forest is not None
+
+    def test_weight_floor_keeps_features_alive(self):
+        X, y = step_data(n=100)
+        irf = IterativeRandomForest(n_iterations=2, weight_floor=0.5, n_estimators=5, seed=3)
+        result = irf.fit(X, y)
+        assert result.importances.shape == (5,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IterativeRandomForest(n_iterations=0)
+        with pytest.raises(ValueError):
+            IterativeRandomForest(weight_floor=1.0)
+
+
+class TestIrfLoop:
+    def test_adjacency_shape_and_zero_diagonal(self):
+        data = census_like(n_features=8, n_samples=120, seed=1)
+        result = irf_loop(data.X, n_iterations=1, n_estimators=5, max_depth=4, seed=2)
+        A = result.adjacency
+        assert A.shape == (8, 8)
+        assert np.all(np.diag(A) == 0.0)
+        assert np.all(A >= 0)
+
+    def test_columns_normalized(self):
+        data = census_like(n_features=8, n_samples=120, seed=1)
+        result = irf_loop(data.X, n_iterations=1, n_estimators=5, max_depth=4, seed=2)
+        sums = result.column_sums()
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_recovers_planted_structure(self):
+        data = census_like(n_features=14, n_samples=250, noise=0.2, seed=4)
+        result = irf_loop(data.X, n_iterations=2, n_estimators=10, max_depth=6, seed=5)
+        assert precision_at_k(result.adjacency, data.true_edges, k=10) >= 0.7
+
+    def test_targets_subset(self):
+        data = census_like(n_features=8, n_samples=100, seed=1)
+        result = irf_loop(
+            data.X, targets=[0, 3], n_iterations=1, n_estimators=4, max_depth=3, seed=2
+        )
+        untouched = [j for j in range(8) if j not in (0, 3)]
+        assert np.all(result.adjacency[:, untouched] == 0)
+        assert len(result.oob_scores) == 2
+
+    def test_bad_target_rejected(self):
+        data = census_like(n_features=6, n_samples=60, seed=1)
+        with pytest.raises(ValueError, match="out of range"):
+            irf_loop(data.X, targets=[99], n_estimators=3)
+
+    def test_needs_two_features(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            irf_loop(np.zeros((10, 1)))
+
+    def test_name_count_checked(self):
+        with pytest.raises(ValueError):
+            irf_loop(np.zeros((10, 3)), feature_names=("a",), n_estimators=2)
+
+
+class TestDurations:
+    def test_deterministic_and_positive(self):
+        a = feature_run_durations(100, seed=1)
+        b = feature_run_durations(100, seed=1)
+        assert np.array_equal(a, b)
+        assert np.all(a > 0)
+
+    def test_heavy_tail(self):
+        d = feature_run_durations(5000, median_seconds=100.0, sigma=1.4, seed=2)
+        assert np.quantile(d, 0.99) > 10 * np.median(d)
+
+    def test_truncation_cap(self):
+        d = feature_run_durations(1000, median_seconds=100.0, sigma=2.0, max_seconds=500.0, seed=3)
+        assert d.max() <= 500.0
+
+    def test_truncation_validation(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            feature_run_durations(10, median_seconds=100.0, max_seconds=50.0)
+
+    def test_duration_model_memoizes(self):
+        model = duration_model(seed=4)
+        assert model({"feature": 7}) == model({"feature": 7})
+
+    def test_duration_model_requires_feature_key(self):
+        with pytest.raises(KeyError):
+            duration_model(seed=4)({"other": 1})
+
+
+class TestNetwork:
+    def make_adjacency(self):
+        A = np.zeros((4, 4))
+        A[0, 1] = 0.9
+        A[2, 1] = 0.5
+        A[1, 3] = 0.7
+        return A
+
+    def test_top_edges_ranked(self):
+        edges = top_edges(self.make_adjacency(), k=2)
+        assert edges[0][:2] == (0, 1)
+        assert edges[1][:2] == (1, 3)
+
+    def test_self_edges_excluded(self):
+        A = np.eye(3)
+        assert top_edges(A, k=5) == []
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            top_edges(np.zeros((2, 3)), k=1)
+
+    def test_graph_construction(self):
+        g = network_from_adjacency(self.make_adjacency(), ["a", "b", "c", "d"], k=2)
+        assert g.has_edge("a", "b")
+        assert g.number_of_edges() == 2
+        assert g.number_of_nodes() == 4
+
+    def test_precision_undirected_credit(self):
+        A = self.make_adjacency()
+        truth = {(1, 0)}  # reversed direction of the top edge
+        assert precision_at_k(A, truth, k=1, undirected=True) == 1.0
+        assert precision_at_k(A, truth, k=1, undirected=False) == 0.0
+
+    def test_precision_empty_adjacency(self):
+        assert precision_at_k(np.zeros((3, 3)), {(0, 1)}, k=5) == 0.0
+
+
+class TestDatasets:
+    def test_census_like_shapes_and_truth(self):
+        data = census_like(n_features=20, n_samples=50, seed=0)
+        assert data.X.shape == (50, 20)
+        assert data.n_features == 20
+        assert data.true_edges
+        assert all(0 <= a < 20 and 0 <= b < 20 for a, b in data.true_edges)
+
+    def test_census_standardized(self):
+        data = census_like(n_features=15, n_samples=400, seed=1)
+        assert np.allclose(data.X.mean(axis=0), 0, atol=1e-8)
+        assert np.allclose(data.X.std(axis=0), 1, atol=1e-8)
+
+    def test_census_children_depend_on_parents(self):
+        data = census_like(
+            n_features=10, n_samples=2000, noise=0.1, nonlinear_fraction=0.0, seed=2
+        )
+        parent, child = next(iter(data.true_edges))
+        corr = abs(np.corrcoef(data.X[:, parent], data.X[:, child])[0, 1])
+        # not a guarantee per edge (multi-parent mixing), but planted linear
+        # children must correlate with at least one parent
+        parents = [p for p, c in data.true_edges if c == child]
+        corrs = [abs(np.corrcoef(data.X[:, p], data.X[:, child])[0, 1]) for p in parents]
+        assert max(corrs) > 0.2
+
+    def test_census_validation(self):
+        with pytest.raises(ValueError):
+            census_like(n_features=2, parents_per_feature=3)
+
+    def test_gwas_genotype_values(self):
+        data = synthetic_gwas(n_samples=100, n_snps=50, n_causal=5, seed=3)
+        assert set(np.unique(data.genotypes)) <= {0, 1, 2}
+        assert data.genotypes.shape == (100, 50)
+        assert len(data.causal_snps) == 5
+
+    def test_gwas_heritability_controls_signal(self):
+        strong = synthetic_gwas(n_samples=400, n_snps=20, n_causal=3, heritability=0.9, seed=4)
+        weak = synthetic_gwas(n_samples=400, n_snps=20, n_causal=3, heritability=0.1, seed=4)
+
+        def genetic_r2(data):
+            g = data.genotypes[:, list(data.causal_snps)].astype(float) @ data.effect_sizes
+            return np.corrcoef(g, data.phenotype)[0, 1] ** 2
+
+        assert genetic_r2(strong) > genetic_r2(weak)
+
+    def test_gwas_validation(self):
+        with pytest.raises(ValueError):
+            synthetic_gwas(n_causal=100, n_snps=10)
+        with pytest.raises(ValueError):
+            synthetic_gwas(maf_range=(0.6, 0.7))

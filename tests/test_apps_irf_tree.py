@@ -1,0 +1,146 @@
+"""Tests for the decision-tree regressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps.irf.tree import DecisionTreeRegressor
+
+
+def step_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 4))
+    y = np.where(X[:, 1] > 0.2, 5.0, -2.0)
+    return X, y
+
+
+class TestFit:
+    def test_learns_step_function(self):
+        X, y = step_data()
+        tree = DecisionTreeRegressor(max_depth=3, seed=0).fit(X, y)
+        pred = tree.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.01
+
+    def test_importance_concentrates_on_true_feature(self):
+        X, y = step_data()
+        tree = DecisionTreeRegressor(max_depth=3, seed=0).fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 1
+        assert tree.feature_importances_[1] > 0.9
+
+    def test_importances_normalized_and_nonnegative(self):
+        X, y = step_data()
+        tree = DecisionTreeRegressor(seed=0).fit(X, y)
+        imp = tree.feature_importances_
+        assert np.all(imp >= 0)
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_constant_target_gives_stump(self):
+        X = np.random.default_rng(0).random((50, 3))
+        y = np.full(50, 7.0)
+        tree = DecisionTreeRegressor(seed=0).fit(X, y)
+        assert tree.depth() == 0
+        assert tree.n_leaves() == 1
+        assert np.all(tree.predict(X) == 7.0)
+        assert tree.feature_importances_.sum() == 0.0
+
+    def test_max_depth_respected(self):
+        X, y = step_data()
+        y = y + np.random.default_rng(1).normal(0, 1, len(y))
+        tree = DecisionTreeRegressor(max_depth=2, seed=0).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf_respected(self):
+        X, y = step_data(n=100)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=20, seed=0).fit(X, y)
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                return [node.n_samples]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree._root)) >= 20
+
+    def test_single_sample(self):
+        tree = DecisionTreeRegressor(seed=0).fit([[1.0]], [3.0])
+        assert tree.predict([[99.0]])[0] == 3.0
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError, match="2-D"):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError, match="y shape"):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ValueError, match="0 samples"):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_predict_wrong_width_rejected(self):
+        tree = DecisionTreeRegressor(seed=0).fit(np.zeros((5, 3)), np.arange(5.0))
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 4)))
+
+    @pytest.mark.parametrize("mf", [0, 7, -1])
+    def test_bad_int_max_features(self, mf):
+        X, y = step_data(n=50)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features=mf, seed=0).fit(X, y)
+
+    def test_bad_float_max_features(self):
+        X, y = step_data(n=50)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_features=1.5, seed=0).fit(X, y)
+
+    def test_bad_weights_rejected(self):
+        X, y = step_data(n=50)
+        with pytest.raises(ValueError, match="shape"):
+            DecisionTreeRegressor(seed=0).fit(X, y, feature_weights=[1.0])
+        with pytest.raises(ValueError, match="nonnegative"):
+            DecisionTreeRegressor(seed=0).fit(X, y, feature_weights=[-1, 1, 1, 1])
+
+
+class TestFeatureWeights:
+    def test_zero_weight_feature_never_split(self):
+        X, y = step_data()
+        # forbid the true feature; the tree must split elsewhere (or nowhere useful)
+        weights = np.array([1.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor(max_depth=3, max_features=2, seed=0).fit(
+            X, y, feature_weights=weights
+        )
+        assert tree.feature_importances_[1] == 0.0
+
+    def test_sqrt_max_features(self):
+        X, y = step_data(n=100)
+        tree = DecisionTreeRegressor(max_features="sqrt", seed=0)
+        assert tree._n_candidate_features(16) == 4
+
+    def test_fraction_max_features(self):
+        tree = DecisionTreeRegressor(max_features=0.5, seed=0)
+        assert tree._n_candidate_features(10) == 5
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    X=hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(5, 40), st.integers(1, 5)),
+        elements=st.floats(-100, 100, allow_nan=False),
+    ),
+    depth=st.integers(1, 6),
+)
+def test_predictions_bounded_by_target_range(X, depth):
+    """Property: leaf means can never leave the training-target range."""
+    rng = np.random.default_rng(0)
+    y = rng.uniform(-10, 10, X.shape[0])
+    tree = DecisionTreeRegressor(max_depth=depth, seed=1).fit(X, y)
+    pred = tree.predict(X)
+    assert pred.min() >= y.min() - 1e-9
+    assert pred.max() <= y.max() + 1e-9
+    imp = tree.feature_importances_
+    assert np.all(imp >= 0)
+    assert imp.sum() == pytest.approx(1.0) or imp.sum() == 0.0

@@ -1,0 +1,109 @@
+"""Tests for execute_campaign, aggregate profiles, and catalog rendering."""
+
+import pytest
+
+from repro.cheetah import AppSpec, Campaign, CampaignCatalog, Sweep, SweepParameter
+from repro.savanna import execute_campaign
+
+from conftest import make_cluster
+
+
+class TestExecuteCampaign:
+    def make_manifest(self):
+        camp = Campaign("multi", app=AppSpec("a"))
+        camp.sweep_group("g1", nodes=2, walltime=200.0).add(
+            Sweep([SweepParameter("x", range(4))])
+        )
+        camp.sweep_group("g2", nodes=2, walltime=200.0).add(
+            Sweep([SweepParameter("y", range(2))])
+        )
+        return camp.to_manifest()
+
+    def test_all_groups_execute(self):
+        results = execute_campaign(
+            self.make_manifest(), lambda p: 50.0, make_cluster(nodes=2)
+        )
+        assert set(results) == {"g1", "g2"}
+        assert all(r.all_done for r in results.values())
+
+    def test_groups_run_sequentially_on_one_timeline(self):
+        results = execute_campaign(
+            self.make_manifest(), lambda p: 50.0, make_cluster(nodes=2)
+        )
+        g1_end = max(o.last_activity() for o in results["g1"].outcomes)
+        g2_start = min(o.allocation.start for o in results["g2"].outcomes)
+        assert g2_start >= g1_end
+
+    def test_directory_records_all_groups(self, tmp_path):
+        from repro.cheetah.directory import CampaignDirectory
+
+        manifest = self.make_manifest()
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        execute_campaign(
+            manifest, lambda p: 50.0, make_cluster(nodes=2), directory=directory
+        )
+        assert directory.summary()["done"] == 6
+
+
+class TestAggregateProfile:
+    def test_weakest_tier_per_gauge(self):
+        from repro.gauges import (
+            ComponentKind,
+            ComponentRegistry,
+            Gauge,
+            SoftwareMetadata,
+            WorkflowComponent,
+        )
+        from repro.gauges.levels import GranularityTier
+
+        registry = ComponentRegistry()
+        registry.register(
+            WorkflowComponent(
+                name="described",
+                software=SoftwareMetadata(
+                    kind=ComponentKind.EXECUTABLE, config_template="t"
+                ),
+            )
+        )
+        registry.register(WorkflowComponent(name="black-box"))
+        aggregate = registry.aggregate_profile()
+        # the black box gates everything
+        assert aggregate.tier(Gauge.SOFTWARE_GRANULARITY) is GranularityTier.BLACK_BOX
+        assert aggregate.as_vector() == (0,) * 6
+
+    def test_single_component_is_its_own_aggregate(self):
+        from repro.apps.gwas.workflow import workflow_components_before_after
+        from repro.gauges import ComponentRegistry, assess
+
+        registry = ComponentRegistry()
+        _before, after = workflow_components_before_after()
+        registry.register(after)
+        assert registry.aggregate_profile() == assess(after).profile
+
+    def test_empty_registry_rejected(self):
+        from repro.gauges import ComponentRegistry
+
+        with pytest.raises(ValueError, match="empty"):
+            ComponentRegistry().aggregate_profile()
+
+
+class TestCatalogTable:
+    def test_renders_params_and_metrics(self):
+        catalog = CampaignCatalog("c")
+        catalog.add("r1", {"x": 1}, {"runtime": 10.0})
+        catalog.add("r2", {"x": 2}, {"runtime": 20.0})
+        table = catalog.to_table()
+        assert "run_id" in table and "x" in table and "runtime" in table
+        assert "r1" in table and "20" in table
+
+    def test_metric_subset(self):
+        catalog = CampaignCatalog("c")
+        catalog.add("r1", {"x": 1}, {"a": 1.0, "b": 2.0})
+        table = catalog.to_table(metrics=["b"])
+        header = table.splitlines()[0]
+        assert "b" in header
+        assert " a" not in header
+
+    def test_empty_catalog(self):
+        assert "(empty catalog)" in CampaignCatalog("c").to_table()

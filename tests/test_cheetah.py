@@ -1,0 +1,192 @@
+"""Tests for Cheetah composition: parameters, sweeps, campaigns, manifest."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cheetah.campaign import AppSpec, Campaign, Sweep, SweepGroup
+from repro.cheetah.manifest import (
+    CampaignManifest,
+    RunSpec,
+    manifest_from_json,
+    manifest_to_json,
+)
+from repro.cheetah.parameters import (
+    DerivedParameter,
+    LinspaceParameter,
+    ParameterError,
+    RangeParameter,
+    SweepParameter,
+)
+
+
+class TestParameters:
+    def test_sweep_parameter_values(self):
+        p = SweepParameter("x", [1, 2, 3])
+        assert p.values == (1, 2, 3)
+        assert len(p) == 3
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ParameterError):
+            SweepParameter("x", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            SweepParameter("", [1])
+
+    def test_range_parameter(self):
+        assert RangeParameter("i", 0, 6, 2).values == (0, 2, 4)
+
+    def test_range_validation(self):
+        with pytest.raises(ParameterError):
+            RangeParameter("i", 5, 5)
+        with pytest.raises(ParameterError):
+            RangeParameter("i", 0, 5, 0)
+
+    def test_linspace_parameter(self):
+        vals = LinspaceParameter("f", 0.0, 1.0, 3).values
+        assert vals == (0.0, 0.5, 1.0)
+
+    def test_linspace_validation(self):
+        with pytest.raises(ParameterError):
+            LinspaceParameter("f", 0.0, 1.0, 1)
+        with pytest.raises(ParameterError):
+            LinspaceParameter("f", 1.0, 0.0, 3)
+
+    def test_derived_requires_callable(self):
+        with pytest.raises(ParameterError):
+            DerivedParameter("d", "not-callable")
+
+
+class TestSweep:
+    def test_cartesian_product_order(self):
+        sweep = Sweep([SweepParameter("a", [1, 2]), SweepParameter("b", "xy")])
+        configs = list(sweep.configurations())
+        assert configs == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_derived_evaluated_after_swept(self):
+        sweep = Sweep(
+            [SweepParameter("n", [2, 3])],
+            derived=[DerivedParameter("sq", lambda c: c["n"] ** 2)],
+        )
+        assert [c["sq"] for c in sweep.configurations()] == [4, 9]
+
+    def test_filter_prunes(self):
+        sweep = Sweep(
+            [SweepParameter("n", range(10))], filter=lambda c: c["n"] % 3 == 0
+        )
+        assert len(sweep) == 4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            Sweep([SweepParameter("a", [1]), SweepParameter("a", [2])])
+
+    def test_no_parameters_rejected(self):
+        with pytest.raises(ParameterError):
+            Sweep([])
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(ParameterError):
+            Sweep(["not-a-parameter"])
+
+
+class TestSweepGroup:
+    def test_len_sums_sweeps(self):
+        g = SweepGroup("g", nodes=4, walltime=100.0)
+        g.add(Sweep([SweepParameter("a", [1, 2])]))
+        g.add(Sweep([SweepParameter("b", [1, 2, 3])]))
+        assert len(g) == 5
+
+    def test_invalid_resources_rejected(self):
+        with pytest.raises(ValueError):
+            SweepGroup("g", nodes=0, walltime=100.0)
+        with pytest.raises(ValueError):
+            SweepGroup("g", nodes=1, walltime=0.0)
+
+
+class TestCampaign:
+    def make(self):
+        camp = Campaign("study", app=AppSpec("app", nodes_per_run=2))
+        sg = camp.sweep_group("g1", nodes=8, walltime=3600.0)
+        sg.add(Sweep([SweepParameter("x", [10, 20])]))
+        return camp
+
+    def test_total_runs(self):
+        assert self.make().total_runs() == 2
+
+    def test_duplicate_group_rejected(self):
+        camp = self.make()
+        with pytest.raises(ValueError, match="duplicate sweep group"):
+            camp.sweep_group("g1", nodes=1, walltime=1.0)
+
+    def test_manifest_run_ids_and_nodes(self):
+        man = self.make().to_manifest()
+        assert [r.run_id for r in man.runs] == ["g1/run-0000", "g1/run-0001"]
+        assert all(r.nodes == 2 for r in man.runs)
+        assert man.group_meta("g1")["runs"] == 2
+
+    def test_manifest_group_lookup(self):
+        man = self.make().to_manifest()
+        assert len(man.runs_in_group("g1")) == 2
+        with pytest.raises(KeyError):
+            man.group_meta("nope")
+
+    def test_context_lists_swept_parameters(self):
+        ctx = self.make().context()
+        assert ctx.swept_parameters == ("x",)
+        assert ctx.name == "study"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign("", app=AppSpec("a"))
+
+
+class TestManifestJson:
+    def test_roundtrip(self):
+        man = TestCampaign().make().to_manifest()
+        assert manifest_from_json(manifest_to_json(man)) == man
+
+    def test_rejects_wrong_schema_version(self):
+        man = TestCampaign().make().to_manifest()
+        doc = json.loads(manifest_to_json(man))
+        doc["schema_version"] = "0.9"
+        with pytest.raises(ValueError, match="unsupported manifest schema version"):
+            manifest_from_json(json.dumps(doc))
+
+    def test_duplicate_run_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate run_ids"):
+            CampaignManifest(
+                campaign="c",
+                app="a",
+                runs=(
+                    RunSpec("r1", "g", {}),
+                    RunSpec("r1", "g", {}),
+                ),
+            )
+
+    def test_runspec_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec("", "g", {})
+        with pytest.raises(ValueError):
+            RunSpec("r", "g", {}, nodes=0)
+
+
+@given(
+    st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=20),
+    st.integers(min_value=1, max_value=4),
+)
+def test_manifest_roundtrip_property(values, nodes_per_run):
+    """Property: campaign -> manifest -> json -> manifest is identity."""
+    camp = Campaign("prop", app=AppSpec("app", nodes_per_run=nodes_per_run))
+    sg = camp.sweep_group("g", nodes=4, walltime=60.0)
+    sg.add(Sweep([SweepParameter("v", values)]))
+    man = camp.to_manifest()
+    assert manifest_from_json(manifest_to_json(man)) == man
+    assert len(man) == len(values)

@@ -1,0 +1,94 @@
+"""Tests for the campaign directory schema."""
+
+import json
+
+import pytest
+
+from repro.cheetah.campaign import AppSpec, Campaign, Sweep
+from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.cheetah.parameters import SweepParameter
+
+
+def make_manifest(n=4):
+    camp = Campaign("study", app=AppSpec("app"))
+    sg = camp.sweep_group("g", nodes=2, walltime=60.0)
+    sg.add(Sweep([SweepParameter("x", range(n))]))
+    return camp.to_manifest()
+
+
+class TestCreation:
+    def test_layout(self, tmp_path):
+        man = make_manifest()
+        root = CampaignDirectory(tmp_path, man).create()
+        assert (root / ".cheetah" / "manifest.json").exists()
+        assert (root / ".cheetah" / "status.json").exists()
+        assert (root / "g" / "run-0000" / "params.json").exists()
+
+    def test_params_json_content(self, tmp_path):
+        man = make_manifest()
+        cd = CampaignDirectory(tmp_path, man)
+        cd.create()
+        params = json.loads((cd.run_dir("g/run-0002") / "params.json").read_text())
+        assert params == {"x": 2}
+
+    def test_idempotent_create(self, tmp_path):
+        man = make_manifest()
+        cd = CampaignDirectory(tmp_path, man)
+        cd.create()
+        cd.set_status("g/run-0000", RunStatus.DONE)
+        cd.create()  # re-create must not reset status
+        assert cd.read_status()["g/run-0000"] is RunStatus.DONE
+
+    def test_conflicting_manifest_rejected(self, tmp_path):
+        CampaignDirectory(tmp_path, make_manifest(3)).create()
+        with pytest.raises(RuntimeError, match="different manifest"):
+            CampaignDirectory(tmp_path, make_manifest(5)).create()
+
+    def test_open_existing(self, tmp_path):
+        man = make_manifest()
+        CampaignDirectory(tmp_path, man).create()
+        cd = CampaignDirectory.open(tmp_path / "study")
+        assert cd.manifest == man
+
+
+class TestStatus:
+    def test_all_pending_initially(self, tmp_path):
+        cd = CampaignDirectory(tmp_path, make_manifest())
+        cd.create()
+        assert cd.summary() == {"pending": 4, "running": 0, "done": 0, "failed": 0}
+
+    def test_set_and_read(self, tmp_path):
+        cd = CampaignDirectory(tmp_path, make_manifest())
+        cd.create()
+        cd.set_status("g/run-0001", RunStatus.RUNNING)
+        assert cd.read_status()["g/run-0001"] is RunStatus.RUNNING
+
+    def test_batch_update(self, tmp_path):
+        cd = CampaignDirectory(tmp_path, make_manifest())
+        cd.create()
+        cd.update_status({"g/run-0000": RunStatus.DONE, "g/run-0001": RunStatus.FAILED})
+        assert cd.summary()["done"] == 1
+        assert cd.summary()["failed"] == 1
+
+    def test_unknown_run_rejected(self, tmp_path):
+        cd = CampaignDirectory(tmp_path, make_manifest())
+        cd.create()
+        with pytest.raises(KeyError):
+            cd.set_status("ghost", RunStatus.DONE)
+
+    def test_pending_runs_for_resubmission(self, tmp_path):
+        """FAILED counts as pending: resubmission retries failures (§V-D)."""
+        cd = CampaignDirectory(tmp_path, make_manifest())
+        cd.create()
+        cd.update_status({"g/run-0000": RunStatus.DONE, "g/run-0001": RunStatus.FAILED})
+        pending = cd.pending_runs()
+        ids = [r.run_id for r in pending]
+        assert "g/run-0000" not in ids
+        assert "g/run-0001" in ids
+        assert len(pending) == 3
+
+    def test_pending_runs_group_filter(self, tmp_path):
+        cd = CampaignDirectory(tmp_path, make_manifest())
+        cd.create()
+        assert len(cd.pending_runs(group="g")) == 4
+        assert cd.pending_runs(group="other") == ()

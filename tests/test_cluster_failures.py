@@ -1,0 +1,67 @@
+"""Tests for the MTTF failure model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import FailureModel
+
+
+class TestDisabled:
+    def test_none_mttf_never_fails(self):
+        model = FailureModel(mttf=None)
+        assert model.failure_probability(1e9, nodes=1000) == 0.0
+        assert model.sample_failure_time(1e9, nodes=1000) is None
+        assert model.expected_failures(1e9) == 0.0
+
+
+class TestProbability:
+    def test_exponential_formula(self):
+        model = FailureModel(mttf=1000.0)
+        assert model.failure_probability(1000.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_more_nodes_more_risk(self):
+        model = FailureModel(mttf=1000.0)
+        assert model.failure_probability(100.0, nodes=10) > model.failure_probability(100.0, nodes=1)
+
+    def test_probability_bounded(self):
+        model = FailureModel(mttf=10.0)
+        p = model.failure_probability(1e9, nodes=100)
+        assert 0 <= p <= 1
+
+    def test_expected_failures_linear_in_duration(self):
+        model = FailureModel(mttf=100.0)
+        assert model.expected_failures(200.0) == pytest.approx(2.0)
+        assert model.expected_failures(200.0, nodes=3) == pytest.approx(6.0)
+
+
+class TestSampling:
+    def test_sample_within_duration_or_none(self):
+        model = FailureModel(mttf=500.0, seed=1)
+        for _ in range(200):
+            t = model.sample_failure_time(100.0)
+            assert t is None or 0 <= t < 100.0
+
+    def test_short_task_rarely_fails(self):
+        model = FailureModel(mttf=1e7, seed=2)
+        fails = sum(model.sample_failure_time(60.0) is not None for _ in range(500))
+        assert fails <= 3
+
+    def test_empirical_rate_matches_theory(self):
+        model = FailureModel(mttf=1000.0, seed=3)
+        n = 4000
+        fails = sum(model.sample_failure_time(500.0) is not None for _ in range(n))
+        expected = 1 - math.exp(-0.5)
+        assert fails / n == pytest.approx(expected, abs=0.04)
+
+    def test_deterministic_per_seed(self):
+        a = FailureModel(mttf=100.0, seed=9)
+        b = FailureModel(mttf=100.0, seed=9)
+        assert [a.sample_failure_time(50.0) for _ in range(10)] == [
+            b.sample_failure_time(50.0) for _ in range(10)
+        ]
+
+    def test_invalid_mttf_rejected(self):
+        with pytest.raises(ValueError):
+            FailureModel(mttf=0)

@@ -1,0 +1,108 @@
+"""Tests for the parallel-filesystem model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.filesystem import FilesystemLoadModel, ParallelFilesystem
+
+
+class TestConstantLoad:
+    def test_write_time_is_bytes_over_bandwidth(self):
+        fs = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        assert fs.write_time(int(2e9), now=0.0) == pytest.approx(2.0)
+
+    def test_read_time_symmetric(self):
+        fs = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        assert fs.read_time(int(1e9), now=0.0) == pytest.approx(1.0)
+
+    def test_load_is_one_without_model(self):
+        fs = ParallelFilesystem(load_model=None)
+        assert fs.current_load(100.0) == 1.0
+
+    def test_bytes_written_accumulates(self):
+        fs = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        fs.write_time(100, 0.0)
+        fs.write_time(200, 1.0)
+        assert fs.bytes_written == 300
+        assert len(fs.write_log) == 2
+
+    def test_negative_bytes_rejected(self):
+        fs = ParallelFilesystem(load_model=None)
+        with pytest.raises(ValueError):
+            fs.write_time(-1, 0.0)
+
+
+class TestStochasticLoad:
+    def test_load_never_below_one(self):
+        fs = ParallelFilesystem(load_model=FilesystemLoadModel(mean_load=1.2, sigma=0.8), seed=3)
+        loads = [fs.current_load(t * 60.0) for t in range(200)]
+        assert all(l >= 1.0 for l in loads)
+
+    def test_load_varies_over_time(self):
+        fs = ParallelFilesystem(load_model=FilesystemLoadModel(), seed=3)
+        loads = {round(fs.current_load(t * 600.0), 6) for t in range(20)}
+        assert len(loads) > 5
+
+    def test_deterministic_per_seed(self):
+        a = ParallelFilesystem(load_model=FilesystemLoadModel(), seed=11)
+        b = ParallelFilesystem(load_model=FilesystemLoadModel(), seed=11)
+        for t in range(5):
+            assert a.current_load(t * 100.0) == b.current_load(t * 100.0)
+
+    def test_write_slower_under_load(self):
+        loaded = ParallelFilesystem(
+            peak_bandwidth=1e9,
+            load_model=FilesystemLoadModel(mean_load=4.0, sigma=0.0),
+            seed=0,
+        )
+        clean = ParallelFilesystem(peak_bandwidth=1e9, load_model=None)
+        assert loaded.write_time(int(1e9), 10.0) > clean.write_time(int(1e9), 10.0)
+
+    def test_mean_reversion_toward_mean_load(self):
+        """Long-run average load should sit near mean_load."""
+        import numpy as np
+
+        model = FilesystemLoadModel(mean_load=2.0, sigma=0.3, theta=1 / 60.0)
+        fs = ParallelFilesystem(load_model=model, seed=5)
+        loads = [fs.current_load(t * 120.0) for t in range(500)]
+        assert 1.4 < np.mean(loads) < 2.8
+
+
+class TestMetadataCost:
+    def test_superlinear_past_knee(self):
+        fs = ParallelFilesystem(load_model=None)
+        below = fs.metadata_op_time(900, 0.0)
+        above = fs.metadata_op_time(9000, 0.0)
+        # Past the knee, 10x files costs far more than 10x time.
+        assert above > 10 * below
+
+    def test_linear_below_knee(self):
+        fs = ParallelFilesystem(load_model=None)
+        assert fs.metadata_op_time(500, 0.0) == pytest.approx(2 * fs.metadata_op_time(250, 0.0))
+
+    def test_zero_files(self):
+        fs = ParallelFilesystem(load_model=None)
+        assert fs.metadata_op_time(0, 0.0) == 0.0
+
+
+class TestValidation:
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelFilesystem(peak_bandwidth=0)
+
+    def test_bad_model_params_rejected(self):
+        with pytest.raises(ValueError):
+            FilesystemLoadModel(mean_load=0)
+        with pytest.raises(ValueError):
+            FilesystemLoadModel(sigma=-1)
+        with pytest.raises(ValueError):
+            FilesystemLoadModel(theta=0)
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_write_time_nonnegative_and_monotone_in_bytes(nbytes):
+    fs = ParallelFilesystem(peak_bandwidth=1e12, load_model=None)
+    t = fs.write_time(nbytes, 0.0)
+    assert t >= 0
+    assert fs.write_time(nbytes * 2, 0.0) >= t

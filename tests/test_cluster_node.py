@@ -1,0 +1,95 @@
+"""Tests for nodes and the node pool."""
+
+import pytest
+
+from repro.cluster.node import Node, NodePool
+
+
+class TestNode:
+    def test_busy_interval_recorded(self):
+        node = Node(index=0)
+        node.mark_busy(1.0)
+        node.mark_idle(4.0)
+        assert node.busy_intervals == [(1.0, 4.0)]
+        assert node.busy_time() == 3.0
+
+    def test_double_busy_rejected(self):
+        node = Node(index=0)
+        node.mark_busy(0.0)
+        with pytest.raises(RuntimeError, match="already busy"):
+            node.mark_busy(1.0)
+
+    def test_idle_without_busy_rejected(self):
+        node = Node(index=0)
+        with pytest.raises(RuntimeError, match="not busy"):
+            node.mark_idle(1.0)
+
+    def test_end_before_start_rejected(self):
+        node = Node(index=0)
+        node.mark_busy(5.0)
+        with pytest.raises(ValueError):
+            node.mark_idle(4.0)
+
+    def test_close_flushes_open_interval(self):
+        node = Node(index=0)
+        node.mark_busy(2.0)
+        node.close(7.0)
+        assert node.busy_intervals == [(2.0, 7.0)]
+        assert not node.busy
+
+    def test_close_idle_node_is_noop(self):
+        node = Node(index=0)
+        node.close(7.0)
+        assert node.busy_intervals == []
+
+    def test_busy_time_with_horizon_clips(self):
+        node = Node(index=0)
+        node.mark_busy(0.0)
+        node.mark_idle(10.0)
+        assert node.busy_time(horizon=4.0) == 4.0
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Node(index=0, cores=0)
+
+
+class TestNodePool:
+    def test_acquire_lowest_indices_first(self):
+        pool = NodePool(4)
+        taken = pool.acquire(2)
+        assert [n.index for n in taken] == [0, 1]
+
+    def test_acquire_release_cycle(self):
+        pool = NodePool(3)
+        taken = pool.acquire(3)
+        assert pool.free_count == 0
+        pool.release(taken)
+        assert pool.free_count == 3
+
+    def test_over_acquire_rejected(self):
+        pool = NodePool(2)
+        pool.acquire(2)
+        with pytest.raises(RuntimeError, match="only 0 free"):
+            pool.acquire(1)
+
+    def test_double_release_rejected(self):
+        pool = NodePool(2)
+        taken = pool.acquire(1)
+        pool.release(taken)
+        with pytest.raises(RuntimeError, match="released twice"):
+            pool.release(taken)
+
+    def test_release_restores_low_index_priority(self):
+        pool = NodePool(4)
+        first = pool.acquire(2)  # 0, 1
+        pool.acquire(2)  # 2, 3
+        pool.release(first)
+        again = pool.acquire(1)
+        assert again[0].index == 0
+
+    def test_len(self):
+        assert len(NodePool(5)) == 5
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            NodePool(0)

@@ -1,0 +1,226 @@
+"""Tests for the batch scheduler: queueing, walltime, early finish."""
+
+import pytest
+
+from repro.cluster.engine import Simulator
+from repro.cluster.job import AllocationRequest
+from repro.cluster.node import NodePool
+from repro.cluster.scheduler import BatchScheduler, QueueModel
+
+
+def make_scheduler(nodes=4, wait=10.0):
+    sim = Simulator()
+    pool = NodePool(nodes)
+    sched = BatchScheduler(sim, pool, QueueModel(median_wait=wait, sigma=0.0), seed=0)
+    return sim, pool, sched
+
+
+class TestSubmission:
+    def test_grant_after_queue_wait(self):
+        sim, pool, sched = make_scheduler(wait=10.0)
+        granted = []
+        sched.submit(AllocationRequest(nodes=2, walltime=100.0), granted.append)
+        sim.run()
+        assert len(granted) == 1
+        # deterministic wait: median * (1 + frac)^0.5 with frac = 2/4
+        assert granted[0].start == pytest.approx(10.0 * 1.5**0.5)
+
+    def test_allocation_gets_requested_nodes(self):
+        sim, pool, sched = make_scheduler()
+        granted = []
+        sched.submit(AllocationRequest(nodes=3, walltime=50.0), granted.append)
+        sim.run()
+        assert len(granted[0].nodes) == 3
+
+    def test_oversized_request_rejected(self):
+        sim, pool, sched = make_scheduler(nodes=2)
+        with pytest.raises(ValueError, match="machine has 2"):
+            sched.submit(AllocationRequest(nodes=3, walltime=10.0), lambda a: None)
+
+    def test_fcfs_blocks_second_job_until_nodes_free(self):
+        sim, pool, sched = make_scheduler(nodes=4, wait=0.0)
+        starts = {}
+        sched.submit(
+            AllocationRequest(nodes=4, walltime=100.0, name="j1"),
+            lambda a: starts.__setitem__("j1", sim.now),
+        )
+        sched.submit(
+            AllocationRequest(nodes=2, walltime=50.0, name="j2"),
+            lambda a: starts.__setitem__("j2", sim.now),
+        )
+        sim.run()
+        assert starts["j2"] >= starts["j1"] + 100.0
+
+    def test_on_end_fires_at_deadline(self):
+        sim, pool, sched = make_scheduler(wait=0.0)
+        ends = []
+        sched.submit(
+            AllocationRequest(nodes=1, walltime=30.0),
+            lambda a: None,
+            lambda a: ends.append(sim.now),
+        )
+        sim.run()
+        assert ends == [30.0]
+
+    def test_nodes_released_after_deadline(self):
+        sim, pool, sched = make_scheduler(nodes=2, wait=0.0)
+        sched.submit(AllocationRequest(nodes=2, walltime=10.0), lambda a: None)
+        sim.run()
+        assert pool.free_count == 2
+
+
+class TestEarlyFinish:
+    def test_finish_releases_nodes_immediately(self):
+        sim, pool, sched = make_scheduler(nodes=2, wait=0.0)
+        holder = {}
+        sched.submit(
+            AllocationRequest(nodes=2, walltime=1000.0),
+            lambda a: holder.__setitem__("alloc", a),
+        )
+        sim.run(until=5.0)
+        sched.finish(holder["alloc"])
+        assert pool.free_count == 2
+        assert sim.now == 5.0
+
+    def test_finish_cancels_deadline_callback(self):
+        sim, pool, sched = make_scheduler(wait=0.0)
+        ends = []
+        holder = {}
+        sched.submit(
+            AllocationRequest(nodes=1, walltime=1000.0),
+            lambda a: holder.__setitem__("alloc", a),
+            lambda a: ends.append(sim.now),
+        )
+        sim.run(until=5.0)
+        sched.finish(holder["alloc"])
+        sim.run()
+        assert ends == [5.0]  # fired once, at finish time, not at 1000
+
+    def test_finish_twice_rejected(self):
+        sim, pool, sched = make_scheduler(wait=0.0)
+        holder = {}
+        sched.submit(
+            AllocationRequest(nodes=1, walltime=1000.0),
+            lambda a: holder.__setitem__("alloc", a),
+        )
+        sim.run(until=1.0)
+        sched.finish(holder["alloc"])
+        with pytest.raises(RuntimeError, match="not active"):
+            sched.finish(holder["alloc"])
+
+    def test_finish_unblocks_queued_job(self):
+        sim, pool, sched = make_scheduler(nodes=2, wait=0.0)
+        holder, starts = {}, []
+        sched.submit(
+            AllocationRequest(nodes=2, walltime=1000.0, name="j1"),
+            lambda a: holder.__setitem__("alloc", a),
+        )
+        sched.submit(
+            AllocationRequest(nodes=2, walltime=10.0, name="j2"),
+            lambda a: starts.append(sim.now),
+        )
+        sim.run(until=5.0)
+        sched.finish(holder["alloc"])
+        sim.run()
+        assert starts == [5.0]
+
+
+class TestBackfill:
+    def make(self, backfill):
+        sim = Simulator()
+        pool = NodePool(4)
+        sched = BatchScheduler(
+            sim, pool, QueueModel(median_wait=0.0, sigma=0.0), backfill=backfill, seed=0
+        )
+        return sim, pool, sched
+
+    def submit_blocked_head_scenario(self, sched, sim, starts):
+        # j1 holds 2 of 4 nodes; j2 (the head, wants all 4) blocks;
+        # j3 (2 nodes) fits in the idle half right now.
+        sched.submit(
+            AllocationRequest(nodes=2, walltime=100.0, name="j1"),
+            lambda a: starts.append(("j1", sim.now)),
+        )
+        sched.submit(
+            AllocationRequest(nodes=4, walltime=100.0, name="j2"),
+            lambda a: starts.append(("j2", sim.now)),
+        )
+        sched.submit(
+            AllocationRequest(nodes=2, walltime=10.0, name="j3"),
+            lambda a: starts.append(("j3", sim.now)),
+        )
+
+    def test_fcfs_blocks_small_job_behind_big(self):
+        sim, pool, sched = self.make(backfill=False)
+        starts = []
+        self.submit_blocked_head_scenario(sched, sim, starts)
+        sim.run()
+        order = [name for name, _t in starts]
+        assert order == ["j1", "j2", "j3"]
+        start_times = dict(starts)
+        assert start_times["j3"] >= 200.0
+
+    def test_backfill_lets_small_job_jump(self):
+        """j3 backfills into the idle half of the machine while the
+        whole-machine head job waits."""
+        sim, pool, sched = self.make(backfill=True)
+        starts = []
+        self.submit_blocked_head_scenario(sched, sim, starts)
+        sim.run()
+        start_times = dict(starts)
+        assert start_times["j3"] == 0.0
+        assert start_times["j3"] < start_times["j2"]
+
+    def test_backfill_immediate_when_space_free(self):
+        sim, pool, sched = self.make(backfill=True)
+        starts = []
+        sched.submit(
+            AllocationRequest(nodes=3, walltime=50.0, name="big"),
+            lambda a: starts.append(("big", sim.now)),
+        )
+        sched.submit(
+            AllocationRequest(nodes=2, walltime=50.0, name="blocked"),
+            lambda a: starts.append(("blocked", sim.now)),
+        )
+        sched.submit(
+            AllocationRequest(nodes=1, walltime=5.0, name="tiny"),
+            lambda a: starts.append(("tiny", sim.now)),
+        )
+        sim.run()
+        start_times = dict(starts)
+        assert start_times["tiny"] == 0.0  # fills the idle 4th node at once
+
+    def test_backfill_preserves_head_eventual_start(self):
+        sim, pool, sched = self.make(backfill=True)
+        starts = []
+        self.submit_blocked_head_scenario(sched, sim, starts)
+        sim.run()
+        assert {name for name, _t in starts} == {"j1", "j2", "j3"}
+
+
+class TestQueueModel:
+    def test_deterministic_when_sigma_zero(self):
+        import numpy as np
+
+        qm = QueueModel(median_wait=60.0, sigma=0.0)
+        req = AllocationRequest(nodes=1, walltime=10.0)
+        rng = np.random.default_rng(0)
+        assert qm.sample(req, 100, rng) == qm.sample(req, 100, rng)
+
+    def test_bigger_jobs_wait_longer(self):
+        import numpy as np
+
+        qm = QueueModel(median_wait=60.0, sigma=0.0)
+        rng = np.random.default_rng(0)
+        small = qm.sample(AllocationRequest(nodes=1, walltime=10.0), 100, rng)
+        big = qm.sample(AllocationRequest(nodes=100, walltime=10.0), 100, rng)
+        assert big > small
+
+    def test_stochastic_wait_varies(self):
+        import numpy as np
+
+        qm = QueueModel(median_wait=60.0, sigma=1.0)
+        req = AllocationRequest(nodes=1, walltime=10.0)
+        rng = np.random.default_rng(0)
+        samples = {qm.sample(req, 100, rng) for _ in range(10)}
+        assert len(samples) > 1

@@ -1,0 +1,165 @@
+"""Tests for dataflow channels and basic components."""
+
+import pytest
+
+from repro.dataflow.channels import Channel, ChannelClosed, DataItem, Punctuation
+from repro.dataflow.components import (
+    Component,
+    ControlSource,
+    PortError,
+    Sink,
+    Source,
+    Transform,
+)
+from repro.dataflow.graph import DataflowGraph
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        ch = Channel("c")
+        ch.push(DataItem(payload=1))
+        ch.push(DataItem(payload=2))
+        assert ch.pop().payload == 1
+        assert ch.pop().payload == 2
+
+    def test_pop_empty_returns_none(self):
+        assert Channel("c").pop() is None
+
+    def test_capacity_blocks_data(self):
+        ch = Channel("c", capacity=1)
+        ch.push(DataItem(payload=1))
+        assert not ch.can_push()
+        with pytest.raises(RuntimeError, match="full"):
+            ch.push(DataItem(payload=2))
+
+    def test_punctuation_bypasses_capacity(self):
+        ch = Channel("c", capacity=1)
+        ch.push(DataItem(payload=1))
+        ch.push(Punctuation("group-boundary"))  # must not raise
+        assert len(ch) == 2
+
+    def test_close_appends_eos(self):
+        ch = Channel("c")
+        ch.close()
+        entry = ch.pop()
+        assert isinstance(entry, Punctuation) and entry.kind == "eos"
+        assert ch.drained
+
+    def test_push_after_close_rejected(self):
+        ch = Channel("c")
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.push(DataItem(payload=1))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            Channel("c").push("raw")
+
+    def test_seq_numbers_increase(self):
+        a, b = DataItem(payload=1), DataItem(payload=2)
+        assert b.seq > a.seq
+
+
+class TestComponentBinding:
+    def test_unknown_port_rejected(self):
+        c = Component("c", inputs=("in",), outputs=("out",))
+        with pytest.raises(PortError, match="no input port"):
+            c.bind_input("nope", Channel("x"))
+        with pytest.raises(PortError, match="no output port"):
+            c.bind_output("nope", Channel("x"))
+
+    def test_double_bind_rejected(self):
+        c = Component("c", inputs=("in",))
+        c.bind_input("in", Channel("x"))
+        with pytest.raises(PortError, match="already bound"):
+            c.bind_input("in", Channel("y"))
+
+    def test_overlapping_port_names_rejected(self):
+        with pytest.raises(PortError, match="both input and output"):
+            Component("c", inputs=("p",), outputs=("p",))
+
+    def test_fully_bound(self):
+        c = Component("c", inputs=("in",), outputs=("out",))
+        assert not c.fully_bound()
+        c.bind_input("in", Channel("x"))
+        c.bind_output("out", Channel("y"))
+        assert c.fully_bound()
+
+
+def run_pipeline(*components, connections):
+    g = DataflowGraph("t")
+    for c in components:
+        g.add(c)
+    for src, sp, dst, dp in connections:
+        g.connect(src, sp, dst, dp)
+    metrics = g.run()
+    return g, metrics
+
+
+class TestSourceSinkTransform:
+    def test_source_to_sink(self):
+        src = Source("s", range(5))
+        sink = Sink("k")
+        _g, metrics = run_pipeline(src, sink, connections=[(src, "out", sink, "in")])
+        assert sink.payloads() == [0, 1, 2, 3, 4]
+        assert metrics["per_component"]["s"]["out"] == 5
+
+    def test_source_timestamps_use_clock(self):
+        src = Source("s", range(3), clock=lambda i: i * 2.0)
+        sink = Sink("k")
+        run_pipeline(src, sink, connections=[(src, "out", sink, "in")])
+        assert [item.timestamp for item in sink.received] == [0.0, 2.0, 4.0]
+
+    def test_transform_applies_function(self):
+        src = Source("s", range(4))
+        t = Transform("t", lambda v: v * 10)
+        sink = Sink("k")
+        run_pipeline(
+            src, t, sink,
+            connections=[(src, "out", t, "in"), (t, "out", sink, "in")],
+        )
+        assert sink.payloads() == [0, 10, 20, 30]
+
+    def test_transform_preserves_seq_and_timestamp(self):
+        src = Source("s", range(2), clock=lambda i: 5.0 + i)
+        t = Transform("t", lambda v: v)
+        sink = Sink("k")
+        run_pipeline(
+            src, t, sink,
+            connections=[(src, "out", t, "in"), (t, "out", sink, "in")],
+        )
+        assert [i.timestamp for i in sink.received] == [5.0, 6.0]
+
+    def test_sink_collects_non_eos_punctuation(self):
+        src = Source("s", range(1))
+        sink = Sink("k")
+        g = DataflowGraph("t")
+        g.add(src), g.add(sink)
+        ch = g.connect(src, "out", sink, "in")
+        ch.push(Punctuation("group-boundary"))
+        g.run()
+        assert [p.kind for p in sink.punctuation] == ["group-boundary"]
+
+
+class TestControlSource:
+    def test_emits_script_in_order(self):
+        marks = [(0, Punctuation("a")), (0, Punctuation("b"))]
+        ctrl = ControlSource("c", marks)
+        sink = Sink("k")
+        run_pipeline(ctrl, sink, connections=[(ctrl, "out", sink, "in")])
+        assert [p.kind for p in sink.punctuation] == ["a", "b"]
+
+    def test_watch_defers_until_watermark(self):
+        class Watch:
+            items_seen = 0
+
+        watch = Watch()
+        ctrl = ControlSource("c", [(5, Punctuation("late"))], watch=watch)
+        ctrl.bind_output("out", Channel("x"))
+        assert ctrl.step() is False  # 0 < 5
+        watch.items_seen = 5
+        assert ctrl.step() is True
+
+    def test_bad_script_entry_rejected(self):
+        with pytest.raises(TypeError, match="script entries"):
+            ControlSource("c", ["not-a-tuple"])

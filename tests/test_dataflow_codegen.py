@@ -1,0 +1,131 @@
+"""Tests for generated communication components."""
+
+import pytest
+
+from repro.dataflow.codegen import CommunicationCodegen, generated_source_reuse
+from repro.dataflow.components import Sink
+from repro.dataflow.graph import DataflowGraph
+from repro.metadata.schema import DataSchema, Field
+from repro.metadata.semantics import ConsumptionPattern, DataSemanticsDescriptor, Ordering
+
+
+def schema(extra=()):
+    fields = (Field("v", "int64"), Field("t", "float64")) + tuple(extra)
+    return DataSchema("telemetry", "1", fields)
+
+
+def semantics(ordered=True):
+    return DataSemanticsDescriptor(
+        ordering=Ordering.ORDERED if ordered else Ordering.UNORDERED,
+        consumption=ConsumptionPattern.ELEMENT,
+    )
+
+
+class TestGeneration:
+    def test_generates_collector_and_forwarder(self):
+        files = CommunicationCodegen().generate(schema(), semantics())
+        assert {f.template_name for f in files} == {"collector", "forwarder"}
+        assert {f.relpath for f in files} == {
+            "collector_telemetry.py",
+            "forwarder_telemetry.py",
+        }
+
+    def test_requires_self_describing_schema(self):
+        bare = DataSchema("blob", "1")
+        with pytest.raises(ValueError, match="SELF_DESCRIBING"):
+            CommunicationCodegen().generate(bare, semantics())
+
+    def test_materialize_yields_classes(self):
+        cg = CommunicationCodegen()
+        classes = cg.materialize(cg.generate(schema(), semantics()))
+        assert set(classes) == {
+            "GeneratedTelemetryCollector",
+            "GeneratedTelemetryForwarder",
+        }
+
+
+class TestGeneratedBehaviour:
+    def make_classes(self, ordered=True, extra=()):
+        cg = CommunicationCodegen()
+        return cg.materialize(cg.generate(schema(extra), semantics(ordered)))
+
+    def run_graph(self, collector, forwarder):
+        g = DataflowGraph("gen")
+        g.add(collector)
+        g.add(forwarder)
+        sink = g.add(Sink("k"))
+        g.connect(collector, "out", forwarder, "in")
+        g.connect(forwarder, "out", sink, "in")
+        g.run()
+        return sink
+
+    def test_collector_validates_schema_fields(self):
+        classes = self.make_classes()
+        bad_stream = [{"v": 1}]  # missing "t"
+        collector = classes["GeneratedTelemetryCollector"]("c", bad_stream)
+        forwarder = classes["GeneratedTelemetryForwarder"]("f")
+        with pytest.raises(ValueError, match="missing fields"):
+            self.run_graph(collector, forwarder)
+
+    def test_forwarder_marshals_field_order(self):
+        classes = self.make_classes()
+        stream = [{"t": 0.5, "v": 7}]  # note reversed key order
+        collector = classes["GeneratedTelemetryCollector"]("c", stream)
+        forwarder = classes["GeneratedTelemetryForwarder"]("f")
+        sink = self.run_graph(collector, forwarder)
+        assert sink.payloads() == [(7, 0.5)]
+
+    def test_collector_drops_extra_fields(self):
+        classes = self.make_classes()
+        stream = [{"v": 1, "t": 2.0, "junk": "x"}]
+        collector = classes["GeneratedTelemetryCollector"]("c", stream)
+        forwarder = classes["GeneratedTelemetryForwarder"]("f")
+        sink = self.run_graph(collector, forwarder)
+        assert sink.payloads() == [(1, 2.0)]
+
+    def test_order_enforcement_compiled_in(self):
+        cg = CommunicationCodegen()
+        forwarder = [
+            f for f in cg.generate(schema(), semantics(ordered=True))
+            if f.template_name == "forwarder"
+        ][0]
+        assert "PRESERVE_ORDER = True" in forwarder.content
+
+    def test_unordered_semantics_disable_enforcement(self):
+        cg = CommunicationCodegen()
+        forwarder = [
+            f for f in cg.generate(schema(), semantics(ordered=False))
+            if f.template_name == "forwarder"
+        ][0]
+        assert "PRESERVE_ORDER = False" in forwarder.content
+
+    def test_order_violation_raises_at_runtime(self):
+        classes = self.make_classes(ordered=True)
+        fwd = classes["GeneratedTelemetryForwarder"]("f")
+        from repro.dataflow.channels import Channel, DataItem
+
+        inp, out = Channel("i"), Channel("o")
+        fwd.bind_input("in", inp)
+        fwd.bind_output("out", out)
+        inp.push(DataItem(payload={"v": 1, "t": 0.0}, seq=5))
+        inp.push(DataItem(payload={"v": 2, "t": 1.0}, seq=3))  # out of order
+        fwd.step()
+        with pytest.raises(RuntimeError, match="order violation"):
+            fwd.step()
+
+
+class TestReuseMetric:
+    def test_identical_generation_full_reuse(self):
+        cg = CommunicationCodegen()
+        files = cg.generate(schema(), semantics())
+        assert generated_source_reuse(files, files) == 1.0
+
+    def test_schema_change_partial_reuse(self):
+        cg = CommunicationCodegen()
+        before = cg.generate(schema(), semantics())
+        after = cg.generate(schema(extra=(Field("q", "int8"),)), semantics())
+        reuse = generated_source_reuse(before, after)
+        assert 0.8 < reuse < 1.0
+
+    def test_empty_inputs(self):
+        assert generated_source_reuse([], []) == 1.0

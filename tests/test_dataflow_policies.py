@@ -1,0 +1,114 @@
+"""Tests for selection policies."""
+
+import pytest
+
+from repro.dataflow.channels import DataItem
+from repro.dataflow.policies import (
+    DirectSelection,
+    ForwardAll,
+    SampleEveryK,
+    SlidingWindowCount,
+    SlidingWindowTime,
+)
+
+
+def items(n, t0=0.0, dt=1.0):
+    return [DataItem(payload=i, timestamp=t0 + i * dt) for i in range(n)]
+
+
+class TestForwardAll:
+    def test_forwards_each_item(self):
+        p = ForwardAll()
+        for item in items(5):
+            assert p.admit(item) == [item]
+
+    def test_flush_empty(self):
+        assert ForwardAll().flush() == []
+
+
+class TestSlidingWindowCount:
+    def test_tumbling_default_stride(self):
+        p = SlidingWindowCount(3)
+        out = [p.admit(i) for i in items(7)]
+        released = [len(o) for o in out]
+        assert released == [0, 0, 3, 0, 0, 3, 0]
+
+    def test_overlapping_windows(self):
+        p = SlidingWindowCount(4, stride=2)
+        releases = [p.admit(i) for i in items(8)]
+        sizes = [len(r) for r in releases]
+        assert sizes == [0, 0, 0, 4, 0, 4, 0, 4]
+        # second window overlaps first by size - stride = 2 items
+        w1, w2 = p.windows[0], p.windows[1]
+        assert w1[2:] == w2[:2]
+
+    def test_flush_releases_partial_window(self):
+        p = SlidingWindowCount(4)
+        for i in items(2):
+            p.admit(i)
+        leftover = p.flush()
+        assert [i.payload for i in leftover] == [0, 1]
+
+    def test_flush_no_duplicate_of_complete_window(self):
+        p = SlidingWindowCount(2)
+        for i in items(2):
+            p.admit(i)
+        assert p.flush() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCount(0)
+        with pytest.raises(ValueError):
+            SlidingWindowCount(2, stride=0)
+
+
+class TestSlidingWindowTime:
+    def test_keeps_only_span(self):
+        p = SlidingWindowTime(2.0)
+        outs = [p.admit(i) for i in items(5)]  # timestamps 0..4
+        # at t=4 the window [2, 4] holds items 2,3,4
+        assert [i.payload for i in outs[-1]] == [2, 3, 4]
+
+    def test_every_admit_releases_window(self):
+        p = SlidingWindowTime(10.0)
+        outs = [p.admit(i) for i in items(3)]
+        assert [len(o) for o in outs] == [1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowTime(0)
+
+
+class TestDirectSelection:
+    def test_predicate_filters(self):
+        p = DirectSelection(lambda it: it.payload % 2 == 0)
+        outs = [len(p.admit(i)) for i in items(6)]
+        assert outs == [1, 0, 1, 0, 1, 0]
+
+    def test_select_from_queue_one_shot(self):
+        p = DirectSelection(lambda it: False)  # forward nothing live
+        for i in items(10):
+            p.admit(i)
+        picked = p.select_from_queue(lambda it: it.payload >= 8)
+        assert [i.payload for i in picked] == [8, 9]
+
+    def test_buffer_bounded(self):
+        p = DirectSelection(lambda it: False, keep_buffer=4)
+        for i in items(10):
+            p.admit(i)
+        assert len(p.select_from_queue(lambda it: True)) == 4
+
+
+class TestSampleEveryK:
+    def test_decimation(self):
+        p = SampleEveryK(3)
+        outs = [len(p.admit(i)) for i in items(9)]
+        assert outs == [0, 0, 1, 0, 0, 1, 0, 0, 1]
+
+    def test_k_one_forwards_all(self):
+        p = SampleEveryK(1)
+        assert all(len(p.admit(i)) == 1 for i in items(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampleEveryK(0)

@@ -1,0 +1,203 @@
+"""Tests for the data scheduler (virtual queues) and the graph run loop."""
+
+import pytest
+
+from repro.dataflow.channels import Channel, DataItem, Punctuation
+from repro.dataflow.components import ControlSource, Sink, Source
+from repro.dataflow.datascheduler import DataScheduler
+from repro.dataflow.graph import DataflowGraph, GraphValidationError
+from repro.dataflow.policies import ForwardAll, SampleEveryK, SlidingWindowTime
+
+
+def build(subscribers=("a", "b"), items=10, script=(), watch_sched=True, capacity=1024):
+    g = DataflowGraph("t")
+    sched = g.add(DataScheduler("sched", subscribers=subscribers))
+    src = g.add(Source("src", ({"v": i} for i in range(items))))
+    ctrl = g.add(
+        ControlSource("ctrl", list(script), watch=sched if watch_sched else None)
+    )
+    sinks = {}
+    g.connect(src, "out", sched, "in")
+    g.connect(ctrl, "out", sched, "control")
+    for name in subscribers:
+        sink = g.add(Sink(f"sink-{name}"))
+        g.connect(sched, name, sink, "in", capacity=capacity)
+        sinks[name] = sink
+    return g, sched, sinks
+
+
+class TestDefaults:
+    def test_forward_all_to_every_subscriber(self):
+        g, sched, sinks = build()
+        g.run()
+        assert len(sinks["a"].received) == 10
+        assert len(sinks["b"].received) == 10
+        assert sched.queue_stats()["a"]["policy"] == "forward-all"
+
+    def test_needs_subscribers(self):
+        with pytest.raises(ValueError):
+            DataScheduler("s", subscribers=())
+
+
+class TestControl:
+    def test_install_policy_applies_from_watermark(self):
+        script = [(5, Punctuation("install-policy", ("a", SampleEveryK(5))))]
+        g, sched, sinks = build(script=script)
+        g.run()
+        # first 5 forwarded, then every 5th of the remaining 5
+        assert len(sinks["a"].received) == 6
+        assert len(sinks["b"].received) == 10
+        assert sched.queues["a"].installs == [(5, "sample-every-k")]
+
+    def test_deactivate_and_activate(self):
+        script = [
+            (3, Punctuation("deactivate", "a")),
+            (7, Punctuation("activate", "a")),
+        ]
+        g, sched, sinks = build(script=script)
+        g.run()
+        assert len(sinks["a"].received) == 6  # missed items 3..6
+        assert len(sinks["b"].received) == 10
+
+    def test_group_boundary_forwarded(self):
+        script = [(2, Punctuation("group-boundary", "batch-1"))]
+        g, sched, sinks = build(script=script)
+        g.run()
+        assert [p.kind for p in sinks["a"].punctuation] == ["group-boundary"]
+
+    def test_unknown_command_raises(self):
+        g, sched, sinks = build(script=[(0, Punctuation("fire-lasers"))])
+        with pytest.raises(ValueError, match="unknown control command"):
+            g.run()
+
+    def test_unknown_queue_raises(self):
+        script = [(0, Punctuation("install-policy", ("ghost", ForwardAll())))]
+        g, sched, sinks = build(script=script)
+        with pytest.raises(KeyError, match="no virtual queue"):
+            g.run()
+
+    def test_non_policy_payload_rejected(self):
+        script = [(0, Punctuation("install-policy", ("a", "not-a-policy")))]
+        g, sched, sinks = build(script=script)
+        with pytest.raises(TypeError, match="SelectionPolicy"):
+            g.run()
+
+    def test_data_on_control_channel_rejected(self):
+        sched = DataScheduler("s", subscribers=("a",))
+        sched.bind_input("in", Channel("i"))
+        control = Channel("c")
+        sched.bind_input("control", control)
+        sched.bind_output("a", Channel("o"))
+        control._queue.append(DataItem(payload=1))  # bypass channel typing
+        with pytest.raises(TypeError, match="only Punctuation"):
+            sched.step()
+
+
+class TestBackpressure:
+    def test_amplifying_policy_with_tiny_channel(self):
+        """A window-time policy amplifies ~10x; a capacity-4 channel must
+        not overflow — releases trickle through the backlog."""
+        script = [(0, Punctuation("install-policy", ("a", SlidingWindowTime(10.0))))]
+        g, sched, sinks = build(subscribers=("a",), items=50, script=script, capacity=4)
+        g.run()
+        assert len(sinks["a"].received) > 50  # amplification happened
+        assert sched.queue_stats()["a"]["emitted"] == len(sinks["a"].received)
+
+    def test_flush_at_eos_delivered(self):
+        from repro.dataflow.policies import SlidingWindowCount
+
+        script = [(0, Punctuation("install-policy", ("a", SlidingWindowCount(4))))]
+        g, sched, sinks = build(subscribers=("a",), items=6, script=script)
+        g.run()
+        # one full window (4) plus the flushed partial (2)
+        assert len(sinks["a"].received) == 6
+
+
+class TestGraphValidation:
+    def test_unbound_port_rejected(self):
+        g = DataflowGraph("t")
+        g.add(Sink("k"))
+        with pytest.raises(GraphValidationError, match="unbound ports"):
+            g.run()
+
+    def test_duplicate_component_rejected(self):
+        g = DataflowGraph("t")
+        g.add(Sink("k"))
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            g.add(Sink("k"))
+
+    def test_unknown_component_in_connect(self):
+        g = DataflowGraph("t")
+        with pytest.raises(GraphValidationError, match="unknown component"):
+            g.connect("ghost", "out", "ghost2", "in")
+
+    def test_component_not_added_rejected(self):
+        g = DataflowGraph("t")
+        s = Source("s", range(1))
+        k = Sink("k")
+        g.add(k)
+        with pytest.raises(GraphValidationError, match="not added"):
+            g.connect(s, "out", k, "in")
+
+    def test_cycle_detected(self):
+        from repro.dataflow.components import Transform
+
+        g = DataflowGraph("t")
+        a = g.add(Transform("a", lambda v: v))
+        b = g.add(Transform("b", lambda v: v))
+        g.connect(a, "out", b, "in")
+        g.connect(b, "out", a, "in")
+        with pytest.raises(GraphValidationError, match="cycle"):
+            g.run()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphValidationError, match="no components"):
+            DataflowGraph("t").run()
+
+    def test_metrics_shape(self):
+        g, sched, sinks = build(items=5)
+        metrics = g.run()
+        assert metrics["rounds"] >= 5
+        assert metrics["items_moved"] > 0
+        assert "sched" in metrics["per_component"]
+
+    def test_stall_detected_with_backlog_report(self):
+        """A component that stops consuming must fail loudly, naming the
+        stuck channels — not hang."""
+        from repro.dataflow.components import Component, Source
+
+        class Stuck(Component):
+            def __init__(self):
+                super().__init__("stuck", inputs=("in",))
+
+            def step(self):
+                return False  # never consumes
+
+            def finished(self):
+                return False
+
+        g = DataflowGraph("stall")
+        src = g.add(Source("s", range(3)))
+        stuck = g.add(Stuck())
+        g.connect(src, "out", stuck, "in")
+        with pytest.raises(RuntimeError, match="stalled with backlog"):
+            g.run()
+
+    def test_max_rounds_guard(self):
+        """An endlessly busy component trips the round limit."""
+        from repro.dataflow.components import Component
+
+        class Spinner(Component):
+            def __init__(self):
+                super().__init__("spin")
+
+            def step(self):
+                return True  # always claims progress
+
+            def finished(self):
+                return False
+
+        g = DataflowGraph("spin")
+        g.add(Spinner())
+        with pytest.raises(RuntimeError, match="exceeded"):
+            g.run(max_rounds=50)

@@ -1,0 +1,168 @@
+"""Tests for execute_manifest, the experiments CLI, and the Merge component."""
+
+import pytest
+
+from repro.cheetah import AppSpec, Campaign, Sweep, SweepParameter
+from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.savanna import execute_manifest
+
+from conftest import make_cluster
+
+
+def make_manifest(n=10, nodes=4, walltime=300.0):
+    camp = Campaign("drive", app=AppSpec("app"))
+    sg = camp.sweep_group("g", nodes=nodes, walltime=walltime)
+    sg.add(Sweep([SweepParameter("x", range(n))]))
+    return camp.to_manifest()
+
+
+class TestExecuteManifest:
+    def test_runs_whole_campaign(self):
+        manifest = make_manifest()
+        result = execute_manifest(
+            manifest, lambda p: 50.0, make_cluster(nodes=4), max_allocations=2
+        )
+        assert result.all_done
+        assert len(result.tasks) == 10
+
+    def test_static_backend_selectable(self):
+        manifest = make_manifest()
+        result = execute_manifest(
+            manifest,
+            lambda p: 50.0,
+            make_cluster(nodes=4),
+            backend="static-sets",
+            max_allocations=3,
+        )
+        assert result.all_done
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="unknown executor backend"):
+            execute_manifest(
+                make_manifest(), lambda p: 1.0, make_cluster(), backend="slurm"
+            )
+
+    def test_directory_resume_skips_done(self, tmp_path):
+        manifest = make_manifest(n=6)
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        directory.update_status(
+            {"g/run-0000": RunStatus.DONE, "g/run-0001": RunStatus.DONE}
+        )
+        result = execute_manifest(
+            manifest,
+            lambda p: 10.0,
+            make_cluster(nodes=4),
+            directory=directory,
+            max_allocations=1,
+        )
+        assert len(result.tasks) == 4  # only the pending ones ran
+        assert directory.summary()["done"] == 6
+
+    def test_directory_records_partial_progress(self, tmp_path):
+        manifest = make_manifest(n=8, nodes=2, walltime=120.0)
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        execute_manifest(
+            manifest,
+            lambda p: 50.0,  # 2 nodes x 120s -> 4 complete per allocation
+            make_cluster(nodes=2),
+            directory=directory,
+            max_allocations=1,
+        )
+        summary = directory.summary()
+        assert summary["done"] == 4
+        assert summary["pending"] == 4
+
+    def test_multi_group_requires_selection(self):
+        camp = Campaign("mg", app=AppSpec("a"))
+        camp.sweep_group("g1", nodes=2, walltime=60.0).add(
+            Sweep([SweepParameter("x", [1])])
+        )
+        camp.sweep_group("g2", nodes=2, walltime=60.0).add(
+            Sweep([SweepParameter("x", [2])])
+        )
+        manifest = camp.to_manifest()
+        with pytest.raises(ValueError, match="multiple groups"):
+            execute_manifest(manifest, lambda p: 1.0, make_cluster())
+        result = execute_manifest(
+            manifest, lambda p: 1.0, make_cluster(), group="g2"
+        )
+        assert [t.name for t in result.tasks] == ["g2/run-0000"]
+
+
+class TestExperimentsCli:
+    def test_single_figure_to_directory(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main(["--figure", "2", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert (tmp_path / "figure2.txt").exists()
+
+    def test_default_runs_listed_figures(self):
+        from repro.experiments.__main__ import DRIVERS
+
+        assert sorted(DRIVERS) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_bad_figure_rejected(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--figure", "9"])
+
+
+class TestMerge:
+    def run_merge(self, streams):
+        from repro.dataflow import DataflowGraph, Merge, Sink, Source
+
+        g = DataflowGraph("m")
+        merge = g.add(Merge("merge", inputs=tuple(f"in{i}" for i in range(len(streams)))))
+        sink = g.add(Sink("k"))
+        for i, stream in enumerate(streams):
+            src = g.add(Source(f"s{i}", stream))
+            g.connect(src, "out", merge, f"in{i}")
+        g.connect(merge, "out", sink, "in")
+        g.run()
+        return sink
+
+    def test_merges_all_items(self):
+        sink = self.run_merge([range(5), range(100, 103)])
+        assert sorted(sink.payloads()) == [0, 1, 2, 3, 4, 100, 101, 102]
+
+    def test_round_robin_interleaves(self):
+        sink = self.run_merge([[1, 2, 3], [10, 20, 30]])
+        payloads = sink.payloads()
+        # service alternates between the two inputs
+        assert payloads[0] in (1, 10)
+        first_from_a = payloads.index(1)
+        first_from_b = payloads.index(10)
+        assert abs(first_from_a - first_from_b) == 1
+
+    def test_closes_after_all_inputs_end(self):
+        sink = self.run_merge([[1], [], [2]])
+        assert sorted(sink.payloads()) == [1, 2]
+
+    def test_single_input_passthrough(self):
+        sink = self.run_merge([range(4)])
+        assert sink.payloads() == [0, 1, 2, 3]
+
+    def test_requires_inputs(self):
+        from repro.dataflow import Merge, PortError
+
+        with pytest.raises(PortError):
+            Merge("m", inputs=())
+
+    def test_punctuation_flows_through(self):
+        from repro.dataflow import Channel, DataflowGraph, Merge, Punctuation, Sink, Source
+
+        g = DataflowGraph("m")
+        merge = g.add(Merge("merge", inputs=("in0",)))
+        sink = g.add(Sink("k"))
+        src = g.add(Source("s", [1]))
+        ch = g.connect(src, "out", merge, "in0")
+        ch.push(Punctuation("group-boundary"))
+        g.connect(merge, "out", sink, "in")
+        g.run()
+        assert [p.kind for p in sink.punctuation] == ["group-boundary"]

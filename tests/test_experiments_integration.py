@@ -1,0 +1,185 @@
+"""Integration tests: every figure driver runs and reproduces its shape.
+
+These use scaled-down parameters so the whole file stays fast; the full
+paper-scale runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.simulation.run import RunConfig
+from repro.experiments import (
+    fig1_gauge_matrix,
+    fig2_manual_vs_skel,
+    fig3_overhead_sweep,
+    fig4_variation,
+    fig5_policies,
+    fig6_timeline,
+    fig7_campaign,
+)
+
+
+class TestFig1:
+    def test_matrix_covers_all_six_gauges(self):
+        result = fig1_gauge_matrix()
+        gauges = {row[0] for row in result.rows}
+        assert len(gauges) == 6
+        assert result.to_text()  # renders
+
+    def test_exemplar_assessments_ordered(self):
+        result = fig1_gauge_matrix()
+        profiles = result.extra["assessments"]
+        assert profiles["skel+cheetah workflow"].dominates(profiles["black-box script"])
+
+
+class TestFig2:
+    def test_skel_single_edit(self):
+        result = fig2_manual_vs_skel(num_files=250, group_size=100)
+        by_name = {row[0]: row for row in result.rows}
+        assert by_name["skel-generated"][1] == 1
+        assert by_name["traditional"][1] >= 15
+        # debt collapses too
+        assert by_name["skel-generated"][3] < by_name["traditional"][3]
+
+
+class TestFig3:
+    def test_monotone_and_bounded(self):
+        config = RunConfig(timesteps=30, grid_n=16)
+        result = fig3_overhead_sweep(
+            overheads=(0.02, 0.05, 0.10, 0.30), seed=3, config=config
+        )
+        counts = [n for _o, n in result.extra["series"]]
+        assert counts == sorted(counts)
+        assert all(0 <= n <= 30 for n in counts)
+        assert counts[-1] > counts[0]  # the budget knob actually does something
+        assert result.extra["monotone"]
+
+
+class TestFig4:
+    def test_variation_present_at_fixed_budget(self):
+        config = RunConfig(timesteps=30, grid_n=16)
+        result = fig4_variation(n_runs=6, overhead=0.10, seed=5, config=config)
+        counts = result.extra["counts"]
+        assert len(counts) == 6
+        assert max(counts) > min(counts)
+
+
+class TestFig5:
+    def test_policies_and_reuse(self):
+        result = fig5_policies(n_items=600)
+        by_policy = {row[0]: row for row in result.rows}
+        n = 600
+        assert by_policy["forward-all"][2] == n
+        assert by_policy["sample-every-10"][2] == n // 10
+        assert by_policy["direct-selection"][2] == n // 50
+        # communication code reuse across policy swap is total
+        assert result.extra["reuse_policy_swap"] == 1.0
+        assert 0.5 < result.extra["reuse_schema_change"] < 1.0
+        # the runtime install arrived promptly after the requested watermark
+        assert 0 <= result.extra["install_latency_items"] <= 5
+
+
+class TestFig6:
+    def test_dynamic_beats_static_utilization(self):
+        result = fig6_timeline(n_tasks=40, nodes=8, walltime=3600.0, seed=2)
+        idle = result.extra["idle"]
+        assert idle["dynamic"] < idle["static"]
+        timelines = result.extra["timelines"]
+        assert len(timelines) == 2
+        for text in timelines.values():
+            assert "#" in text
+
+    def test_same_workload_both_executors(self):
+        result = fig6_timeline(n_tasks=30, nodes=6, walltime=3600.0, seed=3)
+        runs = result.extra["results"]
+        totals = {label: len(r.tasks) for label, r in runs.items()}
+        assert len(set(totals.values())) == 1
+
+
+class TestFig7:
+    def test_speedup_shape(self):
+        result = fig7_campaign(
+            n_features=120, nodes=8, walltime=3600.0, max_allocations=60, seed=4
+        )
+        assert result.extra["per_alloc_speedup"] > 1.5
+        assert result.extra["speedup"] > 2.0
+        # both complete the campaign at this scale
+        for r in result.extra["results"].values():
+            assert r.all_done
+
+
+class TestEndToEndCampaignFlow:
+    def test_manifest_directory_executor_roundtrip(self, tmp_path):
+        """Compose -> manifest -> directory -> simulate -> record status ->
+        resume pending: the full §V-D loop."""
+        from repro.cheetah import AppSpec, Campaign, Sweep, SweepParameter
+        from repro.cheetah.directory import CampaignDirectory, RunStatus
+        from repro.cheetah.manifest import manifest_from_json, manifest_to_json
+        from repro.cluster import ClusterSpec, SimulatedCluster
+        from repro.savanna import PilotExecutor, tasks_from_manifest
+
+        camp = Campaign("e2e", app=AppSpec("app"))
+        sg = camp.sweep_group("g", nodes=4, walltime=300.0)
+        sg.add(Sweep([SweepParameter("x", range(10))]))
+        manifest = manifest_from_json(manifest_to_json(camp.to_manifest()))
+
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+
+        cluster = SimulatedCluster(
+            ClusterSpec(nodes=4, queue_sigma=0.0, queue_median_wait=5.0, node_mttf=None, fs_load=None),
+            seed=0,
+        )
+        tasks = tasks_from_manifest(manifest, lambda p: 100.0)
+        result = PilotExecutor(cluster).run(tasks, nodes=4, walltime=300.0, max_allocations=1)
+
+        # record outcomes in the campaign directory
+        from repro.cluster.job import TaskState
+
+        directory.update_status(
+            {
+                t.name: RunStatus.DONE if t.state is TaskState.DONE else RunStatus.PENDING
+                for t in tasks
+            }
+        )
+        done = directory.summary()["done"]
+        assert done == len(result.completed)
+        # 4 nodes x 300s / 100s per task = 12 slots, minus ramp: expect 8
+        assert done == 8
+        assert len(directory.pending_runs()) == 2
+
+    def test_provenance_recorded_from_campaign(self):
+        """Executor outcomes feed the provenance store with campaign context."""
+        from repro.cheetah import AppSpec, Campaign, Sweep, SweepParameter
+        from repro.cluster import ClusterSpec, SimulatedCluster
+        from repro.metadata.provenance import ProvenanceRecord, ProvenanceStore
+        from repro.savanna import PilotExecutor, tasks_from_manifest
+
+        camp = Campaign("prov", app=AppSpec("app"), objective="test provenance")
+        sg = camp.sweep_group("g", nodes=2, walltime=500.0)
+        sg.add(Sweep([SweepParameter("x", range(4))]))
+        manifest = camp.to_manifest()
+
+        cluster = SimulatedCluster(
+            ClusterSpec(nodes=2, queue_sigma=0.0, node_mttf=None, fs_load=None), seed=0
+        )
+        tasks = tasks_from_manifest(manifest, lambda p: 50.0)
+        result = PilotExecutor(cluster).run(tasks, nodes=2, walltime=500.0)
+
+        store = ProvenanceStore()
+        store.register_campaign(camp.context())
+        for outcome in result.outcomes:
+            for attempt in outcome.attempts:
+                store.add(
+                    ProvenanceRecord(
+                        component=attempt.task.name,
+                        start_time=attempt.start,
+                        end_time=attempt.end,
+                        campaign="prov",
+                        outcome=attempt.outcome.value,
+                        parameters=attempt.task.payload,
+                    )
+                )
+        summary = store.summarize_campaign("prov")
+        assert summary["runs"] == 4
+        assert summary["outcomes"] == {"done": 4}

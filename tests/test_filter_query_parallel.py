@@ -1,0 +1,111 @@
+"""Tests for the Filter component, directory queries, and parallel iRF-LOOP."""
+
+import numpy as np
+import pytest
+
+from repro.cheetah import AppSpec, Campaign, Sweep, SweepParameter
+from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.dataflow import DataflowGraph, Filter, Sink, Source
+
+
+class TestFilter:
+    def run_filter(self, items, predicate):
+        g = DataflowGraph("f")
+        src = g.add(Source("s", items))
+        flt = g.add(Filter("f", predicate))
+        sink = g.add(Sink("k"))
+        g.connect(src, "out", flt, "in")
+        g.connect(flt, "out", sink, "in")
+        g.run()
+        return flt, sink
+
+    def test_drops_failing_items(self):
+        flt, sink = self.run_filter(range(10), lambda v: v % 2 == 0)
+        assert sink.payloads() == [0, 2, 4, 6, 8]
+        assert flt.dropped == 5
+
+    def test_passes_everything(self):
+        flt, sink = self.run_filter(range(5), lambda v: True)
+        assert len(sink.received) == 5
+        assert flt.dropped == 0
+
+    def test_drops_everything_still_terminates(self):
+        flt, sink = self.run_filter(range(5), lambda v: False)
+        assert sink.payloads() == []
+        assert flt.dropped == 5
+
+    def test_preserves_seq_and_timestamp(self):
+        g = DataflowGraph("f")
+        src = g.add(Source("s", range(3), clock=lambda i: 10.0 + i))
+        flt = g.add(Filter("f", lambda v: v != 1))
+        sink = g.add(Sink("k"))
+        g.connect(src, "out", flt, "in")
+        g.connect(flt, "out", sink, "in")
+        g.run()
+        assert [i.timestamp for i in sink.received] == [10.0, 12.0]
+
+
+class TestDirectoryQueries:
+    def make_directory(self, tmp_path):
+        camp = Campaign("q", app=AppSpec("a"))
+        sg = camp.sweep_group("g", nodes=2, walltime=60.0)
+        sg.add(
+            Sweep(
+                [SweepParameter("x", [1, 2]), SweepParameter("mode", ["fast", "slow"])]
+            )
+        )
+        cd = CampaignDirectory(tmp_path, camp.to_manifest())
+        cd.create()
+        return cd
+
+    def test_query_by_parameter(self, tmp_path):
+        cd = self.make_directory(tmp_path)
+        runs = cd.runs_where(x=1)
+        assert len(runs) == 2
+        assert all(r.parameters["x"] == 1 for r in runs)
+
+    def test_query_by_two_parameters(self, tmp_path):
+        cd = self.make_directory(tmp_path)
+        runs = cd.runs_where(x=2, mode="slow")
+        assert len(runs) == 1
+
+    def test_query_by_status_and_parameter(self, tmp_path):
+        cd = self.make_directory(tmp_path)
+        target = cd.runs_where(x=1, mode="fast")[0]
+        cd.set_status(target.run_id, RunStatus.FAILED)
+        failed = cd.runs_where(status=RunStatus.FAILED)
+        assert [r.run_id for r in failed] == [target.run_id]
+        assert cd.runs_where(status=RunStatus.FAILED, x=2) == ()
+
+    def test_unknown_parameter_matches_nothing(self, tmp_path):
+        cd = self.make_directory(tmp_path)
+        assert cd.runs_where(ghost=1) == ()
+
+
+class TestParallelIrfLoop:
+    def test_matches_serial_exactly(self):
+        from repro.apps.irf import census_like, irf_loop, irf_loop_parallel
+
+        data = census_like(n_features=10, n_samples=120, seed=3)
+        serial = irf_loop(data.X, n_iterations=1, n_estimators=4, max_depth=4, seed=5)
+        parallel = irf_loop_parallel(
+            data.X, n_iterations=1, n_estimators=4, max_depth=4, seed=5, max_workers=4
+        )
+        assert np.array_equal(serial.adjacency, parallel.adjacency)
+        assert serial.oob_scores == parallel.oob_scores
+
+    def test_worker_count_does_not_change_result(self):
+        from repro.apps.irf import census_like, irf_loop_parallel
+
+        data = census_like(n_features=8, n_samples=80, seed=1)
+        one = irf_loop_parallel(data.X, n_iterations=1, n_estimators=3, seed=2, max_workers=1)
+        many = irf_loop_parallel(data.X, n_iterations=1, n_estimators=3, seed=2, max_workers=8)
+        assert np.array_equal(one.adjacency, many.adjacency)
+
+    def test_validation(self):
+        from repro.apps.irf import irf_loop_parallel
+
+        with pytest.raises(ValueError):
+            irf_loop_parallel(np.zeros((5, 3)), max_workers=0)
+        with pytest.raises(ValueError, match="at least 2"):
+            irf_loop_parallel(np.zeros((5, 1)))

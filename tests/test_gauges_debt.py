@@ -1,0 +1,135 @@
+"""Tests for the technical-debt model."""
+
+import pytest
+
+from repro.gauges.debt import (
+    ManualStep,
+    ReuseScenario,
+    automation_gain,
+    builtin_scenarios,
+    score,
+)
+from repro.gauges.levels import (
+    AccessTier,
+    CustomizabilityTier,
+    Gauge,
+    SchemaTier,
+)
+from repro.gauges.model import GaugeProfile, WorkflowComponent
+
+
+def scenario():
+    return ReuseScenario(
+        name="test",
+        steps=(
+            ManualStep("find data", 30, Gauge.DATA_ACCESS, int(AccessTier.INTERFACE)),
+            ManualStep("convert format", 60, Gauge.DATA_SCHEMA, int(SchemaTier.SELF_DESCRIBING)),
+            ManualStep("decide question", 10, None),  # irreducibly human
+        ),
+    )
+
+
+class TestManualStep:
+    def test_automated_by_sufficient_profile(self):
+        step = ManualStep("s", 30, Gauge.DATA_ACCESS, int(AccessTier.INTERFACE))
+        p = GaugeProfile.baseline().with_tier(Gauge.DATA_ACCESS, AccessTier.QUERY)
+        assert step.automated_by(p)
+
+    def test_not_automated_below_threshold(self):
+        step = ManualStep("s", 30, Gauge.DATA_ACCESS, int(AccessTier.INTERFACE))
+        p = GaugeProfile.baseline().with_tier(Gauge.DATA_ACCESS, AccessTier.PROTOCOL)
+        assert not step.automated_by(p)
+
+    def test_human_only_step_never_automated(self):
+        step = ManualStep("s", 30, None)
+        top = GaugeProfile(
+            data_access=AccessTier.QUERY,
+            data_schema=SchemaTier.SELF_DESCRIBING,
+        )
+        assert not step.automated_by(top)
+
+    def test_invalid_tier_value_rejected(self):
+        with pytest.raises(ValueError):
+            ManualStep("s", 30, Gauge.DATA_ACCESS, 99)
+
+    def test_nonpositive_minutes_rejected(self):
+        with pytest.raises(ValueError):
+            ManualStep("s", 0, None)
+
+
+class TestScore:
+    def test_baseline_pays_everything(self):
+        report = score(GaugeProfile.baseline(), scenario())
+        assert report.manual_minutes == 100
+        assert report.automated_minutes == 0
+        assert report.automation_fraction == 0.0
+
+    def test_partial_automation(self):
+        p = GaugeProfile.baseline().with_tier(Gauge.DATA_ACCESS, AccessTier.INTERFACE)
+        report = score(p, scenario())
+        assert report.manual_minutes == 70
+        assert report.automated_minutes == 30
+        assert [s.name for s in report.automated_steps] == ["find data"]
+
+    def test_human_step_always_remains(self):
+        p = GaugeProfile(
+            data_access=AccessTier.QUERY, data_schema=SchemaTier.SELF_DESCRIBING
+        )
+        report = score(p, scenario())
+        assert report.manual_minutes == 10
+        assert report.automation_fraction == pytest.approx(0.9)
+
+    def test_accepts_component(self):
+        c = WorkflowComponent(name="c")
+        report = score(c, scenario())
+        assert report.component_name == "c"
+        assert report.manual_minutes == 100
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            score("not-a-component", scenario())
+
+
+class TestAutomationGain:
+    def test_gain_equals_removed_minutes(self):
+        before = GaugeProfile.baseline()
+        after = before.with_tier(Gauge.DATA_SCHEMA, SchemaTier.SELF_DESCRIBING)
+        assert automation_gain(before, after, scenario()) == 60
+
+    def test_no_gain_for_irrelevant_raise(self):
+        before = GaugeProfile.baseline()
+        after = before.with_tier(
+            Gauge.SOFTWARE_CUSTOMIZABILITY, CustomizabilityTier.MODELED
+        )
+        assert automation_gain(before, after, scenario()) == 0
+
+
+class TestBuiltinScenarios:
+    def test_four_scenarios(self):
+        scenarios = builtin_scenarios()
+        assert set(scenarios) == {
+            "new-dataset",
+            "new-machine",
+            "new-collaborator",
+            "new-runtime",
+        }
+
+    def test_all_steps_have_positive_minutes(self):
+        for s in builtin_scenarios().values():
+            assert all(step.minutes > 0 for step in s.steps)
+            assert s.total_minutes() > 0
+
+    def test_top_profile_automates_every_builtin_step(self):
+        """Every builtin step must be automatable at some defined tier —
+        otherwise the scenario encodes an unreachable tier value."""
+        from repro.gauges.levels import TIER_TYPES, max_tier
+
+        top = GaugeProfile(
+            **{
+                GaugeProfile._FIELD_BY_GAUGE[g]: TIER_TYPES[g](max_tier(g))
+                for g in Gauge
+            }
+        )
+        for s in builtin_scenarios().values():
+            report = score(top, s)
+            assert report.manual_minutes == 0, (s.name, report.remaining_steps)

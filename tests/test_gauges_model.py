@@ -1,0 +1,302 @@
+"""Tests for gauge profiles, components, and mechanical assessment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gauges.levels import (
+    AccessTier,
+    CustomizabilityTier,
+    Gauge,
+    GranularityTier,
+    ProvenanceTier,
+    SchemaTier,
+    SemanticsTier,
+    TIER_TYPES,
+    max_tier,
+    tier_matrix,
+)
+from repro.gauges.model import (
+    ComponentKind,
+    DataPort,
+    GaugeProfile,
+    ParameterRelation,
+    SoftwareMetadata,
+    WorkflowComponent,
+    assess,
+)
+from repro.metadata.access import (
+    AccessInterface,
+    AccessProtocol,
+    DataAccessDescriptor,
+    QueryCapability,
+)
+from repro.metadata.provenance import CampaignContext, ExportPolicy
+from repro.metadata.schema import DataSchema, Field
+from repro.metadata.semantics import ConsumptionPattern, DataSemanticsDescriptor
+
+
+class TestLevels:
+    def test_six_gauges(self):
+        assert len(list(Gauge)) == 6
+
+    def test_data_software_split(self):
+        data = [g for g in Gauge if g.is_data_gauge]
+        software = [g for g in Gauge if g.is_software_gauge]
+        assert len(data) == 3 and len(software) == 3
+
+    def test_every_gauge_has_tier_type(self):
+        for g in Gauge:
+            assert g in TIER_TYPES
+
+    def test_tiers_start_at_zero(self):
+        for tier_type in TIER_TYPES.values():
+            assert min(int(t) for t in tier_type) == 0
+
+    def test_max_tier(self):
+        assert max_tier(Gauge.DATA_ACCESS) == int(AccessTier.QUERY)
+
+    def test_tier_matrix_covers_all_tiers(self):
+        rows = tier_matrix()
+        total = sum(len(t) for t in TIER_TYPES.values())
+        assert len(rows) == total
+        assert all(len(r) == 4 for r in rows)
+
+    def test_tier_descriptions_are_per_gauge(self):
+        """Regression: same-valued IntEnum members from different ladders
+        hash equal — descriptions must not collide across gauges."""
+        rows = tier_matrix()
+        descriptions = [r[3] for r in rows]
+        assert len(set(descriptions)) == len(descriptions)
+        by_gauge_tier = {(r[0], r[1]): r[3] for r in rows}
+        assert "protocol" in by_gauge_tier[("data-access", 1)].lower()
+        assert "provenance" in by_gauge_tier[("software-provenance", 1)].lower()
+
+
+class TestProfile:
+    def test_baseline_all_zero(self):
+        assert GaugeProfile.baseline().as_vector() == (0,) * 6
+
+    def test_advance_raises_tier(self):
+        p = GaugeProfile.baseline().advance(Gauge.DATA_ACCESS, AccessTier.INTERFACE)
+        assert p.tier(Gauge.DATA_ACCESS) is AccessTier.INTERFACE
+
+    def test_advance_rejects_non_increase(self):
+        p = GaugeProfile.baseline().advance(Gauge.DATA_SCHEMA, SchemaTier.DECLARED)
+        with pytest.raises(ValueError, match="must raise the tier"):
+            p.advance(Gauge.DATA_SCHEMA, SchemaTier.OPAQUE)
+        with pytest.raises(ValueError):
+            p.advance(Gauge.DATA_SCHEMA, SchemaTier.DECLARED)
+
+    def test_with_tier_allows_any_direction(self):
+        p = GaugeProfile.baseline().with_tier(Gauge.DATA_SCHEMA, SchemaTier.DECLARED)
+        p2 = p.with_tier(Gauge.DATA_SCHEMA, SchemaTier.OPAQUE)
+        assert p2.tier(Gauge.DATA_SCHEMA) is SchemaTier.OPAQUE
+
+    def test_dominates_reflexive_and_ordered(self):
+        low = GaugeProfile.baseline()
+        high = low.advance(Gauge.SOFTWARE_PROVENANCE, ProvenanceTier.EXECUTION_LOGS)
+        assert high.dominates(low)
+        assert high.dominates(high)
+        assert not low.dominates(high)
+
+    def test_incomparable_profiles(self):
+        a = GaugeProfile.baseline().advance(Gauge.DATA_ACCESS, AccessTier.PROTOCOL)
+        b = GaugeProfile.baseline().advance(Gauge.DATA_SCHEMA, SchemaTier.OPAQUE)
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_dict_roundtrip(self):
+        p = GaugeProfile(
+            data_access=AccessTier.QUERY,
+            software_customizability=CustomizabilityTier.MODELED,
+        )
+        assert GaugeProfile.from_dict(p.as_dict()) == p
+
+    def test_profiles_are_immutable(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GaugeProfile.baseline().data_access = AccessTier.QUERY
+
+
+_GAUGES = list(Gauge)
+
+
+@st.composite
+def profiles(draw):
+    kwargs = {}
+    for gauge in _GAUGES:
+        tier_type = TIER_TYPES[gauge]
+        kwargs[GaugeProfile._FIELD_BY_GAUGE[gauge]] = draw(st.sampled_from(list(tier_type)))
+    return GaugeProfile(**kwargs)
+
+
+@given(profiles(), st.sampled_from(_GAUGES))
+def test_advance_never_lowers_any_gauge(profile, gauge):
+    """Property: advance() strictly raises the target gauge and touches
+    nothing else."""
+    current = int(profile.tier(gauge))
+    top = max_tier(gauge)
+    if current == top:
+        with pytest.raises(ValueError):
+            profile.advance(gauge, top)
+        return
+    raised = profile.advance(gauge, current + 1)
+    assert int(raised.tier(gauge)) == current + 1
+    for other in _GAUGES:
+        if other is not gauge:
+            assert raised.tier(other) == profile.tier(other)
+
+
+@given(profiles(), profiles())
+def test_dominates_is_antisymmetric_up_to_equality(a, b):
+    if a.dominates(b) and b.dominates(a):
+        assert a == b
+
+
+class TestComponent:
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ValueError, match="duplicate port"):
+            WorkflowComponent(
+                name="c",
+                ports=(DataPort("x", "in"), DataPort("x", "out")),
+            )
+
+    def test_port_direction_validated(self):
+        with pytest.raises(ValueError, match="direction"):
+            DataPort("x", "sideways")
+
+    def test_port_lookup_and_direction_filters(self):
+        c = WorkflowComponent(
+            name="c", ports=(DataPort("a", "in"), DataPort("b", "out"))
+        )
+        assert c.port("a").direction == "in"
+        assert [p.name for p in c.inputs()] == ["a"]
+        assert [p.name for p in c.outputs()] == ["b"]
+        with pytest.raises(KeyError):
+            c.port("zzz")
+
+
+def full_port(name="data", direction="in", query=QueryCapability.LINEAR):
+    return DataPort(
+        name=name,
+        direction=direction,
+        access=DataAccessDescriptor(
+            protocol=AccessProtocol.POSIX_FILE,
+            interface=AccessInterface.DELIMITED_TEXT,
+            query=query,
+        ),
+        schema=DataSchema("tsv", "1", (Field("v", "int64"),)),
+        semantics=DataSemanticsDescriptor(consumption=ConsumptionPattern.ELEMENT),
+    )
+
+
+class TestAssess:
+    def test_black_box_component(self):
+        c = WorkflowComponent(name="mystery")
+        profile = assess(c).profile
+        assert profile.as_vector() == (0,) * 6
+
+    def test_weakest_port_wins(self):
+        strong = full_port("a", "in")
+        weak = DataPort("b", "out")  # all-unknown descriptors
+        c = WorkflowComponent(name="c", ports=(strong, weak))
+        profile = assess(c).profile
+        assert profile.tier(Gauge.DATA_ACCESS) is AccessTier.UNKNOWN
+        assert profile.tier(Gauge.DATA_SCHEMA) is SchemaTier.UNKNOWN
+
+    def test_query_tier_capped_without_schema(self):
+        port = DataPort(
+            name="d",
+            direction="in",
+            access=DataAccessDescriptor(
+                protocol=AccessProtocol.DATABASE,
+                interface=AccessInterface.SQL,
+                query=QueryCapability.DECLARATIVE,
+            ),
+            # no schema at all
+        )
+        result = assess(WorkflowComponent(name="c", ports=(port,)))
+        assert result.profile.tier(Gauge.DATA_ACCESS) is AccessTier.INTERFACE
+        assert result.note_for(Gauge.DATA_ACCESS)
+
+    def test_granularity_ladder(self):
+        c = WorkflowComponent(
+            name="c",
+            software=SoftwareMetadata(kind=ComponentKind.EXECUTABLE),
+        )
+        assert assess(c).profile.tier(Gauge.SOFTWARE_GRANULARITY) is GranularityTier.COMPONENT
+        c2 = WorkflowComponent(
+            name="c2",
+            software=SoftwareMetadata(
+                kind=ComponentKind.EXECUTABLE, config_template="t"
+            ),
+        )
+        assert assess(c2).profile.tier(Gauge.SOFTWARE_GRANULARITY) is GranularityTier.CONFIGURED
+
+    def test_io_semantics_requires_all_ports_declared(self):
+        declared = full_port("a", "in")
+        undeclared = DataPort("b", "out")
+        c = WorkflowComponent(
+            name="c",
+            ports=(declared, undeclared),
+            software=SoftwareMetadata(kind=ComponentKind.EXECUTABLE, config_template="t"),
+        )
+        result = assess(c)
+        assert result.profile.tier(Gauge.SOFTWARE_GRANULARITY) is GranularityTier.CONFIGURED
+        assert result.note_for(Gauge.SOFTWARE_GRANULARITY)
+
+    def test_io_semantics_tier_reached(self):
+        c = WorkflowComponent(
+            name="c",
+            ports=(full_port("a", "in"), full_port("b", "out")),
+            software=SoftwareMetadata(kind=ComponentKind.EXECUTABLE, config_template="t"),
+        )
+        assert assess(c).profile.tier(Gauge.SOFTWARE_GRANULARITY) is GranularityTier.IO_SEMANTICS
+
+    def test_customizability_ladder(self):
+        base = SoftwareMetadata(exposed_variables=("x",))
+        c = WorkflowComponent(name="c", software=base)
+        assert assess(c).profile.tier(Gauge.SOFTWARE_CUSTOMIZABILITY) is CustomizabilityTier.EXPOSED
+
+    def test_related_tier_requires_campaign_provenance(self):
+        sw = SoftwareMetadata(
+            exposed_variables=("x", "y"),
+            generation_model={"schema": "m"},
+            parameter_relations=(ParameterRelation("x", "y", "scales-with"),),
+            has_execution_logs=False,  # no provenance at all
+        )
+        result = assess(WorkflowComponent(name="c", software=sw))
+        assert (
+            result.profile.tier(Gauge.SOFTWARE_CUSTOMIZABILITY)
+            is CustomizabilityTier.MODELED
+        )
+        assert result.note_for(Gauge.SOFTWARE_CUSTOMIZABILITY)
+
+    def test_related_tier_reached_with_campaign(self):
+        sw = SoftwareMetadata(
+            exposed_variables=("x", "y"),
+            generation_model={"schema": "m"},
+            parameter_relations=(ParameterRelation("x", "y", "scales-with"),),
+            has_execution_logs=True,
+            campaign=CampaignContext("s", "o"),
+        )
+        result = assess(WorkflowComponent(name="c", software=sw))
+        assert (
+            result.profile.tier(Gauge.SOFTWARE_CUSTOMIZABILITY)
+            is CustomizabilityTier.RELATED
+        )
+
+    def test_provenance_ladder(self):
+        sw = SoftwareMetadata(
+            has_execution_logs=True,
+            campaign=CampaignContext("s", "o"),
+            export_policy=ExportPolicy(),
+        )
+        result = assess(WorkflowComponent(name="c", software=sw))
+        assert result.profile.tier(Gauge.SOFTWARE_PROVENANCE) is ProvenanceTier.EXPORTABLE
+
+    def test_campaign_without_logs_stays_none(self):
+        sw = SoftwareMetadata(campaign=CampaignContext("s", "o"))
+        result = assess(WorkflowComponent(name="c", software=sw))
+        assert result.profile.tier(Gauge.SOFTWARE_PROVENANCE) is ProvenanceTier.NONE

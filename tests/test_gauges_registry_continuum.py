@@ -1,0 +1,150 @@
+"""Tests for the component registry and reusability trajectories."""
+
+import pytest
+
+from repro.gauges.continuum import ReusabilityTrajectory
+from repro.gauges.debt import builtin_scenarios
+from repro.gauges.levels import AccessTier, CustomizabilityTier, Gauge, GranularityTier, SchemaTier
+from repro.gauges.model import (
+    ComponentKind,
+    GaugeProfile,
+    SoftwareMetadata,
+    WorkflowComponent,
+)
+from repro.gauges.registry import ComponentRegistry
+
+
+def component(name, kind=ComponentKind.UNKNOWN, template=None, exposed=(), model=None):
+    return WorkflowComponent(
+        name=name,
+        software=SoftwareMetadata(
+            kind=kind,
+            config_template=template,
+            exposed_variables=tuple(exposed),
+            generation_model=model,
+        ),
+    )
+
+
+class TestRegistry:
+    def test_register_returns_assessment(self):
+        reg = ComponentRegistry()
+        a = reg.register(component("c1", kind=ComponentKind.EXECUTABLE))
+        assert a.profile.tier(Gauge.SOFTWARE_GRANULARITY) is GranularityTier.COMPONENT
+        assert "c1" in reg and len(reg) == 1
+
+    def test_reregister_updates(self):
+        reg = ComponentRegistry()
+        reg.register(component("c1"))
+        reg.register(component("c1", kind=ComponentKind.EXECUTABLE))
+        assert len(reg) == 1
+        assert (
+            reg.assessment("c1").profile.tier(Gauge.SOFTWARE_GRANULARITY)
+            is GranularityTier.COMPONENT
+        )
+
+    def test_below_tier_query(self):
+        reg = ComponentRegistry()
+        reg.register(component("black-box"))
+        reg.register(component("configured", kind=ComponentKind.EXECUTABLE, template="t"))
+        below = reg.below_tier(Gauge.SOFTWARE_GRANULARITY, GranularityTier.CONFIGURED)
+        assert below == ["black-box"]
+
+    def test_debt_ranking_worst_first(self):
+        reg = ComponentRegistry()
+        reg.register(component("bad"))
+        reg.register(
+            component(
+                "better",
+                kind=ComponentKind.EXECUTABLE,
+                template="t",
+                exposed=("x",),
+                model={"m": 1},
+            )
+        )
+        ranked = reg.debt_ranking(builtin_scenarios()["new-machine"])
+        assert ranked[0][0] == "bad"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_cheapest_advance_suggests_biggest_saving(self):
+        reg = ComponentRegistry()
+        reg.register(component("bad"))
+        rows = reg.cheapest_advance(builtin_scenarios()["new-machine"])
+        assert rows
+        name, gauge, tier, saved = rows[0]
+        assert name == "bad"
+        assert saved > 0
+        # applying the suggestion must actually save that much
+        from repro.gauges.debt import score
+
+        profile = reg.assessment("bad").profile
+        base = score(profile, builtin_scenarios()["new-machine"]).manual_minutes
+        raised = profile.with_tier(gauge, tier)
+        after = score(raised, builtin_scenarios()["new-machine"]).manual_minutes
+        assert base - after == saved
+
+    def test_matrix_shape(self):
+        reg = ComponentRegistry()
+        reg.register(component("a"))
+        reg.register(component("b"))
+        matrix = reg.matrix()
+        assert [name for name, _v in matrix] == ["a", "b"]
+        assert all(len(v) == 6 for _n, v in matrix)
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            ComponentRegistry().get("ghost")
+
+
+class TestTrajectory:
+    def test_record_and_current(self):
+        t = ReusabilityTrajectory("wf")
+        t.record("v0", GaugeProfile.baseline())
+        p1 = GaugeProfile.baseline().advance(Gauge.DATA_ACCESS, AccessTier.PROTOCOL)
+        t.record("v1", p1)
+        assert len(t) == 2
+        assert t.current().profile == p1
+
+    def test_duplicate_labels_rejected(self):
+        t = ReusabilityTrajectory("wf")
+        t.record("v0", GaugeProfile.baseline())
+        with pytest.raises(ValueError, match="duplicate snapshot label"):
+            t.record("v0", GaugeProfile.baseline())
+
+    def test_empty_current_raises(self):
+        with pytest.raises(RuntimeError):
+            ReusabilityTrajectory("wf").current()
+
+    def test_monotone_progression(self):
+        t = ReusabilityTrajectory("wf")
+        p = GaugeProfile.baseline()
+        t.record("v0", p)
+        p = p.advance(Gauge.DATA_SCHEMA, SchemaTier.OPAQUE)
+        t.record("v1", p)
+        p = p.advance(Gauge.DATA_SCHEMA, SchemaTier.DECLARED)
+        t.record("v2", p)
+        assert t.is_monotone()
+        assert len(t.advances()) == 2
+        assert t.regressions() == []
+
+    def test_regression_detected(self):
+        t = ReusabilityTrajectory("wf")
+        high = GaugeProfile.baseline().advance(
+            Gauge.SOFTWARE_CUSTOMIZABILITY, CustomizabilityTier.MODELED
+        )
+        t.record("v0", high)
+        t.record("v1", GaugeProfile.baseline())
+        assert not t.is_monotone()
+        regs = t.regressions()
+        assert len(regs) == 1
+        assert regs[0][2] is Gauge.SOFTWARE_CUSTOMIZABILITY
+
+    def test_debt_trend_decreases_with_progress(self):
+        scenario = builtin_scenarios()["new-dataset"]
+        t = ReusabilityTrajectory("wf")
+        p = GaugeProfile.baseline()
+        t.record("v0", p)
+        p = p.advance(Gauge.DATA_ACCESS, AccessTier.INTERFACE)
+        t.record("v1", p)
+        trend = t.debt_trend(scenario)
+        assert trend[0][1] > trend[1][1]

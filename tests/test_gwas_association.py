@@ -1,0 +1,107 @@
+"""Tests for the GWAS association scan."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gwas.association import GwasScanResult, gwas_scan, recovery_rate
+from repro.apps.irf.datasets import synthetic_gwas
+
+
+class TestScan:
+    def test_recovers_planted_causal_snps(self):
+        data = synthetic_gwas(
+            n_samples=600, n_snps=200, n_causal=5, heritability=0.8, seed=1
+        )
+        result = gwas_scan(data.genotypes, data.phenotype)
+        assert recovery_rate(result, data.causal_snps) >= 0.8
+
+    def test_null_data_controls_false_positives(self):
+        """With no genetic signal, Bonferroni keeps discoveries near zero."""
+        rng = np.random.default_rng(2)
+        G = rng.binomial(2, 0.3, size=(400, 300))
+        y = rng.standard_normal(400)
+        result = gwas_scan(G, y)
+        assert len(result.significant(alpha=0.05)) <= 1
+
+    def test_effect_direction_and_magnitude(self):
+        rng = np.random.default_rng(3)
+        G = rng.binomial(2, 0.4, size=(2000, 10)).astype(float)
+        y = 1.5 * G[:, 4] + 0.3 * rng.standard_normal(2000)
+        result = gwas_scan(G, y)
+        assert result.betas[4] == pytest.approx(1.5, abs=0.1)
+        assert np.argmin(result.p_values) == 4
+
+    def test_monomorphic_snp_neutral(self):
+        rng = np.random.default_rng(4)
+        G = rng.binomial(2, 0.3, size=(100, 5)).astype(float)
+        G[:, 2] = 1.0  # monomorphic
+        y = rng.standard_normal(100)
+        result = gwas_scan(G, y)
+        assert result.betas[2] == 0.0
+        assert result.p_values[2] == 1.0
+
+    def test_p_values_in_range(self):
+        data = synthetic_gwas(n_samples=150, n_snps=60, n_causal=3, seed=5)
+        result = gwas_scan(data.genotypes, data.phenotype)
+        assert np.all((result.p_values >= 0) & (result.p_values <= 1))
+        assert np.all(np.isfinite(result.betas))
+
+    def test_p_value_uniformity_under_null(self):
+        """Null p-values should be roughly uniform — mean near 0.5."""
+        rng = np.random.default_rng(6)
+        G = rng.binomial(2, 0.25, size=(500, 400))
+        y = rng.standard_normal(500)
+        result = gwas_scan(G, y)
+        assert 0.42 < result.p_values.mean() < 0.58
+
+
+class TestCovariates:
+    def test_confounder_adjustment(self):
+        """A SNP correlated with the trait only through a covariate must
+        lose significance once the covariate is adjusted for."""
+        rng = np.random.default_rng(7)
+        n = 800
+        ancestry = rng.standard_normal(n)
+        # SNP frequency depends on ancestry; trait depends on ancestry only.
+        p = 1 / (1 + np.exp(-ancestry))
+        snp = rng.binomial(2, np.clip(0.5 * p, 0.05, 0.95))
+        G = np.column_stack([snp, rng.binomial(2, 0.3, size=n)]).astype(float)
+        y = 2.0 * ancestry + 0.5 * rng.standard_normal(n)
+
+        unadjusted = gwas_scan(G, y)
+        adjusted = gwas_scan(G, y, covariates=ancestry.reshape(-1, 1))
+        assert unadjusted.p_values[0] < 1e-6  # confounded hit
+        assert adjusted.p_values[0] > 1e-3  # attenuated after adjustment
+
+    def test_dof_accounts_for_covariates(self):
+        rng = np.random.default_rng(8)
+        G = rng.binomial(2, 0.3, size=(50, 5)).astype(float)
+        y = rng.standard_normal(50)
+        C = rng.standard_normal((50, 3))
+        result = gwas_scan(G, y, covariates=C)
+        assert result.dof == 50 - 2 - 3
+
+
+class TestValidation:
+    def test_shape_errors(self):
+        with pytest.raises(ValueError, match="2-D"):
+            gwas_scan(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError, match="phenotype shape"):
+            gwas_scan(np.zeros((5, 2)), np.zeros(4))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="not enough samples"):
+            gwas_scan(np.zeros((2, 3)), np.zeros(2))
+
+    def test_top_ranked_by_p(self):
+        data = synthetic_gwas(n_samples=300, n_snps=50, n_causal=3, heritability=0.9, seed=9)
+        result = gwas_scan(data.genotypes, data.phenotype)
+        top = result.top(5)
+        ps = [p for _i, _b, p in top]
+        assert ps == sorted(ps)
+
+    def test_recovery_rate_empty_truth(self):
+        result = GwasScanResult(
+            betas=np.zeros(3), t_stats=np.zeros(3), p_values=np.ones(3), dof=10
+        )
+        assert recovery_rate(result, []) == 1.0

@@ -1,0 +1,181 @@
+"""Tests for permutation importance, population structure, logspace
+parameters, schema projection, and result summaries."""
+
+import numpy as np
+import pytest
+
+
+class TestPermutationImportance:
+    def fitted_model(self):
+        from repro.apps.irf import RandomForestRegressor
+
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (300, 5))
+        y = 3.0 * X[:, 2] + 0.1 * rng.standard_normal(300)
+        return RandomForestRegressor(n_estimators=15, seed=1).fit(X, y), X, y
+
+    def test_identifies_signal_feature(self):
+        from repro.apps.irf import permutation_importance
+
+        model, X, y = self.fitted_model()
+        result = permutation_importance(model, X, y, n_repeats=3, seed=2)
+        assert result.ranking()[0] == 2
+        assert result.importances[2] > 5 * max(
+            result.importances[j] for j in (0, 1, 3, 4)
+        )
+
+    def test_agrees_with_impurity_importances(self):
+        """The model-agnostic measure must agree with the trees' own
+        impurity importances on the dominant feature."""
+        from repro.apps.irf import permutation_importance
+
+        model, X, y = self.fitted_model()
+        result = permutation_importance(model, X, y, n_repeats=3, seed=2)
+        assert np.argmax(model.feature_importances_) == result.ranking()[0]
+
+    def test_normalized_sums_to_one(self):
+        from repro.apps.irf import permutation_importance
+
+        model, X, y = self.fitted_model()
+        result = permutation_importance(model, X, y, n_repeats=2, seed=3)
+        assert result.normalized().sum() == pytest.approx(1.0)
+        assert np.all(result.normalized() >= 0)
+
+    def test_noise_features_near_zero(self):
+        from repro.apps.irf import permutation_importance
+
+        model, X, y = self.fitted_model()
+        result = permutation_importance(model, X, y, n_repeats=3, seed=4)
+        for j in (0, 1, 3, 4):
+            assert abs(result.importances[j]) < 0.2 * result.importances[2]
+
+    def test_validation(self):
+        from repro.apps.irf import permutation_importance
+
+        model, X, y = self.fitted_model()
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+        with pytest.raises(ValueError, match="2-D"):
+            permutation_importance(model, X[:, 0], y)
+
+
+class TestPopulationStructure:
+    def test_pc1_separates_populations(self):
+        from repro.apps.gwas import genotype_pcs, structured_gwas
+
+        G, y, causal, ancestry = structured_gwas(
+            n_samples=200, n_snps=300, fst=0.2, seed=1
+        )
+        pcs = genotype_pcs(G, k=2)
+        corr = abs(np.corrcoef(pcs[:, 0], ancestry)[0, 1])
+        assert corr > 0.9
+
+    def test_pc_adjustment_removes_ancestry_inflation(self):
+        """The textbook result: uncorrected scans of structured data are
+        inflated; PC covariates restore calibration."""
+        from repro.apps.gwas import genotype_pcs, gwas_scan, structured_gwas
+
+        G, y, causal, ancestry = structured_gwas(
+            n_samples=400, n_snps=400, n_causal=0, fst=0.2,
+            trait_ancestry_effect=2.0, heritability=0.0, seed=2,
+        )
+        raw = gwas_scan(G, y)
+        adjusted = gwas_scan(G, y, covariates=genotype_pcs(G, k=2))
+        # with zero causal SNPs every hit is a false positive
+        assert len(raw.significant(0.05)) > len(adjusted.significant(0.05))
+        assert len(adjusted.significant(0.05)) <= 2
+
+    def test_variance_explained_front_loaded_under_structure(self):
+        from repro.apps.gwas import structured_gwas, variance_explained
+
+        G, _y, _c, _a = structured_gwas(n_samples=200, n_snps=300, fst=0.3, seed=3)
+        ve = variance_explained(G, k=5)
+        assert ve[0] > 2 * ve[1]  # PC1 carries the population split
+
+    def test_validation(self):
+        from repro.apps.gwas import genotype_pcs
+
+        with pytest.raises(ValueError, match="exceeds"):
+            genotype_pcs(np.zeros((3, 5)) + np.arange(5), k=10)
+        with pytest.raises(ValueError, match="monomorphic"):
+            genotype_pcs(np.ones((10, 4)), k=1)
+
+
+class TestLogspaceParameter:
+    def test_log_spacing(self):
+        from repro.cheetah import LogspaceParameter
+
+        p = LogspaceParameter("buf", 1.0, 1000.0, 4)
+        assert p.values == pytest.approx((1.0, 10.0, 100.0, 1000.0))
+
+    def test_as_int_dedupes(self):
+        from repro.cheetah import LogspaceParameter
+
+        p = LogspaceParameter("ranks", 1, 16, 9, as_int=True)
+        assert p.values == tuple(sorted(set(p.values)))
+        assert all(isinstance(v, int) for v in p.values)
+
+    def test_validation(self):
+        from repro.cheetah import LogspaceParameter
+        from repro.cheetah.parameters import ParameterError
+
+        with pytest.raises(ParameterError):
+            LogspaceParameter("x", 0.0, 10.0, 3)
+        with pytest.raises(ParameterError):
+            LogspaceParameter("x", 1.0, 10.0, 1)
+
+
+class TestSchemaProjection:
+    def schemas(self):
+        from repro.metadata import DataSchema, Field
+
+        source = DataSchema(
+            "wide", "1",
+            (Field("a", "int64"), Field("b", "float64"), Field("c", "int8")),
+        )
+        target = DataSchema("narrow", "1", (Field("a", "int64"), Field("c", "int8")))
+        return source, target
+
+    def test_projects_subset(self):
+        from repro.metadata import project
+
+        source, target = self.schemas()
+        out = project({"a": 1, "b": 2.5, "c": 3}, source, target)
+        assert out == {"a": 1, "c": 3}
+
+    def test_missing_field_raises_with_name(self):
+        from repro.metadata import DataSchema, Field, ProjectionError, project
+
+        source, _ = self.schemas()
+        bad_target = DataSchema("t", "1", (Field("z", "int64"),))
+        with pytest.raises(ProjectionError, match="missing field 'z'"):
+            project({"a": 1}, source, bad_target)
+
+    def test_type_mismatch_raises(self):
+        from repro.metadata import DataSchema, Field, ProjectionError, project
+
+        source, _ = self.schemas()
+        bad_target = DataSchema("t", "1", (Field("a", "float64"),))
+        with pytest.raises(ProjectionError, match="field 'a'"):
+            project({"a": 1}, source, bad_target)
+
+    def test_record_missing_declared_field(self):
+        from repro.metadata import ProjectionError, project
+
+        source, target = self.schemas()
+        with pytest.raises(ProjectionError, match="record lacks"):
+            project({"a": 1}, source, target)
+
+
+class TestResultSummary:
+    def test_summary_text(self):
+        from conftest import make_cluster
+
+        from repro.cluster.job import Task
+        from repro.savanna import PilotExecutor
+
+        tasks = [Task(name=f"t{i}", duration=10.0) for i in range(4)]
+        result = PilotExecutor(make_cluster(nodes=2)).run(tasks, nodes=2, walltime=100.0)
+        text = result.summary()
+        assert "4/4 tasks completed" in text
+        assert "allocation 0" in text

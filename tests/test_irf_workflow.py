@@ -1,0 +1,129 @@
+"""Tests for the iRF workflow module: campaign builder, manual effort,
+reuse scenario, plus the brute-force split-search oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.irf.workflow import (
+    ManualEffortEstimate,
+    build_irf_campaign,
+    irf_reuse_scenario,
+    manual_effort_comparison,
+)
+
+
+class TestCampaignBuilder:
+    def test_one_run_per_feature(self):
+        campaign = build_irf_campaign(50, nodes=10, walltime=3600.0)
+        manifest = campaign.to_manifest()
+        assert len(manifest) == 50
+        assert manifest.group_meta("features")["nodes"] == 10
+        assert [r.parameters["feature"] for r in manifest.runs] == list(range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_irf_campaign(0)
+
+
+class TestManualEffort:
+    def test_cheetah_dramatically_cheaper(self):
+        original, cheetah = manual_effort_comparison(1606)
+        assert original.total_minutes > 10 * cheetah.total_minutes
+
+    def test_original_effort_grows_with_campaign_size(self):
+        small, _ = manual_effort_comparison(100)
+        large, _ = manual_effort_comparison(3000)
+        assert large.total_minutes > small.total_minutes
+
+    def test_cheetah_effort_nearly_flat(self):
+        _, small = manual_effort_comparison(100)
+        _, large = manual_effort_comparison(3000)
+        assert large.total_minutes < small.total_minutes + 60
+
+    def test_total_is_sum_of_parts(self):
+        estimate = ManualEffortEstimate("w", 10, 20, 30, 40)
+        assert estimate.total_minutes == 100
+
+    def test_explicit_allocations_respected(self):
+        original, cheetah = manual_effort_comparison(100, expected_allocations=5)
+        assert cheetah.resubmission_minutes == 4.0
+
+
+class TestReuseScenario:
+    def test_baseline_pays_everything(self):
+        from repro.gauges import GaugeProfile, score
+
+        scenario = irf_reuse_scenario()
+        report = score(GaugeProfile.baseline(), scenario)
+        assert report.manual_minutes == scenario.total_minutes()
+
+    def test_modeled_customizability_removes_scripting_steps(self):
+        from repro.gauges import GaugeProfile, score
+        from repro.gauges.levels import CustomizabilityTier, Gauge
+
+        profile = GaugeProfile.baseline().with_tier(
+            Gauge.SOFTWARE_CUSTOMIZABILITY, CustomizabilityTier.MODELED
+        )
+        report = score(profile, irf_reuse_scenario())
+        automated = {s.name for s in report.automated_steps}
+        assert any("submit scripts" in name for name in automated)
+        assert report.manual_minutes < irf_reuse_scenario().total_minutes()
+
+
+# ---------------------------------------------------------------------------
+# Oracle test: the vectorized split search against brute force.
+
+
+def _brute_force_best_split(X, y, idx, features, min_leaf):
+    """Reference implementation: try every threshold explicitly."""
+    ysub = y[idx]
+    parent_sse = float(((ysub - ysub.mean()) ** 2).sum())
+    if parent_sse <= 0:
+        return None
+    best = None
+    for f in features:
+        vals = X[idx, f]
+        for threshold in np.unique(vals)[:-1]:
+            left = ysub[vals <= threshold]
+            right = ysub[vals > threshold]
+            if len(left) < min_leaf or len(right) < min_leaf:
+                continue
+            sse = float(((left - left.mean()) ** 2).sum()) + float(
+                ((right - right.mean()) ** 2).sum()
+            )
+            if best is None or sse < best[2] - 1e-9:
+                best = (int(f), float(threshold), sse, parent_sse - sse)
+    return best
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    n=st.integers(4, 25),
+    m=st.integers(1, 4),
+    min_leaf=st.integers(1, 3),
+    seed=st.integers(0, 1000),
+)
+def test_vectorized_split_matches_brute_force(n, m, min_leaf, seed):
+    """Property: the O(n log n) split search finds a split with exactly the
+    brute-force optimal SSE (thresholds may differ when ties exist)."""
+    from repro.apps.irf.tree import _best_split
+
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 5, size=(n, m)).astype(float)  # ties likely
+    y = rng.normal(size=n)
+    idx = np.arange(n)
+    features = list(range(m))
+    fast = _best_split(X, y, idx, features, min_leaf)
+    slow = _brute_force_best_split(X, y, idx, features, min_leaf)
+    if slow is None:
+        assert fast is None
+        return
+    assert fast is not None
+    assert fast[2] == pytest.approx(slow[2], rel=1e-9, abs=1e-9)
+    # and the returned threshold actually induces a valid partition
+    f, threshold, _sse, decrease = fast
+    left = (X[idx, f] <= threshold).sum()
+    assert min_leaf <= left <= n - min_leaf
+    assert decrease >= -1e-9

@@ -1,0 +1,65 @@
+"""Tests for data-access descriptors."""
+
+from repro.metadata.access import (
+    AccessInterface,
+    AccessProtocol,
+    DataAccessDescriptor,
+    QueryCapability,
+)
+
+
+class TestTierLadder:
+    def test_unknown_is_tier_zero(self):
+        assert DataAccessDescriptor().tier_index() == 0
+
+    def test_protocol_is_tier_one(self):
+        d = DataAccessDescriptor(protocol=AccessProtocol.POSIX_FILE)
+        assert d.tier_index() == 1
+
+    def test_interface_is_tier_two(self):
+        d = DataAccessDescriptor(
+            protocol=AccessProtocol.POSIX_FILE,
+            interface=AccessInterface.DELIMITED_TEXT,
+        )
+        assert d.tier_index() == 2
+
+    def test_query_is_tier_three(self):
+        d = DataAccessDescriptor(
+            protocol=AccessProtocol.DATABASE,
+            interface=AccessInterface.SQL,
+            query=QueryCapability.DECLARATIVE,
+        )
+        assert d.tier_index() == 3
+
+    def test_interface_without_protocol_stays_tier_zero(self):
+        """The ladder is strictly ordered: you can't know the library
+        interface of data you can't reach."""
+        d = DataAccessDescriptor(interface=AccessInterface.JSON)
+        assert d.tier_index() == 0
+
+
+class TestDescribe:
+    def test_describe_mentions_all_known_parts(self):
+        d = DataAccessDescriptor(
+            protocol=AccessProtocol.MESSAGE_QUEUE,
+            interface=AccessInterface.RAW_BYTES,
+            query=QueryCapability.LINEAR,
+            location="tcp://host:5555",
+        )
+        text = d.describe()
+        assert "message-queue" in text
+        assert "raw-bytes" in text
+        assert "query=linear" in text
+        assert "tcp://host:5555" in text
+
+    def test_describe_minimal(self):
+        assert DataAccessDescriptor().describe() == "unknown"
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        d = DataAccessDescriptor()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            d.protocol = AccessProtocol.POSIX_FILE

@@ -1,0 +1,108 @@
+"""Tests for provenance records, campaign context, and export policy."""
+
+import pytest
+
+from repro.metadata.provenance import (
+    CampaignContext,
+    ExportClass,
+    ExportPolicy,
+    ProvenanceRecord,
+    ProvenanceStore,
+)
+
+
+def record(component="sim", campaign=None, outcome="success", export=ExportClass.INTERNAL, env=None):
+    return ProvenanceRecord(
+        component=component,
+        start_time=0.0,
+        end_time=10.0,
+        campaign=campaign,
+        outcome=outcome,
+        export_class=export,
+        environment=env or {},
+    )
+
+
+class TestRecord:
+    def test_elapsed(self):
+        assert record().elapsed == 10.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            ProvenanceRecord(component="x", start_time=5.0, end_time=1.0)
+
+    def test_unique_ids(self):
+        assert record().record_id != record().record_id
+
+
+class TestStore:
+    def test_add_and_query_by_component(self):
+        store = ProvenanceStore()
+        store.add(record(component="a"))
+        store.add(record(component="b"))
+        assert len(store.query(component="a")) == 1
+        assert len(store) == 2
+
+    def test_query_by_outcome(self):
+        store = ProvenanceStore()
+        store.add(record(outcome="success"))
+        store.add(record(outcome="failure"))
+        assert len(store.query(outcome="failure")) == 1
+
+    def test_campaign_must_be_registered(self):
+        store = ProvenanceStore()
+        with pytest.raises(ValueError, match="unregistered campaign"):
+            store.add(record(campaign="nope"))
+
+    def test_campaign_registration_and_lookup(self):
+        store = ProvenanceStore()
+        ctx = CampaignContext("study", "minimize runtime", ("x",))
+        store.register_campaign(ctx)
+        assert store.campaign("study") is ctx
+        assert store.campaigns == (ctx,)
+
+    def test_duplicate_campaign_rejected(self):
+        store = ProvenanceStore()
+        store.register_campaign(CampaignContext("s", "o"))
+        with pytest.raises(ValueError, match="already registered"):
+            store.register_campaign(CampaignContext("s", "o2"))
+
+    def test_summarize_campaign(self):
+        store = ProvenanceStore()
+        store.register_campaign(CampaignContext("s", "o"))
+        store.add(record(campaign="s"))
+        store.add(record(campaign="s", outcome="failure"))
+        summary = store.summarize_campaign("s")
+        assert summary["runs"] == 2
+        assert summary["outcomes"] == {"success": 1, "failure": 1}
+        assert summary["total_elapsed"] == 20.0
+
+
+class TestExport:
+    def test_default_policy_admits_only_public(self):
+        store = ProvenanceStore()
+        store.add(record(export=ExportClass.PRIVATE))
+        store.add(record(export=ExportClass.INTERNAL))
+        store.add(record(export=ExportClass.PUBLIC))
+        exported = store.export()
+        assert len(exported) == 1
+        assert exported[0].export_class is ExportClass.PUBLIC
+
+    def test_sanitize_redacts_environment_keys(self):
+        policy = ExportPolicy()
+        r = record(export=ExportClass.PUBLIC, env={"USER": "alice", "OMP_NUM_THREADS": "4"})
+        clean = policy.sanitize(r)
+        assert "USER" not in clean.environment
+        assert clean.environment["OMP_NUM_THREADS"] == "4"
+
+    def test_custom_include_set(self):
+        policy = ExportPolicy(include=frozenset({ExportClass.PUBLIC, ExportClass.INTERNAL}))
+        store = ProvenanceStore()
+        store.add(record(export=ExportClass.INTERNAL))
+        assert len(store.export(policy)) == 1
+
+    def test_sanitize_preserves_payload(self):
+        r = record(export=ExportClass.PUBLIC)
+        clean = ExportPolicy().sanitize(r)
+        assert clean.component == r.component
+        assert clean.elapsed == r.elapsed

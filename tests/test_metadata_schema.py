@@ -1,0 +1,173 @@
+"""Tests for schemas, inference, and the conversion planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metadata.schema import (
+    ConversionError,
+    DataSchema,
+    Field,
+    FormatConverterRegistry,
+    infer_schema,
+)
+
+
+class TestField:
+    def test_compatible_same(self):
+        a = Field("x", "float64", (3,))
+        assert a.compatible_with(Field("x", "float64", (3,)))
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            Field("y", "float64", (3,)),
+            Field("x", "int64", (3,)),
+            Field("x", "float64", (4,)),
+        ],
+    )
+    def test_incompatible(self, other):
+        assert not Field("x", "float64", (3,)).compatible_with(other)
+
+
+class TestSchemaTiers:
+    def test_empty_schema_tier_zero(self):
+        assert DataSchema().tier_index() == 0
+
+    def test_named_format_tier_one(self):
+        assert DataSchema(format_name="blob").tier_index() == 1
+
+    def test_versioned_tier_two(self):
+        assert DataSchema(format_name="csv", format_version="1").tier_index() == 2
+
+    def test_fields_tier_three(self):
+        s = DataSchema("csv", "1", (Field("a", "int64"),))
+        assert s.tier_index() == 3
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError, match="duplicate field names"):
+            DataSchema("f", "1", (Field("a", "int64"), Field("a", "int64")))
+
+    def test_superset(self):
+        small = DataSchema("f", "1", (Field("a", "int64"),))
+        big = DataSchema("f", "2", (Field("a", "int64"), Field("b", "float64")))
+        assert big.is_superset_of(small)
+        assert not small.is_superset_of(big)
+
+    def test_get_field(self):
+        s = DataSchema("f", "1", (Field("a", "int64"),))
+        assert s.get("a").dtype == "int64"
+        with pytest.raises(KeyError):
+            s.get("z")
+
+
+class TestInference:
+    def test_from_dict(self):
+        s = infer_schema({"a": np.zeros(3), "b": 1.5})
+        assert s.tier_index() == 3
+        assert s.get("a").shape == (3,)
+        assert s.get("b").dtype == "float64"
+
+    def test_from_plain_ndarray(self):
+        s = infer_schema(np.zeros((2, 2), dtype=np.int32))
+        assert s.get("data").dtype == "int32"
+
+    def test_from_structured_array(self):
+        arr = np.zeros(3, dtype=[("x", "f8"), ("y", "i4")])
+        s = infer_schema(arr)
+        assert s.field_names() == ("x", "y")
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            infer_schema("a string")
+
+
+class TestConversionPlanner:
+    def make_registry(self):
+        reg = FormatConverterRegistry()
+        reg.register("a", "hub", lambda d: ("a->hub", d))
+        reg.register("hub", "a", lambda d: d[1])
+        reg.register("b", "hub", lambda d: ("b->hub", d))
+        reg.register("hub", "b", lambda d: d[1])
+        reg.register("hub", "c", lambda d: ("hub->c", d))
+        return reg
+
+    def test_direct_plan(self):
+        reg = self.make_registry()
+        plan = reg.plan("a", "hub")
+        assert plan.length == 1
+        assert plan.describe() == "a -> hub"
+
+    def test_transitive_plan_through_hub(self):
+        reg = self.make_registry()
+        plan = reg.plan("a", "c")
+        assert [dst for _s, dst, _f in plan.steps] == ["hub", "c"]
+
+    def test_identity_plan(self):
+        reg = self.make_registry()
+        plan = reg.plan("a", "a")
+        assert plan.length == 0
+        assert plan.apply("x") == "x"
+
+    def test_apply_chains_functions(self):
+        reg = self.make_registry()
+        out = reg.convert("payload", "a", "c")
+        assert out == ("hub->c", ("a->hub", "payload"))
+
+    def test_no_path_raises(self):
+        reg = self.make_registry()
+        with pytest.raises(ConversionError):
+            reg.plan("c", "a")  # c has no outgoing edges
+
+    def test_unknown_format_raises(self):
+        reg = self.make_registry()
+        with pytest.raises(ConversionError, match="no converters registered"):
+            reg.plan("nope", "a")
+
+    def test_can_convert(self):
+        reg = self.make_registry()
+        assert reg.can_convert("a", "b")
+        assert reg.can_convert("a", "a")
+        assert not reg.can_convert("c", "a")
+
+    def test_cost_prefers_cheap_path(self):
+        reg = FormatConverterRegistry()
+        reg.register("x", "y", lambda d: "direct", cost=10.0)
+        reg.register("x", "m", lambda d: d, cost=1.0)
+        reg.register("m", "y", lambda d: "via-m", cost=1.0)
+        assert reg.convert("d", "x", "y") == "via-m"
+
+    def test_self_conversion_registration_rejected(self):
+        reg = FormatConverterRegistry()
+        with pytest.raises(ValueError):
+            reg.register("x", "x", lambda d: d)
+
+    def test_nonpositive_cost_rejected(self):
+        reg = FormatConverterRegistry()
+        with pytest.raises(ValueError):
+            reg.register("x", "y", lambda d: d, cost=0)
+
+    def test_converters_from(self):
+        reg = self.make_registry()
+        assert reg.converters_from("hub") == ["a", "b", "c"]
+        assert reg.converters_from("unknown") == []
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcdef"), st.sampled_from("abcdef")), max_size=20))
+def test_planner_never_returns_broken_chain(edges):
+    """Property: any plan found is a connected chain from source to target."""
+    reg = FormatConverterRegistry()
+    for s, t in edges:
+        if s != t:
+            reg.register(s, t, lambda d: d)
+    for source in "abcdef":
+        for target in "abcdef":
+            try:
+                plan = reg.plan(source, target)
+            except ConversionError:
+                continue
+            chain = [source] + [dst for _s, dst, _f in plan.steps]
+            assert chain[-1] == target
+            for (a, b, _f) in plan.steps:
+                assert reg.can_convert(a, b)

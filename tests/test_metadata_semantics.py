@@ -1,0 +1,77 @@
+"""Tests for data-semantics descriptors."""
+
+import pytest
+
+from repro.metadata.semantics import (
+    ConsumptionPattern,
+    DataSemanticsDescriptor,
+    ElementRole,
+    FormatLineage,
+    Ordering,
+)
+
+
+class TestTiers:
+    def test_empty_is_tier_zero(self):
+        assert DataSemanticsDescriptor().tier_index() == 0
+
+    def test_consumption_reaches_data_fusion(self):
+        d = DataSemanticsDescriptor(consumption=ConsumptionPattern.WINDOW)
+        assert d.tier_index() == 1
+
+    def test_ordering_alone_reaches_data_fusion(self):
+        d = DataSemanticsDescriptor(ordering=Ordering.ORDERED)
+        assert d.tier_index() == 1
+
+    def test_lineage_reaches_format_evolution(self):
+        d = DataSemanticsDescriptor(
+            ordering=Ordering.ORDERED,
+            lineage=FormatLineage("fmt", ("1", "2"), "2"),
+        )
+        assert d.tier_index() == 2
+
+    def test_roles_reach_dataset_semantics(self):
+        d = DataSemanticsDescriptor(
+            roles=(ElementRole("cancerous", "labels == 1"),)
+        )
+        assert d.tier_index() == 3
+
+
+class TestOrderPreservation:
+    def test_ordered_requires_preservation(self):
+        assert DataSemanticsDescriptor(ordering=Ordering.ORDERED).requires_order_preservation()
+
+    def test_first_precious_requires_preservation(self):
+        d = DataSemanticsDescriptor(consumption=ConsumptionPattern.FIRST_PRECIOUS)
+        assert d.requires_order_preservation()
+
+    def test_unordered_elementwise_does_not(self):
+        d = DataSemanticsDescriptor(
+            ordering=Ordering.UNORDERED, consumption=ConsumptionPattern.ELEMENT
+        )
+        assert not d.requires_order_preservation()
+
+
+class TestLineage:
+    def test_predecessors_newest_first(self):
+        lin = FormatLineage("fmt", ("1", "2", "3"), "3")
+        assert lin.predecessors() == ("2", "1")
+
+    def test_oldest_version_has_no_predecessors(self):
+        lin = FormatLineage("fmt", ("1", "2"), "1")
+        assert lin.predecessors() == ()
+
+    def test_current_must_be_in_lineage(self):
+        with pytest.raises(ValueError, match="not in lineage"):
+            FormatLineage("fmt", ("1", "2"), "9")
+
+
+class TestRoles:
+    def test_role_lookup(self):
+        role = ElementRole("healthy", "labels == 0")
+        d = DataSemanticsDescriptor(roles=(role,))
+        assert d.role_for("healthy") is role
+
+    def test_missing_role_raises(self):
+        with pytest.raises(KeyError):
+            DataSemanticsDescriptor().role_for("nope")

@@ -1,0 +1,95 @@
+"""Tests for per-node speed heterogeneity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.cluster.job import Task
+from repro.cluster.node import Node, NodePool
+from repro.savanna import PilotExecutor, StaticSetExecutor
+
+
+def hetero_cluster(nodes=4, sigma=0.0, seed=7):
+    spec = ClusterSpec(
+        nodes=nodes,
+        queue_sigma=0.0,
+        queue_median_wait=0.0,
+        node_mttf=None,
+        fs_load=None,
+        node_speed_sigma=sigma,
+    )
+    return SimulatedCluster(spec, seed=seed)
+
+
+class TestNodeSpeeds:
+    def test_default_homogeneous(self):
+        cluster = hetero_cluster(sigma=0.0)
+        assert all(n.speed == 1.0 for n in cluster.pool.nodes)
+
+    def test_sigma_produces_spread(self):
+        cluster = hetero_cluster(nodes=32, sigma=0.4)
+        speeds = [n.speed for n in cluster.pool.nodes]
+        assert len({round(s, 6) for s in speeds}) > 10
+        assert all(s > 0 for s in speeds)
+
+    def test_speeds_mean_near_one(self):
+        cluster = hetero_cluster(nodes=500, sigma=0.3)
+        speeds = np.array([n.speed for n in cluster.pool.nodes])
+        assert 0.9 < speeds.mean() < 1.1
+
+    def test_deterministic_per_seed(self):
+        a = hetero_cluster(nodes=8, sigma=0.3, seed=5)
+        b = hetero_cluster(nodes=8, sigma=0.3, seed=5)
+        assert [n.speed for n in a.pool.nodes] == [n.speed for n in b.pool.nodes]
+
+    def test_pool_speed_validation(self):
+        with pytest.raises(ValueError, match="speeds for"):
+            NodePool(3, speeds=[1.0])
+        with pytest.raises(ValueError):
+            Node(index=0, speed=0.0)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(node_speed_sigma=-0.1)
+
+
+class TestExecutionOnHeterogeneousNodes:
+    def test_slow_node_stretches_task(self):
+        cluster = hetero_cluster(nodes=1)
+        cluster.pool.nodes[0].speed = 0.5
+        result = PilotExecutor(cluster).run(
+            [Task(name="t", duration=10.0)], nodes=1, walltime=100.0
+        )
+        attempt = result.outcomes[0].attempts[0]
+        assert attempt.elapsed == pytest.approx(20.0)
+
+    def test_multinode_task_paced_by_slowest(self):
+        cluster = hetero_cluster(nodes=2)
+        cluster.pool.nodes[0].speed = 2.0
+        cluster.pool.nodes[1].speed = 0.5
+        result = PilotExecutor(cluster).run(
+            [Task(name="t", duration=10.0, nodes=2)], nodes=2, walltime=100.0
+        )
+        assert result.outcomes[0].attempts[0].elapsed == pytest.approx(20.0)
+
+    def test_heterogeneity_widens_static_dynamic_gap(self):
+        """A6 ablation shape: per-node speed spread adds stragglers the
+        barrier amplifies, so the dynamic advantage grows."""
+        from repro.apps.irf.loop import feature_run_durations
+
+        def ratio(sigma):
+            durations = feature_run_durations(
+                64, median_seconds=100.0, sigma=0.4, seed=11
+            )
+            def tasks():
+                return [Task(name=f"t{i}", duration=float(d)) for i, d in enumerate(durations)]
+
+            static = StaticSetExecutor(hetero_cluster(nodes=8, sigma=sigma)).run(
+                tasks(), nodes=8, walltime=10**7
+            )
+            dynamic = PilotExecutor(hetero_cluster(nodes=8, sigma=sigma)).run(
+                tasks(), nodes=8, walltime=10**7
+            )
+            return static.makespan() / dynamic.makespan()
+
+        assert ratio(0.5) > ratio(0.0)

@@ -1,0 +1,153 @@
+"""Tests for the executor backend registry, FAIR alignment, and
+directory-loaded template libraries."""
+
+import pytest
+
+from repro.gauges.fair import Alignment, fair_alignment, fair_report
+from repro.gauges.levels import (
+    AccessTier,
+    CustomizabilityTier,
+    Gauge,
+    GranularityTier,
+    ProvenanceTier,
+    SchemaTier,
+    SemanticsTier,
+)
+from repro.gauges.model import GaugeProfile
+from repro.savanna.backends import (
+    available_backends,
+    backend_descriptions,
+    create_executor,
+    get_backend,
+    register_backend,
+)
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"pilot", "static-sets", "local-threads"} <= set(available_backends())
+
+    def test_create_local_executor(self):
+        executor = create_executor("local-threads", max_workers=2)
+        assert executor.max_workers == 2
+
+    def test_create_simulated_executor(self, small_cluster):
+        executor = create_executor("pilot", cluster=small_cluster)
+        assert executor.cluster is small_cluster
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="unknown executor backend"):
+            get_backend("slurm-direct")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("pilot", lambda: None)
+
+    def test_replace_flag_allows_override(self):
+        sentinel = lambda: "custom"  # noqa: E731
+        register_backend("test-backend-replace", sentinel)
+        register_backend("test-backend-replace", sentinel, replace=True)
+        assert get_backend("test-backend-replace") is sentinel
+
+    def test_descriptions_present(self):
+        descriptions = backend_descriptions()
+        assert descriptions["pilot"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("", lambda: None)
+
+
+class TestFairAlignment:
+    def test_baseline_unmet_everywhere(self):
+        alignment = fair_alignment(GaugeProfile.baseline())
+        assert all(a is Alignment.UNMET for a in alignment.values())
+
+    def test_top_profile_meets_everything(self):
+        top = GaugeProfile(
+            data_access=AccessTier.QUERY,
+            data_schema=SchemaTier.SELF_DESCRIBING,
+            data_semantics=SemanticsTier.DATASET_SEMANTICS,
+            software_granularity=GranularityTier.IO_SEMANTICS,
+            software_customizability=CustomizabilityTier.RELATED,
+            software_provenance=ProvenanceTier.EXPORTABLE,
+        )
+        alignment = fair_alignment(top)
+        assert all(a is Alignment.MET for a in alignment.values())
+
+    def test_r12_tracks_provenance_gauge(self):
+        profile = GaugeProfile.baseline().with_tier(
+            Gauge.SOFTWARE_PROVENANCE, ProvenanceTier.CAMPAIGN_KNOWLEDGE
+        )
+        assert fair_alignment(profile)["R1.2"] is Alignment.MET
+        lower = profile.with_tier(Gauge.SOFTWARE_PROVENANCE, ProvenanceTier.EXECUTION_LOGS)
+        assert fair_alignment(lower)["R1.2"] is Alignment.UNMET
+
+    def test_partial_alignment(self):
+        profile = GaugeProfile.baseline().with_tier(Gauge.DATA_SCHEMA, SchemaTier.DECLARED)
+        # R1.3 needs schema DECLARED and customizability MODELED
+        assert fair_alignment(profile)["R1.3"] is Alignment.PARTIAL
+
+    def test_report_renders_all_principles(self):
+        text = fair_report(GaugeProfile.baseline())
+        for principle in ("I1", "I3", "R1", "R1.2", "R1.3"):
+            assert principle in text
+        assert "LOW" in text
+
+    def test_paper_named_principles_mapped(self):
+        """The conclusion names R1.2, R1.3, I3 — all must be present."""
+        from repro.gauges.fair import FAIR_MAPPINGS
+
+        names = {m.principle for m in FAIR_MAPPINGS}
+        assert {"R1.2", "R1.3", "I3"} <= names
+
+
+class TestTemplateDirectory:
+    def write_templates(self, tmp_path):
+        (tmp_path / "greet.tmpl").write_text(
+            "#@ path: out/${who}.txt\nhello ${who}\n"
+        )
+        (tmp_path / "spec.tmpl").write_text(
+            '#@ path: spec.json\n#@ comment: none\n{"who": "${who}"}\n'
+        )
+        return tmp_path
+
+    def test_loads_all_templates(self, tmp_path):
+        from repro.skel.generator import TemplateLibrary
+
+        lib = TemplateLibrary.from_directory(self.write_templates(tmp_path))
+        assert lib.names() == ["greet", "spec"]
+
+    def test_generation_from_loaded_library(self, tmp_path):
+        import json
+
+        from repro.skel.generator import Generator, TemplateLibrary
+        from repro.skel.model import ModelField, ModelSchema, SkelModel
+
+        lib = TemplateLibrary.from_directory(self.write_templates(tmp_path))
+        model = SkelModel(ModelSchema("m", (ModelField("who"),)), {"who": "disk"})
+        files = {f.relpath: f for f in Generator(lib).generate(model)}
+        assert "hello disk" in files["out/disk.txt"].content
+        assert json.loads(files["spec.json"].content) == {"who": "disk"}
+        # comment: none suppressed the fingerprint stamp
+        assert "model-fingerprint" not in files["spec.json"].content
+
+    def test_missing_path_directive_rejected(self, tmp_path):
+        from repro.skel.generator import TemplateLibrary
+
+        (tmp_path / "bad.tmpl").write_text("no directives here\n")
+        with pytest.raises(ValueError, match="missing '#@ path:'"):
+            TemplateLibrary.from_directory(tmp_path)
+
+    def test_unknown_directive_rejected(self, tmp_path):
+        from repro.skel.generator import TemplateLibrary
+
+        (tmp_path / "bad.tmpl").write_text("#@ path: x\n#@ frobnicate: yes\nbody\n")
+        with pytest.raises(ValueError, match="unknown template directive"):
+            TemplateLibrary.from_directory(tmp_path)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        from repro.skel.generator import TemplateLibrary
+
+        with pytest.raises(FileNotFoundError):
+            TemplateLibrary.from_directory(tmp_path / "ghost")

@@ -1,0 +1,59 @@
+"""Tests for the local (real-execution) executor."""
+
+import pytest
+
+from repro.cheetah import AppSpec, Campaign, Sweep, SweepParameter
+from repro.savanna import LocalExecutor
+
+
+def make_manifest(values=(1, 2, 3)):
+    camp = Campaign("local", app=AppSpec("square"))
+    sg = camp.sweep_group("g", nodes=1, walltime=60.0)
+    sg.add(Sweep([SweepParameter("x", values)]))
+    return camp.to_manifest()
+
+
+class TestLocalExecutor:
+    def test_runs_every_configuration(self):
+        results = LocalExecutor(max_workers=2).run(make_manifest(), lambda p: p["x"] ** 2)
+        assert len(results) == 3
+        assert results["g/run-0001"].value == 4
+        assert all(r.status == "done" for r in results.values())
+
+    def test_elapsed_recorded(self):
+        results = LocalExecutor().run(make_manifest((1,)), lambda p: p["x"])
+        assert results["g/run-0000"].elapsed >= 0
+
+    def test_exception_isolated_per_run(self):
+        def app(p):
+            if p["x"] == 2:
+                raise ValueError("boom")
+            return p["x"]
+
+        results = LocalExecutor(max_workers=2).run(make_manifest(), app)
+        assert results["g/run-0001"].status == "failed"
+        assert "ValueError: boom" in results["g/run-0001"].error
+        assert results["g/run-0000"].status == "done"
+        assert results["g/run-0002"].status == "done"
+
+    def test_run_filter_selects_subset(self):
+        results = LocalExecutor().run(
+            make_manifest(), lambda p: p["x"], run_filter=lambda rid: rid.endswith("0002")
+        )
+        assert set(results) == {"g/run-0002"}
+
+    def test_resume_via_directory_pending(self, tmp_path):
+        """The directory's pending set drives resumption of a partial campaign."""
+        from repro.cheetah.directory import CampaignDirectory, RunStatus
+
+        man = make_manifest()
+        cd = CampaignDirectory(tmp_path, man)
+        cd.create()
+        cd.set_status("g/run-0000", RunStatus.DONE)
+        pending_ids = {r.run_id for r in cd.pending_runs()}
+        results = LocalExecutor().run(man, lambda p: p["x"], run_filter=pending_ids.__contains__)
+        assert set(results) == {"g/run-0001", "g/run-0002"}
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            LocalExecutor(max_workers=0)

@@ -1,0 +1,113 @@
+"""Hypothesis hardening for the batch scheduler and template nesting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.engine import Simulator
+from repro.cluster.job import AllocationRequest
+from repro.cluster.node import NodePool
+from repro.cluster.scheduler import BatchScheduler, QueueModel
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    jobs=st.lists(
+        st.tuples(st.integers(1, 4), st.floats(1.0, 200.0)),  # (nodes, walltime)
+        min_size=1,
+        max_size=12,
+    ),
+    backfill=st.booleans(),
+)
+def test_every_job_eventually_starts_and_nodes_conserve(jobs, backfill):
+    """Property: with or without backfill, every submitted job starts
+    exactly once, runs within the machine size, and all nodes return."""
+    sim = Simulator()
+    pool = NodePool(4)
+    sched = BatchScheduler(
+        sim, pool, QueueModel(median_wait=1.0, sigma=0.0), backfill=backfill, seed=0
+    )
+    started = []
+    for i, (nodes, walltime) in enumerate(jobs):
+        sched.submit(
+            AllocationRequest(nodes=nodes, walltime=walltime, name=f"j{i}"),
+            lambda a: started.append(a),
+        )
+    sim.run()
+    assert len(started) == len(jobs)
+    assert pool.free_count == 4
+    # at no instant did concurrent allocations exceed the machine: check
+    # by sweeping allocation intervals
+    intervals = [(a.start, a.deadline, a.request.nodes) for a in started]
+    events = []
+    for start, end, nodes in intervals:
+        events.append((start, nodes))
+        events.append((end, -nodes))
+    events.sort()
+    in_use = 0
+    for _t, delta in events:
+        in_use += delta
+        assert 0 <= in_use <= 4
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    jobs=st.lists(st.integers(1, 4), min_size=2, max_size=10),
+)
+def test_fcfs_start_order_matches_submission_order(jobs):
+    """Property: without backfill, grant order == submission order."""
+    sim = Simulator()
+    pool = NodePool(4)
+    sched = BatchScheduler(sim, pool, QueueModel(median_wait=0.0, sigma=0.0), seed=0)
+    order = []
+    for i, nodes in enumerate(jobs):
+        sched.submit(
+            AllocationRequest(nodes=nodes, walltime=10.0, name=f"j{i}"),
+            lambda a: order.append(a.request.name),
+        )
+    sim.run()
+    assert order == [f"j{i}" for i in range(len(jobs))]
+
+
+class TestTemplateNesting:
+    """Deep nesting cases the basic suite doesn't reach."""
+
+    def test_if_inside_for(self):
+        from repro.skel.templates import Template
+
+        t = Template(
+            "{% for g in groups %}{% if g.last %}L{% else %}${g.i}{% endif %}{% endfor %}"
+        )
+        out = t.render(
+            {"groups": [{"i": 0, "last": False}, {"i": 1, "last": False}, {"i": 2, "last": True}]}
+        )
+        assert out == "01L"
+
+    def test_for_inside_if(self):
+        from repro.skel.templates import Template
+
+        t = Template("{% if on %}{% for i in items %}${i}{% endfor %}{% endif %}")
+        assert t.render({"on": True, "items": [1, 2]}) == "12"
+        assert t.render({"on": False, "items": [1, 2]}) == ""
+
+    def test_triple_nesting(self):
+        from repro.skel.templates import Template
+
+        t = Template(
+            "{% for row in grid %}{% for c in row %}"
+            "{% if c != 0 %}${c}{% else %}.{% endif %}"
+            "{% endfor %};{% endfor %}"
+        )
+        assert t.render({"grid": [[1, 0], [0, 2]]}) == "1.;.2;"
+
+    def test_mismatched_nesting_rejected(self):
+        from repro.skel.templates import Template, TemplateError
+
+        with pytest.raises(TemplateError):
+            Template("{% for i in x %}{% if a %}{% endfor %}{% endif %}")
+
+    def test_loop_shadowing_outer_name(self):
+        from repro.skel.templates import Template
+
+        t = Template("${i}{% for i in items %}${i}{% endfor %}${i}")
+        assert t.render({"i": "X", "items": [1]}) == "X1X"

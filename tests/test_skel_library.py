@@ -1,0 +1,119 @@
+"""Tests for the built-in template library and the Figure 2 baseline."""
+
+import json
+
+import pytest
+
+from repro.apps.gwas.workflow import derive_groups
+from repro.skel.generator import Generator
+from repro.skel.library import (
+    MANUAL_FIELD_PATTERN,
+    builtin_library,
+    count_manual_fields,
+    paste_model_schema,
+    traditional_paste_script,
+)
+from repro.skel.model import SkelModel
+
+
+def paste_model(num_files=250, group_size=100):
+    return SkelModel(
+        paste_model_schema(),
+        {
+            "dataset_dir": "/data/gwas",
+            "file_pattern": "chr*.tsv",
+            "output_file": "all.tsv",
+            "num_files": num_files,
+            "group_size": group_size,
+            "machine_name": "summit",
+            "account": "BIO123",
+        },
+    )
+
+
+def derived_model(num_files=250, group_size=100):
+    model = paste_model(num_files, group_size)
+    return model.updated(groups=derive_groups(num_files, group_size))
+
+
+class TestManualFieldCounting:
+    def test_pattern_matches_marker(self):
+        assert MANUAL_FIELD_PATTERN.findall("x <<EDIT:foo>> y <<EDIT:bar-2>>") == [
+            "foo",
+            "bar-2",
+        ]
+
+    def test_traditional_script_is_heavily_manual(self):
+        counts = count_manual_fields(traditional_paste_script())
+        assert counts["unique"] >= 10
+        assert counts["total"] >= counts["unique"]
+        # the fields the paper highlights in red
+        for expected in ("account", "dataset_dir", "subset_start", "subset_stop"):
+            assert expected in counts["fields"]
+
+    def test_generated_scripts_have_no_manual_fields(self):
+        gen = Generator(builtin_library())
+        model = derived_model()
+        for f in gen.generate(model, ["final-join", "submit", "campaign-spec", "status"]):
+            assert count_manual_fields(f.content)["total"] == 0
+
+
+class TestBuiltinTemplates:
+    def test_library_contents(self):
+        lib = builtin_library()
+        assert set(lib.names()) == {
+            "subjob",
+            "final-join",
+            "submit",
+            "campaign-spec",
+            "status",
+        }
+
+    def test_campaign_spec_is_valid_json(self):
+        gen = Generator(builtin_library())
+        model = derived_model(num_files=30, group_size=10)
+        spec = [
+            f for f in gen.generate(model, ["campaign-spec"]) if f.relpath.endswith(".json")
+        ][0]
+        doc = json.loads(spec.content)
+        assert doc["campaign"] == "gwas-paste"
+        # 3 subpaste tasks + the final join
+        assert len(doc["tasks"]) == 4
+        assert doc["tasks"][-1]["name"] == "final-join"
+
+    def test_subjob_per_group_covers_all_files(self):
+        gen = Generator(builtin_library())
+        groups = derive_groups(25, 10)
+        model = paste_model(25, 10).updated(groups=groups)
+        files = gen.generate_per_item(model, "subjob", "group", groups)
+        assert len(files) == 3
+        # sed ranges must tile 1..25
+        covered = []
+        for f, g in zip(files, groups):
+            assert f"sed -n '{g['sed_start']},{g['sed_stop']}p'" in f.content
+            covered.extend(range(g["sed_start"], g["sed_stop"] + 1))
+        assert covered == list(range(1, 26))
+
+    def test_submit_script_carries_resources(self):
+        gen = Generator(builtin_library())
+        model = derived_model()
+        submit = [f for f in gen.generate(model, ["submit"])][0]
+        assert "#BSUB -P BIO123" in submit.content
+        assert "#BSUB -nnodes 1" in submit.content
+
+    def test_status_script_counts_groups(self):
+        gen = Generator(builtin_library())
+        model = derived_model(num_files=30, group_size=10)
+        status = [f for f in gen.generate(model, ["status"])][0]
+        assert "/ 3" in status.content
+
+
+class TestPasteModelSchema:
+    def test_strategy_choices(self):
+        with pytest.raises(Exception, match="choices"):
+            paste_model().updated(strategy="magic")
+
+    def test_defaults(self):
+        model = paste_model()
+        assert model["strategy"] == "two-phase"
+        assert model["queue"] == "batch"

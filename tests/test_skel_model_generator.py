@@ -1,0 +1,226 @@
+"""Tests for Skel generation models and the generator."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.skel.generator import (
+    GENERATED_HEADER_PREFIX,
+    Generator,
+    TemplateLibrary,
+    is_stale,
+    model_fingerprint,
+)
+from repro.skel.model import ModelField, ModelSchema, ModelValidationError, SkelModel
+from repro.skel.templates import TemplateError
+
+
+def schema():
+    return ModelSchema(
+        name="demo",
+        fields=(
+            ModelField("who", "string"),
+            ModelField("count", "int", required=False, default=3),
+            ModelField("mode", "string", required=False, default="fast", choices=("fast", "slow")),
+        ),
+    )
+
+
+class TestModelSchema:
+    def test_defaults_filled(self):
+        model = SkelModel(schema(), {"who": "x"})
+        assert model["count"] == 3
+        assert model["mode"] == "fast"
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ModelValidationError, match="missing required"):
+            SkelModel(schema(), {})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ModelValidationError, match="unknown model fields"):
+            SkelModel(schema(), {"who": "x", "bogus": 1})
+
+    def test_type_checked(self):
+        with pytest.raises(ModelValidationError, match="expected int"):
+            SkelModel(schema(), {"who": "x", "count": "three"})
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(ModelValidationError):
+            SkelModel(schema(), {"who": "x", "count": True})
+
+    def test_choices_enforced(self):
+        with pytest.raises(ModelValidationError, match="not in choices"):
+            SkelModel(schema(), {"who": "x", "mode": "warp"})
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate field names"):
+            ModelSchema("s", (ModelField("a"), ModelField("a")))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown field type"):
+            ModelField("a", "quaternion")
+
+    def test_field_lookup(self):
+        s = schema()
+        assert s.field("who").type == "string"
+        with pytest.raises(KeyError):
+            s.field("nope")
+
+
+class TestModelUpdate:
+    def test_updated_revalidates(self):
+        model = SkelModel(schema(), {"who": "x"})
+        with pytest.raises(ModelValidationError):
+            model.updated(mode="warp")
+
+    def test_updated_returns_new_model(self):
+        model = SkelModel(schema(), {"who": "x"})
+        m2 = model.updated(who="y")
+        assert model["who"] == "x" and m2["who"] == "y"
+
+    def test_params_include_model_name(self):
+        model = SkelModel(schema(), {"who": "x"})
+        assert model.params()["model_name"] == "demo"
+
+
+class TestModelJson:
+    def test_roundtrip(self):
+        model = SkelModel(schema(), {"who": "x", "count": 9})
+        again = SkelModel.from_json(model.to_json(), schema())
+        assert again.values == model.values
+
+    def test_from_file(self, tmp_path):
+        p = tmp_path / "model.json"
+        p.write_text(json.dumps({"schema": "demo", "values": {"who": "file"}}))
+        model = SkelModel.from_json(p, schema())
+        assert model["who"] == "file"
+
+    def test_schema_name_mismatch_rejected(self):
+        text = json.dumps({"schema": "other", "values": {"who": "x"}})
+        with pytest.raises(ModelValidationError, match="declares schema"):
+            SkelModel.from_json(text, schema())
+
+    def test_bare_values_accepted(self):
+        model = SkelModel.from_json(json.dumps({"who": "bare"}), schema())
+        assert model["who"] == "bare"
+
+
+class TestGenerator:
+    def make(self):
+        lib = TemplateLibrary()
+        lib.add("greet", "out/${who}.txt", "hello ${who}\n")
+        lib.add("json-spec", "spec.json", '{"who": "${who}"}\n', comment=None)
+        return lib, Generator(lib)
+
+    def test_generates_all_templates_by_default(self):
+        lib, gen = self.make()
+        model = SkelModel(schema(), {"who": "x"})
+        files = gen.generate(model)
+        assert {f.relpath for f in files} == {"out/x.txt", "spec.json"}
+
+    def test_fingerprint_stamp_present_for_scripts(self):
+        lib, gen = self.make()
+        model = SkelModel(schema(), {"who": "x"})
+        greet = [f for f in gen.generate(model) if f.template_name == "greet"][0]
+        assert "model-fingerprint=" in greet.content.splitlines()[0]
+
+    def test_no_stamp_for_comment_none(self):
+        lib, gen = self.make()
+        model = SkelModel(schema(), {"who": "x"})
+        spec = [f for f in gen.generate(model) if f.template_name == "json-spec"][0]
+        assert "model-fingerprint" not in spec.content
+        json.loads(spec.content)
+
+    def test_shebang_stays_first_line(self):
+        lib = TemplateLibrary()
+        lib.add("script", "run.sh", "#!/bin/bash\necho ${who}\n")
+        model = SkelModel(schema(), {"who": "x"})
+        out = Generator(lib).generate(model)[0]
+        lines = out.content.splitlines()
+        assert lines[0] == "#!/bin/bash"
+        assert "model-fingerprint" in lines[1]
+
+    def test_missing_variable_names_template(self):
+        lib = TemplateLibrary()
+        lib.add("bad", "x.txt", "${not_in_model}")
+        model = SkelModel(schema(), {"who": "x"})
+        with pytest.raises(TemplateError, match="'bad'"):
+            Generator(lib).generate(model)
+
+    def test_colliding_paths_rejected(self):
+        lib = TemplateLibrary()
+        lib.add("a", "same.txt", "a")
+        lib.add("b", "same.txt", "b")
+        model = SkelModel(schema(), {"who": "x"})
+        with pytest.raises(ValueError, match="both"):
+            Generator(lib).generate(model)
+
+    def test_write_creates_files(self, tmp_path):
+        lib, gen = self.make()
+        model = SkelModel(schema(), {"who": "w"})
+        paths = gen.write(model, tmp_path)
+        assert all(p.exists() for p in paths)
+        assert (tmp_path / "out" / "w.txt").read_text().endswith("hello w\n")
+
+    def test_generate_per_item(self):
+        lib = TemplateLibrary()
+        lib.add("item", "part_${g.i}.sh", "part ${g.i} of ${who}\n")
+        model = SkelModel(schema(), {"who": "x"})
+        files = Generator(lib).generate_per_item(
+            model, "item", "g", [{"i": 0}, {"i": 1}]
+        )
+        assert [f.relpath for f in files] == ["part_0.sh", "part_1.sh"]
+        assert "part 1 of x" in files[1].content
+
+    def test_generate_per_item_path_collision_rejected(self):
+        lib = TemplateLibrary()
+        lib.add("item", "static.sh", "x ${g.i}\n")
+        model = SkelModel(schema(), {"who": "x"})
+        with pytest.raises(ValueError, match="collides"):
+            Generator(lib).generate_per_item(model, "item", "g", [{"i": 0}, {"i": 1}])
+
+    def test_duplicate_template_name_rejected(self):
+        lib = TemplateLibrary()
+        lib.add("t", "a.txt", "x")
+        with pytest.raises(ValueError, match="already registered"):
+            lib.add("t", "b.txt", "y")
+
+    def test_unknown_template_lookup(self):
+        lib = TemplateLibrary()
+        with pytest.raises(KeyError, match="unknown template"):
+            lib.get("ghost")
+
+    def test_required_variables(self):
+        lib, _gen = self.make()
+        assert "who" in lib.required_variables()
+
+
+class TestStaleness:
+    def test_fresh_file_not_stale(self):
+        lib = TemplateLibrary()
+        lib.add("t", "a.sh", "run ${who}\n")
+        model = SkelModel(schema(), {"who": "x"})
+        f = Generator(lib).generate(model)[0]
+        assert not is_stale(f.content, model)
+
+    def test_changed_model_marks_stale(self):
+        lib = TemplateLibrary()
+        lib.add("t", "a.sh", "run ${who}\n")
+        model = SkelModel(schema(), {"who": "x"})
+        f = Generator(lib).generate(model)[0]
+        assert is_stale(f.content, model.updated(who="y"))
+
+    def test_unstamped_file_is_stale(self):
+        model = SkelModel(schema(), {"who": "x"})
+        assert is_stale("#!/bin/bash\necho hand-written\n", model)
+
+    def test_fingerprint_deterministic(self):
+        m1 = SkelModel(schema(), {"who": "x"})
+        m2 = SkelModel(schema(), {"who": "x"})
+        assert model_fingerprint(m1) == model_fingerprint(m2)
+
+    def test_fingerprint_changes_with_values(self):
+        m1 = SkelModel(schema(), {"who": "x"})
+        m2 = SkelModel(schema(), {"who": "y"})
+        assert model_fingerprint(m1) != model_fingerprint(m2)

@@ -1,0 +1,126 @@
+"""Tests for the regeneration planner and multi-instrument dataflow."""
+
+import pytest
+
+from repro.skel.generator import Generator, TemplateLibrary, plan_regeneration, regenerate
+from repro.skel.model import ModelField, ModelSchema, SkelModel
+
+
+def setup_generator():
+    lib = TemplateLibrary()
+    lib.add("run", "run_${who}.sh", "echo ${who}\n")
+    lib.add("conf", "conf.txt", "who=${who}\n")
+    schema = ModelSchema("m", (ModelField("who"),))
+    return Generator(lib), SkelModel(schema, {"who": "a"})
+
+
+class TestPlanRegeneration:
+    def test_all_missing_initially(self, tmp_path):
+        gen, model = setup_generator()
+        plan = plan_regeneration(gen, model, tmp_path)
+        assert set(plan.values()) == {"missing"}
+
+    def test_fresh_after_write(self, tmp_path):
+        gen, model = setup_generator()
+        gen.write(model, tmp_path)
+        plan = plan_regeneration(gen, model, tmp_path)
+        assert set(plan.values()) == {"fresh"}
+
+    def test_stale_after_model_change(self, tmp_path):
+        gen, model = setup_generator()
+        gen.write(model, tmp_path)
+        changed = model.updated(who="b")
+        plan = plan_regeneration(gen, changed, tmp_path)
+        # new model -> different paths for templated path; conf.txt is stale
+        assert plan["conf.txt"] == "stale"
+        assert plan["run_b.sh"] == "missing"
+
+    def test_hand_edit_detected(self, tmp_path):
+        gen, model = setup_generator()
+        gen.write(model, tmp_path)
+        target = tmp_path / "conf.txt"
+        target.write_text(target.read_text() + "# my manual tweak\n")
+        plan = plan_regeneration(gen, model, tmp_path)
+        assert plan["conf.txt"] == "hand-edited"
+
+
+class TestRegenerate:
+    def test_creates_missing_and_refreshes_stale(self, tmp_path):
+        gen, model = setup_generator()
+        regenerate(gen, model, tmp_path)
+        assert (tmp_path / "conf.txt").exists()
+        changed = model.updated(who="b")
+        regenerate(gen, changed, tmp_path)
+        assert "who=b" in (tmp_path / "conf.txt").read_text()
+        assert (tmp_path / "run_b.sh").exists()
+
+    def test_preserves_hand_edits_by_default(self, tmp_path):
+        gen, model = setup_generator()
+        gen.write(model, tmp_path)
+        target = tmp_path / "conf.txt"
+        edited = target.read_text() + "# precious manual work\n"
+        target.write_text(edited)
+        regenerate(gen, model, tmp_path)
+        assert target.read_text() == edited
+
+    def test_overwrite_flag_discards_hand_edits(self, tmp_path):
+        gen, model = setup_generator()
+        gen.write(model, tmp_path)
+        target = tmp_path / "conf.txt"
+        target.write_text(target.read_text() + "# tweak\n")
+        regenerate(gen, model, tmp_path, overwrite_hand_edited=True)
+        assert "# tweak" not in target.read_text()
+
+    def test_returns_plan(self, tmp_path):
+        gen, model = setup_generator()
+        plan = regenerate(gen, model, tmp_path)
+        assert set(plan.values()) == {"missing"}
+
+
+class TestMultiInstrumentPipeline:
+    def test_merge_filter_scheduler_end_to_end(self):
+        """Two instruments -> merge -> filter -> data scheduler -> sinks:
+        the Figure 5 graph generalized to multiple collectors."""
+        from repro.dataflow import (
+            DataflowGraph,
+            DataScheduler,
+            Filter,
+            Merge,
+            Punctuation,
+            SampleEveryK,
+            Sink,
+            Source,
+        )
+        from repro.dataflow.components import ControlSource
+
+        g = DataflowGraph("multi")
+        inst_a = g.add(Source("inst-a", ({"v": i, "src": "a"} for i in range(50))))
+        inst_b = g.add(Source("inst-b", ({"v": i, "src": "b"} for i in range(30))))
+        ctrl = g.add(
+            ControlSource(
+                "steer",
+                [(0, Punctuation("install-policy", ("monitor", SampleEveryK(10))))],
+            )
+        )
+        merge = g.add(Merge("merge", inputs=("a", "b")))
+        flt = g.add(Filter("evens", lambda p: p["v"] % 2 == 0))
+        sched = g.add(DataScheduler("sched", subscribers=("archive", "monitor")))
+        archive = g.add(Sink("archive-sink"))
+        monitor = g.add(Sink("monitor-sink"))
+
+        g.connect(inst_a, "out", merge, "a")
+        g.connect(inst_b, "out", merge, "b")
+        g.connect(merge, "out", flt, "in")
+        g.connect(flt, "out", sched, "in")
+        g.connect(ctrl, "out", sched, "control")
+        g.connect(sched, "archive", archive, "in")
+        g.connect(sched, "monitor", monitor, "in")
+        g.run()
+
+        # 25 evens from a + 15 evens from b
+        assert len(archive.received) == 40
+        assert len(monitor.received) == 4
+        by_src = {"a": 0, "b": 0}
+        for item in archive.received:
+            by_src[item.payload["src"]] += 1
+        assert by_src == {"a": 25, "b": 15}

@@ -1,0 +1,175 @@
+"""Tests for the Skel template engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.skel.templates import Template, TemplateError
+
+
+class TestSubstitution:
+    def test_simple_variable(self):
+        assert Template("hi ${name}").render({"name": "x"}) == "hi x"
+
+    def test_dotted_lookup_through_dict(self):
+        assert Template("${a.b.c}").render({"a": {"b": {"c": 7}}}) == "7"
+
+    def test_dotted_lookup_through_attribute(self):
+        class Obj:
+            value = 42
+
+        assert Template("${o.value}").render({"o": Obj()}) == "42"
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(TemplateError, match="undefined template variable"):
+            Template("${ghost}").render({})
+
+    def test_undefined_nested_raises(self):
+        with pytest.raises(TemplateError, match="undefined template variable"):
+            Template("${a.missing}").render({"a": {}})
+
+    def test_dollar_escape(self):
+        assert Template("cost $$5").render({}) == "cost $5"
+
+    def test_literal_text_untouched(self):
+        text = "no placeholders here {not a tag}"
+        assert Template(text).render({}) == text
+
+    def test_invalid_variable_name_rejected_at_parse(self):
+        with pytest.raises(TemplateError, match="invalid variable reference"):
+            Template("${1bad}")
+
+
+class TestFilters:
+    @pytest.mark.parametrize(
+        "template,context,expected",
+        [
+            ("${x|upper}", {"x": "ab"}, "AB"),
+            ("${x|lower}", {"x": "AB"}, "ab"),
+            ("${x|int}", {"x": 3.7}, "3"),
+            ("${x|len}", {"x": [1, 2, 3]}, "3"),
+            ("${x|basename}", {"x": "/a/b/c.txt"}, "c.txt"),
+        ],
+    )
+    def test_filters(self, template, context, expected):
+        assert Template(template).render(context) == expected
+
+    def test_json_filter_sorted(self):
+        out = Template("${x|json}").render({"x": {"b": 1, "a": 2}})
+        assert out == '{"a": 2, "b": 1}'
+
+    def test_chained_filters(self):
+        assert Template("${x|basename|upper}").render({"x": "/p/file.sh"}) == "FILE.SH"
+
+    def test_unknown_filter_raises(self):
+        with pytest.raises(TemplateError, match="unknown filter"):
+            Template("${x|nope}").render({"x": 1})
+
+
+class TestFor:
+    def test_basic_loop(self):
+        out = Template("{% for i in items %}${i},{% endfor %}").render({"items": [1, 2]})
+        assert out == "1,2,"
+
+    def test_loop_index_and_first(self):
+        t = Template("{% for i in items %}${loop.index}${i}{% endfor %}")
+        assert t.render({"items": "ab"}) == "0a1b"
+
+    def test_nested_loops(self):
+        t = Template(
+            "{% for row in grid %}{% for cell in row %}${cell}{% endfor %};{% endfor %}"
+        )
+        assert t.render({"grid": [[1, 2], [3]]}) == "12;3;"
+
+    def test_loop_over_dict_items_via_attribute(self):
+        t = Template("{% for g in groups %}${g.index}:{% endfor %}")
+        assert t.render({"groups": [{"index": 0}, {"index": 1}]}) == "0:1:"
+
+    def test_empty_iterable(self):
+        assert Template("{% for i in items %}x{% endfor %}").render({"items": []}) == ""
+
+    def test_non_iterable_raises(self):
+        with pytest.raises(TemplateError, match="not iterable"):
+            Template("{% for i in items %}{% endfor %}").render({"items": 5})
+
+    def test_unclosed_for_rejected(self):
+        with pytest.raises(TemplateError, match="unclosed for"):
+            Template("{% for i in items %}x")
+
+    def test_endfor_without_for_rejected(self):
+        with pytest.raises(TemplateError, match="endfor without"):
+            Template("{% endfor %}")
+
+    def test_loop_variable_scoped(self):
+        t = Template("{% for i in items %}{% endfor %}${i}")
+        with pytest.raises(TemplateError):
+            t.render({"items": [1]})
+
+
+class TestIf:
+    def test_truthiness(self):
+        t = Template("{% if flag %}on{% endif %}")
+        assert t.render({"flag": True}) == "on"
+        assert t.render({"flag": False}) == ""
+
+    def test_not(self):
+        t = Template("{% if not flag %}off{% endif %}")
+        assert t.render({"flag": False}) == "off"
+
+    def test_equality_with_string_literal(self):
+        t = Template("{% if mode == 'fast' %}F{% else %}S{% endif %}")
+        assert t.render({"mode": "fast"}) == "F"
+        assert t.render({"mode": "slow"}) == "S"
+
+    def test_inequality_with_number(self):
+        t = Template("{% if n != 0 %}nz{% endif %}")
+        assert t.render({"n": 1}) == "nz"
+        assert t.render({"n": 0}) == ""
+
+    def test_elif_chain(self):
+        t = Template("{% if n == 1 %}one{% elif n == 2 %}two{% else %}many{% endif %}")
+        assert t.render({"n": 1}) == "one"
+        assert t.render({"n": 2}) == "two"
+        assert t.render({"n": 3}) == "many"
+
+    def test_elif_after_else_rejected(self):
+        with pytest.raises(TemplateError, match="elif after else"):
+            Template("{% if a %}{% else %}{% elif b %}{% endif %}")
+
+    def test_duplicate_else_rejected(self):
+        with pytest.raises(TemplateError, match="duplicate else"):
+            Template("{% if a %}{% else %}{% else %}{% endif %}")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(TemplateError, match="unknown tag"):
+            Template("{% frobnicate %}")
+
+    def test_bad_condition_literal_rejected(self):
+        with pytest.raises(TemplateError, match="literal"):
+            Template("{% if a == b %}{% endif %}")
+
+
+class TestVariables:
+    def test_reports_top_level_names(self):
+        t = Template("${a.b} {% for i in items %}${i}${c}{% endfor %}")
+        assert t.variables() == {"a", "items", "c"}
+
+    def test_loop_variable_not_reported(self):
+        t = Template("{% for i in items %}${i}{% endfor %}")
+        assert "i" not in t.variables()
+
+    def test_condition_names_reported(self):
+        t = Template("{% if mode == 'x' %}y{% endif %}")
+        assert "mode" in t.variables()
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="${}%"), max_size=80))
+def test_plain_text_roundtrips(text):
+    """Property: text with no template syntax renders to itself."""
+    assert Template(text).render({}) == text
+
+
+@given(st.dictionaries(st.sampled_from(["a", "b", "c"]), st.integers(), min_size=3))
+def test_rendering_is_deterministic(context):
+    t = Template("${a}-${b}-${c}")
+    assert t.render(context) == t.render(context)

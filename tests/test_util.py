@@ -1,0 +1,139 @@
+"""Tests for repro._util: rng plumbing, validation, table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import (
+    ValidationError,
+    as_generator,
+    check_fraction,
+    check_nonnegative,
+    check_positive,
+    check_type,
+    format_series,
+    format_table,
+    spawn_children,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(5)
+        assert isinstance(as_generator(ss), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            as_generator("not-a-seed")
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_children(7, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_int_seed(self):
+        a1, b1 = spawn_children(9, 2)
+        a2, b2 = spawn_children(9, 2)
+        assert np.array_equal(a1.random(5), a2.random(5))
+        assert np.array_equal(b1.random(5), b2.random(5))
+
+    def test_from_generator_derives(self):
+        g = np.random.default_rng(3)
+        kids = spawn_children(g, 2)
+        assert len(kids) == 2
+
+
+class TestValidators:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ValidationError, match="x must be > 0"):
+            check_positive("x", value)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValidationError):
+            check_nonnegative("x", -1e-9)
+
+    @pytest.mark.parametrize("value", [0, 0.5, 1])
+    def test_check_fraction_accepts(self, value):
+        check_fraction("x", value)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_check_fraction_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_fraction("x", value)
+
+    def test_check_type(self):
+        check_type("x", 5, int)
+        check_type("x", 5, (int, float))
+        with pytest.raises(ValidationError, match="x must be int"):
+            check_type("x", "5", int)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert len(lines) == 4
+        # all rows same width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456789]])
+        assert "1.235" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 0 has 1 cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_series(self):
+        text = format_series("s", [1, 2], [3, 4], xlabel="x", ylabel="y")
+        assert text.startswith("s\n")
+        assert "x" in text and "y" in text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            format_series("s", [1], [1, 2])
+
+
+@given(st.lists(st.lists(st.integers(), min_size=2, max_size=2), max_size=20))
+def test_format_table_property_all_lines_equal_width(rows):
+    text = format_table(["col1", "col2"], rows)
+    widths = {len(line) for line in text.splitlines()}
+    assert len(widths) == 1
