@@ -5,23 +5,42 @@ to complete before moving to the next set, resulting in idle nodes.  This
 is eliminated using Cheetah."  Expected shape: the static baseline shows
 large idle fractions (nodes waiting at set barriers behind stragglers);
 the dynamic pilot keeps nodes busy until the work runs out.
+
+The timed rounds also run once under a
+:class:`~repro.observability.TraceRecorder` (outside the timer), so each
+bench run leaves ``results/fig6_utilization_timeline.trace.json`` — a
+Chrome ``trace_event`` capture of both executors, loadable at
+``about:tracing`` (one row per node; see ``docs/observability.md``).
 """
 
-from repro.experiments import fig6_timeline
+import json
+
+from repro.experiments import fig6_timeline, run_with_trace
+
+FIG6_KWARGS = {"n_tasks": 120, "nodes": 20, "walltime": 7200.0, "seed": 21}
 
 
-def test_fig6_utilization_timeline(benchmark, save_result):
+def test_fig6_utilization_timeline(benchmark, save_result, results_dir):
     result = benchmark.pedantic(
-        fig6_timeline,
-        kwargs={"n_tasks": 120, "nodes": 20, "walltime": 7200.0, "seed": 21},
-        rounds=2,
-        iterations=1,
+        fig6_timeline, kwargs=FIG6_KWARGS, rounds=2, iterations=1
     )
     timelines = result.extra["timelines"]
     text = result.to_text() + "\n\n" + "\n\n".join(
         f"-- {label} --\n{tl}" for label, tl in timelines.items()
     )
     save_result("fig6_utilization_timeline", text)
+
+    # One untimed traced run: persist the Chrome trace + metrics snapshot.
+    _, recorder = run_with_trace(fig6_timeline, **FIG6_KWARGS)
+    recorder.validate()
+    trace_path = recorder.write_chrome_trace(
+        results_dir / "fig6_utilization_timeline.trace.json"
+    )
+    metrics_path = trace_path.with_suffix(".metrics.json")
+    metrics_path.write_text(json.dumps(recorder.metrics.snapshot(), indent=2) + "\n")
+    print(f"[trace: {len(recorder.events)} events -> {trace_path}]")
+    assert recorder.metrics.snapshot()["counters"]["tasks.launched"] > 0
+
     idle = result.extra["idle"]
     assert idle["static"] > 2 * idle["dynamic"], (
         "set barriers must idle nodes far more than dynamic scheduling"

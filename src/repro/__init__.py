@@ -23,6 +23,8 @@ depends on:
 :mod:`repro.apps`       GWAS paste workflow, iRF / iRF-LOOP, reaction-
                         diffusion + checkpoint-restart
 :mod:`repro.experiments` one driver per paper figure (1-7)
+:mod:`repro.observability` event bus, span tracing, metrics registry,
+                        Chrome-trace recorder, trace-sourced provenance
 =====================  =====================================================
 
 Quickstart::
@@ -42,7 +44,19 @@ Quickstart::
     result = savanna.PilotExecutor(sim).run(tasks, nodes=20, walltime=7200)
 """
 
-from repro import apps, cheetah, cluster, dataflow, experiments, gauges, metadata, research, savanna, skel
+from repro import (
+    apps,
+    cheetah,
+    cluster,
+    dataflow,
+    experiments,
+    gauges,
+    metadata,
+    observability,
+    research,
+    savanna,
+    skel,
+)
 from repro.research import export_research_object, load_research_object
 
 __version__ = "1.0.0"
@@ -57,6 +71,7 @@ __all__ = [
     "dataflow",
     "apps",
     "experiments",
+    "observability",
     "research",
     "export_research_object",
     "load_research_object",

@@ -18,6 +18,7 @@ from repro._util import check_positive
 from repro.cheetah.manifest import CampaignManifest, RunSpec
 from repro.cheetah.parameters import DerivedParameter, ParameterError, SweepParameter
 from repro.metadata.provenance import CampaignContext
+from repro.observability import CAMPAIGN_COMPOSED
 
 
 @dataclass(frozen=True)
@@ -162,8 +163,15 @@ class Campaign:
             swept_parameters=tuple(dict.fromkeys(swept)),
         )
 
-    def to_manifest(self) -> CampaignManifest:
-        """Build the abstract manifest — the Cheetah↔Savanna interop layer."""
+    def to_manifest(self, bus=None) -> CampaignManifest:
+        """Build the abstract manifest — the Cheetah↔Savanna interop layer.
+
+        With an :class:`~repro.observability.EventBus` passed, emits one
+        ``campaign.composed`` instant recording the materialized shape
+        (campaign name, group count, total runs) — composition is the
+        first provenance-relevant act of a study, so it belongs on the
+        same stream the execution layers write to.
+        """
         runs: list[RunSpec] = []
         groups_meta = []
         for group in self.groups:
@@ -185,6 +193,13 @@ class Campaign:
                     "walltime": group.walltime,
                     "runs": count,
                 }
+            )
+        if bus is not None:
+            bus.emit(
+                CAMPAIGN_COMPOSED,
+                campaign=self.name,
+                groups=len(groups_meta),
+                runs=len(runs),
             )
         return CampaignManifest(
             campaign=self.name,

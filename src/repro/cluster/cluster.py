@@ -4,6 +4,12 @@ Savanna executors and the checkpoint experiments talk to this object: it
 owns one discrete-event :class:`~repro.cluster.engine.Simulator` plus the
 node pool, batch scheduler, filesystem, and failure model, all seeded from
 one root seed via independent child streams.
+
+Every cluster also owns an :class:`~repro.observability.EventBus` clocked
+by its simulator; the scheduler, nodes, and the Savanna executors running
+on the cluster emit their lifecycle events there (attach a
+:class:`~repro.observability.TraceRecorder` to ``cluster.bus`` to capture
+a run — see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from repro.cluster.failures import FailureModel
 from repro.cluster.filesystem import FilesystemLoadModel, ParallelFilesystem
 from repro.cluster.node import NodePool
 from repro.cluster.scheduler import BatchScheduler, QueueModel
+from repro.observability import EventBus
 
 
 @dataclass
@@ -59,10 +66,12 @@ class SimulatedCluster:
     4
     """
 
-    def __init__(self, spec: ClusterSpec | None = None, seed=None):
+    def __init__(self, spec: ClusterSpec | None = None, seed=None, bus: EventBus | None = None):
         self.spec = spec or ClusterSpec()
         rng_queue, rng_fs, rng_fail, rng_speed = spawn_children(seed, 4)
         self.sim = Simulator()
+        self.bus = bus if bus is not None else EventBus(name="cluster")
+        self.bus.clock = lambda: self.sim.now
         if self.spec.node_speed_sigma > 0:
             s = self.spec.node_speed_sigma
             # mean-1 lognormal: the fleet is slower/faster per node, not overall
@@ -72,13 +81,14 @@ class SimulatedCluster:
         else:
             speeds = None
         self.pool = NodePool(
-            self.spec.nodes, cores=self.spec.cores_per_node, speeds=speeds
+            self.spec.nodes, cores=self.spec.cores_per_node, speeds=speeds, bus=self.bus
         )
         self.scheduler = BatchScheduler(
             self.sim,
             self.pool,
             QueueModel(median_wait=self.spec.queue_median_wait, sigma=self.spec.queue_sigma),
             seed=rng_queue,
+            bus=self.bus,
         )
         self.filesystem = ParallelFilesystem(
             peak_bandwidth=self.spec.peak_bandwidth,

@@ -70,11 +70,22 @@ class Simulator:
         self._queue: list[_QueuedEvent] = []
         self._now = 0.0
         self._seq = 0
+        self._fired = 0
 
     @property
     def now(self) -> float:
         """Current simulation time (seconds)."""
         return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks fired so far — the engine's own work metric.
+
+        Observability layers report this alongside the task/allocation
+        counters so simulation cost (event volume) is visible next to the
+        science quantities it produced.
+        """
+        return self._fired
 
     def schedule(self, delay: float, callback: Callable, *args) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
@@ -99,6 +110,7 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = event.time
+            self._fired += 1
             event.callback(*event.args)
             return True
         return False

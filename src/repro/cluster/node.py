@@ -5,6 +5,12 @@ which it executed work.  Figure 6 (the utilization timeline) and the
 idle-fraction numbers behind Figure 7 are computed directly from these
 intervals, so the recording lives with the node rather than in the
 executors.
+
+Nodes created through a :class:`~repro.cluster.cluster.SimulatedCluster`
+additionally publish each transition as a ``node.busy`` / ``node.idle``
+event on the cluster's bus, so utilization is also reconstructible from a
+recorded event stream alone
+(:meth:`~repro.cluster.trace.UtilizationTrace.from_events`).
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._util import check_positive
+from repro.observability import NODE_BUSY, NODE_IDLE
 
 
 @dataclass
@@ -36,6 +43,8 @@ class Node:
     cores: int = 42  # Summit nodes expose 42 usable cores
     speed: float = 1.0
     busy_intervals: list[tuple[float, float]] = field(default_factory=list)
+    #: Optional event bus; busy/idle transitions are published when set.
+    bus: object | None = field(default=None, repr=False, compare=False)
     _busy_since: float | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -47,19 +56,23 @@ class Node:
         return self._busy_since is not None
 
     def mark_busy(self, now: float) -> None:
-        """Record the start of an executing task."""
+        """Record the start of an executing task (emits ``node.busy``)."""
         if self._busy_since is not None:
             raise RuntimeError(f"node {self.index} already busy since {self._busy_since}")
         self._busy_since = now
+        if self.bus is not None:
+            self.bus.emit(NODE_BUSY, time=now, node=self.index)
 
     def mark_idle(self, now: float) -> None:
-        """Record the end of the currently executing task."""
+        """Record the end of the currently executing task (emits ``node.idle``)."""
         if self._busy_since is None:
             raise RuntimeError(f"node {self.index} is not busy")
         if now < self._busy_since:
             raise ValueError(f"end {now} before start {self._busy_since}")
         self.busy_intervals.append((self._busy_since, now))
         self._busy_since = None
+        if self.bus is not None:
+            self.bus.emit(NODE_IDLE, time=now, node=self.index)
 
     def close(self, now: float) -> None:
         """Flush an in-flight interval at end of simulation (walltime kill)."""
@@ -83,7 +96,7 @@ class NodePool:
     placement deterministic and timelines easy to read.
     """
 
-    def __init__(self, count: int, cores: int = 42, speeds=None):
+    def __init__(self, count: int, cores: int = 42, speeds=None, bus=None):
         check_positive("count", count)
         if speeds is None:
             speeds = [1.0] * count
@@ -91,7 +104,8 @@ class NodePool:
         if len(speeds) != count:
             raise ValueError(f"{len(speeds)} speeds for {count} nodes")
         self.nodes = [
-            Node(index=i, cores=cores, speed=float(s)) for i, s in enumerate(speeds)
+            Node(index=i, cores=cores, speed=float(s), bus=bus)
+            for i, s in enumerate(speeds)
         ]
         self._free = sorted(range(count), reverse=True)  # pop() yields lowest index
 

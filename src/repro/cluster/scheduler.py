@@ -19,6 +19,7 @@ from repro._util import as_generator, check_nonnegative
 from repro.cluster.engine import Simulator
 from repro.cluster.job import Allocation, AllocationRequest
 from repro.cluster.node import NodePool
+from repro.observability import ALLOC, ALLOC_SUBMITTED, BEGIN, END
 
 
 @dataclass
@@ -61,9 +62,13 @@ class BatchScheduler:
         queue_model: QueueModel | None = None,
         backfill: bool = False,
         seed=None,
+        bus=None,
     ):
         self.sim = sim
         self.pool = pool
+        #: Optional event bus: ``alloc.submitted`` instants plus one
+        #: ``alloc`` span per granted allocation (grant -> reclaim).
+        self.bus = bus
         self.queue_model = queue_model or QueueModel()
         #: Aggressive backfill: when the head of the queue does not fit,
         #: later eligible jobs that do fit may start.  This can delay the
@@ -75,6 +80,7 @@ class BatchScheduler:
         self._queue: list[tuple[AllocationRequest, float, Callable, Callable]] = []
         self.granted: list[Allocation] = []
         self._deadline_handles: dict[int, tuple] = {}
+        self._alloc_indices: dict[int, int] = {}
 
     def submit(
         self,
@@ -94,6 +100,14 @@ class BatchScheduler:
             )
         wait = self.queue_model.sample(request, len(self.pool), self._rng)
         eligible = self.sim.now + wait
+        if self.bus is not None:
+            self.bus.emit(
+                ALLOC_SUBMITTED,
+                job=request.name,
+                nodes=request.nodes,
+                walltime=request.walltime,
+                eligible_at=eligible,
+            )
         self._queue.append((request, eligible, on_start, on_end))
         self.sim.schedule_at(eligible, self._try_dispatch)
 
@@ -101,7 +115,18 @@ class BatchScheduler:
         request, _eligible, on_start, on_end = entry
         nodes = self.pool.acquire(request.nodes)
         alloc = Allocation(request=request, nodes=nodes, start=self.sim.now)
+        index = len(self.granted)
         self.granted.append(alloc)
+        self._alloc_indices[id(alloc)] = index
+        if self.bus is not None:
+            self.bus.emit(
+                ALLOC,
+                phase=BEGIN,
+                alloc=index,
+                job=request.name,
+                nodes=[n.index for n in nodes],
+                deadline=alloc.deadline,
+            )
         handle = self.sim.schedule_at(alloc.deadline, self._end_allocation, alloc, on_end)
         self._deadline_handles[id(alloc)] = (handle, on_end)
         on_start(alloc)
@@ -134,14 +159,24 @@ class BatchScheduler:
             raise RuntimeError(f"allocation {alloc.request.name!r} is not active")
         handle, on_end = entry
         handle.cancel()
-        self._end_allocation(alloc, on_end)
+        self._end_allocation(alloc, on_end, reason="finished")
 
-    def _end_allocation(self, alloc: Allocation, on_end: Callable | None) -> None:
+    def _end_allocation(
+        self, alloc: Allocation, on_end: Callable | None, reason: str = "walltime"
+    ) -> None:
         self._deadline_handles.pop(id(alloc), None)
         for node in alloc.nodes:
             node.close(self.sim.now)
         if on_end is not None:
             on_end(alloc)
+        if self.bus is not None:
+            self.bus.emit(
+                ALLOC,
+                phase=END,
+                alloc=self._alloc_indices.get(id(alloc)),
+                job=alloc.request.name,
+                reason=reason,
+            )
         self.pool.release(alloc.nodes)
         # Freed nodes may unblock the next queued job.
         self._try_dispatch()

@@ -1,8 +1,21 @@
 """Utilization traces — the data behind Figure 6.
 
-Executors record task attempts; nodes record busy intervals.  This module
-turns those into (a) per-node timelines suitable for plotting/printing and
-(b) aggregate idle-fraction numbers.
+Nodes publish every busy/idle transition as ``node.busy`` /
+``node.idle`` events on the cluster's bus (see
+:mod:`repro.observability`); this module turns that single source of
+truth into (a) per-node timelines suitable for plotting/printing and
+(b) aggregate idle-fraction numbers.  Two constructors cover the two
+vantage points:
+
+- :meth:`UtilizationTrace.from_events` consumes a recorded event stream
+  — the path a detached analysis takes (a trace JSON captured on one
+  machine, inspected on another);
+- :meth:`UtilizationTrace.from_nodes` reads the busy intervals the same
+  transitions left on live :class:`~repro.cluster.node.Node` objects —
+  the in-process convenience the executors and figure drivers use.
+
+Both produce identical rows for the same run (asserted in
+``tests/test_observability_integration.py``).
 """
 
 from __future__ import annotations
@@ -12,6 +25,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.node import Node
+from repro.observability import NODE_BUSY, NODE_IDLE
+
+
+def _clip(intervals, start: float, end: float) -> list[tuple[float, float]]:
+    """Clip ``(s, e)`` intervals to ``[start, end)``, dropping empty ones."""
+    clipped = []
+    for s, e in intervals:
+        s2, e2 = max(s, start), min(e, end)
+        if e2 > s2:
+            clipped.append((s2, e2))
+    return clipped
 
 
 @dataclass
@@ -35,16 +59,59 @@ class UtilizationTrace:
 
     @classmethod
     def from_nodes(cls, nodes: list[Node], start: float, end: float) -> "UtilizationTrace":
+        """Build a trace from live nodes' recorded busy intervals.
+
+        The intervals are the on-node residue of the ``node.busy`` /
+        ``node.idle`` events; prefer :meth:`from_events` when all you
+        have is a captured stream.
+        """
         if end <= start:
             raise ValueError(f"empty window: [{start}, {end})")
         rows = []
         for node in nodes:
-            clipped = []
-            for s, e in node.busy_intervals:
-                s2, e2 = max(s, start), min(e, end)
-                if e2 > s2:
-                    clipped.append((s2, e2))
-            rows.append(TimelineRow(node_index=node.index, intervals=clipped))
+            rows.append(
+                TimelineRow(
+                    node_index=node.index,
+                    intervals=_clip(node.busy_intervals, start, end),
+                )
+            )
+        return cls(start=start, end=end, rows=rows)
+
+    @classmethod
+    def from_events(cls, events, start: float, end: float) -> "UtilizationTrace":
+        """Build a trace from recorded ``node.busy``/``node.idle`` events.
+
+        ``events`` is any iterable of :class:`~repro.observability.Event`
+        (other names are ignored, so a full campaign capture can be
+        passed as-is).  A node still busy when the stream ends is counted
+        busy through ``end`` — the same convention
+        :meth:`Node.close <repro.cluster.node.Node.close>` applies at a
+        walltime kill.
+        """
+        if end <= start:
+            raise ValueError(f"empty window: [{start}, {end})")
+        intervals: dict[int, list[tuple[float, float]]] = {}
+        busy_since: dict[int, float] = {}
+        for event in events:
+            if event.name not in (NODE_BUSY, NODE_IDLE):
+                continue
+            node = event.fields["node"]
+            intervals.setdefault(node, [])
+            if event.name == NODE_BUSY:
+                if node in busy_since:
+                    raise ValueError(f"node {node} marked busy twice in stream")
+                busy_since[node] = event.time
+            else:
+                since = busy_since.pop(node, None)
+                if since is None:
+                    raise ValueError(f"node {node} idle without matching busy")
+                intervals[node].append((since, event.time))
+        for node, since in busy_since.items():
+            intervals[node].append((since, end))
+        rows = [
+            TimelineRow(node_index=node, intervals=_clip(ivals, start, end))
+            for node, ivals in sorted(intervals.items())
+        ]
         return cls(start=start, end=end, rows=rows)
 
     @property

@@ -17,10 +17,12 @@ from repro.experiments.harness import (
     fig5_policies,
     fig6_timeline,
     fig7_campaign,
+    run_with_trace,
 )
 
 __all__ = [
     "ExperimentResult",
+    "run_with_trace",
     "fig1_gauge_matrix",
     "fig2_manual_vs_skel",
     "fig3_overhead_sweep",

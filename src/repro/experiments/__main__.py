@@ -5,11 +5,19 @@ Usage::
     python -m repro.experiments                 # all figures, print tables
     python -m repro.experiments --figure 3 7    # a subset
     python -m repro.experiments --out results/  # also write one file each
+    python -m repro.experiments --figure 6 --trace fig6.json
+                                                # + Chrome trace + metrics
+
+``--trace`` attaches a :class:`~repro.observability.TraceRecorder` around
+every selected driver and writes one combined Chrome ``trace_event`` JSON
+(load it at ``about:tracing`` / https://ui.perfetto.dev); a metrics
+snapshot goes to ``<out>.metrics.json`` next to it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -55,12 +63,26 @@ def main(argv=None) -> int:
         default=None,
         help="directory to write one table file per figure",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="record every run into one Chrome trace_event JSON "
+        "(metrics snapshot lands beside it as OUT.metrics.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    for number in args.figure:
+    recorder = None
+    if args.trace is not None:
+        from repro.observability import TraceRecorder
+
+        recorder = TraceRecorder()
+
+    def run_figure(number: int):
         t0 = time.perf_counter()
         result = DRIVERS[number]()
         elapsed = time.perf_counter() - t0
@@ -71,6 +93,29 @@ def main(argv=None) -> int:
             path = args.out / f"figure{number}.txt"
             path.write_text(text + "\n")
             print(f"[written to {path}]\n")
+
+    if recorder is not None:
+        with recorder.recording():
+            for number in args.figure:
+                run_figure(number)
+        try:
+            recorder.validate()
+        except ValueError as exc:  # a capture stopped mid-span; still usable
+            print(f"[trace contract warning: {exc}]")
+        trace_path = recorder.write_chrome_trace(args.trace)
+        snapshot = recorder.metrics.snapshot()
+        metrics_path = trace_path.with_suffix(".metrics.json")
+        metrics_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+        counters = snapshot["counters"]
+        print(
+            f"[trace: {len(recorder.events)} events -> {trace_path}; "
+            f"tasks launched={counters.get('tasks.launched', 0)} "
+            f"done={counters.get('tasks.done', 0)}; "
+            f"metrics -> {metrics_path}]"
+        )
+    else:
+        for number in args.figure:
+            run_figure(number)
     return 0
 
 

@@ -35,6 +35,33 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
+def run_with_trace(driver, *args, **kwargs):
+    """Run a figure driver (or any callable) with a trace recorder attached.
+
+    The recorder captures every event bus created inside the call — the
+    drivers build their simulated clusters internally, so per-bus
+    attachment is not an option here.  Returns ``(result, recorder)``;
+    dump the capture with ``recorder.write_chrome_trace(path)`` and read
+    the aggregates from ``recorder.metrics.snapshot()``.  This is the
+    engine behind ``python -m repro.experiments --trace``.
+
+    Example
+    -------
+    >>> from repro.experiments import fig6_timeline, run_with_trace
+    >>> result, rec = run_with_trace(
+    ...     fig6_timeline, n_tasks=8, nodes=4, walltime=7200.0, seed=3
+    ... )
+    >>> rec.metrics.snapshot()["counters"]["tasks.launched"] > 0
+    True
+    """
+    from repro.observability import TraceRecorder
+
+    recorder = TraceRecorder()
+    with recorder.recording():
+        result = driver(*args, **kwargs)
+    return result, recorder
+
+
 # ---------------------------------------------------------------------------
 # Figure 1 — the gauge matrix
 

@@ -142,7 +142,15 @@ class ParameterRelation:
 
 @dataclass(frozen=True)
 class SoftwareMetadata:
-    """Software-side metadata of a component (granularity gauge inputs)."""
+    """Software-side metadata of a component (granularity gauge inputs).
+
+    The provenance-relevant fields (``has_execution_logs``, ``campaign``,
+    ``export_policy``) need not be asserted by hand: given a recorded
+    event stream,
+    :func:`repro.observability.provenance.observed_software_metadata`
+    fills them from what the runtime actually emitted, so
+    :func:`assess` raises the Software Provenance gauge on evidence.
+    """
 
     kind: ComponentKind = ComponentKind.UNKNOWN
     config_template: str | None = None  # build/launch/execute template id

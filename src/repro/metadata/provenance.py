@@ -159,6 +159,20 @@ class ProvenanceStore:
             )
         self._records.append(record)
 
+    def extend(self, records) -> int:
+        """Add many records (same campaign check as :meth:`add`); returns count.
+
+        Bulk ingestion exists for stream-sourced provenance — e.g.
+        :func:`repro.observability.provenance.provenance_store_from_trace`
+        materializes one record per task attempt observed on the event
+        bus and lands them here in one call.
+        """
+        added = 0
+        for record in records:
+            self.add(record)
+            added += 1
+        return added
+
     def query(
         self,
         component: str | None = None,

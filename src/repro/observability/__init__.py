@@ -1,0 +1,81 @@
+"""repro.observability — event bus, span tracing, metrics, trace export.
+
+The runtime emits its own record of "what ran, where, and why": every
+execution layer (cluster scheduler and nodes, Savanna executors, the
+multi-allocation campaign loop, the campaign driver) publishes structured
+events onto an :class:`EventBus`; a :class:`TraceRecorder` turns any run
+into a Chrome ``trace_event`` JSON plus a metrics snapshot; and
+:mod:`repro.observability.provenance` folds the stream back into the
+paper's Software Provenance gauge.
+
+Entry points:
+
+- ``cluster.bus`` — every :class:`~repro.cluster.cluster.SimulatedCluster`
+  owns a bus clocked by its simulator;
+- ``TraceRecorder().attach(cluster.bus)`` — capture one machine;
+- ``with TraceRecorder().recording(): ...`` — capture every machine
+  created inside the block (how ``python -m repro.experiments --trace``
+  works);
+- ``python -m repro.experiments --figure 6 --trace fig6.json`` — capture
+  a figure reproduction from the command line.
+
+The full events contract lives in ``docs/observability.md``.
+"""
+
+from repro.observability.bus import EventBus, subscribe_all
+from repro.observability.events import (
+    ALLOC,
+    ALLOC_SUBMITTED,
+    BEGIN,
+    CAMPAIGN,
+    CAMPAIGN_COMPOSED,
+    END,
+    GROUP,
+    INSTANT,
+    NODE_BUSY,
+    NODE_IDLE,
+    TASK,
+    TASK_REQUEUED,
+    Event,
+    span_key,
+    validate_event_stream,
+)
+from repro.observability.metrics import Counter, GaugeMetric, Histogram, MetricsRegistry
+from repro.observability.provenance import (
+    campaign_names,
+    observed_provenance_tier,
+    observed_software_metadata,
+    provenance_store_from_trace,
+    task_attempts,
+)
+from repro.observability.recorder import TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "subscribe_all",
+    "span_key",
+    "validate_event_stream",
+    "BEGIN",
+    "END",
+    "INSTANT",
+    "CAMPAIGN",
+    "CAMPAIGN_COMPOSED",
+    "GROUP",
+    "ALLOC",
+    "ALLOC_SUBMITTED",
+    "TASK",
+    "TASK_REQUEUED",
+    "NODE_BUSY",
+    "NODE_IDLE",
+    "Counter",
+    "GaugeMetric",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "task_attempts",
+    "campaign_names",
+    "provenance_store_from_trace",
+    "observed_provenance_tier",
+    "observed_software_metadata",
+]

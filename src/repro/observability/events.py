@@ -1,0 +1,158 @@
+"""Structured events and the runtime event taxonomy.
+
+An :class:`Event` is one observation emitted by the execution layers: a
+point occurrence (``phase="instant"``) or one endpoint of a span
+(``phase="begin"`` / ``phase="end"``).  Events are immutable, carry the
+simulation time they happened at, and a per-bus sequence number that
+makes emission order total even when many events share a timestamp (the
+discrete-event simulator routinely fires whole cascades at one instant).
+
+Taxonomy
+--------
+Every name the built-in layers emit is declared here as a constant, so
+subscribers can filter without string literals and the docs/tests have a
+single authority.  The contract (names, fields, ordering guarantees) is
+documented in ``docs/observability.md``; in short:
+
+===================  =======  ===============================================
+name                 phase    fields
+===================  =======  ===============================================
+``campaign``         span     campaign, tasks / completed, allocations
+``group``            span     campaign, group, runs / completed
+``alloc``            span     alloc, job, nodes, deadline / reason
+``alloc.submitted``  instant  job, nodes, walltime, eligible_at
+``task``             span     task, task_id, node, nodes, attempt, payload /
+                              outcome
+``task.requeued``    instant  task, task_id, retries
+``node.busy``        instant  node
+``node.idle``        instant  node
+``campaign.composed``  instant  campaign, groups, runs
+===================  =======  ===============================================
+
+Ordering guarantees
+-------------------
+- ``time`` is non-decreasing per bus (the simulator clock never moves
+  backwards) and ``seq`` is strictly increasing per bus.
+- A span's ``begin`` precedes its ``end``; task spans never outlive the
+  enclosing ``alloc`` span; ``alloc`` spans never outlive ``campaign``.
+- Subscribers observe events synchronously, in emission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# -- phases ------------------------------------------------------------------
+
+BEGIN = "begin"
+END = "end"
+INSTANT = "instant"
+
+PHASES = (BEGIN, END, INSTANT)
+
+# -- span names --------------------------------------------------------------
+
+CAMPAIGN = "campaign"  # one run_campaign() multi-allocation loop
+GROUP = "group"  # one SweepGroup execution (execute_manifest)
+ALLOC = "alloc"  # one granted batch allocation, grant -> reclaim
+TASK = "task"  # one task attempt, launch -> end
+
+# -- instant names -----------------------------------------------------------
+
+ALLOC_SUBMITTED = "alloc.submitted"  # batch job queued, before grant
+TASK_REQUEUED = "task.requeued"  # failed task re-entered the pending queue
+NODE_BUSY = "node.busy"  # a node started executing work
+NODE_IDLE = "node.idle"  # a node finished executing work
+CAMPAIGN_COMPOSED = "campaign.composed"  # a Cheetah campaign was materialized
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation.
+
+    Parameters
+    ----------
+    name:
+        Taxonomy name (see module docstring); dots namespace, e.g.
+        ``task.requeued``.
+    time:
+        Simulation seconds at emission (buses are clocked by their
+        cluster's simulator; a standalone bus defaults to 0.0).
+    phase:
+        ``"begin"`` / ``"end"`` for span endpoints, ``"instant"`` for
+        point events.
+    seq:
+        Strictly increasing per bus; totalizes ordering at equal times.
+    pid:
+        The emitting bus's identifier — one per simulated machine, used
+        as the Chrome-trace process id so multi-cluster captures do not
+        interleave.
+    fields:
+        JSON-serializable payload (task names, node indices, outcomes).
+    """
+
+    name: str
+    time: float
+    phase: str = INSTANT
+    seq: int = 0
+    pid: int = 0
+    fields: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ValueError(f"phase must be one of {PHASES}, got {self.phase!r}")
+
+    @property
+    def is_span(self) -> bool:
+        return self.phase in (BEGIN, END)
+
+
+def span_key(event: Event):
+    """The identity that pairs a span's ``begin`` with its ``end``.
+
+    Task spans pair on ``task_id`` (names may repeat across retries in
+    the same instant), allocation spans on ``alloc``, everything else on
+    the event name alone (campaign/group spans do not self-nest).
+    """
+    if event.name == TASK:
+        return (event.pid, TASK, event.fields.get("task_id"))
+    if event.name == ALLOC:
+        return (event.pid, ALLOC, event.fields.get("alloc"))
+    return (event.pid, event.name)
+
+
+def validate_event_stream(events) -> None:
+    """Check the ordering contract over a recorded stream.
+
+    Raises ``ValueError`` on: backwards timestamps (per pid), non-increasing
+    sequence numbers (per pid), an ``end`` without a matching open
+    ``begin``, or spans left open at the end of the stream.
+    """
+    last_time: dict[int, float] = {}
+    last_seq: dict[int, int] = {}
+    open_spans: dict[tuple, Event] = {}
+    for event in events:
+        if event.time < last_time.get(event.pid, float("-inf")):
+            raise ValueError(
+                f"time went backwards at {event.name!r}: "
+                f"{event.time} < {last_time[event.pid]}"
+            )
+        if event.seq <= last_seq.get(event.pid, -1):
+            raise ValueError(
+                f"sequence not increasing at {event.name!r}: "
+                f"{event.seq} <= {last_seq[event.pid]}"
+            )
+        last_time[event.pid] = event.time
+        last_seq[event.pid] = event.seq
+        if event.phase == BEGIN:
+            key = span_key(event)
+            if key in open_spans:
+                raise ValueError(f"span {key} opened twice")
+            open_spans[key] = event
+        elif event.phase == END:
+            key = span_key(event)
+            if key not in open_spans:
+                raise ValueError(f"span {key} ended without begin")
+            del open_spans[key]
+    if open_spans:
+        raise ValueError(f"spans left open: {sorted(k[1] for k in open_spans)}")

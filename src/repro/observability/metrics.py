@@ -1,0 +1,118 @@
+"""Counters, gauges, and histograms — the metrics half of observability.
+
+A :class:`MetricsRegistry` is a named bag of instruments with
+get-or-create semantics (``registry.counter("tasks.done").inc()``), and a
+``snapshot()`` that renders everything into one JSON-serializable dict.
+Instruments are deliberately minimal — no labels, no time series — which
+is exactly enough to answer "did the run do what the trace says it did"
+and to diff two runs in a test.  Anything fancier belongs in a subscriber
+that consumes the event stream directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: inc must be >= 0, got {n}")
+        self.value += n
+
+
+@dataclass
+class GaugeMetric:
+    """A settable level with peak tracking (e.g. busy-node count).
+
+    Named ``GaugeMetric`` to stay unambiguous next to the paper's
+    reusability :class:`~repro.gauges.levels.Gauge`.
+    """
+
+    name: str
+    value: float = 0.0
+    peak: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.peak = max(self.peak, value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create lookup.
+
+    Example
+    -------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("tasks.done").inc(3)
+    >>> reg.snapshot()["counters"]["tasks.done"]
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, GaugeMetric] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> GaugeMetric:
+        return self._gauges.setdefault(name, GaugeMetric(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {
+                n: {"value": g.value, "peak": g.peak}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }

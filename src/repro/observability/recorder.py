@@ -1,0 +1,178 @@
+"""The trace recorder: capture an event stream, export a Chrome trace.
+
+:class:`TraceRecorder` subscribes to one bus (:meth:`TraceRecorder.attach`)
+or to every bus in the process (:meth:`TraceRecorder.recording`), records
+each event verbatim, and keeps a standard :class:`MetricsRegistry` up to
+date from the task/allocation/node lifecycle as it streams by.  After the
+run:
+
+- :meth:`to_chrome_trace` renders the stream in Chrome's ``trace_event``
+  JSON format (a list of ``{name, ph, ts, pid, tid}`` dicts) — load it at
+  ``about:tracing`` or https://ui.perfetto.dev to see the campaign,
+  allocation, and per-node task timelines;
+- :attr:`metrics` answers "how many tasks completed / failed / were
+  requeued, what did task durations look like, how many nodes ran hot";
+- :meth:`validate` re-checks the ordering contract
+  (:func:`~repro.observability.events.validate_event_stream`).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.observability.bus import EventBus, subscribe_all
+from repro.observability.events import (
+    ALLOC,
+    ALLOC_SUBMITTED,
+    BEGIN,
+    CAMPAIGN,
+    END,
+    GROUP,
+    NODE_BUSY,
+    NODE_IDLE,
+    TASK,
+    TASK_REQUEUED,
+    Event,
+    validate_event_stream,
+)
+from repro.observability.metrics import MetricsRegistry
+
+#: Chrome trace_event phase letters for our three phases.
+_CHROME_PHASE = {BEGIN: "B", END: "E", "instant": "i"}
+
+#: tid 0 carries campaign/group/alloc spans; node-scoped events go to
+#: tid = node index + 1 so Chrome renders one row per node (Figure 6 live).
+_CONTROL_TID = 0
+
+
+class TraceRecorder:
+    """Record events from one or many buses; export trace + metrics.
+
+    Example
+    -------
+    >>> from repro.observability import EventBus
+    >>> bus = EventBus()
+    >>> rec = TraceRecorder().attach(bus)
+    >>> with bus.span("task", task_id=0, task="t0", node=0):
+    ...     pass
+    >>> [e.phase for e in rec.events]
+    ['begin', 'end']
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+        self.metrics = MetricsRegistry()
+        self._unsubscribers: list = []
+        self._open_tasks: dict[tuple, float] = {}
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "TraceRecorder":
+        """Subscribe to one bus (chainable); see also :meth:`recording`."""
+        self._unsubscribers.append(bus.subscribe(self.record))
+        return self
+
+    def detach(self) -> None:
+        """Drop every subscription this recorder holds."""
+        for unsubscribe in self._unsubscribers:
+            unsubscribe()
+        self._unsubscribers.clear()
+
+    @contextmanager
+    def recording(self):
+        """Capture *every* bus in the process for the duration of the block.
+
+        This is how the experiments CLI traces figure drivers that build
+        their clusters internally::
+
+            rec = TraceRecorder()
+            with rec.recording():
+                fig6_timeline()
+            rec.write_chrome_trace("fig6.json")
+        """
+        unsubscribe = subscribe_all(self.record)
+        try:
+            yield self
+        finally:
+            unsubscribe()
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, event: Event) -> None:
+        """Append one event and fold it into the standard metrics."""
+        self.events.append(event)
+        self._update_metrics(event)
+
+    def _update_metrics(self, event: Event) -> None:
+        m = self.metrics
+        name, phase = event.name, event.phase
+        if name == TASK:
+            key = (event.pid, event.fields.get("task_id"))
+            if phase == BEGIN:
+                m.counter("tasks.launched").inc()
+                self._open_tasks[key] = event.time
+            elif phase == END:
+                outcome = event.fields.get("outcome", "unknown")
+                m.counter(f"tasks.{outcome}").inc()
+                start = self._open_tasks.pop(key, None)
+                if start is not None:
+                    m.histogram("task.elapsed").observe(event.time - start)
+        elif name == TASK_REQUEUED:
+            m.counter("tasks.requeued").inc()
+        elif name == ALLOC:
+            m.counter("allocations.granted" if phase == BEGIN else "allocations.ended").inc()
+        elif name == ALLOC_SUBMITTED:
+            m.counter("allocations.submitted").inc()
+        elif name == NODE_BUSY:
+            m.gauge("nodes.busy").add(1)
+        elif name == NODE_IDLE:
+            m.gauge("nodes.busy").add(-1)
+        elif name == CAMPAIGN:
+            m.counter("campaigns.started" if phase == BEGIN else "campaigns.finished").inc()
+        elif name == GROUP and phase == BEGIN:
+            m.counter("groups.started").inc()
+
+    # -- export --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the recorded stream breaks the contract."""
+        validate_event_stream(self.events)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Render the stream as Chrome ``trace_event`` dicts.
+
+        ``ts`` is microseconds (Chrome's unit; simulation seconds * 1e6),
+        ``pid`` is the emitting bus (one per simulated machine), and
+        ``tid`` places task/node events on one row per node with
+        campaign/group/allocation spans on row 0.
+        """
+        out = []
+        for event in self.events:
+            node = event.fields.get("node")
+            tid = _CONTROL_TID if node is None else int(node) + 1
+            entry = {
+                "name": event.name,
+                "ph": _CHROME_PHASE[event.phase],
+                "ts": event.time * 1e6,
+                "pid": event.pid,
+                "tid": tid,
+                "args": dict(event.fields),
+            }
+            if entry["ph"] == "i":
+                entry["s"] = "t"  # thread-scoped instant
+            out.append(entry)
+        return out
+
+    def write_chrome_trace(self, path) -> Path:
+        """Write :meth:`to_chrome_trace` as JSON; returns the path.
+
+        Missing parent directories are created — a capture is often the
+        product of a long simulation, and failing at write time would
+        throw it away.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1) + "\n")
+        return path

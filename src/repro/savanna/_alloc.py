@@ -5,6 +5,11 @@ nodes, sample a failure, schedule the end event, finalize attempts when
 the walltime kill arrives — and differ only in *dispatch*: the pilot pulls
 the next task the moment nodes free; the static engine launches fixed sets
 behind a barrier.
+
+Observability: every attempt is one ``task`` span on the cluster bus
+(``begin`` at launch with the placement and payload, ``end`` with the
+outcome — ``done``/``failed``/``killed``); pilot requeues additionally
+emit a ``task.requeued`` instant carrying the retry count.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from collections import deque
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import Allocation, Task, TaskAttempt, TaskState
+from repro.observability import BEGIN, END, TASK, TASK_REQUEUED
 from repro.savanna.executor import AllocationOutcome
 
 
@@ -28,6 +34,7 @@ class _BaseAllocationRun:
         done_cb=None,
     ):
         self.cluster = cluster
+        self.bus = cluster.bus
         self.alloc = alloc
         self.outcome = outcome
         self.done_cb = done_cb
@@ -50,12 +57,20 @@ class _BaseAllocationRun:
         a later resubmission retries them.
         """
         now = self.cluster.sim.now
-        for task_id, (attempt, handle, _nodes) in list(self.running.items()):
+        for task_id, (attempt, handle, nodes) in list(self.running.items()):
             handle.cancel()
             attempt.end = now
             attempt.outcome = TaskState.KILLED
             attempt.task.state = TaskState.KILLED
             self.outcome.killed.append(attempt.task)
+            self.bus.emit(
+                TASK,
+                phase=END,
+                task=attempt.task.name,
+                task_id=task_id,
+                node=nodes[0].index,
+                outcome=TaskState.KILLED.value,
+            )
         self.running.clear()
         self.finished = True
 
@@ -75,6 +90,16 @@ class _BaseAllocationRun:
         attempt = TaskAttempt(task=task, node_indices=[n.index for n in nodes], start=now)
         task.attempts.append(attempt)
         self.outcome.attempts.append(attempt)
+        self.bus.emit(
+            TASK,
+            phase=BEGIN,
+            task=task.name,
+            task_id=task.task_id,
+            node=nodes[0].index,
+            nodes=[n.index for n in nodes],
+            attempt=len(task.attempts),
+            payload=dict(task.payload),
+        )
         # A multi-node task runs at the pace of its slowest member node.
         speed = min(node.speed for node in nodes)
         wall_duration = task.duration / speed
@@ -95,6 +120,14 @@ class _BaseAllocationRun:
         for node in nodes:
             node.mark_idle(now)
             self.free.append(node)
+        self.bus.emit(
+            TASK,
+            phase=END,
+            task=task.name,
+            task_id=task.task_id,
+            node=nodes[0].index,
+            outcome=result.value,
+        )
         if result is TaskState.DONE:
             self.outcome.completed.append(task)
         self.after_task_end(task, result)
@@ -140,6 +173,12 @@ class PilotRun(_BaseAllocationRun):
                 self._retry_counts[task.task_id] = retries + 1
                 task.state = TaskState.PENDING
                 self.pending.append(task)
+                self.bus.emit(
+                    TASK_REQUEUED,
+                    task=task.name,
+                    task_id=task.task_id,
+                    retries=retries + 1,
+                )
             else:
                 self.outcome.failed.append(task)
         self._fill()

@@ -6,6 +6,11 @@ resubmission are the tool's problem.  ``execute_manifest`` runs a
 campaign manifest on a simulated cluster through a named backend and
 (optionally) records per-run outcomes into the campaign directory so a
 later invocation resumes exactly the pending set.
+
+Observability: each :func:`execute_manifest` call emits one ``group``
+span on the cluster's bus (fields: ``campaign``, ``group``, ``runs`` /
+``completed``), wrapping the nested ``campaign``/``alloc``/``task``
+events the execution layers produce.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from repro.cheetah.directory import CampaignDirectory, RunStatus
 from repro.cheetah.manifest import CampaignManifest
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import TaskState
+from repro.observability import BEGIN, END, GROUP
 from repro.savanna.backends import create_executor
 from repro.savanna.executor import CampaignResult, tasks_from_manifest
 
@@ -115,6 +121,14 @@ def execute_manifest(
     )
     tasks = tasks_from_manifest(sub, duration_model)
     executor = create_executor(backend, cluster=cluster, **backend_kwargs)
+    cluster.bus.emit(
+        GROUP,
+        phase=BEGIN,
+        campaign=manifest.campaign,
+        group=group,
+        runs=len(tasks),
+        backend=backend,
+    )
     result = executor.run(
         tasks,
         nodes=meta["nodes"],
@@ -122,6 +136,13 @@ def execute_manifest(
         max_allocations=max_allocations,
         inter_allocation_gap=inter_allocation_gap,
         name=f"{manifest.campaign}/{group}",
+    )
+    cluster.bus.emit(
+        GROUP,
+        phase=END,
+        campaign=manifest.campaign,
+        group=group,
+        completed=len(result.completed),
     )
     if directory is not None:
         directory.update_status(

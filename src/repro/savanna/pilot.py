@@ -3,6 +3,13 @@
 "It consists of a resource manager that dynamically schedules and tracks
 runs on the allocated nodes, thereby no longer requiring synchronizing
 runs and leading to better resource utilization."
+
+Observability: a pilot run narrates itself on ``cluster.bus`` — one
+``task`` span per attempt (``begin`` at placement, ``end`` with
+``done``/``failed``/``killed``), a ``task.requeued`` instant each time a
+failed task re-enters the pending queue, and ``node.busy``/``node.idle``
+instants from the nodes it occupies, all nested inside the scheduler's
+``alloc`` span and the runner's ``campaign`` span.
 """
 
 from __future__ import annotations
@@ -33,6 +40,11 @@ class PilotExecutor:
         self.max_retries = max_retries
 
     def make_run(self, alloc, tasks, outcome: AllocationOutcome, done_cb) -> PilotRun:
+        """Build the within-allocation engine for one granted allocation.
+
+        The returned :class:`PilotRun` emits the ``task`` spans and
+        ``task.requeued`` instants for every attempt it dispatches.
+        """
         return PilotRun(
             self.cluster,
             alloc,
@@ -53,7 +65,12 @@ class PilotExecutor:
         end_early: bool = True,
         name: str = "pilot",
     ) -> CampaignResult:
-        """Execute ``tasks`` over up to ``max_allocations`` batch jobs."""
+        """Execute ``tasks`` over up to ``max_allocations`` batch jobs.
+
+        Emits (via :func:`~repro.savanna.runner.run_campaign` and the
+        layers below) one ``campaign`` span, an ``alloc.submitted`` +
+        ``alloc`` span per allocation, and a ``task`` span per attempt.
+        """
         return run_campaign(
             self,
             self.cluster,

@@ -6,6 +6,14 @@ experiments."  The loop submits batch allocations one after another; each
 new allocation receives every task not yet DONE (killed and failed tasks
 are retried), until the campaign completes or the allocation budget runs
 out.
+
+Observability: one ``campaign`` span per :func:`run_campaign` call on the
+cluster's bus — ``begin`` before the first submission (fields:
+``campaign``, ``tasks``, ``max_allocations``), ``end`` after the event
+loop drains (fields: ``completed``, ``allocations``).  The scheduler and
+the within-allocation engines emit the nested ``alloc.submitted`` /
+``alloc`` / ``task`` / ``node.*`` events; see ``docs/observability.md``
+for the full contract.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from __future__ import annotations
 from repro._util import check_nonnegative, check_positive
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import AllocationRequest, TaskState
+from repro.observability import BEGIN, CAMPAIGN, END
 from repro.savanna.executor import AllocationOutcome, CampaignResult
 
 
@@ -29,6 +38,10 @@ def run_campaign(
     name: str = "campaign",
 ) -> CampaignResult:
     """Drive ``executor`` over up to ``max_allocations`` sequential batch jobs.
+
+    Emits a ``campaign`` span on ``cluster.bus`` covering the whole loop
+    (begin at submission time, end at the final simulation time), with
+    every allocation and task event nested inside it.
 
     Parameters
     ----------
@@ -82,6 +95,20 @@ def run_campaign(
 
         cluster.scheduler.submit(request, on_start, on_end)
 
+    cluster.bus.emit(
+        CAMPAIGN,
+        phase=BEGIN,
+        campaign=name,
+        tasks=len(tasks),
+        max_allocations=max_allocations,
+    )
     submit_next()
     cluster.run()
+    cluster.bus.emit(
+        CAMPAIGN,
+        phase=END,
+        campaign=name,
+        completed=len(result.completed),
+        allocations=len(result.outcomes),
+    )
     return result

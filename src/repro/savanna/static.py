@@ -4,6 +4,12 @@
 in groups or 'sets' with explicit synchronization at the end of a set ...
 Straggler processes can severely limit the performance of the overall
 workflow."
+
+Observability: identical event surface to the pilot
+(``campaign``/``alloc``/``task`` spans, ``node.*`` instants) minus
+``task.requeued`` — the original workflow never retries within an
+allocation, so barrier idling is directly visible as the gap between a
+set's last ``task`` end and the next set's first ``task`` begin.
 """
 
 from __future__ import annotations

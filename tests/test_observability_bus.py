@@ -1,0 +1,267 @@
+"""Unit tests for the event bus, span tracing, metrics, and recorder."""
+
+import pytest
+
+from repro.observability import (
+    BEGIN,
+    END,
+    INSTANT,
+    TASK,
+    Counter,
+    Event,
+    EventBus,
+    GaugeMetric,
+    Histogram,
+    MetricsRegistry,
+    TraceRecorder,
+    span_key,
+    subscribe_all,
+    validate_event_stream,
+)
+
+
+class TestEvent:
+    def test_phase_validated(self):
+        with pytest.raises(ValueError, match="phase"):
+            Event(name="task", time=0.0, phase="middle")
+
+    def test_is_span(self):
+        assert Event("task", 0.0, phase=BEGIN).is_span
+        assert Event("task", 0.0, phase=END).is_span
+        assert not Event("node.busy", 0.0, phase=INSTANT).is_span
+
+    def test_span_key_pairs_tasks_on_id(self):
+        a = Event(TASK, 0.0, phase=BEGIN, fields={"task_id": 7, "task": "t"})
+        b = Event(TASK, 5.0, phase=END, fields={"task_id": 7, "task": "t"})
+        c = Event(TASK, 0.0, phase=BEGIN, fields={"task_id": 8, "task": "t"})
+        assert span_key(a) == span_key(b)
+        assert span_key(a) != span_key(c)
+
+
+class TestSubscription:
+    def test_subscribe_and_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.emit("task", phase=BEGIN, task_id=0)
+        unsubscribe()
+        bus.emit("task", phase=END, task_id=0)
+        assert [e.phase for e in seen] == [BEGIN]
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        unsubscribe = bus.subscribe(lambda e: None)
+        unsubscribe()
+        unsubscribe()  # no error
+
+    def test_emit_without_subscribers_returns_none(self):
+        bus = EventBus()
+        assert bus.emit("task", phase=BEGIN, task_id=0) is None
+
+    def test_seq_strictly_increasing_and_clock_used(self):
+        t = [0.0]
+        bus = EventBus(clock=lambda: t[0])
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("a")
+        t[0] = 5.0
+        bus.emit("b")
+        assert [e.seq for e in seen] == [0, 1]
+        assert [e.time for e in seen] == [0.0, 5.0]
+
+    def test_explicit_time_overrides_clock(self):
+        bus = EventBus(clock=lambda: 99.0)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("a", time=3.0)
+        assert seen[0].time == 3.0
+
+    def test_global_subscriber_sees_every_bus(self):
+        seen = []
+        unsubscribe = subscribe_all(seen.append)
+        try:
+            EventBus().emit("a")
+            EventBus().emit("b")
+        finally:
+            unsubscribe()
+        EventBus().emit("c")
+        assert [e.name for e in seen] == ["a", "b"]
+        assert seen[0].pid != seen[1].pid
+
+    def test_delivery_order_matches_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(lambda e: order.append("first"))
+        bus.subscribe(lambda e: order.append("second"))
+        bus.emit("a")
+        assert order == ["first", "second"]
+
+
+class TestSpans:
+    def test_span_emits_begin_then_end(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        with bus.span("group", group="g0"):
+            bus.emit("task", phase=BEGIN, task_id=0)
+            bus.emit("task", phase=END, task_id=0, outcome="done")
+        assert [(e.name, e.phase) for e in seen] == [
+            ("group", BEGIN),
+            ("task", BEGIN),
+            ("task", END),
+            ("group", END),
+        ]
+        assert seen[-1].fields["outcome"] == "ok"
+        validate_event_stream(seen)
+
+    def test_span_closes_on_exception_and_reraises(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        with pytest.raises(RuntimeError, match="boom"):
+            with bus.span("campaign", campaign="c"):
+                raise RuntimeError("boom")
+        assert seen[-1].phase == END
+        assert seen[-1].fields["outcome"] == "error"
+        assert "boom" in seen[-1].fields["error"]
+        validate_event_stream(seen)  # no dangling span
+
+    def test_nested_spans_validate(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        with bus.span("campaign", campaign="c"):
+            with bus.span("alloc", alloc=0):
+                pass
+        validate_event_stream(seen)
+
+
+class TestValidateEventStream:
+    def test_backwards_time_rejected(self):
+        events = [Event("a", 5.0, seq=0), Event("b", 4.0, seq=1)]
+        with pytest.raises(ValueError, match="backwards"):
+            validate_event_stream(events)
+
+    def test_non_increasing_seq_rejected(self):
+        events = [Event("a", 0.0, seq=1), Event("b", 0.0, seq=1)]
+        with pytest.raises(ValueError, match="sequence"):
+            validate_event_stream(events)
+
+    def test_end_without_begin_rejected(self):
+        events = [Event(TASK, 0.0, phase=END, seq=0, fields={"task_id": 0})]
+        with pytest.raises(ValueError, match="without begin"):
+            validate_event_stream(events)
+
+    def test_open_span_rejected(self):
+        events = [Event(TASK, 0.0, phase=BEGIN, seq=0, fields={"task_id": 0})]
+        with pytest.raises(ValueError, match="left open"):
+            validate_event_stream(events)
+
+    def test_per_pid_clocks_are_independent(self):
+        # Two buses, each monotone, interleaved non-monotonically overall.
+        events = [
+            Event("a", 100.0, seq=0, pid=0),
+            Event("b", 0.0, seq=0, pid=1),
+            Event("c", 200.0, seq=1, pid=0),
+        ]
+        validate_event_stream(events)
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_tracks_peak(self):
+        g = GaugeMetric("busy")
+        g.add(2)
+        g.add(3)
+        g.add(-4)
+        assert g.value == 1
+        assert g.peak == 5
+
+    def test_histogram_summary(self):
+        h = Histogram("elapsed")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+
+    def test_registry_get_or_create_and_snapshot(self):
+        m = MetricsRegistry()
+        assert m.counter("x") is m.counter("x")
+        m.counter("x").inc()
+        m.gauge("g").set(2.0)
+        m.histogram("h").observe(1.5)
+        snap = m.snapshot()
+        assert snap["counters"]["x"] == 1
+        assert snap["gauges"]["g"]["value"] == 2.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestRecorder:
+    def _task_span(self, bus, task_id, start, end, outcome="done", node=0):
+        bus.emit(TASK, phase=BEGIN, time=start, task_id=task_id, task=f"t{task_id}", node=node)
+        bus.emit(TASK, phase=END, time=end, task_id=task_id, task=f"t{task_id}",
+                 node=node, outcome=outcome)
+
+    def test_attach_records_and_detach_stops(self):
+        bus = EventBus()
+        rec = TraceRecorder().attach(bus)
+        self._task_span(bus, 0, 0.0, 10.0)
+        rec.detach()
+        self._task_span(bus, 1, 10.0, 20.0)
+        assert len(rec.events) == 2
+        assert rec.metrics.snapshot()["counters"]["tasks.launched"] == 1
+
+    def test_task_metrics_and_elapsed(self):
+        bus = EventBus()
+        rec = TraceRecorder().attach(bus)
+        self._task_span(bus, 0, 0.0, 10.0, outcome="done")
+        self._task_span(bus, 1, 0.0, 30.0, outcome="failed")
+        snap = rec.metrics.snapshot()
+        assert snap["counters"]["tasks.done"] == 1
+        assert snap["counters"]["tasks.failed"] == 1
+        assert snap["histograms"]["task.elapsed"]["mean"] == pytest.approx(20.0)
+
+    def test_chrome_trace_shape(self):
+        bus = EventBus()
+        rec = TraceRecorder().attach(bus)
+        self._task_span(bus, 0, 1.0, 2.0, node=3)
+        bus.emit("node.busy", time=1.0, node=3)
+        trace = rec.to_chrome_trace()
+        assert all(
+            {"name", "ph", "ts", "pid", "tid", "args"} <= set(e) for e in trace
+        )
+        begin = trace[0]
+        assert begin["ph"] == "B"
+        assert begin["ts"] == pytest.approx(1.0e6)  # microseconds
+        assert begin["tid"] == 4  # node 3 -> row 4; row 0 is control
+        instant = trace[-1]
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+
+    def test_write_chrome_trace_roundtrips(self, tmp_path):
+        import json
+
+        bus = EventBus()
+        rec = TraceRecorder().attach(bus)
+        self._task_span(bus, 0, 0.0, 1.0)
+        path = rec.write_chrome_trace(tmp_path / "out.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == rec.to_chrome_trace()
+
+    def test_recording_context_captures_new_buses(self):
+        rec = TraceRecorder()
+        with rec.recording():
+            bus = EventBus()  # created inside the block, never attached
+            self._task_span(bus, 0, 0.0, 5.0)
+        EventBus().emit("late")
+        assert [e.name for e in rec.events] == [TASK, TASK]
