@@ -7,7 +7,6 @@ A4 — paste fan-in: why the GWAS workflow pastes in two phases.
 A5 — codegen granularity: per-component templates maximize reuse.
 """
 
-import numpy as np
 
 from repro._util import format_table
 from repro.apps.irf.loop import feature_run_durations

@@ -14,9 +14,9 @@ from repro.skel.library import paste_model_schema
 from repro.skel.model import SkelModel
 
 
-def test_fig2_manual_vs_skel(benchmark, save_result):
+def test_fig2_manual_vs_skel(benchmark, save_result, quick):
     result = benchmark.pedantic(
-        fig2_manual_vs_skel, args=(250, 100), rounds=3, iterations=1
+        fig2_manual_vs_skel, args=(250, 100), rounds=1 if quick else 3, iterations=1
     )
     save_result("fig2_manual_vs_skel", result.to_text())
     by_name = {row[0]: row for row in result.rows}

@@ -15,6 +15,21 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: single benchmark round, scaled-down problem sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the suite runs in ``--quick`` smoke mode (CI)."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

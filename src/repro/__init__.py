@@ -18,6 +18,8 @@ depends on:
                         baseline, local thread-pool executor, resume)
 :mod:`repro.cluster`    discrete-event HPC simulator (nodes, batch
                         scheduler, parallel filesystem, failures)
+:mod:`repro.resilience` fault injection, retry policies (backoff,
+                        timeouts, budgets), campaign checkpoint/resume
 :mod:`repro.dataflow`   streaming workflow substrate (virtual data queues,
                         runtime-installable policies, generated comms)
 :mod:`repro.apps`       GWAS paste workflow, iRF / iRF-LOOP, reaction-
@@ -54,6 +56,7 @@ from repro import (
     metadata,
     observability,
     research,
+    resilience,
     savanna,
     skel,
 )
@@ -68,6 +71,7 @@ __all__ = [
     "cheetah",
     "savanna",
     "cluster",
+    "resilience",
     "dataflow",
     "apps",
     "experiments",

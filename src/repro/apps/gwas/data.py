@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
 
 from repro._util import as_generator, check_positive
 from repro.apps.irf.datasets import synthetic_gwas

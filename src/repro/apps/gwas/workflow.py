@@ -17,26 +17,16 @@ from pathlib import Path
 from repro.apps.gwas.paste import two_phase_paste
 from repro.cheetah.campaign import AppSpec, Campaign, Sweep
 from repro.cheetah.parameters import SweepParameter
-from repro.gauges.levels import (
-    AccessTier,
-    CustomizabilityTier,
-    Gauge,
-    GranularityTier,
-    ProvenanceTier,
-    SchemaTier,
-    SemanticsTier,
-)
 from repro.gauges.model import (
     ComponentKind,
     DataPort,
-    GaugeProfile,
     SoftwareMetadata,
     WorkflowComponent,
 )
 from repro.metadata.access import AccessInterface, AccessProtocol, DataAccessDescriptor, QueryCapability
 from repro.metadata.schema import DataSchema, Field
 from repro.metadata.semantics import ConsumptionPattern, DataSemanticsDescriptor, Ordering
-from repro.skel.generator import GeneratedFile, Generator
+from repro.skel.generator import Generator
 from repro.skel.library import builtin_library, count_manual_fields, paste_model_schema, traditional_paste_script
 from repro.skel.model import SkelModel
 

@@ -66,8 +66,18 @@ class SimulatedCluster:
     4
     """
 
-    def __init__(self, spec: ClusterSpec | None = None, seed=None, bus: EventBus | None = None):
+    def __init__(
+        self,
+        spec: ClusterSpec | None = None,
+        seed=None,
+        bus: EventBus | None = None,
+        faults=None,
+    ):
         self.spec = spec or ClusterSpec()
+        #: Optional :class:`~repro.resilience.FaultInjector`; the Savanna
+        #: within-allocation engines consult it at every task launch and
+        #: emit ``task.fault_injected`` when it strikes.
+        self.faults = faults
         rng_queue, rng_fs, rng_fail, rng_speed = spawn_children(seed, 4)
         self.sim = Simulator()
         self.bus = bus if bus is not None else EventBus(name="cluster")

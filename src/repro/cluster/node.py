@@ -37,6 +37,10 @@ class Node:
         ``nominal_duration / speed``.  Heterogeneous speeds model aging
         parts, thermal throttling, and OS jitter — a second straggler
         source on real machines beyond workload skew.
+
+    A node may additionally carry a transient *slowdown* (a straggler
+    fault injected for the duration of one attempt); the executors place
+    work at :attr:`effective_speed`, which folds the slowdown in.
     """
 
     index: int
@@ -45,15 +49,38 @@ class Node:
     busy_intervals: list[tuple[float, float]] = field(default_factory=list)
     #: Optional event bus; busy/idle transitions are published when set.
     bus: object | None = field(default=None, repr=False, compare=False)
+    #: Transient straggler divisor (1.0 = healthy); see :meth:`degrade`.
+    slowdown: float = field(default=1.0, repr=False)
     _busy_since: float | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         check_positive("cores", self.cores)
         check_positive("speed", self.speed)
+        check_positive("slowdown", self.slowdown)
 
     @property
     def busy(self) -> bool:
         return self._busy_since is not None
+
+    @property
+    def effective_speed(self) -> float:
+        """Speed after any transient straggler degradation."""
+        return self.speed / self.slowdown
+
+    def degrade(self, factor: float) -> None:
+        """Mark the node as a transient straggler (fault injection).
+
+        ``factor`` >= 1 divides the node's speed until :meth:`restore`;
+        the within-allocation engines call this for the span of one
+        attempt when the fault injector strikes.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {factor}")
+        self.slowdown = float(factor)
+
+    def restore(self) -> None:
+        """Clear a transient straggler degradation (idempotent)."""
+        self.slowdown = 1.0
 
     def mark_busy(self, now: float) -> None:
         """Record the start of an executing task (emits ``node.busy``)."""

@@ -152,14 +152,19 @@ class BatchScheduler:
             else:
                 index += 1
 
-    def finish(self, alloc: Allocation) -> None:
-        """End an allocation early (the job script exited before walltime)."""
+    def finish(self, alloc: Allocation, reason: str = "finished") -> None:
+        """End an allocation early (the job script exited before walltime).
+
+        ``reason`` lands in the ``alloc`` span's end event — the campaign
+        layers pass e.g. ``"retry-budget-exhausted"`` so a trace shows
+        *why* an allocation gave its nodes back.
+        """
         entry = self._deadline_handles.get(id(alloc))
         if entry is None:
             raise RuntimeError(f"allocation {alloc.request.name!r} is not active")
         handle, on_end = entry
         handle.cancel()
-        self._end_allocation(alloc, on_end, reason="finished")
+        self._end_allocation(alloc, on_end, reason=reason)
 
     def _end_allocation(
         self, alloc: Allocation, on_end: Callable | None, reason: str = "walltime"

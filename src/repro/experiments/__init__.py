@@ -17,12 +17,16 @@ from repro.experiments.harness import (
     fig5_policies,
     fig6_timeline,
     fig7_campaign,
+    resilience_campaign,
+    resilience_recovery,
     run_with_trace,
 )
 
 __all__ = [
     "ExperimentResult",
     "run_with_trace",
+    "resilience_recovery",
+    "resilience_campaign",
     "fig1_gauge_matrix",
     "fig2_manual_vs_skel",
     "fig3_overhead_sweep",

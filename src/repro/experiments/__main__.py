@@ -7,6 +7,11 @@ Usage::
     python -m repro.experiments --out results/  # also write one file each
     python -m repro.experiments --figure 6 --trace fig6.json
                                                 # + Chrome trace + metrics
+    python -m repro.experiments --resilience --faults "mid-run-crash=0.2"
+                                                # retry-policy recovery table
+    python -m repro.experiments --resilience --campaign-dir runs/
+    python -m repro.experiments --resilience --campaign-dir runs/ --resume
+                                                # checkpointed campaign, resumed
 
 ``--trace`` attaches a :class:`~repro.observability.TraceRecorder` around
 every selected driver and writes one combined Chrome ``trace_event`` JSON
@@ -30,7 +35,10 @@ from repro.experiments import (
     fig5_policies,
     fig6_timeline,
     fig7_campaign,
+    resilience_campaign,
+    resilience_recovery,
 )
+from repro.experiments.harness import DEFAULT_FAULTS
 
 DRIVERS = {
     1: fig1_gauge_matrix,
@@ -71,7 +79,50 @@ def main(argv=None) -> int:
         help="record every run into one Chrome trace_event JSON "
         "(metrics snapshot lands beside it as OUT.metrics.json)",
     )
+    parser.add_argument(
+        "--resilience",
+        action="store_true",
+        help="run the resilience experiment instead of the numbered figures",
+    )
+    parser.add_argument(
+        "--faults",
+        default=DEFAULT_FAULTS,
+        metavar="KIND=RATE,...",
+        help="fault mix for --resilience: comma-separated kind=probability "
+        "pairs over crash-on-start, mid-run-crash, straggler, transient-io "
+        f"(default: {DEFAULT_FAULTS})",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=17,
+        help="seed for the deterministic fault injector (default: 17)",
+    )
+    parser.add_argument(
+        "--max-allocations",
+        type=int,
+        default=4,
+        help="with --resilience --campaign-dir: allocation budget per "
+        "invocation — set low to leave work pending, then --resume (default: 4)",
+    )
+    parser.add_argument(
+        "--campaign-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="with --resilience: journal campaign progress into a Cheetah "
+        "directory under DIR (enables --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --resilience --campaign-dir: skip runs already recorded "
+        "DONE and execute exactly the remainder",
+    )
     args = parser.parse_args(argv)
+
+    if args.resume and args.campaign_dir is None:
+        parser.error("--resume requires --campaign-dir")
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
@@ -82,22 +133,50 @@ def main(argv=None) -> int:
 
         recorder = TraceRecorder()
 
-    def run_figure(number: int):
+    def run_driver(label: str, driver):
         t0 = time.perf_counter()
-        result = DRIVERS[number]()
+        result = driver()
         elapsed = time.perf_counter() - t0
         text = result.to_text()
         print(text)
-        print(f"[figure {number} regenerated in {elapsed:.1f}s]\n")
+        print(f"[{label} regenerated in {elapsed:.1f}s]\n")
         if args.out is not None:
-            path = args.out / f"figure{number}.txt"
+            path = args.out / f"{label}.txt"
             path.write_text(text + "\n")
             print(f"[written to {path}]\n")
 
+    if args.resilience:
+        if args.campaign_dir is not None:
+            selected = [
+                (
+                    "resilience-campaign",
+                    lambda: resilience_campaign(
+                        args.campaign_dir,
+                        faults=args.faults,
+                        fault_seed=args.fault_seed,
+                        max_allocations=args.max_allocations,
+                        resume=args.resume,
+                    ),
+                )
+            ]
+        else:
+            selected = [
+                (
+                    "resilience-recovery",
+                    lambda: resilience_recovery(
+                        faults=args.faults, fault_seed=args.fault_seed
+                    ),
+                )
+            ]
+    else:
+        selected = [
+            (f"figure{number}", DRIVERS[number]) for number in args.figure
+        ]
+
     if recorder is not None:
         with recorder.recording():
-            for number in args.figure:
-                run_figure(number)
+            for label, driver in selected:
+                run_driver(label, driver)
         try:
             recorder.validate()
         except ValueError as exc:  # a capture stopped mid-span; still usable
@@ -114,8 +193,8 @@ def main(argv=None) -> int:
             f"metrics -> {metrics_path}]"
         )
     else:
-        for number in args.figure:
-            run_figure(number)
+        for label, driver in selected:
+            run_driver(label, driver)
     return 0
 
 

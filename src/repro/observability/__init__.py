@@ -31,11 +31,15 @@ from repro.observability.events import (
     CAMPAIGN_COMPOSED,
     END,
     GROUP,
+    GROUP_RESUMED,
     INSTANT,
     NODE_BUSY,
     NODE_IDLE,
     TASK,
+    TASK_FAULT_INJECTED,
     TASK_REQUEUED,
+    TASK_RETRY,
+    TASK_TIMEOUT,
     Event,
     span_key,
     validate_event_stream,
@@ -62,10 +66,14 @@ __all__ = [
     "CAMPAIGN",
     "CAMPAIGN_COMPOSED",
     "GROUP",
+    "GROUP_RESUMED",
     "ALLOC",
     "ALLOC_SUBMITTED",
     "TASK",
     "TASK_REQUEUED",
+    "TASK_RETRY",
+    "TASK_TIMEOUT",
+    "TASK_FAULT_INJECTED",
     "NODE_BUSY",
     "NODE_IDLE",
     "Counter",

@@ -24,6 +24,10 @@ name                 phase    fields
 ``task``             span     task, task_id, node, nodes, attempt, payload /
                               outcome
 ``task.requeued``    instant  task, task_id, retries
+``task.retry``       instant  task, task_id, retries, delay, reason
+``task.timeout``     instant  task, task_id, node, timeout
+``task.fault_injected``  instant  task, task_id, node, kind, ...
+``group.resumed``    instant  campaign, total, skipped, pending
 ``node.busy``        instant  node
 ``node.idle``        instant  node
 ``campaign.composed``  instant  campaign, groups, runs
@@ -61,6 +65,10 @@ TASK = "task"  # one task attempt, launch -> end
 
 ALLOC_SUBMITTED = "alloc.submitted"  # batch job queued, before grant
 TASK_REQUEUED = "task.requeued"  # failed task re-entered the pending queue
+TASK_RETRY = "task.retry"  # a retry policy granted another attempt
+TASK_TIMEOUT = "task.timeout"  # an attempt exceeded its per-task timeout
+TASK_FAULT_INJECTED = "task.fault_injected"  # the fault injector struck an attempt
+GROUP_RESUMED = "group.resumed"  # a resumed SweepGroup skipped completed runs
 NODE_BUSY = "node.busy"  # a node started executing work
 NODE_IDLE = "node.idle"  # a node finished executing work
 CAMPAIGN_COMPOSED = "campaign.composed"  # a Cheetah campaign was materialized

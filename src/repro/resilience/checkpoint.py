@@ -1,0 +1,153 @@
+"""Campaign progress checkpointing — the resume contract made durable.
+
+"If all runs in the SweepGroup cannot be run in the allotted time, the
+SweepGroup is simply re-submitted, and Savanna resumes execution of the
+experiments" (§V-D).  Resumption is only as good as the on-disk record:
+before this layer, run statuses were written once, *after* the campaign
+loop drained — a killed driver process left ``status.json`` claiming
+nothing ran.
+
+A :class:`CampaignCheckpoint` closes that gap with a write-ahead journal
+inside the Cheetah campaign directory::
+
+    <root>/<campaign>/.cheetah/status.json     # compacted base record
+    <root>/<campaign>/.cheetah/journal.jsonl   # one line per transition
+
+Every task transition observed on the cluster's event bus appends one
+JSON line (O(1) per event — no rewrite of the full status map), and
+:meth:`CampaignCheckpoint.compact` folds the journal back into
+``status.json`` when a group finishes.  Reading overlays the journal on
+the base record, so a driver killed mid-campaign still resumes exactly
+the pending set.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.observability import BEGIN, END, TASK
+
+#: Task-span ``outcome`` field -> durable run status.  A walltime-killed
+#: run is retryable, so it checkpoints as PENDING (same rule the drive
+#: layer applies to final task states).
+_OUTCOME_TO_STATUS = {
+    "done": RunStatus.DONE,
+    "failed": RunStatus.FAILED,
+    "killed": RunStatus.PENDING,
+}
+
+
+class CampaignCheckpoint:
+    """Incremental per-run status records inside a campaign directory.
+
+    Parameters
+    ----------
+    directory:
+        The :class:`~repro.cheetah.directory.CampaignDirectory` holding
+        the campaign end point (must have been ``create()``-d, so
+        ``status.json`` exists).
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, directory: CampaignDirectory):
+        self.directory = directory
+        self._journal_path = (
+            directory.root / CampaignDirectory.METADATA_DIR / self.JOURNAL_NAME
+        )
+        self._known = {run.run_id for run in directory.manifest.runs}
+        self._unsubscribe = None
+
+    # -- journal -------------------------------------------------------------
+
+    def record(self, run_id: str, status: RunStatus, time: float | None = None) -> None:
+        """Append one status transition to the journal (O(1))."""
+        if run_id not in self._known:
+            raise KeyError(f"unknown run_id {run_id!r}")
+        line = json.dumps({"run": run_id, "status": status.value, "time": time})
+        with self._journal_path.open("a") as fh:
+            fh.write(line + "\n")
+
+    def journal_entries(self) -> list[dict]:
+        """Parsed journal lines, in append order (empty if no journal)."""
+        if not self._journal_path.exists():
+            return []
+        entries = []
+        for line in self._journal_path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+        return entries
+
+    # -- reading -------------------------------------------------------------
+
+    def effective_status(self) -> dict:
+        """``{run_id: RunStatus}``: the base record overlaid with the
+        journal (later lines win).  This is what resume must trust."""
+        status = self.directory.read_status()
+        for entry in self.journal_entries():
+            status[entry["run"]] = RunStatus(entry["status"])
+        return status
+
+    def completed(self) -> set:
+        """Run ids durably recorded DONE (base record or journal)."""
+        return {
+            run_id
+            for run_id, st in self.effective_status().items()
+            if st is RunStatus.DONE
+        }
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> None:
+        """Fold the journal into ``status.json`` and truncate it.
+
+        A run interrupted while RUNNING compacts to PENDING — an
+        in-flight attempt whose outcome was never journaled must be
+        re-queued, not trusted.
+        """
+        entries = self.journal_entries()
+        if not entries:
+            return
+        updates: dict[str, RunStatus] = {}
+        for entry in entries:
+            status = RunStatus(entry["status"])
+            if status is RunStatus.RUNNING:
+                status = RunStatus.PENDING
+            updates[entry["run"]] = status
+        self.directory.update_status(updates)
+        self._journal_path.unlink()
+
+    # -- bus wiring ----------------------------------------------------------
+
+    def attach(self, bus) -> None:
+        """Subscribe to ``bus`` and journal every task transition.
+
+        ``task`` span begins journal RUNNING; ends journal the mapped
+        outcome.  Events about tasks that are not runs of this campaign
+        (names outside the manifest) are ignored, so a shared bus is safe.
+        """
+        if self._unsubscribe is not None:
+            raise RuntimeError("checkpoint already attached to a bus")
+
+        def observe(event) -> None:
+            if event.name != TASK:
+                return
+            run_id = event.fields.get("task")
+            if run_id not in self._known:
+                return
+            if event.phase == BEGIN:
+                self.record(run_id, RunStatus.RUNNING, time=event.time)
+            elif event.phase == END:
+                status = _OUTCOME_TO_STATUS.get(event.fields.get("outcome"))
+                if status is not None:
+                    self.record(run_id, status, time=event.time)
+
+        self._unsubscribe = bus.subscribe(observe)
+
+    def detach(self) -> None:
+        """Stop observing the bus (idempotent)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None

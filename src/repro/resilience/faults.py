@@ -1,0 +1,166 @@
+"""Deterministic fault injection for simulated campaign runs.
+
+The paper's iRF-LOOP account (§II-B) and the resilience argument of §V
+both hinge on campaigns surviving *real* machines: nodes that die at
+launch, jobs that crash mid-flight, stragglers that hold a barrier
+hostage, and I/O blips that vanish on the next try.  This module models
+those four as injectable faults on top of the cluster's background MTTF
+model:
+
+- ``crash-on-start`` — the attempt dies immediately at placement (bad
+  node, missing library, OOM at init).
+- ``mid-run-crash`` — the attempt dies partway through its nominal
+  duration (segfault, node failure).
+- ``straggler`` — the attempt's nodes run slowed by a factor (thermal
+  throttling, OS jitter, contended I/O); the work completes, late.
+- ``transient-io`` — the attempt fails, but only for the first
+  ``max_attempts`` tries of the task; later attempts sail through
+  (the canonical retry-able failure).
+
+Determinism is the design center: every decision is a pure function of
+``(seed, task name, attempt index)`` — a *keyed* draw, not a shared
+stream — so an experiment reproduces exactly under resume, under
+re-execution, and regardless of how concurrent attempts interleave.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_fraction, check_positive
+
+# -- fault kinds -------------------------------------------------------------
+
+CRASH_ON_START = "crash-on-start"
+MID_RUN_CRASH = "mid-run-crash"
+STRAGGLER = "straggler"
+TRANSIENT_IO = "transient-io"
+
+FAULT_KINDS = (CRASH_ON_START, MID_RUN_CRASH, STRAGGLER, TRANSIENT_IO)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault: a kind, a per-attempt probability, parameters.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    probability:
+        Chance this fault strikes any given attempt, in ``[0, 1]``.
+    slowdown:
+        Straggler speed divisor (a 4.0 straggler takes 4x nominal time).
+    max_attempts:
+        ``transient-io`` only: attempts (1-based) up to and including this
+        index may be struck; later attempts are immune.
+    """
+
+    kind: str
+    probability: float
+    slowdown: float = 4.0
+    max_attempts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        check_fraction("probability", self.probability)
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1.0, got {self.slowdown}")
+        check_positive("max_attempts", self.max_attempts)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one attempt.
+
+    ``fail_at`` is seconds into the attempt at which it dies (``None``
+    for non-fatal faults); ``slowdown`` > 1 stretches the attempt's
+    wall time (straggler).
+    """
+
+    kind: str
+    fail_at: float | None = None
+    slowdown: float = 1.0
+
+
+class FaultInjector:
+    """Seeded, per-attempt fault decisions for a campaign execution.
+
+    Attach one to a :class:`~repro.cluster.cluster.SimulatedCluster` via
+    its ``faults=`` argument; the within-allocation engines consult it at
+    every task launch.  Specs are evaluated in declaration order and the
+    first one that strikes wins, so put the rarest/most-severe fault
+    first when composing plans.
+
+    Example
+    -------
+    >>> injector = FaultInjector(
+    ...     [FaultSpec(CRASH_ON_START, 0.5)], seed=7)
+    >>> d1 = injector.decide("run-0001", attempt=1, duration=100.0)
+    >>> d2 = injector.decide("run-0001", attempt=1, duration=100.0)
+    >>> d1 == d2  # pure function of (seed, name, attempt)
+    True
+    """
+
+    def __init__(self, specs, seed: int = 0):
+        self.specs = tuple(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"expected FaultSpec, got {type(spec).__name__}")
+        self.seed = int(seed)
+        self.injected_count = 0
+
+    def _rng(self, task_name: str, attempt: int) -> np.random.Generator:
+        """Keyed generator: identical for identical (seed, name, attempt)."""
+        key = zlib.crc32(task_name.encode("utf-8"))
+        return np.random.default_rng([self.seed, key, attempt])
+
+    def decide(self, task_name: str, attempt: int, duration: float) -> FaultDecision | None:
+        """The fault (if any) striking attempt ``attempt`` (1-based) of
+        ``task_name``, whose nominal wall time is ``duration`` seconds."""
+        check_positive("attempt", attempt)
+        rng = self._rng(task_name, attempt)
+        for spec in self.specs:
+            struck = rng.uniform() < spec.probability
+            if not struck:
+                continue
+            if spec.kind == CRASH_ON_START:
+                decision = FaultDecision(kind=spec.kind, fail_at=0.0)
+            elif spec.kind == MID_RUN_CRASH:
+                frac = float(rng.uniform(0.05, 0.95))
+                decision = FaultDecision(kind=spec.kind, fail_at=frac * duration)
+            elif spec.kind == STRAGGLER:
+                decision = FaultDecision(kind=spec.kind, slowdown=spec.slowdown)
+            else:  # TRANSIENT_IO — clears after max_attempts tries
+                if attempt > spec.max_attempts:
+                    continue
+                frac = float(rng.uniform(0.05, 0.95))
+                decision = FaultDecision(kind=spec.kind, fail_at=frac * duration)
+            self.injected_count += 1
+            return decision
+        return None
+
+
+def parse_fault_specs(text: str, slowdown: float = 4.0) -> list[FaultSpec]:
+    """Parse a ``kind=rate[,kind=rate...]`` plan string (the ``--faults``
+    CLI syntax), e.g. ``"crash-on-start=0.1,straggler=0.2"``."""
+    specs: list[FaultSpec] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad fault spec {part!r}; expected kind=rate with kind in {FAULT_KINDS}"
+            )
+        kind, _, rate = part.partition("=")
+        specs.append(
+            FaultSpec(kind=kind.strip(), probability=float(rate), slowdown=slowdown)
+        )
+    if not specs:
+        raise ValueError(f"no fault specs in {text!r}")
+    return specs

@@ -1,15 +1,24 @@
 """Within-allocation execution engines (internal).
 
 Both simulated executors share the same mechanics — place a task on free
-nodes, sample a failure, schedule the end event, finalize attempts when
-the walltime kill arrives — and differ only in *dispatch*: the pilot pulls
-the next task the moment nodes free; the static engine launches fixed sets
-behind a barrier.
+nodes, consult the fault injector and the failure model, schedule the end
+event, finalize attempts when the walltime kill arrives — and differ only
+in *dispatch*: the pilot pulls the next task the moment nodes free; the
+static engine launches fixed sets behind a barrier.
+
+Failure handling is driven by a :class:`~repro.resilience.RetryPolicy`:
+it caps any attempt's wall time (``task.timeout``), decides whether a
+failed task gets another try and after what backoff delay
+(``task.retry``), and bounds total retries per allocation.
 
 Observability: every attempt is one ``task`` span on the cluster bus
 (``begin`` at launch with the placement and payload, ``end`` with the
-outcome — ``done``/``failed``/``killed``); pilot requeues additionally
-emit a ``task.requeued`` instant carrying the retry count.
+outcome — ``done``/``failed``/``killed``).  Injected faults emit a
+``task.fault_injected`` instant inside the span; timeouts a
+``task.timeout`` instant just before the failed ``end``; policy-granted
+retries a ``task.retry`` instant at decision time, and (on the pilot) a
+``task.requeued`` instant when the task actually re-enters the pending
+queue after its backoff delay.
 """
 
 from __future__ import annotations
@@ -18,7 +27,16 @@ from collections import deque
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import Allocation, Task, TaskAttempt, TaskState
-from repro.observability import BEGIN, END, TASK, TASK_REQUEUED
+from repro.observability import (
+    BEGIN,
+    END,
+    TASK,
+    TASK_FAULT_INJECTED,
+    TASK_REQUEUED,
+    TASK_RETRY,
+    TASK_TIMEOUT,
+)
+from repro.resilience.policy import RetryPolicy, as_policy
 from repro.savanna.executor import AllocationOutcome
 
 
@@ -32,16 +50,21 @@ class _BaseAllocationRun:
         tasks: list[Task],
         outcome: AllocationOutcome,
         done_cb=None,
+        policy: RetryPolicy | None = None,
     ):
         self.cluster = cluster
         self.bus = cluster.bus
         self.alloc = alloc
         self.outcome = outcome
         self.done_cb = done_cb
+        self.policy = policy if policy is not None else RetryPolicy()
         self.free = list(alloc.nodes)
         # task -> (attempt, end-event handle, nodes)
         self.running: dict[int, tuple] = {}
         self.finished = False
+        #: retries already spent in this allocation (vs. policy.allocation_budget)
+        self.allocation_retries = 0
+        self._retry_counts: dict[int, int] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -62,6 +85,8 @@ class _BaseAllocationRun:
             attempt.end = now
             attempt.outcome = TaskState.KILLED
             attempt.task.state = TaskState.KILLED
+            for node in nodes:
+                node.restore()
             self.outcome.killed.append(attempt.task)
             self.bus.emit(
                 TASK,
@@ -73,6 +98,35 @@ class _BaseAllocationRun:
             )
         self.running.clear()
         self.finished = True
+
+    # -- retry bookkeeping ---------------------------------------------------
+
+    def budget_left(self) -> bool:
+        """True while this allocation may still spend retries."""
+        budget = self.policy.allocation_budget
+        return budget is None or self.allocation_retries < budget
+
+    def grant_retry(self, task: Task) -> int | None:
+        """Consume one retry for ``task`` if the policy allows it.
+
+        Returns the (1-based) retry index granted, or ``None`` when the
+        per-task or per-allocation budget is exhausted.  Emits the
+        ``task.retry`` instant with the backoff delay on success.
+        """
+        retries = self._retry_counts.get(task.task_id, 0)
+        if not self.policy.allows(retries) or not self.budget_left():
+            return None
+        index = retries + 1
+        self._retry_counts[task.task_id] = index
+        self.allocation_retries += 1
+        self.bus.emit(
+            TASK_RETRY,
+            task=task.name,
+            task_id=task.task_id,
+            retries=index,
+            delay=self.policy.delay(index),
+        )
+        return index
 
     # -- task mechanics ------------------------------------------------------
 
@@ -90,6 +144,7 @@ class _BaseAllocationRun:
         attempt = TaskAttempt(task=task, node_indices=[n.index for n in nodes], start=now)
         task.attempts.append(attempt)
         self.outcome.attempts.append(attempt)
+        attempt_no = len(task.attempts)
         self.bus.emit(
             TASK,
             phase=BEGIN,
@@ -97,29 +152,65 @@ class _BaseAllocationRun:
             task_id=task.task_id,
             node=nodes[0].index,
             nodes=[n.index for n in nodes],
-            attempt=len(task.attempts),
+            attempt=attempt_no,
             payload=dict(task.payload),
         )
+        decision = None
+        if self.cluster.faults is not None:
+            decision = self.cluster.faults.decide(task.name, attempt_no, task.duration)
+        if decision is not None:
+            self.bus.emit(
+                TASK_FAULT_INJECTED,
+                task=task.name,
+                task_id=task.task_id,
+                node=nodes[0].index,
+                kind=decision.kind,
+                attempt=attempt_no,
+                fail_at=decision.fail_at,
+                slowdown=decision.slowdown,
+            )
+            if decision.slowdown > 1.0:
+                for node in nodes:
+                    node.degrade(decision.slowdown)
         # A multi-node task runs at the pace of its slowest member node.
-        speed = min(node.speed for node in nodes)
+        speed = min(node.effective_speed for node in nodes)
         wall_duration = task.duration / speed
+        elapsed, result = wall_duration, TaskState.DONE
         fail_at = self.cluster.failures.sample_failure_time(wall_duration, task.nodes)
-        if fail_at is None:
-            elapsed, result = wall_duration, TaskState.DONE
-        else:
+        if decision is not None and decision.fail_at is not None:
+            # The injected crash lands at the same *fraction* of the
+            # attempt whatever the nodes' speed.
+            injected = decision.fail_at / speed
+            fail_at = injected if fail_at is None else min(fail_at, injected)
+        if fail_at is not None:
             elapsed, result = fail_at, TaskState.FAILED
-        handle = self.cluster.sim.schedule(elapsed, self._on_task_end, task, result, nodes)
+        timed_out = False
+        timeout = self.policy.timeout_for(task)
+        if timeout is not None and timeout < elapsed:
+            elapsed, result, timed_out = timeout, TaskState.FAILED, True
+        handle = self.cluster.sim.schedule(
+            elapsed, self._on_task_end, task, result, nodes, timed_out
+        )
         self.running[task.task_id] = (attempt, handle, nodes)
 
-    def _on_task_end(self, task: Task, result: TaskState, nodes) -> None:
+    def _on_task_end(self, task: Task, result: TaskState, nodes, timed_out: bool = False) -> None:
         now = self.cluster.sim.now
         attempt, _handle, _nodes = self.running.pop(task.task_id)
         attempt.end = now
         attempt.outcome = result
         task.state = result
         for node in nodes:
+            node.restore()
             node.mark_idle(now)
             self.free.append(node)
+        if timed_out:
+            self.bus.emit(
+                TASK_TIMEOUT,
+                task=task.name,
+                task_id=task.task_id,
+                node=nodes[0].index,
+                timeout=self.policy.timeout_for(task),
+            )
         self.bus.emit(
             TASK,
             phase=END,
@@ -149,14 +240,30 @@ class _BaseAllocationRun:
 
 
 class PilotRun(_BaseAllocationRun):
-    """Savanna's dynamic pilot: greedy FIFO pull onto freed nodes."""
+    """Savanna's dynamic pilot: greedy FIFO pull onto freed nodes.
 
-    def __init__(self, cluster, alloc, tasks, outcome, done_cb=None, retry_failed=True, max_retries=2):
-        super().__init__(cluster, alloc, tasks, outcome, done_cb)
+    Failed tasks re-enter the pending queue after the policy's backoff
+    delay, up to the per-task and per-allocation retry budgets.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        alloc,
+        tasks,
+        outcome,
+        done_cb=None,
+        retry_failed=True,
+        max_retries=2,
+        policy: RetryPolicy | None = None,
+    ):
+        if policy is None:
+            policy = as_policy(max_retries)
+        super().__init__(cluster, alloc, tasks, outcome, done_cb, policy=policy)
         self.pending = deque(tasks)
         self.retry_failed = retry_failed
-        self.max_retries = max_retries
-        self._retry_counts: dict[int, int] = {}
+        #: backoff timers currently in flight (delayed requeues)
+        self._backing_off = 0
 
     def start(self) -> None:
         self._fill()
@@ -168,24 +275,41 @@ class PilotRun(_BaseAllocationRun):
 
     def after_task_end(self, task: Task, result: TaskState) -> None:
         if result is TaskState.FAILED:
-            retries = self._retry_counts.get(task.task_id, 0)
-            if self.retry_failed and retries < self.max_retries:
-                self._retry_counts[task.task_id] = retries + 1
-                task.state = TaskState.PENDING
-                self.pending.append(task)
-                self.bus.emit(
-                    TASK_REQUEUED,
-                    task=task.name,
-                    task_id=task.task_id,
-                    retries=retries + 1,
-                )
+            index = self.grant_retry(task) if self.retry_failed else None
+            if index is not None:
+                delay = self.policy.delay(index)
+                self._backing_off += 1
+                if delay > 0:
+                    self.cluster.sim.schedule(delay, self._requeue, task, index)
+                else:
+                    self._requeue(task, index)
             else:
                 self.outcome.failed.append(task)
         self._fill()
         self._maybe_finish()
 
+    def _requeue(self, task: Task, retry_index: int) -> None:
+        """Re-enter the pending queue after the backoff delay."""
+        self._backing_off -= 1
+        if self.finished:
+            # The walltime killed the allocation while this task was
+            # backing off; it stays FAILED and the next allocation of the
+            # campaign loop retries it.
+            self.outcome.failed.append(task)
+            return
+        task.state = TaskState.PENDING
+        self.pending.append(task)
+        self.bus.emit(
+            TASK_REQUEUED,
+            task=task.name,
+            task_id=task.task_id,
+            retries=retry_index,
+        )
+        self._fill()
+        self._maybe_finish()
+
     def exhausted(self) -> bool:
-        return not self.pending
+        return not self.pending and self._backing_off == 0
 
 
 class StaticSetRun(_BaseAllocationRun):
@@ -195,12 +319,24 @@ class StaticSetRun(_BaseAllocationRun):
     next set launches only after *every* task of the current set has
     finished (§V-D: "all experiments in a set must be complete before the
     next set is run"), plus an optional ``set_gap`` for the bookkeeping
-    the human-driven scripts do between sets.  Failures are not retried —
-    the original workflow curates a failed-run list manually afterwards.
+    the human-driven scripts do between sets.  By default failures are
+    not retried — the original workflow curates a failed-run list
+    manually afterwards — but a :class:`~repro.resilience.RetryPolicy`
+    may grant in-place relaunches (the retried task keeps its set, so the
+    barrier waits for it).
     """
 
-    def __init__(self, cluster, alloc, tasks, outcome, done_cb=None, set_gap: float = 0.0):
-        super().__init__(cluster, alloc, tasks, outcome, done_cb)
+    def __init__(
+        self,
+        cluster,
+        alloc,
+        tasks,
+        outcome,
+        done_cb=None,
+        set_gap: float = 0.0,
+        policy: RetryPolicy | None = None,
+    ):
+        super().__init__(cluster, alloc, tasks, outcome, done_cb, policy=policy)
         self.set_gap = set_gap
         self.sets = self._partition(tasks, len(alloc.nodes))
         self.next_set = 0
@@ -240,6 +376,16 @@ class StaticSetRun(_BaseAllocationRun):
 
     def after_task_end(self, task: Task, result: TaskState) -> None:
         if result is TaskState.FAILED:
+            index = self.grant_retry(task)
+            if index is not None:
+                # In-place retry: the task stays a member of its set, so
+                # in_flight is unchanged and the barrier waits for it.
+                delay = self.policy.delay(index)
+                if delay > 0:
+                    self.cluster.sim.schedule(delay, self._relaunch, task)
+                else:
+                    self._launch(task)
+                return
             self.outcome.failed.append(task)
         self.in_flight -= 1
         if self.in_flight == 0:  # barrier reached
@@ -249,6 +395,12 @@ class StaticSetRun(_BaseAllocationRun):
                 else:
                     self._launch_next_set()
         self._maybe_finish()
+
+    def _relaunch(self, task: Task) -> None:
+        if self.finished:  # walltime hit while backing off
+            self.outcome.failed.append(task)
+            return
+        self._launch(task)
 
     def _barrier_release(self) -> None:
         if not self.finished:  # the walltime may have killed the job meanwhile

@@ -7,10 +7,18 @@ campaign manifest on a simulated cluster through a named backend and
 (optionally) records per-run outcomes into the campaign directory so a
 later invocation resumes exactly the pending set.
 
+With a ``directory``, progress is journaled *incrementally* through a
+:class:`~repro.resilience.CampaignCheckpoint` (one JSONL line per task
+transition, compacted into ``status.json`` when the group drains) — a
+driver process killed mid-campaign loses at most the in-flight attempts,
+and ``resume=True`` (the default) re-queues exactly the runs not yet
+recorded DONE.
+
 Observability: each :func:`execute_manifest` call emits one ``group``
 span on the cluster's bus (fields: ``campaign``, ``group``, ``runs`` /
 ``completed``), wrapping the nested ``campaign``/``alloc``/``task``
-events the execution layers produce.
+events the execution layers produce; a resumed group additionally emits
+one ``group.resumed`` instant with the skip count.
 """
 
 from __future__ import annotations
@@ -19,7 +27,8 @@ from repro.cheetah.directory import CampaignDirectory, RunStatus
 from repro.cheetah.manifest import CampaignManifest
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import TaskState
-from repro.observability import BEGIN, END, GROUP
+from repro.observability import BEGIN, END, GROUP, GROUP_RESUMED
+from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.savanna.backends import create_executor
 from repro.savanna.executor import CampaignResult, tasks_from_manifest
 
@@ -40,6 +49,7 @@ def execute_campaign(
     directory: CampaignDirectory | None = None,
     max_allocations_per_group: int = 1,
     inter_allocation_gap: float = 0.0,
+    resume: bool = True,
     **backend_kwargs,
 ) -> dict:
     """Execute every SweepGroup of a campaign, in declaration order.
@@ -60,6 +70,7 @@ def execute_campaign(
             directory=directory,
             max_allocations=max_allocations_per_group,
             inter_allocation_gap=inter_allocation_gap,
+            resume=resume,
             **backend_kwargs,
         )
     return results
@@ -74,6 +85,7 @@ def execute_manifest(
     directory: CampaignDirectory | None = None,
     max_allocations: int = 1,
     inter_allocation_gap: float = 0.0,
+    resume: bool = True,
     **backend_kwargs,
 ) -> CampaignResult:
     """Execute (part of) a campaign manifest on a simulated cluster.
@@ -92,8 +104,13 @@ def execute_manifest(
         Executor backend name (see :mod:`repro.savanna.backends`);
         must be a simulated backend taking a ``cluster`` argument.
     directory:
-        If given, runs already DONE there are skipped (resume) and final
-        statuses are written back.
+        If given, per-run progress is journaled incrementally (the
+        resume record survives a killed driver) and final statuses are
+        compacted back into ``status.json``.
+    resume:
+        With a ``directory``: skip runs whose durable status (base
+        record + journal) is already DONE, emitting ``group.resumed``.
+        ``resume=False`` re-executes every run of the group.
     """
     if group is None:
         if len(manifest.groups) != 1:
@@ -105,11 +122,17 @@ def execute_manifest(
     meta = manifest.group_meta(group)
 
     selected = manifest.runs_in_group(group)
+    checkpoint = None
+    skipped = 0
     if directory is not None:
-        status = directory.read_status()
-        selected = tuple(
-            r for r in selected if status[r.run_id] is not RunStatus.DONE
-        )
+        checkpoint = CampaignCheckpoint(directory)
+        if resume:
+            status = checkpoint.effective_status()
+            before = len(selected)
+            selected = tuple(
+                r for r in selected if status[r.run_id] is not RunStatus.DONE
+            )
+            skipped = before - len(selected)
 
     sub = CampaignManifest(
         campaign=manifest.campaign,
@@ -129,6 +152,14 @@ def execute_manifest(
         runs=len(tasks),
         backend=backend,
     )
+    if skipped:
+        cluster.bus.emit(
+            GROUP_RESUMED,
+            campaign=manifest.campaign,
+            total=len(selected) + skipped,
+            skipped=skipped,
+            pending=len(tasks),
+        )
     result = executor.run(
         tasks,
         nodes=meta["nodes"],
@@ -136,6 +167,7 @@ def execute_manifest(
         max_allocations=max_allocations,
         inter_allocation_gap=inter_allocation_gap,
         name=f"{manifest.campaign}/{group}",
+        checkpoint=checkpoint,
     )
     cluster.bus.emit(
         GROUP,

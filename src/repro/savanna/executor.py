@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
-from repro.cluster.job import Allocation, Task, TaskAttempt, TaskState
+from repro.cluster.job import Allocation, Task, TaskState
 from repro.cluster.trace import UtilizationTrace
 
 

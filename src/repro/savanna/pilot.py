@@ -6,44 +6,71 @@ runs and leading to better resource utilization."
 
 Observability: a pilot run narrates itself on ``cluster.bus`` — one
 ``task`` span per attempt (``begin`` at placement, ``end`` with
-``done``/``failed``/``killed``), a ``task.requeued`` instant each time a
-failed task re-enters the pending queue, and ``node.busy``/``node.idle``
-instants from the nodes it occupies, all nested inside the scheduler's
-``alloc`` span and the runner's ``campaign`` span.
+``done``/``failed``/``killed``), a ``task.retry`` instant when the retry
+policy grants another attempt, a ``task.requeued`` instant each time a
+failed task re-enters the pending queue (after any backoff delay), plus
+``task.timeout`` / ``task.fault_injected`` instants from the resilience
+layer and ``node.busy``/``node.idle`` instants from the nodes it
+occupies, all nested inside the scheduler's ``alloc`` span and the
+runner's ``campaign`` span.
 """
 
 from __future__ import annotations
 
 from repro.cluster.cluster import SimulatedCluster
+from repro.resilience.policy import RetryPolicy, as_policy
 from repro.savanna._alloc import PilotRun
 from repro.savanna.executor import AllocationOutcome, CampaignResult
 from repro.savanna.runner import run_campaign
 
 
 class PilotExecutor:
-    """Dynamic within-allocation scheduling with failure requeue.
+    """Dynamic within-allocation scheduling with policy-driven retry.
 
     Parameters
     ----------
     cluster:
         The simulated machine to execute on.
     retry_failed:
-        Requeue failed tasks at the tail of the pending queue (up to
-        ``max_retries`` attempts per task per allocation).
+        Requeue failed tasks at the tail of the pending queue (subject to
+        the retry policy's budgets).
     max_retries:
-        Per-allocation retry budget for a failing task.
+        Legacy per-allocation retry budget for a failing task; kept as a
+        shim and converted to an immediate-retry
+        :class:`~repro.resilience.RetryPolicy`.  Must be >= 0.
+    retry_policy:
+        Full :class:`~repro.resilience.RetryPolicy` (backoff delays,
+        per-task timeouts, per-allocation budgets).  Overrides
+        ``max_retries`` when given.
     """
 
-    def __init__(self, cluster: SimulatedCluster, retry_failed: bool = True, max_retries: int = 2):
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        retry_failed: bool = True,
+        max_retries: int = 2,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self.cluster = cluster
         self.retry_failed = retry_failed
-        self.max_retries = max_retries
+        # as_policy validates: a negative max_retries used to silently
+        # disable every retry — now it raises.
+        self.retry_policy = retry_policy if retry_policy is not None else as_policy(max_retries)
+        if not isinstance(self.retry_policy, RetryPolicy):
+            raise ValueError(
+                f"retry_policy must be a RetryPolicy, got {type(retry_policy).__name__}"
+            )
+
+    @property
+    def max_retries(self) -> int:
+        """Per-task retry budget (read from the policy; legacy surface)."""
+        return self.retry_policy.max_retries
 
     def make_run(self, alloc, tasks, outcome: AllocationOutcome, done_cb) -> PilotRun:
         """Build the within-allocation engine for one granted allocation.
 
-        The returned :class:`PilotRun` emits the ``task`` spans and
-        ``task.requeued`` instants for every attempt it dispatches.
+        The returned :class:`PilotRun` emits the ``task`` spans and the
+        retry/timeout/fault instants for every attempt it dispatches.
         """
         return PilotRun(
             self.cluster,
@@ -52,7 +79,7 @@ class PilotExecutor:
             outcome,
             done_cb=done_cb,
             retry_failed=self.retry_failed,
-            max_retries=self.max_retries,
+            policy=self.retry_policy,
         )
 
     def run(
@@ -64,12 +91,17 @@ class PilotExecutor:
         inter_allocation_gap: float = 0.0,
         end_early: bool = True,
         name: str = "pilot",
+        checkpoint=None,
+        resume: bool = False,
     ) -> CampaignResult:
         """Execute ``tasks`` over up to ``max_allocations`` batch jobs.
 
         Emits (via :func:`~repro.savanna.runner.run_campaign` and the
         layers below) one ``campaign`` span, an ``alloc.submitted`` +
         ``alloc`` span per allocation, and a ``task`` span per attempt.
+        ``checkpoint``/``resume`` journal progress into a campaign
+        directory and skip runs already recorded DONE — see
+        :func:`~repro.savanna.runner.run_campaign`.
         """
         return run_campaign(
             self,
@@ -81,4 +113,6 @@ class PilotExecutor:
             inter_allocation_gap=inter_allocation_gap,
             end_early=end_early,
             name=name,
+            checkpoint=checkpoint,
+            resume=resume,
         )

@@ -7,22 +7,25 @@ workflow."
 
 Observability: identical event surface to the pilot
 (``campaign``/``alloc``/``task`` spans, ``node.*`` instants) minus
-``task.requeued`` — the original workflow never retries within an
+``task.requeued`` — the original workflow never requeues within an
 allocation, so barrier idling is directly visible as the gap between a
-set's last ``task`` end and the next set's first ``task`` begin.
+set's last ``task`` end and the next set's first ``task`` begin.  With a
+:class:`~repro.resilience.RetryPolicy` attached, in-place relaunches
+additionally emit ``task.retry`` instants.
 """
 
 from __future__ import annotations
 
 from repro._util import check_nonnegative
 from repro.cluster.cluster import SimulatedCluster
+from repro.resilience.policy import RetryPolicy
 from repro.savanna._alloc import StaticSetRun
 from repro.savanna.executor import AllocationOutcome, CampaignResult
 from repro.savanna.runner import run_campaign
 
 
 class StaticSetExecutor:
-    """Fixed sets behind a barrier; no failure retry within an allocation.
+    """Fixed sets behind a barrier; no failure retry unless a policy grants it.
 
     Parameters
     ----------
@@ -31,16 +34,37 @@ class StaticSetExecutor:
     set_gap:
         Seconds of bookkeeping between the end of one set and the launch
         of the next (the hand-driven script's submit/check cycle).
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy`; when given,
+        failed tasks are relaunched in place (the barrier waits for the
+        retry).  Default preserves the paper's baseline: failures are
+        only re-curated manually afterwards.
     """
 
-    def __init__(self, cluster: SimulatedCluster, set_gap: float = 0.0):
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        set_gap: float = 0.0,
+        retry_policy: RetryPolicy | None = None,
+    ):
         check_nonnegative("set_gap", set_gap)
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise ValueError(
+                f"retry_policy must be a RetryPolicy, got {type(retry_policy).__name__}"
+            )
         self.cluster = cluster
         self.set_gap = set_gap
+        self.retry_policy = retry_policy
 
     def make_run(self, alloc, tasks, outcome: AllocationOutcome, done_cb) -> StaticSetRun:
         return StaticSetRun(
-            self.cluster, alloc, tasks, outcome, done_cb=done_cb, set_gap=self.set_gap
+            self.cluster,
+            alloc,
+            tasks,
+            outcome,
+            done_cb=done_cb,
+            set_gap=self.set_gap,
+            policy=self.retry_policy,
         )
 
     def run(
@@ -52,6 +76,8 @@ class StaticSetExecutor:
         inter_allocation_gap: float = 0.0,
         end_early: bool = True,
         name: str = "static",
+        checkpoint=None,
+        resume: bool = False,
     ) -> CampaignResult:
         """Execute ``tasks`` over up to ``max_allocations`` batch jobs."""
         return run_campaign(
@@ -64,4 +90,6 @@ class StaticSetExecutor:
             inter_allocation_gap=inter_allocation_gap,
             end_early=end_early,
             name=name,
+            checkpoint=checkpoint,
+            resume=resume,
         )

@@ -1,6 +1,5 @@
 """Tests for checkpoint policies, middleware, runs, and restart accounting."""
 
-import numpy as np
 import pytest
 
 from repro.apps.simulation.checkpoint import (

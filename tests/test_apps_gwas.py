@@ -1,6 +1,5 @@
 """Tests for the GWAS app: data, formats, paste, and the Skel workflow."""
 
-import json
 
 import numpy as np
 import pytest

@@ -155,7 +155,7 @@ class TestMerge:
             Merge("m", inputs=())
 
     def test_punctuation_flows_through(self):
-        from repro.dataflow import Channel, DataflowGraph, Merge, Punctuation, Sink, Source
+        from repro.dataflow import DataflowGraph, Merge, Punctuation, Sink, Source
 
         g = DataflowGraph("m")
         merge = g.add(Merge("merge", inputs=("in0",)))

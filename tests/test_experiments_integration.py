@@ -4,9 +4,6 @@ These use scaled-down parameters so the whole file stays fast; the full
 paper-scale runs live in ``benchmarks/``.
 """
 
-import numpy as np
-import pytest
-
 from repro.apps.simulation.run import RunConfig
 from repro.experiments import (
     fig1_gauge_matrix,

@@ -11,7 +11,6 @@ from repro.gauges.levels import (
     GranularityTier,
     ProvenanceTier,
     SchemaTier,
-    SemanticsTier,
     TIER_TYPES,
     max_tier,
     tier_matrix,

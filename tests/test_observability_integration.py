@@ -190,7 +190,7 @@ class TestProvenanceFromTrace:
 class TestManifestExecutionStream:
     def test_group_and_composition_events(self):
         from repro.cheetah import AppSpec, Campaign, RangeParameter, Sweep
-        from repro.savanna import execute_manifest, tasks_from_manifest
+        from repro.savanna import execute_manifest
 
         cluster = make_cluster(nodes=4)
         recorder = TraceRecorder().attach(cluster.bus)

@@ -1,6 +1,5 @@
 """Cross-cutting property tests: invariants that span modules."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.cheetah",
     "repro.savanna",
     "repro.cluster",
+    "repro.resilience",
     "repro.dataflow",
     "repro.experiments",
     "repro.apps.gwas",

@@ -2,12 +2,9 @@
 
 import json
 
-import pytest
-
 from repro.cheetah import AppSpec, Campaign, CampaignCatalog, Sweep, SweepParameter
 from repro.cheetah.directory import CampaignDirectory, RunStatus
 from repro.metadata.provenance import (
-    CampaignContext,
     ExportClass,
     ExportPolicy,
     ProvenanceRecord,

@@ -1,12 +1,10 @@
 """Tests for Skel generation models and the generator."""
 
 import json
-from pathlib import Path
 
 import pytest
 
 from repro.skel.generator import (
-    GENERATED_HEADER_PREFIX,
     Generator,
     TemplateLibrary,
     is_stale,

@@ -1,6 +1,5 @@
 """Tests for the regeneration planner and multi-instrument dataflow."""
 
-import pytest
 
 from repro.skel.generator import Generator, TemplateLibrary, plan_regeneration, regenerate
 from repro.skel.model import ModelField, ModelSchema, SkelModel

@@ -3,7 +3,7 @@ GTF2/PSL annotation formats."""
 
 import pytest
 
-from repro.cluster.filesystem import FilesystemLoadModel, ParallelFilesystem
+from repro.cluster.filesystem import ParallelFilesystem
 from repro.cluster.staging import StagingArea, StagingSpec
 
 
