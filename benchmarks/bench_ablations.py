@@ -175,7 +175,7 @@ def test_a6_node_heterogeneity(benchmark, save_result):
         rows = []
         durations = feature_run_durations(96, median_seconds=120.0, sigma=0.5, seed=13)
         for speed_sigma in (0.0, 0.25, 0.5):
-            def make_cluster():
+            def make_cluster(speed_sigma=speed_sigma):
                 return SimulatedCluster(
                     ClusterSpec(
                         nodes=16, queue_sigma=0.0, queue_median_wait=0.0,

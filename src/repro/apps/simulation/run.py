@@ -188,7 +188,7 @@ def variation_study(
     config = config or RunConfig()
     master = as_generator(seed)
     reports = []
-    for i in range(n_runs):
+    for _ in range(n_runs):
         cfg = config
         if vary_intensity:
             cfg = replace(

@@ -25,7 +25,7 @@ from repro.cheetah.parameters import (
 )
 from repro.cheetah.campaign import AppSpec, Sweep, SweepGroup, Campaign
 from repro.cheetah.manifest import CampaignManifest, RunSpec, manifest_to_json, manifest_from_json
-from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.cheetah.directory import CampaignDirectory, RunStatus, resolve_campaign_dir
 from repro.cheetah.objectives import Objective, Direction, standard_objectives
 from repro.cheetah.catalog import CampaignCatalog, RunRecord
 
@@ -46,6 +46,7 @@ __all__ = [
     "manifest_from_json",
     "CampaignDirectory",
     "RunStatus",
+    "resolve_campaign_dir",
     "Objective",
     "Direction",
     "standard_objectives",

@@ -50,6 +50,8 @@ class Sweep:
         filter: Callable[[dict], bool] | None = None,
         name: str = "sweep",
     ):
+        if not name or not str(name).strip():
+            raise ParameterError("sweep name must be non-empty")
         self.name = name
         self.parameters = tuple(parameters)
         self.derived = tuple(derived)
@@ -66,9 +68,24 @@ class Sweep:
                 raise ParameterError(
                     f"sweep {name!r}: expected DerivedParameter, got {type(d).__name__}"
                 )
+        # Validate names here, at composition time, not during manifest
+        # expansion or template rendering: a sweep that cannot express its
+        # own parameters is broken regardless of how it is later executed.
+        # Cross-sweep collisions (duplicate points, inconsistent parameter
+        # sets across a SweepGroup) are the campaign-level backstop of
+        # ``repro.lint`` (FAIR002/FAIR005).
         names = [p.name for p in self.parameters] + [d.name for d in self.derived]
-        if len(names) != len(set(names)):
-            raise ParameterError(f"duplicate parameter names in sweep {name!r}: {names}")
+        non_identifiers = sorted(n for n in names if not str(n).isidentifier())
+        if non_identifiers:
+            raise ParameterError(
+                f"sweep {name!r}: parameter names must be valid identifiers "
+                f"(template-addressable), got {non_identifiers}"
+            )
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ParameterError(
+                f"duplicate parameter names in sweep {name!r}: {duplicates}"
+            )
 
     def configurations(self):
         """Yield configuration dicts in deterministic cartesian order."""
@@ -126,13 +143,23 @@ class Campaign:
     ['features/run-0000', 'features/run-0001']
     """
 
-    def __init__(self, name: str, app: AppSpec, objective: str = "explore parameters"):
+    def __init__(
+        self,
+        name: str,
+        app: AppSpec,
+        objective: str = "explore parameters",
+        metadata: dict | None = None,
+    ):
         if not name:
             raise ValueError("campaign name must be non-empty")
         self.name = name
         self.app = app
         self.objective = objective
         self.groups: list[SweepGroup] = []
+        #: Free-form campaign metadata; travels through the manifest JSON.
+        #: ``metadata["lint"]["suppress"]`` lists ``repro.lint`` rule ids
+        #: this campaign opts out of (see ``docs/lint.md``).
+        self.metadata: dict = dict(metadata or {})
 
     def sweep_group(self, name: str, nodes: int, walltime: float) -> SweepGroup:
         """Create, register, and return a new SweepGroup."""
@@ -208,4 +235,5 @@ class Campaign:
             objective=self.objective,
             groups=tuple(groups_meta),
             runs=tuple(runs),
+            metadata=dict(self.metadata),
         )

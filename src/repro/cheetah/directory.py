@@ -147,3 +147,55 @@ class CampaignDirectory:
 
     def run_dir(self, run_id: str) -> Path:
         return self.root / run_id
+
+
+def resolve_campaign_dir(
+    root, manifest: CampaignManifest | None = None, create: bool = False
+) -> CampaignDirectory:
+    """Resolve ``root`` to a :class:`CampaignDirectory` — the single
+    resolution rule shared by ``savanna.drive``, the experiment harness,
+    and the ``repro.lint`` CLI (so resume and pre-run lint always look at
+    the same end point).
+
+    ``root`` may be either
+
+    - a campaign end point itself (a directory holding
+      ``.cheetah/manifest.json``), or
+    - a parent directory, with ``manifest`` naming the child end point
+      (``root/<manifest.campaign>``), which is opened if present and
+      created when ``create=True``.
+
+    Raises ``FileNotFoundError`` when nothing resolves, and ``ValueError``
+    when an existing end point belongs to a different campaign than the
+    ``manifest`` passed in.
+    """
+    root = Path(root)
+
+    def _open_checked(path: Path) -> CampaignDirectory:
+        directory = CampaignDirectory.open(path)
+        if manifest is not None and directory.manifest.campaign != manifest.campaign:
+            raise ValueError(
+                f"campaign directory {path} holds campaign "
+                f"{directory.manifest.campaign!r}, expected {manifest.campaign!r}"
+            )
+        return directory
+
+    if (root / CampaignDirectory.METADATA_DIR / "manifest.json").is_file():
+        return _open_checked(root)
+    if manifest is None:
+        raise FileNotFoundError(
+            f"{root} is not a campaign directory (no "
+            f"{CampaignDirectory.METADATA_DIR}/manifest.json) and no manifest "
+            "was given to locate one beneath it"
+        )
+    child = root / manifest.campaign
+    if (child / CampaignDirectory.METADATA_DIR / "manifest.json").is_file():
+        return _open_checked(child)
+    if not create:
+        raise FileNotFoundError(
+            f"no campaign directory at {root} or {child} "
+            "(pass create=True to materialize one)"
+        )
+    directory = CampaignDirectory(root, manifest)
+    directory.create()
+    return directory

@@ -10,7 +10,7 @@ that can read this JSON can run the campaign.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro._util import check_positive
 
@@ -43,6 +43,9 @@ class CampaignManifest:
     objective: str = ""
     groups: tuple = ()  # tuple[dict, ...] with name/nodes/walltime/runs
     schema_version: str = MANIFEST_SCHEMA_VERSION
+    #: Free-form campaign metadata (e.g. ``{"lint": {"suppress": [...]}}``);
+    #: round-trips through the JSON interop format.
+    metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         ids = [r.run_id for r in self.runs]
@@ -70,6 +73,7 @@ def manifest_to_json(manifest: CampaignManifest) -> str:
         "app": manifest.app,
         "executable": manifest.executable,
         "objective": manifest.objective,
+        "metadata": manifest.metadata,
         "groups": list(manifest.groups),
         "runs": [
             {
@@ -109,4 +113,5 @@ def manifest_from_json(text: str) -> CampaignManifest:
         objective=doc.get("objective", ""),
         groups=tuple(dict(g) for g in doc.get("groups", ())),
         runs=runs,
+        metadata=dict(doc.get("metadata", {})),
     )

@@ -259,7 +259,7 @@ class ControlSource(Component):
             self.close_outputs()
             return True
         after_seen, mark = self._script[self._next]
-        if self._watch is not None and getattr(self._watch, "items_seen") < after_seen:
+        if self._watch is not None and self._watch.items_seen < after_seen:
             return False
         self._emit(self._output, mark)
         self._next += 1

@@ -74,6 +74,17 @@ class DataflowGraph:
         return self._components[name]
 
     @property
+    def components(self) -> tuple:
+        """All components, in insertion (execution) order."""
+        return tuple(self._components.values())
+
+    @property
+    def edges(self) -> tuple:
+        """Connection tuples ``(src, src_port, dst, dst_port)`` — the
+        static topology ``repro.lint`` analyzes without running the graph."""
+        return tuple(self._edges)
+
+    @property
     def channels(self) -> tuple:
         return tuple(self._channels)
 

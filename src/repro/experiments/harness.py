@@ -368,7 +368,7 @@ def fig6_timeline(
         results[label] = (result, outcome, trace)
 
     rows = []
-    for label, (result, outcome, trace) in results.items():
+    for label, (_result, outcome, trace) in results.items():
         rows.append(
             (
                 label,
@@ -536,7 +536,7 @@ def resilience_campaign(
     from pathlib import Path
 
     from repro.apps.irf.loop import duration_model
-    from repro.cheetah import AppSpec, Campaign, CampaignDirectory, RangeParameter, Sweep
+    from repro.cheetah import AppSpec, Campaign, RangeParameter, Sweep, resolve_campaign_dir
     from repro.observability import GROUP_RESUMED
     from repro.resilience import ExponentialBackoffPolicy, FaultInjector, parse_fault_specs
     from repro.savanna import execute_manifest
@@ -551,12 +551,8 @@ def resilience_campaign(
     group.add(Sweep([RangeParameter("feature", 0, n_tasks)]))
     manifest = campaign.to_manifest()
 
-    campaign_root = directory_root / campaign.name
-    if campaign_root.exists():
-        directory = CampaignDirectory.open(campaign_root)
-    else:
-        directory = CampaignDirectory(directory_root, manifest)
-        directory.create()
+    # Same resolution rule as the drive layer and the lint CLI.
+    directory = resolve_campaign_dir(directory_root, manifest, create=True)
 
     injector = FaultInjector(parse_fault_specs(faults), seed=fault_seed)
     cluster = _fault_cluster(nodes, seed, injector)

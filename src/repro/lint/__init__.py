@@ -1,0 +1,74 @@
+"""``repro.lint`` — static FAIR-debt analysis (nothing is executed).
+
+The paper's central claim is that gauge metadata is *machine-actionable*:
+every manual step a workflow still needs is serviced technical debt, and
+debt should surface **before** an allocation is burned.  This package is
+that claim as a tool: a rule-based static analyzer over
+
+- campaign structure (:class:`~repro.cheetah.campaign.Campaign` /
+  :class:`~repro.cheetah.manifest.CampaignManifest`) — empty or duplicate
+  sweep points, node oversubscription, undefined template parameters,
+  retry-budget contradictions;
+- dataflow graphs — cycles, unbound ports, disconnected components;
+- gauge debt — declared tiers contradicted by attached metadata,
+  residual manual minutes under reuse scenarios;
+- Skel models and generated code (via :mod:`ast`) — unbound template
+  variables, unrendered placeholders, shadowed parameters, bare except.
+
+Findings carry stable rule ids (``FAIR001``…) and severity tiers
+(ERROR/WARN/INFO); ``python -m repro.lint`` reports them as text or
+SARIF-lite JSON, and :func:`~repro.savanna.drive.execute_manifest` runs
+the manifest rules before execution (opt out with ``lint=False``).
+Campaigns suppress individual rules via
+``metadata={"lint": {"suppress": ["FAIR005"]}}``.
+
+See ``docs/lint.md`` for the full rule catalog.
+"""
+
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.rules import REGISTRY, FunctionRule, Rule, RuleRegistry, rule
+from repro.lint.context import LintContext, ModelArtifact, SourceArtifact
+from repro.lint.engine import (
+    CampaignLintError,
+    lint,
+    lint_campaign,
+    lint_component,
+    lint_generated,
+    lint_graph,
+    lint_manifest,
+    lint_model,
+    lint_path,
+    lint_paths,
+    lint_source,
+    suppressions_of,
+)
+from repro.lint.reporters import render, render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Severity",
+    "Rule",
+    "FunctionRule",
+    "RuleRegistry",
+    "REGISTRY",
+    "rule",
+    "LintContext",
+    "SourceArtifact",
+    "ModelArtifact",
+    "CampaignLintError",
+    "lint",
+    "lint_campaign",
+    "lint_component",
+    "lint_generated",
+    "lint_graph",
+    "lint_manifest",
+    "lint_model",
+    "lint_path",
+    "lint_paths",
+    "lint_source",
+    "suppressions_of",
+    "render",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,94 @@
+"""Command-line entry point: ``python -m repro.lint``.
+
+Usage::
+
+    python -m repro.lint CAMPAIGN_DIR            # a campaign end point
+    python -m repro.lint examples/               # a tree of files
+    python -m repro.lint manifest.json --format json
+    python -m repro.lint runs/ --fail-on warn    # stricter CI gate
+    python -m repro.lint --list-rules            # the rule catalog
+
+Exit status: 0 when no finding reaches the ``--fail-on`` threshold,
+1 when at least one does, 2 on usage errors.  Nothing is executed or
+imported from the analyzed paths — pure static analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.lint.engine import lint_paths
+from repro.lint.findings import Severity
+from repro.lint.reporters import render
+from repro.lint.rules import REGISTRY
+
+
+def _rule_catalog_text() -> str:
+    rows = REGISTRY.catalog()
+    header = f"{'ID':<9}{'SEVERITY':<9}{'TARGET':<11}TITLE"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['id']:<9}{row['severity']:<9}{row['target']:<11}{row['title']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static FAIR-debt analyzer for campaigns, Skel models, "
+        "and generated code (nothing is executed).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="campaign directories, manifest JSON files, source files, or "
+        "directory trees to scan",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warn"),
+        default="error",
+        help="lowest severity that causes a non-zero exit (default: error)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format: human text or SARIF-lite JSON (default: text)",
+    )
+    parser.add_argument(
+        "--suppress",
+        default="",
+        metavar="ID,ID",
+        help="comma-separated rule ids to suppress (additive with each "
+        "campaign's own metadata suppressions)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_catalog_text())
+        return 0
+    if not args.paths:
+        parser.error("no paths given (or use --list-rules)")
+
+    suppress = frozenset(s.strip() for s in args.suppress.split(",") if s.strip())
+    try:
+        report = lint_paths(args.paths, suppress=suppress)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    print(render(report, args.format))
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    return 1 if report.exceeds(threshold) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Analysis contexts: everything a rule may consult besides its subject.
+
+The context is how cross-layer knowledge reaches a rule without the rule
+importing half the package: the cluster model (for oversubscription
+checks), the retry policy (for budget contradictions), the declared gauge
+profile (for debt checks), the Skel model (for staleness and shadowing).
+All fields are optional; rules skip checks whose inputs are absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LintContext:
+    """Shared context threaded through every rule invocation."""
+
+    #: Name used as the ``subject`` of findings built from plain messages.
+    subject_name: str = ""
+    #: :class:`~repro.cluster.cluster.ClusterSpec` the campaign targets.
+    cluster_spec: object | None = None
+    #: :class:`~repro.resilience.RetryPolicy` the execution will use.
+    retry_policy: object | None = None
+    #: :class:`~repro.gauges.model.GaugeProfile` the author *claims*.
+    declared_profile: object | None = None
+    #: Iterable of :class:`~repro.gauges.debt.ReuseScenario` to score.
+    scenarios: tuple = ()
+    #: :class:`~repro.skel.model.SkelModel` generated artifacts came from.
+    model: object | None = None
+    #: Rule ids suppressed for this subject (campaign metadata + CLI).
+    suppress: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class SourceArtifact:
+    """A piece of source text under analysis.
+
+    ``parameters`` lists model parameter names bound into the artifact at
+    generation time (enables the shadowing check); ``generated`` marks
+    skel output (enables the placeholder and staleness checks).
+    """
+
+    path: str
+    text: str
+    generated: bool = False
+    parameters: frozenset = frozenset()
+
+    @property
+    def is_python(self) -> bool:
+        return self.path.endswith(".py")
+
+
+@dataclass(frozen=True)
+class ModelArtifact:
+    """A Skel model bound to the template library it will render.
+
+    ``extra_names`` are context names injected outside the model (e.g.
+    the per-item key of ``generate_per_item``) and therefore not debt.
+    """
+
+    model: object
+    library: object
+    template_names: tuple | None = None
+    extra_names: frozenset = frozenset()
+
+
+__all__ = ["LintContext", "SourceArtifact", "ModelArtifact"]

@@ -1,0 +1,155 @@
+"""Findings: the machine-readable output unit of ``repro.lint``.
+
+A :class:`Finding` is one detected piece of FAIR debt — a campaign,
+component, or generated file whose metadata promises something its
+substance does not deliver.  Findings carry a stable rule id and a
+severity tier so downstream tooling (CI gates, the ``savanna.drive``
+pre-run hook, SARIF consumers) can act on them without parsing prose.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class Severity(enum.IntEnum):
+    """Finding severity tiers; higher value = more severe."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``'error'`` / ``'warn'`` / ``'warning'`` / ``'info'``."""
+        normalized = str(text).strip().upper()
+        if normalized == "WARN":
+            normalized = "WARNING"
+        try:
+            return cls[normalized]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One piece of detected FAIR debt.
+
+    Parameters
+    ----------
+    rule_id:
+        Stable identifier (``FAIR001``…); never reused across rules.
+    severity:
+        :class:`Severity` tier of this occurrence (rules may downgrade
+        their default severity for borderline cases).
+    message:
+        Human-readable statement of what is wrong and why it matters.
+    subject:
+        The analyzed artifact: a campaign/component/graph name or a file
+        path.
+    location:
+        Finer position inside the subject (``"group 'features'"``,
+        ``"line 12"``); empty when the subject is the location.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    location: str = ""
+
+    def format(self) -> str:
+        where = self.subject
+        if self.location:
+            where = f"{where}: {self.location}" if where else self.location
+        prefix = f"{self.rule_id} [{self.severity.label}]"
+        return f"{prefix} {where}: {self.message}" if where else f"{prefix} {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (-int(self.severity), self.rule_id, self.subject, self.location, self.message)
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """An ordered collection of findings plus the suppressed remainder.
+
+    Reports are immutable; :meth:`merged` combines reports from multiple
+    analyzers or paths.  Findings are kept in deterministic order
+    (severity-descending, then rule id / subject / location) so text and
+    JSON output are stable across runs — a lint report is itself an
+    artifact other machinery diffs.
+    """
+
+    findings: tuple = ()
+    suppressed: tuple = ()
+
+    @classmethod
+    def of(cls, findings, suppress=()) -> "LintReport":
+        """Build a report, routing suppressed rule ids aside."""
+        kept, shelved = [], []
+        for finding in findings:
+            (shelved if finding.rule_id in suppress else kept).append(finding)
+        kept.sort(key=Finding.sort_key)
+        shelved.sort(key=Finding.sort_key)
+        return cls(findings=tuple(kept), suppressed=tuple(shelved))
+
+    def merged(self, other: "LintReport") -> "LintReport":
+        return LintReport(
+            findings=tuple(
+                sorted(self.findings + other.findings, key=Finding.sort_key)
+            ),
+            suppressed=tuple(
+                sorted(self.suppressed + other.suppressed, key=Finding.sort_key)
+            ),
+        )
+
+    def at_severity(self, severity: Severity) -> tuple:
+        return tuple(f for f in self.findings if f.severity is severity)
+
+    @property
+    def errors(self) -> tuple:
+        return self.at_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple:
+        return self.at_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple:
+        return self.at_severity(Severity.INFO)
+
+    def rule_ids(self) -> tuple:
+        return tuple(sorted({f.rule_id for f in self.findings}))
+
+    def counts(self) -> dict:
+        """``{severity label: count}`` over the kept findings."""
+        out = {s.label: 0 for s in Severity}
+        for finding in self.findings:
+            out[finding.severity.label] += 1
+        return out
+
+    def exceeds(self, threshold: Severity) -> bool:
+        """True if any kept finding is at or above ``threshold``."""
+        return any(f.severity >= threshold for f in self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __bool__(self) -> bool:
+        return bool(self.findings)
+
+
+def relocate(finding: Finding, subject: str) -> Finding:
+    """A copy of ``finding`` re-anchored to ``subject`` (path prefixing)."""
+    return replace(finding, subject=subject)
+
+
+__all__ = ["Severity", "Finding", "LintReport", "relocate"]

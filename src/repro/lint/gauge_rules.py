@@ -1,0 +1,89 @@
+"""FAIR2xx — gauge-debt rules.
+
+The paper's claim is that gauge tiers are *machine-actionable*: a
+declared tier must be backed by attached metadata, or it is a promise
+the tooling cannot keep.  These rules compare a component's declared
+:class:`~repro.gauges.model.GaugeProfile` against the profile
+:func:`~repro.gauges.model.assess` derives mechanically, and report the
+residual human cost through :mod:`repro.gauges.debt`.
+"""
+
+from __future__ import annotations
+
+from repro.gauges.levels import Gauge
+from repro.gauges.model import assess
+from repro.gauges.debt import score
+from repro.lint.findings import Severity
+from repro.lint.rules import rule
+
+#: What evidence would actually raise each gauge — used to make FAIR201
+#: findings actionable instead of merely accusatory.
+_EVIDENCE_HINTS = {
+    Gauge.DATA_ACCESS: "attach a DataAccessDescriptor to every port",
+    Gauge.DATA_SCHEMA: "attach a DataSchema to every port",
+    Gauge.DATA_SEMANTICS: "attach a DataSemanticsDescriptor to every port",
+    Gauge.SOFTWARE_GRANULARITY: "declare the component kind and a config template",
+    Gauge.SOFTWARE_CUSTOMIZABILITY: "expose variables / attach a generation model",
+    Gauge.SOFTWARE_PROVENANCE: "wire a recorder (execution logs, campaign "
+    "context, export policy)",
+}
+
+
+@rule(
+    "FAIR201",
+    Severity.ERROR,
+    target="component",
+    title="declared gauge tier unsupported by metadata",
+    rationale="A declared tier above what the attached metadata "
+    "mechanically supports is FAIR debt in its purest form: reuse "
+    "tooling trusting the declaration will fail at reuse time.",
+)
+def declared_tier_unsupported(component, ctx):
+    declared = ctx.declared_profile
+    if declared is None:
+        return
+    assessed = assess(component).profile
+    for gauge in Gauge:
+        claimed = declared.tier(gauge)
+        supported = assessed.tier(gauge)
+        if int(claimed) > int(supported):
+            yield (
+                f"{gauge.value} declared {claimed.name} but metadata supports "
+                f"only {supported.name}; {_EVIDENCE_HINTS[gauge]}",
+                f"component {component.name!r}",
+            )
+
+
+@rule(
+    "FAIR202",
+    Severity.WARNING,
+    target="component",
+    title="gauge tier capped by a cross-gauge dependency",
+    rationale="Assessment capped a tier because a prerequisite gauge is "
+    "too low (e.g. QUERY access without a declared schema).  The "
+    "metadata exists but cannot be exploited until the dependency is met.",
+)
+def gauge_capped(component, ctx):
+    assessment = assess(component)
+    for note in assessment.notes:
+        yield (note.message, f"component {component.name!r}: {note.gauge.value}")
+
+
+@rule(
+    "FAIR203",
+    Severity.INFO,
+    target="component",
+    title="residual reuse debt under a scenario",
+    rationale="The manual minutes a reuse scenario still costs — the "
+    "quantified 'red fields' the next gauge investment should target.",
+)
+def residual_reuse_debt(component, ctx):
+    for scenario in ctx.scenarios:
+        report = score(component, scenario)
+        if report.manual_minutes > 0:
+            steps = ", ".join(s.name for s in report.remaining_steps)
+            yield (
+                f"scenario {scenario.name!r} still costs "
+                f"{report.manual_minutes:g} manual minutes ({steps})",
+                f"component {component.name!r}",
+            )

@@ -1,0 +1,79 @@
+"""FAIR1xx — dataflow-graph rules.
+
+:meth:`~repro.dataflow.graph.DataflowGraph.validate` already raises on a
+broken graph at *run* time; these rules surface the same classes of
+defect as findings at *lint* time, so a campaign whose workflow graph
+cannot run is rejected before submission rather than mid-allocation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.lint.findings import Severity
+from repro.lint.rules import rule
+
+
+@rule(
+    "FAIR101",
+    Severity.ERROR,
+    target="graph",
+    title="dataflow graph has a cycle",
+    rationale="A cyclic graph (without allow_cycles) deadlocks the "
+    "round-based run loop; every buffered item upstream of the cycle is "
+    "lost work.",
+)
+def dataflow_cycle(graph, ctx):
+    if graph.allow_cycles:
+        return
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(c.name for c in graph.components)
+    digraph.add_edges_from((s, d) for s, _sp, d, _dp in graph.edges)
+    if not nx.is_directed_acyclic_graph(digraph):
+        cycle = nx.find_cycle(digraph)
+        path = " -> ".join([edge[0] for edge in cycle] + [cycle[0][0]])
+        yield (f"cycle: {path}", f"graph {graph.name!r}")
+
+
+@rule(
+    "FAIR102",
+    Severity.ERROR,
+    target="graph",
+    title="component has unbound ports",
+    rationale="An unbound input starves its component forever; an "
+    "unbound output drops data silently.  Either way the graph stalls "
+    "or lies after the allocation is granted.",
+)
+def unbound_ports(graph, ctx):
+    for component in graph.components:
+        if component.fully_bound():
+            continue
+        missing_in = sorted(set(component.input_names) - set(component.in_channels))
+        missing_out = sorted(set(component.output_names) - set(component.out_channels))
+        yield (
+            f"unbound inputs {missing_in}, outputs {missing_out}",
+            f"component {component.name!r}",
+        )
+
+
+@rule(
+    "FAIR103",
+    Severity.WARNING,
+    target="graph",
+    title="disconnected component",
+    rationale="A component with ports but no edges to the rest of the "
+    "graph is either dead code or a forgotten connection; both are debt.",
+)
+def disconnected_component(graph, ctx):
+    if len(graph.components) < 2:
+        return
+    touched = set()
+    for src, _sp, dst, _dp in graph.edges:
+        touched.add(src)
+        touched.add(dst)
+    for component in graph.components:
+        if component.name not in touched:
+            yield (
+                "participates in no connection",
+                f"component {component.name!r}",
+            )

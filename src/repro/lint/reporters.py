@@ -1,0 +1,81 @@
+"""Reporters: render a :class:`LintReport` for humans and machines.
+
+``render_text`` is the terminal face; ``render_json`` emits a SARIF-lite
+document — the result/rule split of SARIF 2.1 without the schema bulk —
+so CI systems and editors can consume findings without parsing prose.
+Both renderings are deterministic for a given report (stable ordering,
+sorted keys), which makes them golden-file testable and diffable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import LintReport, Severity
+from repro.lint.rules import REGISTRY
+
+#: SARIF level names per severity tier.
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+JSON_SCHEMA_VERSION = "repro.lint/1"
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable rendering: one line per finding plus a summary."""
+    lines = [finding.format() for finding in report.findings]
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.extend(
+            f"suppressed: {finding.format()}" for finding in report.suppressed
+        )
+    counts = report.counts()
+    summary = ", ".join(f"{counts[s.label]} {s.label}" for s in reversed(Severity))
+    if report.suppressed:
+        summary += f" ({len(report.suppressed)} suppressed)"
+    lines.append(("" if not lines else "\n") + f"lint: {summary}")
+    return "\n".join(lines).lstrip("\n")
+
+
+def _result(finding) -> dict:
+    entry = {
+        "ruleId": finding.rule_id,
+        "level": _SARIF_LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    location = {}
+    if finding.subject:
+        location["subject"] = finding.subject
+    if finding.location:
+        location["region"] = finding.location
+    if location:
+        entry["locations"] = [location]
+    return entry
+
+
+def render_json(report: LintReport, registry=REGISTRY) -> str:
+    """SARIF-lite JSON: a tool block with the rule catalog + results."""
+    used = {f.rule_id for f in report.findings} | {f.rule_id for f in report.suppressed}
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": {
+            "name": "repro.lint",
+            "rules": [row for row in registry.catalog() if row["id"] in used],
+        },
+        "results": [_result(f) for f in report.findings],
+        "suppressed": [_result(f) for f in report.suppressed],
+        "summary": report.counts(),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render(report: LintReport, fmt: str = "text", **kwargs) -> str:
+    """Dispatch on ``fmt`` (``"text"`` or ``"json"``)."""
+    if fmt == "text":
+        return render_text(report, **kwargs)
+    if fmt == "json":
+        return render_json(report, **kwargs)
+    raise ValueError(f"unknown format {fmt!r}; expected 'text' or 'json'")

@@ -1,0 +1,171 @@
+"""The ``Rule`` protocol and the rule registry.
+
+A rule is a pure static check over one analyzer *target* — a campaign
+manifest, a Skel model, a dataflow graph, a described component, or a
+piece of generated source.  Rules never execute anything: they read
+metadata and emit :class:`~repro.lint.findings.Finding` objects.
+
+Rule ids are stable and never reused.  The id bands group the catalog:
+
+=========  ==============================================================
+band       target
+=========  ==============================================================
+FAIR0xx    campaign structure (Campaign / SweepGroup / Sweep / manifest)
+FAIR1xx    dataflow graphs
+FAIR2xx    gauge debt (components vs. their declared tiers)
+FAIR3xx    generated / analyzed source code
+FAIR4xx    Skel models and template libraries
+FAIR9xx    meta (suppression hygiene)
+=========  ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.lint.findings import Finding, Severity
+
+#: Valid analyzer targets a rule may bind to.
+TARGETS = ("campaign", "manifest", "graph", "component", "source", "model")
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """What the engine requires of a rule.
+
+    Any object with these attributes and a ``check`` method participates;
+    :class:`FunctionRule` is the stock implementation the ``@rule``
+    decorator produces.
+    """
+
+    rule_id: str
+    severity: Severity
+    target: str
+    title: str
+    rationale: str
+
+    def check(self, subject, ctx) -> Iterable[Finding]: ...
+
+
+class FunctionRule:
+    """A rule backed by a generator function.
+
+    The wrapped function receives ``(subject, ctx)`` and yields findings
+    in any convenient shape: a plain message string, a ``(message,
+    location)`` pair, a ``(message, location, severity)`` triple for
+    occurrences that deviate from the rule's default severity, or a
+    ready-made :class:`Finding`.
+    """
+
+    def __init__(self, rule_id, severity, target, title, rationale, fn):
+        self.rule_id = rule_id
+        self.severity = severity
+        self.target = target
+        self.title = title
+        self.rationale = rationale
+        self._fn = fn
+
+    def check(self, subject, ctx) -> Iterable[Finding]:
+        subject_name = getattr(ctx, "subject_name", "") or ""
+        for item in self._fn(subject, ctx):
+            if isinstance(item, Finding):
+                yield item
+                continue
+            location, severity = "", self.severity
+            if isinstance(item, tuple):
+                message = item[0]
+                if len(item) > 1:
+                    location = item[1]
+                if len(item) > 2:
+                    severity = item[2]
+            else:
+                message = item
+            yield Finding(
+                rule_id=self.rule_id,
+                severity=severity,
+                message=message,
+                subject=subject_name,
+                location=location,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"FunctionRule({self.rule_id}, {self.target}, {self.severity.label})"
+
+
+class RuleRegistry:
+    """Rule ids → rules, with per-target views and a documentation catalog."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.target not in TARGETS:
+            raise ValueError(
+                f"rule {rule.rule_id}: unknown target {rule.target!r}; "
+                f"expected one of {TARGETS}"
+            )
+        if rule.rule_id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+        self._rules[rule.rule_id] = rule
+        return rule
+
+    def rule(self, rule_id, severity, target, title, rationale=""):
+        """Decorator: register a generator function as a :class:`FunctionRule`."""
+
+        def decorate(fn):
+            self.register(
+                FunctionRule(
+                    rule_id=rule_id,
+                    severity=severity,
+                    target=target,
+                    title=title,
+                    rationale=rationale or (fn.__doc__ or "").strip(),
+                    fn=fn,
+                )
+            )
+            return fn
+
+        return decorate
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown rule id {rule_id!r}; known: {self.ids()}"
+            ) from None
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def ids(self) -> list[str]:
+        return sorted(self._rules)
+
+    def for_target(self, target: str) -> list[Rule]:
+        """Rules bound to ``target``, in rule-id order."""
+        if target not in TARGETS:
+            raise ValueError(f"unknown target {target!r}; expected one of {TARGETS}")
+        return [self._rules[i] for i in self.ids() if self._rules[i].target == target]
+
+    def catalog(self) -> list[dict]:
+        """One row per rule — feeds ``--list-rules`` and the SARIF tool block."""
+        return [
+            {
+                "id": rule.rule_id,
+                "severity": rule.severity.label,
+                "target": rule.target,
+                "title": rule.title,
+                "rationale": rule.rationale,
+            }
+            for rule in (self._rules[i] for i in self.ids())
+        ]
+
+
+#: The default registry every shipped analyzer registers into.
+REGISTRY = RuleRegistry()
+
+#: Module-level decorator bound to the default registry.
+rule = REGISTRY.rule

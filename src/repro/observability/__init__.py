@@ -29,6 +29,7 @@ from repro.observability.events import (
     BEGIN,
     CAMPAIGN,
     CAMPAIGN_COMPOSED,
+    CAMPAIGN_LINTED,
     END,
     GROUP,
     GROUP_RESUMED,
@@ -65,6 +66,7 @@ __all__ = [
     "INSTANT",
     "CAMPAIGN",
     "CAMPAIGN_COMPOSED",
+    "CAMPAIGN_LINTED",
     "GROUP",
     "GROUP_RESUMED",
     "ALLOC",

@@ -72,6 +72,7 @@ GROUP_RESUMED = "group.resumed"  # a resumed SweepGroup skipped completed runs
 NODE_BUSY = "node.busy"  # a node started executing work
 NODE_IDLE = "node.idle"  # a node finished executing work
 CAMPAIGN_COMPOSED = "campaign.composed"  # a Cheetah campaign was materialized
+CAMPAIGN_LINTED = "campaign.linted"  # pre-run static analysis ran over a manifest
 
 
 @dataclass(frozen=True)

@@ -23,11 +23,12 @@ one ``group.resumed`` instant with the skip count.
 
 from __future__ import annotations
 
-from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.cheetah.directory import CampaignDirectory, RunStatus, resolve_campaign_dir
 from repro.cheetah.manifest import CampaignManifest
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import TaskState
-from repro.observability import BEGIN, END, GROUP, GROUP_RESUMED
+from repro.lint.engine import CampaignLintError, lint_manifest
+from repro.observability import BEGIN, END, GROUP, GROUP_RESUMED, CAMPAIGN_LINTED
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.savanna.backends import create_executor
 from repro.savanna.executor import CampaignResult, tasks_from_manifest
@@ -41,6 +42,33 @@ _STATE_TO_STATUS = {
 }
 
 
+def _pre_run_lint(manifest, cluster, backend_kwargs) -> None:
+    """The ``repro.lint`` gate: refuse campaigns with ERROR findings.
+
+    Runs the manifest rules with the cluster spec and the retry policy
+    the execution will actually use, emits one ``campaign.linted``
+    instant with the finding counts, and raises
+    :class:`~repro.lint.engine.CampaignLintError` on any ERROR —
+    misconfiguration surfaces at submit time, not mid-allocation.
+    """
+    report = lint_manifest(
+        manifest,
+        cluster=cluster,
+        retry_policy=backend_kwargs.get("retry_policy"),
+    )
+    counts = report.counts()
+    cluster.bus.emit(
+        CAMPAIGN_LINTED,
+        campaign=manifest.campaign,
+        errors=counts["error"],
+        warnings=counts["warning"],
+        infos=counts["info"],
+        suppressed=len(report.suppressed),
+    )
+    if report.errors:
+        raise CampaignLintError(report, campaign=manifest.campaign)
+
+
 def execute_campaign(
     manifest: CampaignManifest,
     duration_model,
@@ -50,6 +78,7 @@ def execute_campaign(
     max_allocations_per_group: int = 1,
     inter_allocation_gap: float = 0.0,
     resume: bool = True,
+    lint: bool = True,
     **backend_kwargs,
 ) -> dict:
     """Execute every SweepGroup of a campaign, in declaration order.
@@ -58,7 +87,13 @@ def execute_campaign(
     allocation is submitted when the previous group finishes), matching
     how a scientist walks through a multi-group study.  Returns
     ``{group name: CampaignResult}``.
+
+    The whole campaign is linted once up front (see
+    :func:`execute_manifest`'s ``lint`` parameter); per-group calls then
+    skip the redundant re-analysis.
     """
+    if lint:
+        _pre_run_lint(manifest, cluster, backend_kwargs)
     results: dict[str, CampaignResult] = {}
     for meta in manifest.groups:
         results[meta["name"]] = execute_manifest(
@@ -71,6 +106,7 @@ def execute_campaign(
             max_allocations=max_allocations_per_group,
             inter_allocation_gap=inter_allocation_gap,
             resume=resume,
+            lint=False,
             **backend_kwargs,
         )
     return results
@@ -86,6 +122,7 @@ def execute_manifest(
     max_allocations: int = 1,
     inter_allocation_gap: float = 0.0,
     resume: bool = True,
+    lint: bool = True,
     **backend_kwargs,
 ) -> CampaignResult:
     """Execute (part of) a campaign manifest on a simulated cluster.
@@ -106,12 +143,22 @@ def execute_manifest(
     directory:
         If given, per-run progress is journaled incrementally (the
         resume record survives a killed driver) and final statuses are
-        compacted back into ``status.json``.
+        compacted back into ``status.json``.  A path is accepted too and
+        resolved through
+        :func:`~repro.cheetah.directory.resolve_campaign_dir` (created
+        on first use) — the same resolution the ``repro.lint`` CLI uses,
+        so the linted end point and the resumed end point are one.
     resume:
         With a ``directory``: skip runs whose durable status (base
         record + journal) is already DONE, emitting ``group.resumed``.
         ``resume=False`` re-executes every run of the group.
+    lint:
+        Run the ``repro.lint`` manifest rules before executing anything
+        and refuse (``CampaignLintError``) on ERROR findings.  Pass
+        ``lint=False`` to execute a campaign the analyzer rejects.
     """
+    if lint:
+        _pre_run_lint(manifest, cluster, backend_kwargs)
     if group is None:
         if len(manifest.groups) != 1:
             raise ValueError(
@@ -124,6 +171,8 @@ def execute_manifest(
     selected = manifest.runs_in_group(group)
     checkpoint = None
     skipped = 0
+    if directory is not None and not isinstance(directory, CampaignDirectory):
+        directory = resolve_campaign_dir(directory, manifest, create=True)
     if directory is not None:
         checkpoint = CampaignCheckpoint(directory)
         if resume:

@@ -96,6 +96,28 @@ class TestSweep:
         with pytest.raises(ParameterError):
             Sweep(["not-a-parameter"])
 
+    def test_empty_sweep_name_rejected(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            Sweep([SweepParameter("a", [1])], name="")
+        with pytest.raises(ParameterError, match="non-empty"):
+            Sweep([SweepParameter("a", [1])], name="   ")
+
+    def test_non_identifier_parameter_names_rejected(self):
+        with pytest.raises(ParameterError, match="valid identifiers"):
+            Sweep([SweepParameter("num nodes", [1])])
+        with pytest.raises(ParameterError, match="valid identifiers"):
+            Sweep(
+                [SweepParameter("a", [1])],
+                derived=[DerivedParameter("a-b", lambda c: c["a"])],
+            )
+
+    def test_derived_name_colliding_with_swept_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            Sweep(
+                [SweepParameter("a", [1])],
+                derived=[DerivedParameter("a", lambda c: 2)],
+            )
+
 
 class TestSweepGroup:
     def test_len_sums_sweeps(self):

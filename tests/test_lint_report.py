@@ -1,0 +1,107 @@
+"""Findings/report semantics and golden-file reporter output.
+
+The renderings are part of the tool's contract (CI systems diff them),
+so the exact text and SARIF-lite JSON for a fixed report are pinned as
+golden files under ``tests/data/lint/``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, LintReport, Severity, render, render_json, render_text
+
+DATA = Path(__file__).resolve().parent / "data" / "lint"
+
+
+def fixed_report() -> LintReport:
+    findings = [
+        Finding("FAIR009", Severity.INFO,
+                "parameter 'x' has a single value (1); nothing is swept",
+                subject="campaign 'demo'", location="group 'g': sweep 'sweep'"),
+        Finding("FAIR001", Severity.ERROR,
+                "expands to zero runs (all sweep points pruned or no sweeps added)",
+                subject="campaign 'demo'", location="group 'empty'"),
+        Finding("FAIR303", Severity.WARNING, "bare `except:` clause",
+                subject="gen/post.py", location="line 7"),
+        Finding("FAIR005", Severity.WARNING,
+                "runs carry 2 different parameter-name sets: [('x',), ('y',)]",
+                subject="campaign 'demo'", location="group 'g'"),
+    ]
+    return LintReport.of(findings, suppress={"FAIR005"})
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    @pytest.mark.parametrize("text,expected", [
+        ("error", Severity.ERROR),
+        ("warn", Severity.WARNING),
+        ("warning", Severity.WARNING),
+        ("INFO", Severity.INFO),
+    ])
+    def test_parse(self, text, expected):
+        assert Severity.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestReportSemantics:
+    def test_deterministic_order_severity_then_rule_id(self):
+        report = fixed_report()
+        assert [f.rule_id for f in report.findings] == [
+            "FAIR001", "FAIR303", "FAIR009"]
+
+    def test_suppressed_routed_aside_not_discarded(self):
+        report = fixed_report()
+        assert [f.rule_id for f in report.suppressed] == ["FAIR005"]
+        assert "FAIR005" not in report.rule_ids()
+
+    def test_counts_and_threshold(self):
+        report = fixed_report()
+        assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+        assert report.exceeds(Severity.ERROR)
+        assert report.exceeds(Severity.INFO)
+        assert not LintReport().exceeds(Severity.INFO)
+
+    def test_merged_keeps_global_order(self):
+        a = LintReport.of([Finding("FAIR009", Severity.INFO, "m")])
+        b = LintReport.of([Finding("FAIR001", Severity.ERROR, "m")])
+        merged = a.merged(b)
+        assert [f.rule_id for f in merged.findings] == ["FAIR001", "FAIR009"]
+
+    def test_empty_report_is_falsy(self):
+        assert not LintReport()
+        assert fixed_report()
+
+
+class TestGoldenFiles:
+    def test_text_matches_golden(self):
+        expected = (DATA / "report.txt").read_text()
+        assert render_text(fixed_report(), verbose=True) + "\n" == expected
+
+    def test_json_matches_golden(self):
+        expected = (DATA / "report.json").read_text()
+        assert render_json(fixed_report()) + "\n" == expected
+
+    def test_json_is_stable_and_parseable(self):
+        first = render_json(fixed_report())
+        second = render_json(fixed_report())
+        assert first == second
+        doc = json.loads(first)
+        assert doc["version"] == "repro.lint/1"
+        assert {r["id"] for r in doc["tool"]["rules"]} == {
+            "FAIR001", "FAIR303", "FAIR009", "FAIR005"}
+
+    def test_render_dispatch(self):
+        report = fixed_report()
+        assert render(report, "text") == render_text(report)
+        assert render(report, "json") == render_json(report)
+        with pytest.raises(ValueError, match="unknown format"):
+            render(report, "yaml")

@@ -239,5 +239,5 @@ def test_task_conservation_property(durations, nodes, kind):
                 by_node.setdefault(node_idx, []).append((attempt.start, attempt.end))
         for intervals in by_node.values():
             intervals.sort()
-            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
                 assert e1 <= s2 + 1e-9

@@ -13,7 +13,7 @@ from repro.skel.library import (
     paste_model_schema,
     traditional_paste_script,
 )
-from repro.skel.model import SkelModel
+from repro.skel.model import ModelValidationError, SkelModel
 
 
 def paste_model(num_files=250, group_size=100):
@@ -110,7 +110,7 @@ class TestBuiltinTemplates:
 
 class TestPasteModelSchema:
     def test_strategy_choices(self):
-        with pytest.raises(Exception, match="choices"):
+        with pytest.raises(ModelValidationError, match="choices"):
             paste_model().updated(strategy="magic")
 
     def test_defaults(self):
