@@ -11,6 +11,15 @@ The timed rounds also run once under a
 bench run leaves ``results/fig6_utilization_timeline.trace.json`` — a
 Chrome ``trace_event`` capture of both executors, loadable at
 ``about:tracing`` (one row per node; see ``docs/observability.md``).
+
+With ``--report`` the capture is additionally analyzed
+(:mod:`repro.observability.analysis`) into
+``results/fig6_utilization_timeline.report.json`` — the candidate side of
+the CI regression gate, diffed against the committed quick-mode baseline
+``results/fig6_quick_baseline.report.json`` by
+``python -m repro.observability diff ... --fail-on-regression``.  The
+simulation is seeded, so identical parameters reproduce the baseline
+bit-for-bit.
 """
 
 import json
@@ -18,11 +27,13 @@ import json
 from repro.experiments import fig6_timeline, run_with_trace
 
 FIG6_KWARGS = {"n_tasks": 120, "nodes": 20, "walltime": 7200.0, "seed": 21}
+FIG6_QUICK_KWARGS = {"n_tasks": 40, "nodes": 8, "walltime": 7200.0, "seed": 21}
 
 
-def test_fig6_utilization_timeline(benchmark, save_result, results_dir):
+def test_fig6_utilization_timeline(benchmark, save_result, results_dir, quick, report_mode):
+    kwargs = FIG6_QUICK_KWARGS if quick else FIG6_KWARGS
     result = benchmark.pedantic(
-        fig6_timeline, kwargs=FIG6_KWARGS, rounds=2, iterations=1
+        fig6_timeline, kwargs=kwargs, rounds=1 if quick else 2, iterations=1
     )
     timelines = result.extra["timelines"]
     text = result.to_text() + "\n\n" + "\n\n".join(
@@ -31,7 +42,7 @@ def test_fig6_utilization_timeline(benchmark, save_result, results_dir):
     save_result("fig6_utilization_timeline", text)
 
     # One untimed traced run: persist the Chrome trace + metrics snapshot.
-    _, recorder = run_with_trace(fig6_timeline, **FIG6_KWARGS)
+    _, recorder = run_with_trace(fig6_timeline, **kwargs)
     recorder.validate()
     trace_path = recorder.write_chrome_trace(
         results_dir / "fig6_utilization_timeline.trace.json"
@@ -40,6 +51,16 @@ def test_fig6_utilization_timeline(benchmark, save_result, results_dir):
     metrics_path.write_text(json.dumps(recorder.metrics.snapshot(), indent=2) + "\n")
     print(f"[trace: {len(recorder.events)} events -> {trace_path}]")
     assert recorder.metrics.snapshot()["counters"]["tasks.launched"] > 0
+
+    if report_mode:
+        from repro.observability.analysis import analyze_events, write_reports
+
+        reports = analyze_events(recorder.events)
+        report_path = write_reports(
+            results_dir / "fig6_utilization_timeline.report.json", reports
+        )
+        print(f"[{len(reports)} report(s) -> {report_path}]")
+        assert reports, "traced fig6 run must yield campaign reports"
 
     idle = result.extra["idle"]
     assert idle["static"] > 2 * idle["dynamic"], (

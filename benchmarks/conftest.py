@@ -22,12 +22,27 @@ def pytest_addoption(parser):
         default=False,
         help="smoke mode: single benchmark round, scaled-down problem sizes",
     )
+    parser.addoption(
+        "--report",
+        action="store_true",
+        default=False,
+        dest="trace_report",
+        help="also analyze each traced bench run and write per-campaign "
+        "trace analytics reports under benchmarks/results/ "
+        "(diff them with `python -m repro.observability diff`)",
+    )
 
 
 @pytest.fixture(scope="session")
 def quick(request) -> bool:
     """True when the suite runs in ``--quick`` smoke mode (CI)."""
     return request.config.getoption("--quick")
+
+
+@pytest.fixture(scope="session")
+def report_mode(request) -> bool:
+    """True when ``--report`` asks benches to write trace analytics reports."""
+    return request.config.getoption("trace_report")
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,7 @@ Layout::
     <root>/<campaign>/
       .cheetah/manifest.json        # hidden campaign metadata
       .cheetah/status.json          # per-run status (the resume record)
+      .cheetah/report.json          # trace analytics (drive report=True)
       <group>/run-NNNN/params.json  # one directory per run
 
 Status is the machine-actionable face of "users may simply re-submit a
@@ -147,6 +148,42 @@ class CampaignDirectory:
 
     def run_dir(self, run_id: str) -> Path:
         return self.root / run_id
+
+    # -- performance reports -------------------------------------------------
+
+    def _report_path(self) -> Path:
+        return self.root / self.METADATA_DIR / "report.json"
+
+    def write_report(self, reports: list) -> Path:
+        """Merge campaign reports into ``.cheetah/report.json``.
+
+        ``reports`` is a list of report dicts (or objects with
+        ``to_dict()``, e.g. ``CampaignReport``) in the
+        ``repro.observability.report/v1`` file format.  Reports are keyed
+        by ``(campaign, group)`` — re-running a group replaces its entry,
+        so the file always reflects the latest execution of each group.
+        Returns the report path.
+        """
+        incoming = [r if isinstance(r, dict) else r.to_dict() for r in reports]
+        path = self._report_path()
+        existing: list = []
+        schema = "repro.observability.report/v1"
+        if path.exists():
+            data = json.loads(path.read_text())
+            existing = data.get("reports", [])
+            schema = data.get("schema", schema)
+        key = lambda r: (r.get("campaign"), r.get("group"))
+        replaced = {key(r) for r in incoming}
+        merged = [r for r in existing if key(r) not in replaced] + incoming
+        path.write_text(json.dumps({"schema": schema, "reports": merged}, indent=1) + "\n")
+        return path
+
+    def read_report(self) -> list:
+        """Report dicts from ``.cheetah/report.json`` (empty if never written)."""
+        path = self._report_path()
+        if not path.exists():
+            return []
+        return json.loads(path.read_text()).get("reports", [])
 
 
 def resolve_campaign_dir(

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --out results/  # also write one file each
     python -m repro.experiments --figure 6 --trace fig6.json
                                                 # + Chrome trace + metrics
+    python -m repro.experiments --figure 6 --report fig6.report.json
+                                                # + trace analytics report
     python -m repro.experiments --resilience --faults "mid-run-crash=0.2"
                                                 # retry-policy recovery table
     python -m repro.experiments --resilience --campaign-dir runs/
@@ -16,7 +18,12 @@ Usage::
 ``--trace`` attaches a :class:`~repro.observability.TraceRecorder` around
 every selected driver and writes one combined Chrome ``trace_event`` JSON
 (load it at ``about:tracing`` / https://ui.perfetto.dev); a metrics
-snapshot goes to ``<out>.metrics.json`` next to it.
+snapshot goes to ``<out>.metrics.json`` next to it.  ``--report``
+additionally runs the trace analytics
+(:mod:`repro.observability.analysis`) over the capture and writes the
+per-campaign reports — critical path, wait-time attribution, stragglers,
+utilization — in the standard report file format, ready for
+``python -m repro.observability diff``.
 """
 
 from __future__ import annotations
@@ -80,6 +87,14 @@ def main(argv=None) -> int:
         "(metrics snapshot lands beside it as OUT.metrics.json)",
     )
     parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="REPORTS.json",
+        help="analyze the captured event stream and write per-campaign "
+        "trace analytics reports (implies recording, even without --trace)",
+    )
+    parser.add_argument(
         "--resilience",
         action="store_true",
         help="run the resilience experiment instead of the numbered figures",
@@ -128,7 +143,7 @@ def main(argv=None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
 
     recorder = None
-    if args.trace is not None:
+    if args.trace is not None or args.report is not None:
         from repro.observability import TraceRecorder
 
         recorder = TraceRecorder()
@@ -181,17 +196,31 @@ def main(argv=None) -> int:
             recorder.validate()
         except ValueError as exc:  # a capture stopped mid-span; still usable
             print(f"[trace contract warning: {exc}]")
-        trace_path = recorder.write_chrome_trace(args.trace)
-        snapshot = recorder.metrics.snapshot()
-        metrics_path = trace_path.with_suffix(".metrics.json")
-        metrics_path.write_text(json.dumps(snapshot, indent=2) + "\n")
-        counters = snapshot["counters"]
-        print(
-            f"[trace: {len(recorder.events)} events -> {trace_path}; "
-            f"tasks launched={counters.get('tasks.launched', 0)} "
-            f"done={counters.get('tasks.done', 0)}; "
-            f"metrics -> {metrics_path}]"
-        )
+        if args.trace is not None:
+            trace_path = recorder.write_chrome_trace(args.trace)
+            snapshot = recorder.metrics.snapshot()
+            metrics_path = trace_path.with_suffix(".metrics.json")
+            metrics_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+            counters = snapshot["counters"]
+            print(
+                f"[trace: {len(recorder.events)} events -> {trace_path}; "
+                f"tasks launched={counters.get('tasks.launched', 0)} "
+                f"done={counters.get('tasks.done', 0)}; "
+                f"metrics -> {metrics_path}]"
+            )
+        if args.report is not None:
+            from repro.observability.analysis import analyze_events, write_reports
+
+            reports = analyze_events(recorder.events)
+            write_reports(args.report, reports)
+            for r in reports:
+                h = r.headline()
+                print(
+                    f"[report: {h['campaign']}: makespan {h['makespan']:.0f}s, "
+                    f"utilization {h['utilization']:.1%}, "
+                    f"{h['stragglers']} straggler(s)]"
+                )
+            print(f"[{len(reports)} report(s) -> {args.report}]")
     else:
         for label, driver in selected:
             run_driver(label, driver)

@@ -586,7 +586,7 @@ def resilience_campaign(
     ]
     return ExperimentResult(
         name="Resilience — checkpointed campaign",
-        description=f"Campaign directory {campaign_root}; faults: {faults} "
+        description=f"Campaign directory {directory.root}; faults: {faults} "
         f"(seed {fault_seed}); rerun with --resume to finish pending runs.",
         headers=(
             "invocation",

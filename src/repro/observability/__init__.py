@@ -17,12 +17,18 @@ Entry points:
   created inside the block (how ``python -m repro.experiments --trace``
   works);
 - ``python -m repro.experiments --figure 6 --trace fig6.json`` — capture
-  a figure reproduction from the command line.
+  a figure reproduction from the command line;
+- ``events_from_trace("fig6.json")`` — read a saved trace back into a
+  validated event stream, and :mod:`repro.observability.analysis` — turn
+  it into a :class:`~repro.observability.analysis.CampaignReport`
+  (critical path, wait-time attribution, stragglers, utilization);
+- ``python -m repro.observability report <trace.json>`` / ``... diff`` —
+  the same analytics from the command line, with a CI regression gate.
 
 The full events contract lives in ``docs/observability.md``.
 """
 
-from repro.observability.bus import EventBus, subscribe_all
+from repro.observability.bus import EventBus, SubscriberError, subscribe_all
 from repro.observability.events import (
     ALLOC,
     ALLOC_SUBMITTED,
@@ -30,6 +36,7 @@ from repro.observability.events import (
     CAMPAIGN,
     CAMPAIGN_COMPOSED,
     CAMPAIGN_LINTED,
+    CAMPAIGN_REPORT,
     END,
     GROUP,
     GROUP_RESUMED,
@@ -45,7 +52,13 @@ from repro.observability.events import (
     span_key,
     validate_event_stream,
 )
-from repro.observability.metrics import Counter, GaugeMetric, Histogram, MetricsRegistry
+from repro.observability.metrics import (
+    Counter,
+    GaugeMetric,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
 from repro.observability.provenance import (
     campaign_names,
     observed_provenance_tier,
@@ -53,11 +66,12 @@ from repro.observability.provenance import (
     provenance_store_from_trace,
     task_attempts,
 )
-from repro.observability.recorder import TraceRecorder
+from repro.observability.recorder import TraceRecorder, events_from_trace
 
 __all__ = [
     "Event",
     "EventBus",
+    "SubscriberError",
     "subscribe_all",
     "span_key",
     "validate_event_stream",
@@ -67,6 +81,7 @@ __all__ = [
     "CAMPAIGN",
     "CAMPAIGN_COMPOSED",
     "CAMPAIGN_LINTED",
+    "CAMPAIGN_REPORT",
     "GROUP",
     "GROUP_RESUMED",
     "ALLOC",
@@ -82,7 +97,9 @@ __all__ = [
     "GaugeMetric",
     "Histogram",
     "MetricsRegistry",
+    "percentile",
     "TraceRecorder",
+    "events_from_trace",
     "task_attempts",
     "campaign_names",
     "provenance_store_from_trace",

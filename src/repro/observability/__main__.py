@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro.observability``.
+
+Usage::
+
+    python -m repro.observability report fig6.trace.json
+    python -m repro.observability report fig6.trace.json --format json
+    python -m repro.observability report fig6.trace.json --out reports.json
+    python -m repro.observability diff baseline.json candidate.json
+    python -m repro.observability diff base.report.json new.trace.json \\
+        --fail-on-regression 10
+
+``report`` analyzes a saved Chrome ``trace_event`` capture (any file
+``--trace`` or the benchmarks wrote) and prints the critical path,
+wait-time attribution, straggler list, retry hotspots, and concurrency
+timeline per campaign found in it.  ``diff`` compares two report files
+— either side may also be a raw trace, analyzed on the fly — and, with
+``--fail-on-regression PCT``, exits 1 when any matched campaign's
+makespan grew more than PCT percent (or a baseline campaign vanished):
+the CI gate over ``benchmarks/results/``.
+
+Exit status: 0 ok, 1 regression past the threshold, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.observability.analysis import diff_reports, load_reports, write_reports
+
+
+def _cmd_report(args) -> int:
+    reports = load_reports(args.trace)
+    if not reports:
+        print(f"no campaign spans found in {args.trace}", file=sys.stderr)
+        return 2
+    if args.out is not None:
+        write_reports(args.out, reports)
+    if args.format == "json":
+        from repro.observability.analysis import reports_to_dict
+
+        print(json.dumps(reports_to_dict(reports), indent=1))
+    else:
+        print("\n\n".join(r.to_text() for r in reports))
+        if args.out is not None:
+            print(f"\n[{len(reports)} report(s) -> {args.out}]")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    diff = diff_reports(load_reports(args.baseline), load_reports(args.candidate))
+    if args.format == "json":
+        print(json.dumps(diff.to_dict(), indent=1))
+    else:
+        print(diff.to_text())
+    if args.fail_on_regression is not None:
+        problems = diff.regressions(args.fail_on_regression)
+        if problems:
+            for p in problems:
+                print(f"REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print(f"[gate ok: no makespan regression beyond {args.fail_on_regression:g}%]")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description="Trace analytics: critical-path / straggler / regression "
+        "reports over recorded event streams.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="analyze a Chrome trace (or report file) and print per-campaign analytics"
+    )
+    report.add_argument("trace", help="trace_event JSON (or an existing report file)")
+    report.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    report.add_argument(
+        "--out", default=None, metavar="REPORTS.json",
+        help="also write the reports in the standard file format",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    diff = sub.add_parser(
+        "diff", help="compare two reports/traces; optionally gate on makespan regression"
+    )
+    diff.add_argument("baseline", help="baseline report or trace JSON")
+    diff.add_argument("candidate", help="candidate report or trace JSON")
+    diff.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 when any matched campaign's makespan grew more than "
+        "PCT%% over baseline (or a baseline campaign is missing)",
+    )
+    diff.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (FileNotFoundError, ValueError) as exc:
+        parser.error(str(exc))
+        return 2  # unreachable; parser.error exits
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""Span-tree reconstruction: from a flat event stream back to structure.
+
+The execution layers emit a *flat*, ordered stream (see
+``repro.observability.events``); analysis needs the structure back — which
+task attempts ran inside which allocation, which allocation inside which
+campaign, how long every queue wait and backoff delay lasted.
+:class:`SpanTrace` rebuilds exactly that, from a live capture
+(``recorder.events``) or a loaded Chrome trace
+(:func:`~repro.observability.recorder.events_from_trace`) — the two are
+indistinguishable here.
+
+Reconstruction is tolerant by design: a capture cut mid-run (a crashed
+driver, a trace written from a partial recording) leaves spans open, and
+an open span is closed at the stream's last observed time with
+``outcome=None`` rather than dropped — the analyzer must be able to
+answer "why was this campaign slow" about the runs that went *wrong*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.events import (
+    ALLOC,
+    ALLOC_SUBMITTED,
+    BEGIN,
+    CAMPAIGN,
+    END,
+    GROUP,
+    GROUP_RESUMED,
+    TASK,
+    TASK_FAULT_INJECTED,
+    TASK_REQUEUED,
+    TASK_RETRY,
+    TASK_TIMEOUT,
+)
+
+
+@dataclass
+class TaskSpan:
+    """One task attempt: the reconstructed ``task`` begin/end pair."""
+
+    pid: int
+    task_id: int
+    name: str
+    node: int | None
+    nodes: tuple
+    attempt: int
+    start: float
+    end: float | None = None
+    outcome: str | None = None
+    payload: dict = field(default_factory=dict)
+    alloc: int | None = None  # enclosing alloc span's grant index
+    group: str | None = None  # enclosing group span's name
+    campaign: str | None = None  # enclosing campaign span's name
+    retries_granted: int = 0  # task.retry instants for this task_id so far
+    backoff: float = 0.0  # summed policy delays granted to this task_id
+    faults: int = 0  # task.fault_injected instants inside this attempt
+    timed_out: bool = False
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass
+class AllocSpan:
+    """One granted batch allocation, submission to reclaim."""
+
+    pid: int
+    index: int
+    job: str | None
+    nodes: tuple
+    start: float
+    end: float | None = None
+    deadline: float | None = None
+    reason: str | None = None
+    submitted: float | None = None  # alloc.submitted time, if observed
+    campaign: str | None = None
+
+    @property
+    def queue_wait(self) -> float:
+        if self.submitted is None:
+            return 0.0
+        return max(0.0, self.start - self.submitted)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass
+class CampaignSpan:
+    """One campaign-loop span (``run_campaign`` begin/end)."""
+
+    pid: int
+    name: str
+    start: float
+    end: float | None = None
+    tasks: int | None = None
+    completed: int | None = None
+    allocations: int | None = None
+    group: str | None = None  # enclosing drive-level group span, if any
+    resumed_skipped: int = 0  # runs skipped by resume, from group.resumed
+
+
+@dataclass
+class SpanTrace:
+    """Every reconstructed span plus the instants analysis cares about."""
+
+    campaigns: list = field(default_factory=list)  # list[CampaignSpan]
+    allocs: list = field(default_factory=list)  # list[AllocSpan]
+    tasks: list = field(default_factory=list)  # list[TaskSpan]
+    requeues: list = field(default_factory=list)  # raw task.requeued events
+    retries_by_task: dict = field(default_factory=dict)  # (pid, task_id) -> grants
+    backoff_by_task: dict = field(default_factory=dict)  # (pid, task_id) -> seconds
+    last_time: float = 0.0
+    n_events: int = 0
+
+    @classmethod
+    def from_events(cls, events) -> "SpanTrace":
+        """One ordered pass over the stream; see the module docstring."""
+        trace = cls()
+        # Per-pid open-span state.  The emission contract nests spans
+        # physically (task inside alloc inside campaign), so "the open
+        # alloc on this pid" is unambiguous at any point in the stream.
+        open_campaign: dict[int, CampaignSpan] = {}
+        open_group: dict[int, dict] = {}
+        open_alloc: dict[int, AllocSpan] = {}
+        open_tasks: dict[tuple, TaskSpan] = {}
+        pending_submits: dict[tuple, float] = {}  # (pid, job) -> submit time
+        retries = trace.retries_by_task
+        backoffs = trace.backoff_by_task
+
+        for event in events:
+            trace.n_events += 1
+            trace.last_time = max(trace.last_time, event.time)
+            pid, f = event.pid, event.fields
+            if event.name == CAMPAIGN:
+                if event.phase == BEGIN:
+                    span = CampaignSpan(
+                        pid=pid,
+                        name=f.get("campaign", "(campaign)"),
+                        start=event.time,
+                        tasks=f.get("tasks"),
+                        group=(open_group.get(pid) or {}).get("group"),
+                    )
+                    open_campaign[pid] = span
+                    trace.campaigns.append(span)
+                elif event.phase == END and pid in open_campaign:
+                    span = open_campaign.pop(pid)
+                    span.end = event.time
+                    span.completed = f.get("completed")
+                    span.allocations = f.get("allocations")
+            elif event.name == GROUP and event.phase == BEGIN:
+                open_group[pid] = dict(f)
+            elif event.name == GROUP and event.phase == END:
+                open_group.pop(pid, None)
+            elif event.name == GROUP_RESUMED:
+                campaign = open_campaign.get(pid)
+                if campaign is not None:
+                    campaign.resumed_skipped = f.get("skipped", 0)
+            elif event.name == ALLOC_SUBMITTED:
+                pending_submits[(pid, f.get("job"))] = event.time
+            elif event.name == ALLOC:
+                if event.phase == BEGIN:
+                    span = AllocSpan(
+                        pid=pid,
+                        index=f.get("alloc", len(trace.allocs)),
+                        job=f.get("job"),
+                        nodes=tuple(f.get("nodes", ())),
+                        start=event.time,
+                        deadline=f.get("deadline"),
+                        submitted=pending_submits.pop((pid, f.get("job")), None),
+                        campaign=getattr(open_campaign.get(pid), "name", None),
+                    )
+                    open_alloc[pid] = span
+                    trace.allocs.append(span)
+                elif event.phase == END and pid in open_alloc:
+                    span = open_alloc.pop(pid)
+                    span.end = event.time
+                    span.reason = f.get("reason")
+            elif event.name == TASK:
+                key = (pid, f.get("task_id"))
+                if event.phase == BEGIN:
+                    alloc = open_alloc.get(pid)
+                    span = TaskSpan(
+                        pid=pid,
+                        task_id=f.get("task_id"),
+                        name=f.get("task", "(task)"),
+                        node=f.get("node"),
+                        nodes=tuple(f.get("nodes") or ((f.get("node"),) if f.get("node") is not None else ())),
+                        attempt=f.get("attempt", 1),
+                        start=event.time,
+                        payload=dict(f.get("payload") or {}),
+                        alloc=alloc.index if alloc is not None else None,
+                        group=(open_group.get(pid) or {}).get("group"),
+                        campaign=getattr(open_campaign.get(pid), "name", None),
+                    )
+                    open_tasks[key] = span
+                    trace.tasks.append(span)
+                elif event.phase == END and key in open_tasks:
+                    span = open_tasks.pop(key)
+                    span.end = event.time
+                    span.outcome = f.get("outcome")
+                    span.retries_granted = retries.get(key, 0)
+                    span.backoff = backoffs.get(key, 0.0)
+            elif event.name == TASK_RETRY:
+                key = (pid, f.get("task_id"))
+                retries[key] = retries.get(key, 0) + 1
+                backoffs[key] = backoffs.get(key, 0.0) + float(f.get("delay") or 0.0)
+            elif event.name == TASK_TIMEOUT:
+                span = open_tasks.get((pid, f.get("task_id")))
+                if span is not None:
+                    span.timed_out = True
+            elif event.name == TASK_FAULT_INJECTED:
+                span = open_tasks.get((pid, f.get("task_id")))
+                if span is not None:
+                    span.faults += 1
+            elif event.name == TASK_REQUEUED:
+                trace.requeues.append(event)
+
+        # Close anything a truncated capture left open at the last
+        # observed instant, so durations stay finite and analyzable.
+        for span in (*open_tasks.values(), *open_alloc.values(), *open_campaign.values()):
+            if span.end is None:
+                span.end = trace.last_time
+        return trace
+
+    # -- selection -----------------------------------------------------------
+
+    def campaign_window(self, campaign: CampaignSpan) -> tuple[float, float]:
+        """The time interval a campaign span covers."""
+        end = campaign.end if campaign.end is not None else self.last_time
+        return campaign.start, end
+
+    def allocs_of(self, campaign: CampaignSpan) -> list:
+        return [a for a in self.allocs if a.pid == campaign.pid and a.campaign == campaign.name]
+
+    def tasks_of(self, campaign: CampaignSpan) -> list:
+        return [t for t in self.tasks if t.pid == campaign.pid and t.campaign == campaign.name]

@@ -20,10 +20,23 @@ truthiness check per event in unobserved runs.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from typing import Callable
 
 from repro.observability.events import BEGIN, END, INSTANT, Event
+
+
+class SubscriberError(UserWarning):
+    """Warning category for exceptions raised inside bus subscribers.
+
+    Delivery is isolated: a raising subscriber (a buggy analyzer, a
+    broken metrics sink) must not kill the simulation it observes, so
+    ``emit`` catches the exception, issues one warning per subscriber,
+    and keeps delivering to the rest.  Filter with
+    ``warnings.filterwarnings("error", category=SubscriberError)`` to
+    surface subscriber bugs hard in tests.
+    """
 
 #: Process-wide subscribers: every bus delivers to these after its own.
 _GLOBAL_SUBSCRIBERS: list[Callable[[Event], None]] = []
@@ -71,6 +84,7 @@ class EventBus:
         self.name = name or f"bus-{self.pid}"
         self._subscribers: list[Callable[[Event], None]] = []
         self._seq = 0
+        self._warned: set[int] = set()
 
     # -- subscription --------------------------------------------------------
 
@@ -78,8 +92,11 @@ class EventBus:
         """Deliver every event on this bus to ``callback``.
 
         Returns an unsubscribe callable (idempotent).  Subscribers run
-        synchronously in subscription order; an exception in one
-        propagates to the emitter — observability code must not raise.
+        synchronously in subscription order.  An exception in one is
+        *isolated*: it is reported as a :class:`SubscriberError` warning
+        (once per subscriber per bus) and delivery continues — an
+        observer bug must not alter, let alone kill, the run it
+        observes.
         """
         self._subscribers.append(callback)
 
@@ -120,10 +137,20 @@ class EventBus:
             fields=fields,
         )
         self._seq += 1
-        for callback in list(self._subscribers):
-            callback(event)
-        for callback in list(_GLOBAL_SUBSCRIBERS):
-            callback(event)
+        for callback in (*self._subscribers, *_GLOBAL_SUBSCRIBERS):
+            try:
+                callback(event)
+            except Exception as exc:
+                if id(callback) not in self._warned:
+                    self._warned.add(id(callback))
+                    warnings.warn(
+                        f"subscriber {callback!r} on {self.name} raised "
+                        f"{exc!r} at event {name!r}; it stays subscribed "
+                        "and delivery continues (further failures of this "
+                        "subscriber are silent)",
+                        SubscriberError,
+                        stacklevel=2,
+                    )
         return event
 
     @contextmanager

@@ -31,6 +31,7 @@ name                 phase    fields
 ``node.busy``        instant  node
 ``node.idle``        instant  node
 ``campaign.composed``  instant  campaign, groups, runs
+``campaign.report``  instant  campaign, group, makespan, utilization, ...
 ===================  =======  ===============================================
 
 Ordering guarantees
@@ -73,6 +74,7 @@ NODE_BUSY = "node.busy"  # a node started executing work
 NODE_IDLE = "node.idle"  # a node finished executing work
 CAMPAIGN_COMPOSED = "campaign.composed"  # a Cheetah campaign was materialized
 CAMPAIGN_LINTED = "campaign.linted"  # pre-run static analysis ran over a manifest
+CAMPAIGN_REPORT = "campaign.report"  # post-run trace analytics summary
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def percentile(values, q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    ``q`` is in [0, 100].  This is the one quantile implementation the
+    observability layer owns: :meth:`Histogram.quantile` and the trace
+    analyzer's straggler thresholds
+    (:mod:`repro.observability.analysis.report`) both call it, so a test
+    pinning its interpolation rule pins every consumer.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of an empty sequence")
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
 @dataclass
 class Counter:
     """Monotonically increasing count."""
@@ -49,33 +72,55 @@ class GaugeMetric:
 
 @dataclass
 class Histogram:
-    """Streaming summary of observed values (count/sum/min/max/mean)."""
+    """Streaming summary of observed values, with quantiles.
+
+    Besides the running count/sum/min/max, every observation is retained
+    (up to ``max_samples``; beyond that the quantiles describe the first
+    ``max_samples`` observations — deterministic, and far above anything
+    a simulated campaign produces), so ``summary()`` can report p50/p95/
+    p99 and the trace analyzer can reuse :meth:`quantile` for its
+    straggler thresholds.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    max_samples: int = 100_000
+    samples: list = field(default_factory=list, repr=False)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the retained observations."""
+        return percentile(self.samples, q)
+
     def summary(self) -> dict:
         if not self.count:
-            return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
+            return {
+                "count": 0, "sum": 0.0, "min": None, "max": None, "mean": None,
+                "p50": None, "p95": None, "p99": None,
+            }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(50.0),
+            "p95": self.quantile(95.0),
+            "p99": self.quantile(99.0),
         }
 
 

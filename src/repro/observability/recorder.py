@@ -159,6 +159,11 @@ class TraceRecorder:
                 "pid": event.pid,
                 "tid": tid,
                 "args": dict(event.fields),
+                # Not part of Chrome's format (viewers ignore unknown
+                # keys); carried so events_from_trace() round-trips the
+                # stream exactly, bus sequence numbers included.
+                "seq": event.seq,
+                "t": event.time,
             }
             if entry["ph"] == "i":
                 entry["s"] = "t"  # thread-scoped instant
@@ -176,3 +181,67 @@ class TraceRecorder:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.to_chrome_trace(), indent=1) + "\n")
         return path
+
+
+# -- import -------------------------------------------------------------------
+
+#: Inverse of _CHROME_PHASE, for reading traces back.
+_PHASE_FROM_CHROME = {ph: phase for phase, ph in _CHROME_PHASE.items()}
+
+
+def events_from_trace(source, validate: bool = True) -> list[Event]:
+    """Parse a saved Chrome ``trace_event`` JSON back into an event stream.
+
+    The inverse of :meth:`TraceRecorder.write_chrome_trace`: traces stop
+    being write-only artifacts and become inputs — the trace analyzer
+    (``python -m repro.observability report``) and any detached tooling
+    can consume a shipped ``.trace.json`` exactly as if it had subscribed
+    to the live bus.
+
+    ``source`` may be a path to the JSON file, an already-parsed list of
+    ``trace_event`` dicts, or a dict with a ``traceEvents`` key (the
+    object form some tools emit).  Our own traces carry the original bus
+    ``seq`` and float-exact ``t`` fields and round-trip losslessly;
+    foreign traces fall back to ``ts``/1e6 with per-pid sequence numbers
+    re-derived from file order.
+
+    With ``validate=True`` (default) the reconstructed stream is checked
+    against the ordering contract
+    (:func:`~repro.observability.events.validate_event_stream`) and a
+    broken file raises ``ValueError`` instead of yielding nonsense
+    analytics.
+    """
+    if isinstance(source, (str, Path)):
+        data = json.loads(Path(source).read_text())
+    else:
+        data = source
+    if isinstance(data, dict):
+        data = data.get("traceEvents")
+    if not isinstance(data, list):
+        raise ValueError(
+            "trace source must be a trace_event list or a dict with a "
+            f"'traceEvents' key, got {type(data).__name__}"
+        )
+    events: list[Event] = []
+    next_seq: dict[int, int] = {}
+    for i, entry in enumerate(data):
+        try:
+            phase = _PHASE_FROM_CHROME[entry["ph"]]
+            pid = int(entry.get("pid", 0))
+            time = entry["t"] if "t" in entry else entry["ts"] / 1e6
+            seq = entry["seq"] if "seq" in entry else next_seq.get(pid, 0)
+            event = Event(
+                name=entry["name"],
+                time=float(time),
+                phase=phase,
+                seq=int(seq),
+                pid=pid,
+                fields=dict(entry.get("args") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"trace entry {i} is not readable: {exc}") from exc
+        next_seq[pid] = event.seq + 1
+        events.append(event)
+    if validate:
+        validate_event_stream(events)
+    return events

@@ -19,6 +19,14 @@ span on the cluster's bus (fields: ``campaign``, ``group``, ``runs`` /
 ``completed``), wrapping the nested ``campaign``/``alloc``/``task``
 events the execution layers produce; a resumed group additionally emits
 one ``group.resumed`` instant with the skip count.
+
+With ``report=True`` the drive also *reads its own trace back*: a
+collector rides the bus for the duration of the group, the captured
+events are analyzed (see :mod:`repro.observability.analysis`), one
+``campaign.report`` instant with the headline numbers (makespan,
+utilization, critical path, stragglers) is emitted, and — when a
+``directory`` is in play — the full report is merged into the campaign
+end point's ``.cheetah/report.json``.
 """
 
 from __future__ import annotations
@@ -28,7 +36,14 @@ from repro.cheetah.manifest import CampaignManifest
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import TaskState
 from repro.lint.engine import CampaignLintError, lint_manifest
-from repro.observability import BEGIN, END, GROUP, GROUP_RESUMED, CAMPAIGN_LINTED
+from repro.observability import (
+    BEGIN,
+    CAMPAIGN_LINTED,
+    CAMPAIGN_REPORT,
+    END,
+    GROUP,
+    GROUP_RESUMED,
+)
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.savanna.backends import create_executor
 from repro.savanna.executor import CampaignResult, tasks_from_manifest
@@ -79,6 +94,7 @@ def execute_campaign(
     inter_allocation_gap: float = 0.0,
     resume: bool = True,
     lint: bool = True,
+    report: bool = False,
     **backend_kwargs,
 ) -> dict:
     """Execute every SweepGroup of a campaign, in declaration order.
@@ -90,7 +106,8 @@ def execute_campaign(
 
     The whole campaign is linted once up front (see
     :func:`execute_manifest`'s ``lint`` parameter); per-group calls then
-    skip the redundant re-analysis.
+    skip the redundant re-analysis.  ``report=True`` analyzes each
+    group's trace as it completes (see :func:`execute_manifest`).
     """
     if lint:
         _pre_run_lint(manifest, cluster, backend_kwargs)
@@ -107,6 +124,7 @@ def execute_campaign(
             inter_allocation_gap=inter_allocation_gap,
             resume=resume,
             lint=False,
+            report=report,
             **backend_kwargs,
         )
     return results
@@ -123,6 +141,7 @@ def execute_manifest(
     inter_allocation_gap: float = 0.0,
     resume: bool = True,
     lint: bool = True,
+    report: bool = False,
     **backend_kwargs,
 ) -> CampaignResult:
     """Execute (part of) a campaign manifest on a simulated cluster.
@@ -156,6 +175,13 @@ def execute_manifest(
         Run the ``repro.lint`` manifest rules before executing anything
         and refuse (``CampaignLintError``) on ERROR findings.  Pass
         ``lint=False`` to execute a campaign the analyzer rejects.
+    report:
+        Collect this group's events off the bus and analyze them after
+        the group drains: emits one ``campaign.report`` instant carrying
+        the headline numbers and, with a ``directory``, merges the full
+        :class:`~repro.observability.analysis.CampaignReport` into
+        ``.cheetah/report.json`` (read it back with
+        ``directory.read_report()``).
     """
     if lint:
         _pre_run_lint(manifest, cluster, backend_kwargs)
@@ -193,6 +219,8 @@ def execute_manifest(
     )
     tasks = tasks_from_manifest(sub, duration_model)
     executor = create_executor(backend, cluster=cluster, **backend_kwargs)
+    collected: list = []
+    unsubscribe = cluster.bus.subscribe(collected.append) if report else None
     cluster.bus.emit(
         GROUP,
         phase=BEGIN,
@@ -225,8 +253,28 @@ def execute_manifest(
         group=group,
         completed=len(result.completed),
     )
+    if unsubscribe is not None:
+        unsubscribe()
+        _report_group(cluster, directory, collected)
     if directory is not None:
         directory.update_status(
             {task.name: _STATE_TO_STATUS[task.state] for task in tasks}
         )
     return result
+
+
+def _report_group(cluster, directory, events) -> None:
+    """Analyze one group's captured events and publish the results.
+
+    Emits one ``campaign.report`` instant per campaign span found in the
+    capture (normally one — the executor wraps the group's allocations in
+    a single campaign span) and merges the full reports into the campaign
+    end point when there is one.
+    """
+    from repro.observability.analysis import analyze_events
+
+    reports = analyze_events(events)
+    for r in reports:
+        cluster.bus.emit(CAMPAIGN_REPORT, **r.headline())
+    if directory is not None and reports:
+        directory.write_report(reports)

@@ -1,5 +1,7 @@
 """Unit tests for the event bus, span tracing, metrics, and recorder."""
 
+import warnings
+
 import pytest
 
 from repro.observability import (
@@ -13,7 +15,10 @@ from repro.observability import (
     GaugeMetric,
     Histogram,
     MetricsRegistry,
+    SubscriberError,
     TraceRecorder,
+    events_from_trace,
+    percentile,
     span_key,
     subscribe_all,
     validate_event_stream,
@@ -95,6 +100,61 @@ class TestSubscription:
         bus.subscribe(lambda e: order.append("second"))
         bus.emit("a")
         assert order == ["first", "second"]
+
+
+class TestSubscriberIsolation:
+    """A raising subscriber must not kill the run it observes."""
+
+    def test_raising_subscriber_does_not_break_delivery(self):
+        bus = EventBus()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe(broken)
+        bus.subscribe(seen.append)
+        with pytest.warns(SubscriberError, match="observer bug"):
+            event = bus.emit("task", phase=BEGIN, task_id=0)
+        assert event is not None  # emit itself succeeded
+        assert [e.name for e in seen] == ["task"]  # later subscriber still ran
+
+    def test_raising_subscriber_stays_subscribed_and_warns_once(self):
+        bus = EventBus()
+        calls = []
+
+        def broken(event):
+            calls.append(event.name)
+            raise ValueError("still broken")
+
+        bus.subscribe(broken)
+        with pytest.warns(SubscriberError):
+            bus.emit("a")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would fail here
+            bus.emit("b")
+        assert calls == ["a", "b"]
+
+    def test_subscriber_error_escalates_under_error_filter(self):
+        # Tests can surface observer bugs hard by raising the category.
+        bus = EventBus()
+        bus.subscribe(lambda e: 1 / 0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SubscriberError)
+            with pytest.raises(SubscriberError):
+                bus.emit("a")
+
+    def test_raising_global_subscriber_is_isolated_too(self):
+        seen = []
+        unsubscribe = subscribe_all(lambda e: (_ for _ in ()).throw(RuntimeError("x")))
+        try:
+            bus = EventBus()
+            bus.subscribe(seen.append)
+            with pytest.warns(SubscriberError):
+                bus.emit("a")
+        finally:
+            unsubscribe()
+        assert [e.name for e in seen] == ["a"]
 
 
 class TestSpans:
@@ -204,6 +264,98 @@ class TestMetrics:
         assert snap["counters"]["x"] == 1
         assert snap["gauges"]["g"]["value"] == 2.0
         assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestQuantiles:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile([5.0], 50) == 5.0
+
+    def test_percentile_accepts_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_percentile_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_histogram_summary_has_quantiles(self):
+        h = Histogram("elapsed")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        s = h.summary()
+        assert s["p50"] == pytest.approx(50.5)
+        assert s["p95"] == pytest.approx(95.05)
+        assert s["p99"] == pytest.approx(99.01)
+        assert h.quantile(0) == 1.0 and h.quantile(100) == 100.0
+
+    def test_empty_histogram_quantiles_are_none(self):
+        s = Histogram("elapsed").summary()
+        assert s["p50"] is None and s["p95"] is None and s["p99"] is None
+
+    def test_snapshot_carries_quantiles(self):
+        m = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            m.histogram("h").observe(v)
+        snap = m.snapshot()["histograms"]["h"]
+        assert snap["p50"] == pytest.approx(2.0)
+
+
+class TestEventsFromTrace:
+    def _capture(self):
+        bus = EventBus()
+        rec = TraceRecorder().attach(bus)
+        bus.emit(TASK, phase=BEGIN, time=1.0, task_id=0, task="t0", node=2)
+        bus.emit("node.busy", time=1.0, node=2)
+        bus.emit(TASK, phase=END, time=4.5, task_id=0, task="t0", node=2, outcome="done")
+        bus.emit("node.idle", time=4.5, node=2)
+        return rec
+
+    def test_roundtrip_through_file_is_exact(self, tmp_path):
+        rec = self._capture()
+        path = rec.write_chrome_trace(tmp_path / "t.json")
+        loaded = events_from_trace(path)
+        assert [
+            (e.name, e.time, e.phase, e.seq, e.pid, e.fields) for e in loaded
+        ] == [
+            (e.name, e.time, e.phase, e.seq, e.pid, e.fields) for e in rec.events
+        ]
+
+    def test_roundtrip_validates_by_default(self):
+        rec = self._capture()
+        events = events_from_trace(rec.to_chrome_trace())
+        validate_event_stream(events)
+
+    def test_foreign_trace_without_roundtrip_keys(self):
+        # A trace some other tool wrote: Chrome fields only, no seq/t.
+        entries = [
+            {"name": "task", "ph": "B", "ts": 1.0e6, "pid": 9, "tid": 1, "args": {"task_id": 0}},
+            {"name": "task", "ph": "E", "ts": 2.0e6, "pid": 9, "tid": 1, "args": {"task_id": 0}},
+        ]
+        events = events_from_trace(entries)
+        assert [e.time for e in events] == [1.0, 2.0]
+        assert [e.seq for e in events] == [0, 1]  # derived per pid
+        assert events[0].pid == 9
+
+    def test_trace_events_object_form_accepted(self):
+        rec = self._capture()
+        events = events_from_trace({"traceEvents": rec.to_chrome_trace()})
+        assert len(events) == len(rec.events)
+
+    def test_malformed_entry_reports_index(self):
+        with pytest.raises(ValueError, match="entry 1"):
+            events_from_trace(
+                [
+                    {"name": "a", "ph": "i", "ts": 0.0, "pid": 0, "args": {}},
+                    {"ph": "??"},
+                ]
+            )
 
 
 class TestRecorder:
