@@ -11,6 +11,7 @@ Layout::
       .cheetah/status.json          # per-run status (the resume record)
       .cheetah/report.json          # trace analytics (drive report=True)
       <group>/run-NNNN/params.json  # one directory per run
+      <group>/run-NNNN/result.json  # real-run outcome (real backends)
 
 Status is the machine-actionable face of "users may simply re-submit a
 partially completed SweepGroup ... to continue execution" (§V-D).
@@ -23,6 +24,17 @@ import json
 from pathlib import Path
 
 from repro.cheetah.manifest import CampaignManifest, manifest_from_json, manifest_to_json
+
+
+def _jsonable(value):
+    """json.dumps ``default=`` hook: numpy-aware, never raises."""
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        try:
+            return tolist()
+        except Exception:  # noqa: BLE001 - fall through to repr
+            pass
+    return repr(value)
 
 
 class RunStatus(enum.Enum):
@@ -148,6 +160,34 @@ class CampaignDirectory:
 
     def run_dir(self, run_id: str) -> Path:
         return self.root / run_id
+
+    # -- real-run outcomes ---------------------------------------------------
+
+    def write_run_result(self, run_id: str, payload: dict) -> Path:
+        """Persist one really-executed run's outcome as ``<run>/result.json``.
+
+        ``payload`` is the run's outcome record (status, value, error +
+        traceback, elapsed, seed, attempts — whatever the real executor
+        reports).  Values that are not JSON-serializable are coerced:
+        anything with ``tolist()`` (numpy arrays/scalars) is listified,
+        everything else falls back to ``repr`` — the run directory must
+        always hold *some* durable record of what came back.
+        """
+        if run_id not in {run.run_id for run in self.manifest.runs}:
+            raise KeyError(f"unknown run_id {run_id!r}")
+        path = self.run_dir(run_id) / "result.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n"
+        )
+        return path
+
+    def read_run_result(self, run_id: str) -> dict | None:
+        """The persisted outcome of one run (``None`` if never written)."""
+        path = self.run_dir(run_id) / "result.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
 
     # -- performance reports -------------------------------------------------
 

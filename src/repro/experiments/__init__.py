@@ -17,6 +17,8 @@ from repro.experiments.harness import (
     fig5_policies,
     fig6_timeline,
     fig7_campaign,
+    cpu_bound_fit,
+    realexec_scaling,
     resilience_campaign,
     resilience_recovery,
     run_with_trace,
@@ -27,6 +29,8 @@ __all__ = [
     "run_with_trace",
     "resilience_recovery",
     "resilience_campaign",
+    "cpu_bound_fit",
+    "realexec_scaling",
     "fig1_gauge_matrix",
     "fig2_manual_vs_skel",
     "fig3_overhead_sweep",

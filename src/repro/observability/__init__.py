@@ -35,6 +35,7 @@ from repro.observability.events import (
     BEGIN,
     CAMPAIGN,
     CAMPAIGN_COMPOSED,
+    CAMPAIGN_INTERRUPTED,
     CAMPAIGN_LINTED,
     CAMPAIGN_REPORT,
     END,
@@ -80,6 +81,7 @@ __all__ = [
     "INSTANT",
     "CAMPAIGN",
     "CAMPAIGN_COMPOSED",
+    "CAMPAIGN_INTERRUPTED",
     "CAMPAIGN_LINTED",
     "CAMPAIGN_REPORT",
     "GROUP",

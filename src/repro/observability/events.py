@@ -32,7 +32,15 @@ name                 phase    fields
 ``node.idle``        instant  node
 ``campaign.composed``  instant  campaign, groups, runs
 ``campaign.report``  instant  campaign, group, makespan, utilization, ...
+``campaign.interrupted``  instant  campaign, completed, pending
 ===================  =======  ===============================================
+
+The real-execution engine (:mod:`repro.savanna.realexec`) emits the same
+``campaign``/``alloc``/``task`` taxonomy over wall-clock time — worker
+slots stand in for nodes — so trace analytics read simulated and real
+runs identically.  ``campaign.interrupted`` is its Ctrl-C marker: the
+driver caught ``KeyboardInterrupt``, cancelled the queued work, and
+returned partial results.
 
 Ordering guarantees
 -------------------
@@ -75,6 +83,7 @@ NODE_IDLE = "node.idle"  # a node finished executing work
 CAMPAIGN_COMPOSED = "campaign.composed"  # a Cheetah campaign was materialized
 CAMPAIGN_LINTED = "campaign.linted"  # pre-run static analysis ran over a manifest
 CAMPAIGN_REPORT = "campaign.report"  # post-run trace analytics summary
+CAMPAIGN_INTERRUPTED = "campaign.interrupted"  # a real driver caught Ctrl-C
 
 
 @dataclass(frozen=True)

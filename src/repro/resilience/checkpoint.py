@@ -30,11 +30,13 @@ from repro.observability import BEGIN, END, TASK
 
 #: Task-span ``outcome`` field -> durable run status.  A walltime-killed
 #: run is retryable, so it checkpoints as PENDING (same rule the drive
-#: layer applies to final task states).
+#: layer applies to final task states); an attempt cut short by Ctrl-C in
+#: a real driver (``"interrupted"``) is likewise retryable.
 _OUTCOME_TO_STATUS = {
     "done": RunStatus.DONE,
     "failed": RunStatus.FAILED,
     "killed": RunStatus.PENDING,
+    "interrupted": RunStatus.PENDING,
 }
 
 
@@ -70,14 +72,26 @@ class CampaignCheckpoint:
             fh.write(line + "\n")
 
     def journal_entries(self) -> list[dict]:
-        """Parsed journal lines, in append order (empty if no journal)."""
+        """Parsed journal lines, in append order (empty if no journal).
+
+        A driver killed hard (SIGKILL, OOM) can die *mid-write*, leaving
+        the final line truncated; that line is dropped rather than
+        poisoning resume — every complete line before it is still
+        trusted.  A malformed line anywhere *else* is a real corruption
+        and raises.
+        """
         if not self._journal_path.exists():
             return []
         entries = []
-        for line in self._journal_path.read_text().splitlines():
-            line = line.strip()
-            if line:
+        lines = [ln.strip() for ln in self._journal_path.read_text().splitlines()]
+        lines = [ln for ln in lines if ln]
+        for i, line in enumerate(lines):
+            try:
                 entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn final write from a killed driver
+                raise
         return entries
 
     # -- reading -------------------------------------------------------------
@@ -96,6 +110,18 @@ class CampaignCheckpoint:
             run_id
             for run_id, st in self.effective_status().items()
             if st is RunStatus.DONE
+        }
+
+    def pending(self) -> set:
+        """Run ids a resumed driver must re-queue: everything not DONE.
+
+        An in-flight attempt whose outcome was never journaled reads as
+        RUNNING and therefore counts as pending — same rule
+        :meth:`compact` applies."""
+        return {
+            run_id
+            for run_id, st in self.effective_status().items()
+            if st is not RunStatus.DONE
         }
 
     # -- compaction ----------------------------------------------------------

@@ -168,15 +168,20 @@ def no_retry(task_timeout: float | None = None) -> RetryPolicy:
 
 def as_policy(value) -> RetryPolicy:
     """Normalize a policy argument: a :class:`RetryPolicy` passes through,
-    a legacy ``max_retries`` integer becomes an immediate-retry policy.
+    a legacy ``max_retries`` integer becomes an immediate-retry policy,
+    and ``None`` means "no retries" (the :func:`no_retry` default the
+    real-execution engine assumes when no policy is given).
 
     Raises ``ValueError`` for negative integers — before the policy layer,
     a negative ``max_retries`` silently disabled every retry.
     """
+    if value is None:
+        return no_retry()
     if isinstance(value, RetryPolicy):
         return value
     if isinstance(value, int) and not isinstance(value, bool):
         return RetryPolicy(max_retries=value)
     raise ValueError(
-        f"expected a RetryPolicy or a non-negative int, got {type(value).__name__}"
+        f"expected a RetryPolicy, a non-negative int, or None, "
+        f"got {type(value).__name__}"
     )

@@ -11,9 +11,14 @@ on available resources".  Executor backends:
   workflow baseline of §II-B/§V-D: runs submitted in sets with explicit
   synchronization at the end of each set; stragglers idle nodes; failures
   are only re-curated manually afterwards.
-- :class:`~repro.savanna.local.LocalExecutor` — executes real Python
-  callables with a thread pool (the examples' backend), demonstrating that
-  the manifest boundary admits multiple executor implementations.
+- :class:`~repro.savanna.realexec.RealExecutor` — the real-execution
+  engine: genuine Python callables on a thread pool (``"local-threads"``,
+  for GIL-releasing workloads) or a process pool (``"local-processes"``,
+  for CPU-bound Python), with retry policies, per-attempt timeouts,
+  deterministic per-run seeding, checkpoint/resume, and the standard
+  event taxonomy over wall-clock time.
+  :class:`~repro.savanna.local.LocalExecutor` is its historical
+  thread-pool face (the examples' backend).
 
 Shared machinery lives in :mod:`repro.savanna.executor` (task/outcome
 types, manifest→task mapping) and :mod:`repro.savanna.runner`
@@ -24,18 +29,28 @@ the SweepGroup" behaviour).
 from repro.savanna.executor import (
     AllocationOutcome,
     CampaignResult,
+    RealExecutorProtocol,
     tasks_from_manifest,
     DurationModel,
 )
 from repro.savanna.static import StaticSetExecutor
 from repro.savanna.pilot import PilotExecutor
 from repro.savanna.local import LocalExecutor, LocalRunResult
+from repro.savanna.realexec import (
+    RealCampaignResult,
+    RealExecutor,
+    RealTaskSpec,
+    seed_for_run,
+    wall_clock_bus,
+)
 from repro.savanna.runner import run_campaign
 from repro.savanna.drive import execute_manifest, execute_campaign
 from repro.savanna.provenance import record_campaign_result, straggler_report
 from repro.savanna.backends import (
     register_backend,
+    unregister_backend,
     get_backend,
+    backend_kind,
     available_backends,
     backend_descriptions,
     create_executor,
@@ -50,9 +65,17 @@ __all__ = [
     "PilotExecutor",
     "LocalExecutor",
     "LocalRunResult",
+    "RealCampaignResult",
+    "RealExecutor",
+    "RealExecutorProtocol",
+    "RealTaskSpec",
+    "seed_for_run",
+    "wall_clock_bus",
     "run_campaign",
     "register_backend",
+    "unregister_backend",
     "get_backend",
+    "backend_kind",
     "available_backends",
     "backend_descriptions",
     "create_executor",

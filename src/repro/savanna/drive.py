@@ -3,33 +3,43 @@
 Ties the layers together the way §V-D describes the user experience: the
 scientist composes the campaign; execution, status tracking, and
 resubmission are the tool's problem.  ``execute_manifest`` runs a
-campaign manifest on a simulated cluster through a named backend and
-(optionally) records per-run outcomes into the campaign directory so a
-later invocation resumes exactly the pending set.
+campaign manifest through a named backend and (optionally) records
+per-run outcomes into the campaign directory so a later invocation
+resumes exactly the pending set.
 
-With a ``directory``, progress is journaled *incrementally* through a
-:class:`~repro.resilience.CampaignCheckpoint` (one JSONL line per task
-transition, compacted into ``status.json`` when the group drains) — a
-driver process killed mid-campaign loses at most the in-flight attempts,
-and ``resume=True`` (the default) re-queues exactly the runs not yet
-recorded DONE.
+Two execution worlds share this one entry point, routed on the backend's
+registered kind (:func:`~repro.savanna.backends.backend_kind`):
 
-Observability: each :func:`execute_manifest` call emits one ``group``
-span on the cluster's bus (fields: ``campaign``, ``group``, ``runs`` /
-``completed``), wrapping the nested ``campaign``/``alloc``/``task``
-events the execution layers produce; a resumed group additionally emits
-one ``group.resumed`` instant with the skip count.
+- **simulated** backends (``"pilot"``, ``"static-sets"``) take a
+  ``duration_model`` and a :class:`~repro.cluster.cluster.SimulatedCluster`
+  and replay the campaign on simulated time;
+- **real** backends (``"local-threads"``, ``"local-processes"``) take an
+  ``app_fn=`` keyword — a picklable ``callable(parameters) -> value`` —
+  and execute genuine Python on wall-clock time through
+  :class:`~repro.savanna.realexec.RealExecutor`.  ``duration_model`` and
+  ``cluster`` may then be ``None``; events ride a wall-clock
+  :class:`~repro.observability.EventBus` created per drive (or pass
+  ``bus=`` to share one across groups).
 
-With ``report=True`` the drive also *reads its own trace back*: a
-collector rides the bus for the duration of the group, the captured
-events are analyzed (see :mod:`repro.observability.analysis`), one
-``campaign.report`` instant with the headline numbers (makespan,
-utilization, critical path, stragglers) is emitted, and — when a
-``directory`` is in play — the full report is merged into the campaign
-end point's ``.cheetah/report.json``.
+Both worlds get the full stack: the pre-run ``repro.lint`` gate,
+incremental :class:`~repro.resilience.CampaignCheckpoint` journaling
+(one JSONL line per task transition, compacted into ``status.json`` when
+the group drains — a driver process killed mid-campaign loses at most
+the in-flight attempts), ``resume=True`` re-queuing exactly the runs not
+yet recorded DONE, ``group`` spans / ``group.resumed`` instants on the
+bus, and ``report=True`` trace analytics: a collector rides the bus for
+the duration of the group, the captured events are analyzed (see
+:mod:`repro.observability.analysis`), one ``campaign.report`` instant
+with the headline numbers (makespan, utilization, critical path,
+stragglers) is emitted, and — when a ``directory`` is in play — the full
+report is merged into the campaign end point's ``.cheetah/report.json``.
+Real runs additionally persist each run's outcome (value, error +
+traceback, seed, attempts) as ``<run>/result.json`` in the directory.
 """
 
 from __future__ import annotations
+
+from dataclasses import asdict
 
 from repro.cheetah.directory import CampaignDirectory, RunStatus, resolve_campaign_dir
 from repro.cheetah.manifest import CampaignManifest
@@ -45,8 +55,9 @@ from repro.observability import (
     GROUP_RESUMED,
 )
 from repro.resilience.checkpoint import CampaignCheckpoint
-from repro.savanna.backends import create_executor
+from repro.savanna.backends import backend_kind, create_executor
 from repro.savanna.executor import CampaignResult, tasks_from_manifest
+from repro.savanna.realexec import RealCampaignResult, wall_clock_bus
 
 _STATE_TO_STATUS = {
     TaskState.DONE: RunStatus.DONE,
@@ -56,13 +67,22 @@ _STATE_TO_STATUS = {
     TaskState.RUNNING: RunStatus.RUNNING,
 }
 
+#: Real-run result status -> durable run status ("interrupted" runs are
+#: retryable, so they record as PENDING — resume re-queues them).
+_REAL_TO_STATUS = {
+    "done": RunStatus.DONE,
+    "failed": RunStatus.FAILED,
+    "interrupted": RunStatus.PENDING,
+}
 
-def _pre_run_lint(manifest, cluster, backend_kwargs) -> None:
+
+def _pre_run_lint(manifest, bus, cluster, backend_kwargs) -> None:
     """The ``repro.lint`` gate: refuse campaigns with ERROR findings.
 
-    Runs the manifest rules with the cluster spec and the retry policy
-    the execution will actually use, emits one ``campaign.linted``
-    instant with the finding counts, and raises
+    Runs the manifest rules with the cluster spec (when there is a
+    cluster — real backends lint without one) and the retry policy the
+    execution will actually use, emits one ``campaign.linted`` instant
+    with the finding counts, and raises
     :class:`~repro.lint.engine.CampaignLintError` on any ERROR —
     misconfiguration surfaces at submit time, not mid-allocation.
     """
@@ -72,7 +92,7 @@ def _pre_run_lint(manifest, cluster, backend_kwargs) -> None:
         retry_policy=backend_kwargs.get("retry_policy"),
     )
     counts = report.counts()
-    cluster.bus.emit(
+    bus.emit(
         CAMPAIGN_LINTED,
         campaign=manifest.campaign,
         errors=counts["error"],
@@ -84,10 +104,21 @@ def _pre_run_lint(manifest, cluster, backend_kwargs) -> None:
         raise CampaignLintError(report, campaign=manifest.campaign)
 
 
+def _resolve_group(manifest: CampaignManifest, group: str | None) -> str:
+    if group is not None:
+        return group
+    if len(manifest.groups) != 1:
+        raise ValueError(
+            "manifest has multiple groups; pass group= to pick the "
+            f"resource envelope (groups: {[g['name'] for g in manifest.groups]})"
+        )
+    return manifest.groups[0]["name"]
+
+
 def execute_campaign(
     manifest: CampaignManifest,
-    duration_model,
-    cluster: SimulatedCluster,
+    duration_model=None,
+    cluster: SimulatedCluster | None = None,
     backend: str = "pilot",
     directory: CampaignDirectory | None = None,
     max_allocations_per_group: int = 1,
@@ -99,19 +130,30 @@ def execute_campaign(
 ) -> dict:
     """Execute every SweepGroup of a campaign, in declaration order.
 
-    Groups run sequentially on the same cluster timeline (each group's
-    allocation is submitted when the previous group finishes), matching
-    how a scientist walks through a multi-group study.  Returns
-    ``{group name: CampaignResult}``.
+    Groups run sequentially (each group's allocation is submitted when
+    the previous group finishes), matching how a scientist walks through
+    a multi-group study.  Returns ``{group name: CampaignResult}`` (or
+    ``RealCampaignResult`` for real backends).
 
     The whole campaign is linted once up front (see
     :func:`execute_manifest`'s ``lint`` parameter); per-group calls then
     skip the redundant re-analysis.  ``report=True`` analyzes each
     group's trace as it completes (see :func:`execute_manifest`).
     """
-    if lint:
-        _pre_run_lint(manifest, cluster, backend_kwargs)
-    results: dict[str, CampaignResult] = {}
+    if backend_kind(backend) == "real":
+        # One wall-clock bus for the whole campaign, so the groups share
+        # a time base and any subscriber sees the full story.
+        backend_kwargs.setdefault("bus", wall_clock_bus(f"drive-{manifest.campaign}"))
+        if lint:
+            _pre_run_lint(manifest, backend_kwargs["bus"], cluster, backend_kwargs)
+    else:
+        if cluster is None:
+            raise ValueError(
+                f"backend {backend!r} is simulated and requires a cluster"
+            )
+        if lint:
+            _pre_run_lint(manifest, cluster.bus, cluster, backend_kwargs)
+    results: dict = {}
     for meta in manifest.groups:
         results[meta["name"]] = execute_manifest(
             manifest,
@@ -132,8 +174,8 @@ def execute_campaign(
 
 def execute_manifest(
     manifest: CampaignManifest,
-    duration_model,
-    cluster: SimulatedCluster,
+    duration_model=None,
+    cluster: SimulatedCluster | None = None,
     group: str | None = None,
     backend: str = "pilot",
     directory: CampaignDirectory | None = None,
@@ -143,8 +185,8 @@ def execute_manifest(
     lint: bool = True,
     report: bool = False,
     **backend_kwargs,
-) -> CampaignResult:
-    """Execute (part of) a campaign manifest on a simulated cluster.
+) -> CampaignResult | RealCampaignResult:
+    """Execute (part of) a campaign manifest through a named backend.
 
     Parameters
     ----------
@@ -152,13 +194,19 @@ def execute_manifest(
         The abstract campaign.
     duration_model:
         ``fn(parameters) -> seconds`` mapping runs to nominal durations.
+        Required by simulated backends; ignored by real ones (real code
+        takes however long it takes).
     group:
         Restrict execution to one SweepGroup (default: the whole
         campaign; the manifest must then contain exactly one group so the
         nodes/walltime envelope is unambiguous).
     backend:
-        Executor backend name (see :mod:`repro.savanna.backends`);
-        must be a simulated backend taking a ``cluster`` argument.
+        Executor backend name (see :mod:`repro.savanna.backends`).
+        Simulated backends need ``cluster``; real backends need an
+        ``app_fn=`` keyword (picklable ``callable(parameters) -> value``
+        — module-level, not a lambda, for ``"local-processes"``) and
+        accept ``max_workers=``, ``retry_policy=``, ``seed=``,
+        ``chunk_size=`` and ``bus=``.
     directory:
         If given, per-run progress is journaled incrementally (the
         resume record survives a killed driver) and final statuses are
@@ -181,17 +229,30 @@ def execute_manifest(
         the headline numbers and, with a ``directory``, merges the full
         :class:`~repro.observability.analysis.CampaignReport` into
         ``.cheetah/report.json`` (read it back with
-        ``directory.read_report()``).
+        ``directory.read_report()``).  For real backends the spans are
+        genuine wall-clock measurements, so the critical path and the
+        straggler list describe the machine you actually ran on.
     """
+    if backend_kind(backend) == "real":
+        return _execute_manifest_real(
+            manifest,
+            cluster,
+            group=group,
+            backend=backend,
+            directory=directory,
+            resume=resume,
+            lint=lint,
+            report=report,
+            backend_kwargs=backend_kwargs,
+        )
+    if duration_model is None or cluster is None:
+        raise ValueError(
+            f"backend {backend!r} is simulated and requires both a "
+            "duration_model and a cluster"
+        )
     if lint:
-        _pre_run_lint(manifest, cluster, backend_kwargs)
-    if group is None:
-        if len(manifest.groups) != 1:
-            raise ValueError(
-                "manifest has multiple groups; pass group= to pick the "
-                f"resource envelope (groups: {[g['name'] for g in manifest.groups]})"
-            )
-        group = manifest.groups[0]["name"]
+        _pre_run_lint(manifest, cluster.bus, cluster, backend_kwargs)
+    group = _resolve_group(manifest, group)
     meta = manifest.group_meta(group)
 
     selected = manifest.runs_in_group(group)
@@ -255,7 +316,7 @@ def execute_manifest(
     )
     if unsubscribe is not None:
         unsubscribe()
-        _report_group(cluster, directory, collected)
+        _report_group(cluster.bus, directory, collected)
     if directory is not None:
         directory.update_status(
             {task.name: _STATE_TO_STATUS[task.state] for task in tasks}
@@ -263,7 +324,116 @@ def execute_manifest(
     return result
 
 
-def _report_group(cluster, directory, events) -> None:
+def _execute_manifest_real(
+    manifest: CampaignManifest,
+    cluster,
+    *,
+    group,
+    backend,
+    directory,
+    resume,
+    lint,
+    report,
+    backend_kwargs,
+) -> RealCampaignResult:
+    """The real-execution drive path: same stack, wall-clock substrate.
+
+    Mirrors the simulated path stage for stage — lint gate, resume set
+    computation, group span, checkpoint attach, report analysis, status
+    compaction — but hands the pending runs to a
+    :class:`~repro.savanna.realexec.RealExecutor` and persists each
+    run's real outcome into the campaign directory.
+    """
+    app_fn = backend_kwargs.pop("app_fn", None)
+    if app_fn is None:
+        raise ValueError(
+            f"backend {backend!r} executes real code: pass "
+            "app_fn=callable(parameters) -> value (module-level, so the "
+            "process pool can pickle it)"
+        )
+    bus = backend_kwargs.pop("bus", None)
+    if bus is None:
+        bus = cluster.bus if cluster is not None else wall_clock_bus(
+            f"drive-{manifest.campaign}"
+        )
+    if lint:
+        _pre_run_lint(manifest, bus, cluster, backend_kwargs)
+    group = _resolve_group(manifest, group)
+    meta = manifest.group_meta(group)
+
+    selected = manifest.runs_in_group(group)
+    checkpoint = None
+    skipped = 0
+    if directory is not None and not isinstance(directory, CampaignDirectory):
+        directory = resolve_campaign_dir(directory, manifest, create=True)
+    if directory is not None:
+        checkpoint = CampaignCheckpoint(directory)
+        if resume:
+            status = checkpoint.effective_status()
+            before = len(selected)
+            selected = tuple(
+                r for r in selected if status[r.run_id] is not RunStatus.DONE
+            )
+            skipped = before - len(selected)
+
+    sub = CampaignManifest(
+        campaign=manifest.campaign,
+        app=manifest.app,
+        runs=selected,
+        executable=manifest.executable,
+        objective=manifest.objective,
+        groups=(dict(meta),),
+    )
+    executor = create_executor(backend, **backend_kwargs)
+    collected: list = []
+    unsubscribe = bus.subscribe(collected.append) if report else None
+    bus.emit(
+        GROUP,
+        phase=BEGIN,
+        campaign=manifest.campaign,
+        group=group,
+        runs=len(selected),
+        backend=backend,
+    )
+    if skipped:
+        bus.emit(
+            GROUP_RESUMED,
+            campaign=manifest.campaign,
+            total=len(selected) + skipped,
+            skipped=skipped,
+            pending=len(selected),
+        )
+    if checkpoint is not None:
+        checkpoint.attach(bus)
+    try:
+        result = executor.execute(
+            sub, app_fn, bus=bus, name=f"{manifest.campaign}/{group}"
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.detach()
+            checkpoint.compact()
+    bus.emit(
+        GROUP,
+        phase=END,
+        campaign=manifest.campaign,
+        group=group,
+        completed=len(result.completed),
+    )
+    if unsubscribe is not None:
+        unsubscribe()
+        _report_group(bus, directory, collected)
+    if directory is not None:
+        directory.update_status(
+            {rid: _REAL_TO_STATUS[r.status] for rid, r in result.results.items()}
+        )
+        for rid, run_result in result.results.items():
+            if run_result.status != "interrupted":
+                directory.write_run_result(rid, asdict(run_result))
+    return result
+
+
+def _report_group(bus, directory, events) -> None:
     """Analyze one group's captured events and publish the results.
 
     Emits one ``campaign.report`` instant per campaign span found in the
@@ -275,6 +445,6 @@ def _report_group(cluster, directory, events) -> None:
 
     reports = analyze_events(events)
     for r in reports:
-        cluster.bus.emit(CAMPAIGN_REPORT, **r.headline())
+        bus.emit(CAMPAIGN_REPORT, **r.headline())
     if directory is not None and reports:
         directory.write_report(reports)

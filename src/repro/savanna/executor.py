@@ -21,6 +21,28 @@ class DurationModel(Protocol):
     def __call__(self, parameters: dict) -> float: ...
 
 
+class RealExecutorProtocol(Protocol):
+    """The executor protocol of ``kind="real"`` backends.
+
+    A real backend consumes the manifest directly (no duration model —
+    real code takes however long it takes) and calls
+    ``app_fn(parameters)`` per run, narrating ``campaign``/``alloc``/
+    ``task`` spans onto ``bus``.  See
+    :class:`~repro.savanna.realexec.RealExecutor`, the reference
+    implementation behind ``"local-threads"`` and ``"local-processes"``.
+    """
+
+    def execute(
+        self,
+        manifest,
+        app_fn: Callable[[dict], object],
+        *,
+        run_filter: Callable[[str], bool] | None = None,
+        bus=None,
+        name: str | None = None,
+    ): ...
+
+
 def tasks_from_manifest(manifest, duration_model: Callable[[dict], float]) -> list[Task]:
     """Materialize executor tasks for every run in a campaign manifest."""
     tasks = []

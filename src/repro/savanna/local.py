@@ -6,79 +6,48 @@ bag-of-tasks" (§IV); this backend is the simplest such import — a
 bag-of-tasks runner over :mod:`concurrent.futures` used by the examples
 to execute genuine Python work (e.g. real iRF fits) from the same
 campaign manifest the simulated executors consume.
+
+Since the :mod:`repro.savanna.realexec` engine landed, ``LocalExecutor``
+is its thread-pool face: the historical ``run(manifest, app_fn)`` →
+``{run_id: LocalRunResult}`` contract is unchanged, but failures now
+carry full tracebacks, duplicate ``run_id``s raise instead of silently
+overwriting results, ``KeyboardInterrupt`` cancels queued work and
+returns partial results with ``status="interrupted"``, and the full
+retry/timeout/checkpoint/trace stack is available through
+:meth:`~repro.savanna.realexec.RealExecutor.execute` or the
+``"local-threads"`` / ``"local-processes"`` drive backends.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor, as_completed
-from dataclasses import dataclass
-from typing import Any, Callable
+from repro.resilience.policy import RetryPolicy
+from repro.savanna.realexec import LocalRunResult, RealExecutor
 
-from repro._util import check_positive
-from repro.cheetah.manifest import CampaignManifest
+__all__ = ["LocalExecutor", "LocalRunResult"]
 
 
-@dataclass
-class LocalRunResult:
-    """Outcome of one really-executed run."""
-
-    run_id: str
-    status: str  # "done" | "failed"
-    value: Any = None
-    error: str | None = None
-    elapsed: float = 0.0
-
-
-class LocalExecutor:
+class LocalExecutor(RealExecutor):
     """Execute every run of a manifest by calling ``app_fn(parameters)``.
 
     Runs execute concurrently on a thread pool (numpy releases the GIL in
     its kernels, so science workloads genuinely overlap).  Exceptions are
     captured per-run — one failing configuration must not sink a campaign.
+    For workloads that *hold* the GIL, use
+    ``RealExecutor(pool="processes")`` (drive backend
+    ``"local-processes"``) instead.
     """
 
-    def __init__(self, max_workers: int = 4):
-        check_positive("max_workers", max_workers)
-        self.max_workers = max_workers
-
-    def run(
+    def __init__(
         self,
-        manifest: CampaignManifest,
-        app_fn: Callable[[dict], Any],
-        run_filter: Callable[[str], bool] | None = None,
-    ) -> dict[str, LocalRunResult]:
-        """Execute the campaign; returns ``{run_id: LocalRunResult}``.
-
-        ``run_filter`` selects a subset by run_id (resume support: pass
-        the campaign directory's pending set).
-        """
-        selected = [
-            r for r in manifest.runs if run_filter is None or run_filter(r.run_id)
-        ]
-        results: dict[str, LocalRunResult] = {}
-
-        def execute(run):
-            t0 = time.perf_counter()
-            try:
-                value = app_fn(dict(run.parameters))
-                return LocalRunResult(
-                    run_id=run.run_id,
-                    status="done",
-                    value=value,
-                    elapsed=time.perf_counter() - t0,
-                )
-            except Exception as exc:  # noqa: BLE001 - per-run fault isolation
-                return LocalRunResult(
-                    run_id=run.run_id,
-                    status="failed",
-                    error=f"{type(exc).__name__}: {exc}",
-                    elapsed=time.perf_counter() - t0,
-                )
-
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = {pool.submit(execute, run): run for run in selected}
-            for future in as_completed(futures):
-                result = future.result()
-                results[result.run_id] = result
-        return results
+        max_workers: int = 4,
+        retry_policy: RetryPolicy | int | None = None,
+        seed: int = 0,
+        chunk_size: int = 1,
+    ):
+        super().__init__(
+            max_workers=max_workers,
+            pool="threads",
+            retry_policy=retry_policy,
+            seed=seed,
+            chunk_size=chunk_size,
+        )

@@ -1,0 +1,674 @@
+"""Real execution engine: genuine Python work behind the manifest boundary.
+
+The manifest layer exists so "existing workflow tools that provide
+efficient implementations for workflow patterns such as bag-of-tasks" can
+be swapped in behind the campaign abstraction (§IV).  This module is the
+production face of that promise: one engine, two pools —
+
+- ``pool="threads"`` — :class:`concurrent.futures.ThreadPoolExecutor`;
+  right when the workload releases the GIL (numpy kernels, I/O).
+- ``pool="processes"`` — :class:`concurrent.futures.ProcessPoolExecutor`;
+  right when the workload is CPU-bound Python that *holds* the GIL.
+  Task specs are picklable by construction and the app callable must be
+  too (a module-level function, not a lambda or closure).
+
+Unlike the original side-door thread runner, the engine speaks the same
+language as the simulated backends: it enforces a
+:class:`~repro.resilience.RetryPolicy` (backoff delays, per-attempt
+timeouts, allocation retry budgets), and it narrates itself on an
+:class:`~repro.observability.EventBus` with the standard
+``campaign``/``alloc``/``task`` span taxonomy over *wall-clock* time
+(worker slots stand in for nodes), so checkpoint journaling and trace
+analytics work on real runs exactly as on simulated ones.  Drive it
+through :func:`repro.savanna.drive.execute_manifest` with
+``backend="local-threads"`` or ``backend="local-processes"``.
+
+Determinism: every run gets a seed derived from the engine's base seed
+and its ``run_id`` alone (:func:`seed_for_run`); the worker seeds
+``random`` and numpy's legacy global RNG before calling the app, so a
+campaign executed twice — or resumed on a different pool — reproduces
+per-run randomness exactly.
+
+Cancellation: ``KeyboardInterrupt`` is caught, queued futures are
+cancelled (``shutdown(cancel_futures=True)``), one
+``campaign.interrupted`` instant is emitted, and the partial results come
+back with ``status="interrupted"`` on everything unfinished — a resumed
+drive re-queues exactly those runs.
+
+Caveats (documented, not hidden): a *running* attempt cannot be killed
+mid-flight by either pool, so a timed-out attempt is marked failed and
+its worker slot is reclaimed only when the stale call actually returns;
+with ``chunk_size > 1`` task spans cover their whole chunk (submission
+batching trades span fidelity for IPC amortization).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import pickle
+import random
+import time
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+from zlib import crc32
+
+from repro._util import check_positive
+from repro.cheetah.manifest import CampaignManifest
+from repro.observability import (
+    ALLOC,
+    ALLOC_SUBMITTED,
+    BEGIN,
+    CAMPAIGN,
+    CAMPAIGN_INTERRUPTED,
+    END,
+    INSTANT,
+    TASK,
+    TASK_RETRY,
+    TASK_TIMEOUT,
+    EventBus,
+)
+from repro.resilience.policy import RetryPolicy, as_policy
+
+#: Pool kinds the engine accepts.
+POOLS = ("threads", "processes")
+
+
+def seed_for_run(base_seed: int, run_id: str) -> int:
+    """Deterministic per-run seed from the base seed and the run id alone.
+
+    Stable across processes, pools, and resumes (no wall-clock entropy,
+    no hash randomization) — the contract the paper's reproducibility
+    gauges require of anything calling itself deterministic.
+    """
+    return crc32(f"{base_seed}:{run_id}".encode()) & 0x7FFFFFFF
+
+
+def wall_clock_bus(name: str = "realexec") -> EventBus:
+    """An :class:`EventBus` clocked by wall time, zeroed at creation.
+
+    Real executions have no simulator to clock their bus; this gives the
+    trace a meaningful time base (seconds since the drive started) so
+    span durations are real elapsed seconds.
+    """
+    t0 = time.monotonic()
+    return EventBus(clock=lambda: time.monotonic() - t0, name=name)
+
+
+@dataclass(frozen=True)
+class RealTaskSpec:
+    """Picklable description of one attempt — everything a worker needs.
+
+    Frozen so an instance can cross the process boundary and be reused
+    (``dataclasses.replace`` mints the next attempt).
+    """
+
+    run_id: str
+    parameters: dict
+    seed: int
+    attempt: int = 1
+
+
+@dataclass
+class LocalRunResult:
+    """Outcome of one really-executed run."""
+
+    run_id: str
+    status: str  # "done" | "failed" | "interrupted"
+    value: Any = None
+    error: str | None = None
+    elapsed: float = 0.0
+    #: Full ``traceback.format_exc()`` of the failing attempt — a failed
+    #: real run must be debuggable, not summarized to one line.
+    traceback: str | None = None
+    attempts: int = 1
+    seed: int | None = None
+
+
+@dataclass
+class RealCampaignResult:
+    """Aggregate outcome of one real campaign execution."""
+
+    results: dict = field(default_factory=dict)  # {run_id: LocalRunResult}
+    interrupted: bool = False
+    elapsed: float = 0.0
+    pool: str = "threads"
+
+    @property
+    def completed(self) -> list:
+        return [r for r in self.results.values() if r.status == "done"]
+
+    @property
+    def failed(self) -> list:
+        return [r for r in self.results.values() if r.status == "failed"]
+
+    @property
+    def unfinished(self) -> list:
+        return [r for r in self.results.values() if r.status == "interrupted"]
+
+    def statuses(self) -> dict:
+        return {run_id: r.status for run_id, r in self.results.items()}
+
+    def values(self) -> dict:
+        """``{run_id: value}`` for the completed runs."""
+        return {rid: r.value for rid, r in self.results.items() if r.status == "done"}
+
+    @property
+    def all_done(self) -> bool:
+        return bool(self.results) and all(
+            r.status == "done" for r in self.results.values()
+        )
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.completed)}/{len(self.results)} runs done",
+            f"{len(self.failed)} failed",
+        ]
+        if self.unfinished:
+            parts.append(f"{len(self.unfinished)} interrupted")
+        return f"{', '.join(parts)} on {self.pool} in {self.elapsed:.2f}s wall"
+
+
+@dataclass
+class _AttemptOutcome:
+    """What one worker call reports back (picklable by construction)."""
+
+    run_id: str
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    traceback: str | None = None
+    elapsed: float = 0.0
+
+
+def _run_attempt(app_fn, spec: RealTaskSpec, ensure_picklable: bool) -> _AttemptOutcome:
+    """Execute one attempt inside a worker.  Catches ``Exception`` (never
+    ``KeyboardInterrupt``) so a failing run reports instead of raising —
+    process workers mangle remote tracebacks otherwise."""
+    random.seed(spec.seed)
+    try:  # numpy is the dominant science dependency; seed it when present
+        import numpy
+
+        numpy.random.seed(spec.seed % (2**32))
+    except ImportError:  # pragma: no cover - numpy ships with this repo
+        pass
+    t0 = time.perf_counter()
+    try:
+        value = app_fn(dict(spec.parameters))
+        if ensure_picklable:
+            # Fail *here*, with a clear message, rather than poisoning
+            # the result pipe back to the driver.
+            pickle.dumps(value)
+        return _AttemptOutcome(
+            run_id=spec.run_id,
+            ok=True,
+            value=value,
+            elapsed=time.perf_counter() - t0,
+        )
+    except Exception as exc:  # noqa: BLE001 - per-run fault isolation
+        return _AttemptOutcome(
+            run_id=spec.run_id,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            elapsed=time.perf_counter() - t0,
+        )
+
+
+def _run_chunk(app_fn, specs, ensure_picklable: bool) -> list:
+    """Worker entry point: execute a chunk of specs sequentially."""
+    return [_run_attempt(app_fn, spec, ensure_picklable) for spec in specs]
+
+
+@dataclass
+class _Inflight:
+    """Book-keeping for one submitted chunk."""
+
+    chunk: list  # list[RealTaskSpec]
+    slot: int
+    task_ids: dict  # {run_id: task_id} for the open task spans
+    deadline: float | None  # monotonic seconds, None = uncapped
+    timeout: float | None  # the per-attempt cap that set the deadline
+
+
+class RealExecutor:
+    """Execute every run of a manifest by calling ``app_fn(parameters)``.
+
+    Parameters
+    ----------
+    max_workers:
+        Concurrent worker slots (threads or processes).
+    pool:
+        ``"threads"`` or ``"processes"`` (see module docstring for when
+        each wins).
+    retry_policy:
+        A :class:`~repro.resilience.RetryPolicy`, a legacy ``max_retries``
+        int, or ``None`` for no retries.  Backoff delays are real sleeps;
+        per-attempt timeouts mark overdue attempts failed (the stale call
+        keeps its slot until it actually returns — neither pool can kill
+        a running call).
+    seed:
+        Base seed for per-run deterministic seeding (:func:`seed_for_run`).
+    chunk_size:
+        Specs submitted per worker call.  ``1`` (default) preserves
+        per-task span fidelity; larger values amortize IPC for very short
+        tasks (spans then cover the whole chunk; failed specs retry
+        individually).
+    mp_context:
+        Optional multiprocessing start-method name (``"fork"``,
+        ``"spawn"``, ``"forkserver"``) for the process pool.
+    """
+
+    pool_kind = "real"  # executor-protocol marker (vs simulated make_run)
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        pool: str = "threads",
+        retry_policy: RetryPolicy | int | None = None,
+        seed: int = 0,
+        chunk_size: int = 1,
+        mp_context: str | None = None,
+    ):
+        check_positive("max_workers", max_workers)
+        check_positive("chunk_size", chunk_size)
+        if pool not in POOLS:
+            raise ValueError(f"pool must be one of {POOLS}, got {pool!r}")
+        self.max_workers = max_workers
+        self.pool = pool
+        self.retry_policy = as_policy(retry_policy)
+        self.seed = int(seed)
+        self.chunk_size = int(chunk_size)
+        self.mp_context = mp_context
+
+    # -- pool construction ---------------------------------------------------
+
+    def _make_pool(self):
+        if self.pool == "threads":
+            return ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="realexec"
+            )
+        kwargs = {}
+        if self.mp_context is not None:
+            import multiprocessing
+
+            kwargs["mp_context"] = multiprocessing.get_context(self.mp_context)
+        return ProcessPoolExecutor(max_workers=self.max_workers, **kwargs)
+
+    # -- compat surface ------------------------------------------------------
+
+    def run(
+        self,
+        manifest: CampaignManifest,
+        app_fn: Callable[[dict], Any],
+        run_filter: Callable[[str], bool] | None = None,
+    ) -> dict:
+        """Execute the campaign; returns ``{run_id: LocalRunResult}``.
+
+        The original ``LocalExecutor`` contract, kept for the examples
+        and anyone holding the manifest directly; :meth:`execute` is the
+        full-featured engine entry the drive layer uses.
+        """
+        return self.execute(manifest, app_fn, run_filter=run_filter).results
+
+    # -- the engine ----------------------------------------------------------
+
+    def execute(
+        self,
+        manifest: CampaignManifest,
+        app_fn: Callable[[dict], Any],
+        *,
+        run_filter: Callable[[str], bool] | None = None,
+        bus: EventBus | None = None,
+        name: str | None = None,
+    ) -> RealCampaignResult:
+        """Execute (a filtered subset of) a manifest on the worker pool.
+
+        Emits one ``campaign`` span wrapping one ``alloc`` span (the pool
+        session; worker slots are its "nodes") wrapping one ``task`` span
+        per attempt, plus ``task.retry`` / ``task.timeout`` instants —
+        the exact taxonomy the checkpoint journal and the trace analytics
+        consume.  Raises ``ValueError`` on duplicate ``run_id``s rather
+        than silently keeping the last result.
+        """
+        selected = [
+            r for r in manifest.runs if run_filter is None or run_filter(r.run_id)
+        ]
+        seen: set = set()
+        duplicates = sorted(
+            {r.run_id for r in selected if r.run_id in seen or seen.add(r.run_id)}
+        )
+        if duplicates:
+            raise ValueError(
+                f"duplicate run_ids in manifest (results would silently "
+                f"overwrite each other): {duplicates}"
+            )
+        if bus is None:
+            bus = EventBus(name="realexec")  # unobserved: emits are no-ops
+        name = name or manifest.campaign
+
+        # One time base for events: the bus clock when it has one (the
+        # drive layer's wall bus, or any caller-provided clock), else
+        # seconds since this call started.
+        t0 = time.monotonic()
+        if bus.clock is not None:
+            now = bus.clock
+        else:
+            now = lambda: time.monotonic() - t0
+
+        def emit(event_name, phase=INSTANT, **fields):
+            bus.emit(event_name, phase=phase, time=now(), **fields)
+
+        result = RealCampaignResult(pool=self.pool)
+        job = f"{name}-pool"
+        slots = tuple(range(self.max_workers))
+        task_ids = itertools.count()
+        tiebreak = itertools.count()
+
+        specs = [
+            RealTaskSpec(
+                run_id=r.run_id,
+                parameters=dict(r.parameters),
+                seed=seed_for_run(self.seed, r.run_id),
+            )
+            for r in selected
+        ]
+        pending: deque = deque(
+            list(specs[i : i + self.chunk_size])
+            for i in range(0, len(specs), self.chunk_size)
+        )
+        delayed: list = []  # heap[(ready_at_monotonic, tiebreak, spec)]
+        running: dict = {}  # {future: _Inflight}
+        abandoned: dict = {}  # {stale future: slot} (timed out, still running)
+        free_slots = list(reversed(slots))
+        retries_used: dict = {}  # {run_id: retries granted}
+        budget_spent = 0
+        ensure_picklable = self.pool == "processes"
+
+        emit(CAMPAIGN, BEGIN, campaign=name, tasks=len(selected), max_allocations=1)
+        emit(ALLOC_SUBMITTED, job=job, nodes=self.max_workers, walltime=None)
+        emit(ALLOC, BEGIN, alloc=0, job=job, nodes=list(slots), deadline=None)
+
+        def record_terminal(spec, outcome: _AttemptOutcome, status: str) -> None:
+            result.results[spec.run_id] = LocalRunResult(
+                run_id=spec.run_id,
+                status=status,
+                value=outcome.value if status == "done" else None,
+                error=outcome.error,
+                traceback=outcome.traceback,
+                elapsed=outcome.elapsed,
+                attempts=spec.attempt,
+                seed=spec.seed,
+            )
+
+        def consider_retry(spec, task_id, outcome: _AttemptOutcome, reason: str) -> None:
+            """Failed attempt: grant a policy retry or record the terminal
+            failure."""
+            nonlocal budget_spent
+            used = retries_used.get(spec.run_id, 0)
+            budget = self.retry_policy.allocation_budget
+            if self.retry_policy.allows(used) and (
+                budget is None or budget_spent < budget
+            ):
+                retries_used[spec.run_id] = used + 1
+                budget_spent += 1
+                delay = self.retry_policy.delay(used + 1)
+                emit(
+                    TASK_RETRY,
+                    task=spec.run_id,
+                    task_id=task_id,
+                    retries=used + 1,
+                    delay=delay,
+                    reason=reason,
+                )
+                heapq.heappush(
+                    delayed,
+                    (
+                        time.monotonic() + delay,
+                        next(tiebreak),
+                        replace(spec, attempt=spec.attempt + 1),
+                    ),
+                )
+            else:
+                record_terminal(spec, outcome, "failed")
+
+        def submit(pool, chunk) -> None:
+            slot = free_slots.pop()
+            ids = {}
+            for spec in chunk:
+                tid = next(task_ids)
+                ids[spec.run_id] = tid
+                emit(
+                    TASK,
+                    BEGIN,
+                    task=spec.run_id,
+                    task_id=tid,
+                    node=slot,
+                    nodes=[slot],
+                    attempt=spec.attempt,
+                    payload=dict(spec.parameters),
+                )
+            timeout = self.retry_policy.timeout_for(chunk[0])
+            deadline = (
+                time.monotonic() + timeout * len(chunk) if timeout is not None else None
+            )
+            try:
+                future = pool.submit(_run_chunk, app_fn, chunk, ensure_picklable)
+            except Exception as exc:  # broken pool: fail the chunk, keep draining
+                free_slots.append(slot)
+                for spec in chunk:
+                    synthetic = _AttemptOutcome(
+                        run_id=spec.run_id,
+                        ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc(),
+                    )
+                    emit(
+                        TASK,
+                        END,
+                        task=spec.run_id,
+                        task_id=ids[spec.run_id],
+                        node=slot,
+                        outcome="failed",
+                    )
+                    record_terminal(spec, synthetic, "failed")
+                return
+            running[future] = _Inflight(
+                chunk=list(chunk),
+                slot=slot,
+                task_ids=ids,
+                deadline=deadline,
+                timeout=timeout,
+            )
+
+        def settle(info: _Inflight, outcomes: list) -> None:
+            """Fold one finished chunk's outcomes into results/retries."""
+            for spec, outcome in zip(info.chunk, outcomes):
+                tid = info.task_ids[spec.run_id]
+                if outcome.ok:
+                    emit(
+                        TASK,
+                        END,
+                        task=spec.run_id,
+                        task_id=tid,
+                        node=info.slot,
+                        outcome="done",
+                    )
+                    record_terminal(spec, outcome, "done")
+                else:
+                    emit(
+                        TASK,
+                        END,
+                        task=spec.run_id,
+                        task_id=tid,
+                        node=info.slot,
+                        outcome="failed",
+                    )
+                    consider_retry(spec, tid, outcome, reason="exception")
+
+        def expire_overdue() -> None:
+            """Per-attempt timeout: mark overdue chunks failed.  A chunk
+            that cannot be cancelled keeps running detached; its slot
+            comes back when the stale call returns."""
+            mono = time.monotonic()
+            for future, info in list(running.items()):
+                if info.deadline is None or mono < info.deadline:
+                    continue
+                del running[future]
+                if future.cancel():
+                    free_slots.append(info.slot)
+                else:
+                    abandoned[future] = info.slot
+                for spec in info.chunk:
+                    tid = info.task_ids[spec.run_id]
+                    emit(
+                        TASK_TIMEOUT,
+                        task=spec.run_id,
+                        task_id=tid,
+                        node=info.slot,
+                        timeout=info.timeout,
+                    )
+                    emit(
+                        TASK,
+                        END,
+                        task=spec.run_id,
+                        task_id=tid,
+                        node=info.slot,
+                        outcome="failed",
+                    )
+                    synthetic = _AttemptOutcome(
+                        run_id=spec.run_id,
+                        ok=False,
+                        error=(
+                            f"TimeoutError: attempt exceeded the "
+                            f"{info.timeout}s per-attempt cap"
+                        ),
+                        elapsed=info.timeout or 0.0,
+                    )
+                    consider_retry(spec, tid, synthetic, reason="timeout")
+
+        pool = self._make_pool()
+        try:
+            while pending or delayed or running:
+                mono = time.monotonic()
+                while delayed and delayed[0][0] <= mono:
+                    pending.append([heapq.heappop(delayed)[2]])
+                while pending and free_slots:
+                    submit(pool, pending.popleft())
+                wakeups = [d[0] for d in delayed[:1]]
+                wakeups += [
+                    i.deadline for i in running.values() if i.deadline is not None
+                ]
+                wait_for = set(running) | set(abandoned)
+                if not wait_for:
+                    if wakeups:  # only backoff delays remain: sleep them off
+                        time.sleep(max(0.0, min(wakeups) - time.monotonic()))
+                    continue
+                timeout = (
+                    max(0.0, min(wakeups) - time.monotonic()) if wakeups else None
+                )
+                done, _ = wait(wait_for, timeout=timeout, return_when=FIRST_COMPLETED)
+                for future in done:
+                    if future in abandoned:  # stale timed-out call finished
+                        free_slots.append(abandoned.pop(future))
+                        continue
+                    info = running.pop(future)
+                    free_slots.append(info.slot)
+                    try:
+                        outcomes = future.result()
+                    except (KeyboardInterrupt, SystemExit):
+                        # Re-shelve so the interrupt handler below records
+                        # this chunk's runs as interrupted too.
+                        running[future] = info
+                        raise
+                    except CancelledError:  # pragma: no cover - defensive
+                        continue
+                    except Exception as exc:
+                        # Result-pipe failures (unpicklable value without
+                        # the guard, a worker killed under us, a broken
+                        # pool): synthesize per-spec failures.
+                        outcomes = [
+                            _AttemptOutcome(
+                                run_id=spec.run_id,
+                                ok=False,
+                                error=f"{type(exc).__name__}: {exc}",
+                                traceback=traceback.format_exc(),
+                            )
+                            for spec in info.chunk
+                        ]
+                    settle(info, outcomes)
+                expire_overdue()
+            pool.shutdown(wait=not abandoned, cancel_futures=False)
+        except KeyboardInterrupt:
+            result.interrupted = True
+            # Graceful cancellation: queued futures are cancelled, running
+            # ones are left to die with the pool; nothing blocks.
+            pool.shutdown(wait=False, cancel_futures=True)
+            for info in running.values():
+                for spec in info.chunk:
+                    if spec.run_id in result.results:
+                        continue
+                    emit(
+                        TASK,
+                        END,
+                        task=spec.run_id,
+                        task_id=info.task_ids[spec.run_id],
+                        node=info.slot,
+                        outcome="interrupted",
+                    )
+                    record_terminal(
+                        spec, _AttemptOutcome(run_id=spec.run_id, ok=False), "interrupted"
+                    )
+            for chunk in pending:
+                for spec in chunk:
+                    result.results.setdefault(
+                        spec.run_id,
+                        LocalRunResult(
+                            run_id=spec.run_id,
+                            status="interrupted",
+                            attempts=spec.attempt,
+                            seed=spec.seed,
+                        ),
+                    )
+            for _ready, _tb, spec in delayed:
+                result.results.setdefault(
+                    spec.run_id,
+                    LocalRunResult(
+                        run_id=spec.run_id,
+                        status="interrupted",
+                        attempts=spec.attempt,
+                        seed=spec.seed,
+                    ),
+                )
+            emit(
+                CAMPAIGN_INTERRUPTED,
+                campaign=name,
+                completed=len(result.completed),
+                pending=len(result.unfinished),
+            )
+        finally:
+            emit(
+                ALLOC,
+                END,
+                alloc=0,
+                job=job,
+                reason="interrupted" if result.interrupted else "drained",
+            )
+            emit(
+                CAMPAIGN,
+                END,
+                campaign=name,
+                completed=len(result.completed),
+                allocations=1,
+            )
+        result.elapsed = time.monotonic() - t0
+        return result

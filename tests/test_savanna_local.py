@@ -57,3 +57,29 @@ class TestLocalExecutor:
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError):
             LocalExecutor(max_workers=0)
+
+    def test_failure_captures_traceback(self):
+        def app(p):
+            if p["x"] == 2:
+                raise ValueError("boom")
+            return p["x"]
+
+        results = LocalExecutor(max_workers=2).run(make_manifest(), app)
+        tb = results["g/run-0001"].traceback
+        assert tb is not None
+        assert "Traceback (most recent call last)" in tb
+        assert 'raise ValueError("boom")' in tb
+        assert results["g/run-0000"].traceback is None  # success carries none
+
+    def test_per_run_seed_recorded(self):
+        results = LocalExecutor(seed=5).run(make_manifest(), lambda p: p["x"])
+        seeds = {r.seed for r in results.values()}
+        assert None not in seeds
+        assert len(seeds) == 3  # distinct per run
+
+    def test_is_thread_pool_face_of_realexec(self):
+        from repro.savanna import RealExecutor
+
+        ex = LocalExecutor()
+        assert isinstance(ex, RealExecutor)
+        assert ex.pool == "threads"
