@@ -23,6 +23,7 @@ from repro.experiments.harness import (
     resilience_recovery,
     run_with_trace,
 )
+from repro.experiments.service_demo import campaign_service_demo, service_app
 
 __all__ = [
     "ExperimentResult",
@@ -31,6 +32,8 @@ __all__ = [
     "resilience_campaign",
     "cpu_bound_fit",
     "realexec_scaling",
+    "campaign_service_demo",
+    "service_app",
     "fig1_gauge_matrix",
     "fig2_manual_vs_skel",
     "fig3_overhead_sweep",

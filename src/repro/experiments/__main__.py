@@ -14,6 +14,8 @@ Usage::
     python -m repro.experiments --resilience --campaign-dir runs/
     python -m repro.experiments --resilience --campaign-dir runs/ --resume
                                                 # checkpointed campaign, resumed
+    python -m repro.experiments --serve         # asyncio campaign service demo
+    python -m repro.experiments --serve --campaigns 6 --service-workers 3
 
 ``--trace`` attaches a :class:`~repro.observability.TraceRecorder` around
 every selected driver and writes one combined Chrome ``trace_event`` JSON
@@ -134,6 +136,27 @@ def main(argv=None) -> int:
         help="with --resilience --campaign-dir: skip runs already recorded "
         "DONE and execute exactly the remainder",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the asyncio campaign-service demo instead of the numbered "
+        "figures: concurrent multi-tenant submissions with priorities, one "
+        "cancellation, fair-share interleaving (see docs/campaign_service.md)",
+    )
+    parser.add_argument(
+        "--campaigns",
+        type=int,
+        default=4,
+        help="with --serve: number of concurrent campaign submissions "
+        "(default: 4)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="with --serve: CampaignService worker-pool bound — how many "
+        "submissions execute concurrently (default: 2)",
+    )
     args = parser.parse_args(argv)
 
     if args.resume and args.campaign_dir is None:
@@ -160,7 +183,19 @@ def main(argv=None) -> int:
             path.write_text(text + "\n")
             print(f"[written to {path}]\n")
 
-    if args.resilience:
+    if args.serve:
+        from repro.experiments.service_demo import campaign_service_demo
+
+        selected = [
+            (
+                "campaign-service",
+                lambda: campaign_service_demo(
+                    campaigns=args.campaigns,
+                    max_workers=args.service_workers,
+                ),
+            )
+        ]
+    elif args.resilience:
         if args.campaign_dir is not None:
             selected = [
                 (

@@ -44,6 +44,11 @@ from repro.observability.events import (
     INSTANT,
     NODE_BUSY,
     NODE_IDLE,
+    SERVICE_CANCELLED,
+    SERVICE_FINISHED,
+    SERVICE_SATURATED,
+    SERVICE_STARTED,
+    SERVICE_SUBMITTED,
     TASK,
     TASK_FAULT_INJECTED,
     TASK_REQUEUED,
@@ -86,6 +91,11 @@ __all__ = [
     "CAMPAIGN_REPORT",
     "GROUP",
     "GROUP_RESUMED",
+    "SERVICE_SUBMITTED",
+    "SERVICE_STARTED",
+    "SERVICE_FINISHED",
+    "SERVICE_CANCELLED",
+    "SERVICE_SATURATED",
     "ALLOC",
     "ALLOC_SUBMITTED",
     "TASK",

@@ -33,6 +33,11 @@ name                 phase    fields
 ``campaign.composed``  instant  campaign, groups, runs
 ``campaign.report``  instant  campaign, group, makespan, utilization, ...
 ``campaign.interrupted``  instant  campaign, completed, pending
+``service.submitted``  instant  submission, campaign, tenant, priority, backend
+``service.started``  instant  submission, campaign, tenant, queued_for
+``service.finished`` instant  submission, campaign, tenant, outcome, elapsed
+``service.cancelled``  instant  submission, campaign, tenant, while
+``service.saturated``  instant  queued, limit, campaign, tenant
 ===================  =======  ===============================================
 
 The real-execution engine (:mod:`repro.savanna.realexec`) emits the same
@@ -84,6 +89,17 @@ CAMPAIGN_COMPOSED = "campaign.composed"  # a Cheetah campaign was materialized
 CAMPAIGN_LINTED = "campaign.linted"  # pre-run static analysis ran over a manifest
 CAMPAIGN_REPORT = "campaign.report"  # post-run trace analytics summary
 CAMPAIGN_INTERRUPTED = "campaign.interrupted"  # a real driver caught Ctrl-C
+
+# -- campaign-service instants ------------------------------------------------
+# Emitted by repro.savanna.service.CampaignService on its (thread-safe,
+# wall-clock) monitoring bus; ``submission`` carries the service-assigned
+# submission id so concurrent campaigns are attributable.
+
+SERVICE_SUBMITTED = "service.submitted"  # a campaign entered the service queue
+SERVICE_STARTED = "service.started"  # a worker picked the submission up
+SERVICE_FINISHED = "service.finished"  # a submission reached done/failed
+SERVICE_CANCELLED = "service.cancelled"  # a submission was cancelled
+SERVICE_SATURATED = "service.saturated"  # submit() hit the queue-depth bound
 
 
 @dataclass(frozen=True)

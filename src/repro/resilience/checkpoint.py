@@ -19,11 +19,23 @@ JSON line (O(1) per event — no rewrite of the full status map), and
 ``status.json`` when a group finishes.  Reading overlays the journal on
 the base record, so a driver killed mid-campaign still resumes exactly
 the pending set.
+
+**Per-submission scoping**: with the campaign service
+(:mod:`repro.savanna.service`) many drive pipelines run concurrently in
+one process, each attaching its own checkpoint.  The journal format is
+append-per-line and therefore safe for *distinct* directories, but two
+live writers on the *same* campaign directory would interleave
+transitions from unrelated attempts — so :meth:`CampaignCheckpoint.attach`
+enforces one attached writer per journal path process-wide and raises
+``RuntimeError`` on the second.  A concurrent re-submission of a
+still-running campaign fails loudly at attach time instead of silently
+corrupting the resume record.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 
 from repro.cheetah.directory import CampaignDirectory, RunStatus
 from repro.observability import BEGIN, END, TASK
@@ -52,6 +64,11 @@ class CampaignCheckpoint:
     """
 
     JOURNAL_NAME = "journal.jsonl"
+
+    #: Process-wide registry of journal paths with a live attached writer
+    #: (per-submission scoping: one writer per campaign directory).
+    _ATTACHED: dict = {}
+    _ATTACHED_LOCK = threading.Lock()
 
     def __init__(self, directory: CampaignDirectory):
         self.directory = directory
@@ -147,15 +164,34 @@ class CampaignCheckpoint:
 
     # -- bus wiring ----------------------------------------------------------
 
-    def attach(self, bus) -> None:
+    def attach(self, bus, owner: str | None = None) -> None:
         """Subscribe to ``bus`` and journal every task transition.
 
         ``task`` span begins journal RUNNING; ends journal the mapped
         outcome.  Events about tasks that are not runs of this campaign
         (names outside the manifest) are ignored, so a shared bus is safe.
+
+        One live writer per campaign directory, process-wide: attaching
+        while another checkpoint is already attached to the same journal
+        raises ``RuntimeError`` naming the current holder — this is the
+        per-submission scope guard that keeps concurrent campaign-service
+        submissions from interleaving transitions into one journal.
+        ``owner`` labels this writer (e.g. a submission id) for that
+        error message.
         """
         if self._unsubscribe is not None:
             raise RuntimeError("checkpoint already attached to a bus")
+        key = str(self._journal_path)
+        with self._ATTACHED_LOCK:
+            holder = self._ATTACHED.get(key)
+            if holder is not None:
+                raise RuntimeError(
+                    f"campaign directory {self.directory.root} already has a "
+                    f"live checkpoint writer ({holder}); a campaign must "
+                    "finish (or be cancelled) before it is re-submitted "
+                    "against the same directory"
+                )
+            self._ATTACHED[key] = owner or f"checkpoint@{id(self):#x}"
 
         def observe(event) -> None:
             if event.name != TASK:
@@ -173,7 +209,9 @@ class CampaignCheckpoint:
         self._unsubscribe = bus.subscribe(observe)
 
     def detach(self) -> None:
-        """Stop observing the bus (idempotent)."""
+        """Stop observing the bus and release the writer slot (idempotent)."""
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
+            with self._ATTACHED_LOCK:
+                self._ATTACHED.pop(str(self._journal_path), None)

@@ -20,10 +20,17 @@ on available resources".  Executor backends:
   :class:`~repro.savanna.local.LocalExecutor` is its historical
   thread-pool face (the examples' backend).
 
+- :class:`~repro.savanna.service.CampaignService` — the asyncio
+  multi-campaign orchestration layer: a submission queue, a bounded
+  worker pool, fair-share/priority scheduling across tenants, live
+  status/cancel handles, and queue-depth backpressure — every drive
+  capability becomes per-submission middleware (``docs/campaign_service.md``).
+
 Shared machinery lives in :mod:`repro.savanna.executor` (task/outcome
 types, manifest→task mapping) and :mod:`repro.savanna.runner`
 (multi-allocation campaign loop with resume, the §V-D "simply re-submit
-the SweepGroup" behaviour).
+the SweepGroup" behaviour).  ``python -m repro.savanna --list-backends``
+prints the live backend registry.
 """
 
 from repro.savanna.executor import (
@@ -45,6 +52,14 @@ from repro.savanna.realexec import (
 )
 from repro.savanna.runner import run_campaign
 from repro.savanna.drive import execute_manifest, execute_campaign
+from repro.savanna.service import (
+    CampaignService,
+    ServiceSaturated,
+    SubmissionHandle,
+    SubmissionState,
+    ThreadSafeBus,
+    service_bus,
+)
 from repro.savanna.provenance import record_campaign_result, straggler_report
 from repro.savanna.backends import (
     register_backend,
@@ -81,6 +96,12 @@ __all__ = [
     "create_executor",
     "execute_manifest",
     "execute_campaign",
+    "CampaignService",
+    "ServiceSaturated",
+    "SubmissionHandle",
+    "SubmissionState",
+    "ThreadSafeBus",
+    "service_bus",
     "record_campaign_result",
     "straggler_report",
 ]

@@ -1,0 +1,58 @@
+"""Command-line entry point for the execution layer.
+
+Usage::
+
+    python -m repro.savanna --list-backends
+
+prints the live executor-backend registry — name, kind (simulated vs
+real), and what each engine is for — straight from
+:mod:`repro.savanna.backends`, so the docs' backend tables can point
+here instead of rotting.  Third-party backends registered by imported
+plugins show up too: the output *is* the registry, not a hardcoded list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.savanna.backends import backend_descriptions, backend_kind
+
+
+def format_backend_table() -> str:
+    """The registry as a fixed-width table (one row per backend)."""
+    rows = [
+        (name, backend_kind(name), description)
+        for name, description in sorted(backend_descriptions().items())
+    ]
+    name_w = max(len("backend"), *(len(r[0]) for r in rows))
+    kind_w = max(len("kind"), *(len(r[1]) for r in rows))
+    lines = [
+        f"{'backend':<{name_w}}  {'kind':<{kind_w}}  description",
+        f"{'-' * name_w}  {'-' * kind_w}  {'-' * 11}",
+    ]
+    for name, kind, description in rows:
+        lines.append(f"{name:<{name_w}}  {kind:<{kind_w}}  {description}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.savanna",
+        description="Savanna campaign-execution utilities.",
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="print the executor-backend registry (name, kind, description)",
+    )
+    args = parser.parse_args(argv)
+    if args.list_backends:
+        print(format_backend_table())
+        return 0
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,11 +35,19 @@ stragglers) is emitted, and — when a ``directory`` is in play — the full
 report is merged into the campaign end point's ``.cheetah/report.json``.
 Real runs additionally persist each run's outcome (value, error +
 traceback, seed, attempts) as ``<run>/result.json`` in the directory.
+
+The drive is internally a *pipeline of stages* — lint gate, resume-set
+resolution, sub-manifest construction, execution, report analysis,
+status compaction — shared verbatim between the simulated and the real
+path, and reused per submission by the asyncio campaign service
+(:mod:`repro.savanna.service`), which runs many of these pipelines
+concurrently.  The per-submission **middleware order** is fixed and
+documented on :func:`execute_manifest`.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 
 from repro.cheetah.directory import CampaignDirectory, RunStatus, resolve_campaign_dir
 from repro.cheetah.manifest import CampaignManifest
@@ -105,6 +113,7 @@ def _pre_run_lint(manifest, bus, cluster, backend_kwargs) -> None:
 
 
 def _resolve_group(manifest: CampaignManifest, group: str | None) -> str:
+    """Pipeline stage: pin down which SweepGroup's envelope applies."""
     if group is not None:
         return group
     if len(manifest.groups) != 1:
@@ -113,6 +122,77 @@ def _resolve_group(manifest: CampaignManifest, group: str | None) -> str:
             f"resource envelope (groups: {[g['name'] for g in manifest.groups]})"
         )
     return manifest.groups[0]["name"]
+
+
+@dataclass
+class _PendingWork:
+    """Output of the resume-resolution stage: exactly what is left to run.
+
+    ``sub`` is the input manifest narrowed to one group and (with
+    ``resume=True``) to the runs not yet durably DONE; ``skipped`` is how
+    many the journal let us skip (reported via ``group.resumed``).
+    """
+
+    directory: CampaignDirectory | None
+    checkpoint: CampaignCheckpoint | None
+    sub: CampaignManifest
+    meta: dict
+    skipped: int
+
+
+def _resolve_pending(
+    manifest: CampaignManifest,
+    group: str,
+    directory,
+    resume: bool,
+) -> _PendingWork:
+    """Pipeline stage: resolve the campaign end point and the pending set.
+
+    Accepts a :class:`~repro.cheetah.directory.CampaignDirectory` or a
+    path (resolved and created on first use), constructs the
+    write-ahead :class:`~repro.resilience.CampaignCheckpoint` over it,
+    and — when resuming — overlays the journal on the base status record
+    to drop every run already recorded DONE.  Shared verbatim by the
+    simulated and the real execution paths, and therefore by every
+    campaign-service submission.
+    """
+    meta = manifest.group_meta(group)
+    selected = manifest.runs_in_group(group)
+    checkpoint = None
+    skipped = 0
+    if directory is not None and not isinstance(directory, CampaignDirectory):
+        directory = resolve_campaign_dir(directory, manifest, create=True)
+    if directory is not None:
+        checkpoint = CampaignCheckpoint(directory)
+        if resume:
+            status = checkpoint.effective_status()
+            before = len(selected)
+            selected = tuple(
+                r for r in selected if status[r.run_id] is not RunStatus.DONE
+            )
+            skipped = before - len(selected)
+    sub = CampaignManifest(
+        campaign=manifest.campaign,
+        app=manifest.app,
+        runs=selected,
+        executable=manifest.executable,
+        objective=manifest.objective,
+        groups=(dict(meta),),
+    )
+    return _PendingWork(
+        directory=directory,
+        checkpoint=checkpoint,
+        sub=sub,
+        meta=meta,
+        skipped=skipped,
+    )
+
+
+def _check_cancelled(cancel) -> bool:
+    """Normalize the external stop signal: Event, callable, or None."""
+    if cancel is None:
+        return False
+    return bool(cancel.is_set() if hasattr(cancel, "is_set") else cancel())
 
 
 def execute_campaign(
@@ -126,6 +206,7 @@ def execute_campaign(
     resume: bool = True,
     lint: bool = True,
     report: bool = False,
+    cancel=None,
     **backend_kwargs,
 ) -> dict:
     """Execute every SweepGroup of a campaign, in declaration order.
@@ -139,6 +220,13 @@ def execute_campaign(
     :func:`execute_manifest`'s ``lint`` parameter); per-group calls then
     skip the redundant re-analysis.  ``report=True`` analyzes each
     group's trace as it completes (see :func:`execute_manifest`).
+
+    ``cancel`` (a ``threading.Event`` or zero-argument callable) stops
+    the campaign between groups — already-finished groups keep their
+    results, remaining groups are never started — and, on real backends,
+    also interrupts the group currently executing (see
+    :meth:`~repro.savanna.realexec.RealExecutor.execute`).  The campaign
+    service drives every submission through this parameter.
     """
     if backend_kind(backend) == "real":
         # One wall-clock bus for the whole campaign, so the groups share
@@ -155,6 +243,8 @@ def execute_campaign(
             _pre_run_lint(manifest, cluster.bus, cluster, backend_kwargs)
     results: dict = {}
     for meta in manifest.groups:
+        if _check_cancelled(cancel):
+            break
         results[meta["name"]] = execute_manifest(
             manifest,
             duration_model,
@@ -167,6 +257,7 @@ def execute_campaign(
             resume=resume,
             lint=False,
             report=report,
+            cancel=cancel,
             **backend_kwargs,
         )
     return results
@@ -184,9 +275,32 @@ def execute_manifest(
     resume: bool = True,
     lint: bool = True,
     report: bool = False,
+    cancel=None,
     **backend_kwargs,
 ) -> CampaignResult | RealCampaignResult:
     """Execute (part of) a campaign manifest through a named backend.
+
+    This is the drive *pipeline*; every stage below is per-submission
+    middleware when called through the campaign service
+    (:mod:`repro.savanna.service`).  The **middleware order** is fixed:
+
+    1. **lint gate** (``lint=True``) — manifest rules against the real
+       cluster spec + retry policy; ERROR findings refuse the campaign
+       (``campaign.linted`` instant either way);
+    2. **group resolution** — pin the SweepGroup whose nodes/walltime
+       envelope applies;
+    3. **resume resolution** (``directory`` + ``resume=True``) —
+       overlay the write-ahead journal on ``status.json`` and narrow the
+       manifest to the runs not yet DONE (``group.resumed`` instant);
+    4. **execution** — the backend's engine, routed on
+       :func:`~repro.savanna.backends.backend_kind`; the
+       :class:`~repro.resilience.CampaignCheckpoint` journals every task
+       transition while it runs, and real backends honour ``cancel``;
+    5. **report analysis** (``report=True``) — the group's captured
+       events become a ``CampaignReport`` + one ``campaign.report``
+       instant;
+    6. **status compaction** — final statuses land in ``status.json``
+       (and, for real runs, per-run ``result.json`` files).
 
     Parameters
     ----------
@@ -232,6 +346,13 @@ def execute_manifest(
         ``directory.read_report()``).  For real backends the spans are
         genuine wall-clock measurements, so the critical path and the
         straggler list describe the machine you actually ran on.
+    cancel:
+        External stop signal (``threading.Event`` or zero-argument
+        callable).  Real backends poll it while executing and take the
+        graceful-interrupt path when it fires (unfinished runs report
+        ``status="interrupted"`` and compact to PENDING — resumable);
+        simulated backends honour it only between groups (the
+        discrete-event simulation of one group is atomic).
     """
     if backend_kind(backend) == "real":
         return _execute_manifest_real(
@@ -243,6 +364,7 @@ def execute_manifest(
             resume=resume,
             lint=lint,
             report=report,
+            cancel=cancel,
             backend_kwargs=backend_kwargs,
         )
     if duration_model is None or cluster is None:
@@ -253,32 +375,9 @@ def execute_manifest(
     if lint:
         _pre_run_lint(manifest, cluster.bus, cluster, backend_kwargs)
     group = _resolve_group(manifest, group)
-    meta = manifest.group_meta(group)
+    work = _resolve_pending(manifest, group, directory, resume)
 
-    selected = manifest.runs_in_group(group)
-    checkpoint = None
-    skipped = 0
-    if directory is not None and not isinstance(directory, CampaignDirectory):
-        directory = resolve_campaign_dir(directory, manifest, create=True)
-    if directory is not None:
-        checkpoint = CampaignCheckpoint(directory)
-        if resume:
-            status = checkpoint.effective_status()
-            before = len(selected)
-            selected = tuple(
-                r for r in selected if status[r.run_id] is not RunStatus.DONE
-            )
-            skipped = before - len(selected)
-
-    sub = CampaignManifest(
-        campaign=manifest.campaign,
-        app=manifest.app,
-        runs=selected,
-        executable=manifest.executable,
-        objective=manifest.objective,
-        groups=(dict(meta),),
-    )
-    tasks = tasks_from_manifest(sub, duration_model)
+    tasks = tasks_from_manifest(work.sub, duration_model)
     executor = create_executor(backend, cluster=cluster, **backend_kwargs)
     collected: list = []
     unsubscribe = cluster.bus.subscribe(collected.append) if report else None
@@ -290,22 +389,22 @@ def execute_manifest(
         runs=len(tasks),
         backend=backend,
     )
-    if skipped:
+    if work.skipped:
         cluster.bus.emit(
             GROUP_RESUMED,
             campaign=manifest.campaign,
-            total=len(selected) + skipped,
-            skipped=skipped,
+            total=len(work.sub.runs) + work.skipped,
+            skipped=work.skipped,
             pending=len(tasks),
         )
     result = executor.run(
         tasks,
-        nodes=meta["nodes"],
-        walltime=meta["walltime"],
+        nodes=work.meta["nodes"],
+        walltime=work.meta["walltime"],
         max_allocations=max_allocations,
         inter_allocation_gap=inter_allocation_gap,
         name=f"{manifest.campaign}/{group}",
-        checkpoint=checkpoint,
+        checkpoint=work.checkpoint,
     )
     cluster.bus.emit(
         GROUP,
@@ -316,9 +415,9 @@ def execute_manifest(
     )
     if unsubscribe is not None:
         unsubscribe()
-        _report_group(cluster.bus, directory, collected)
-    if directory is not None:
-        directory.update_status(
+        _report_group(cluster.bus, work.directory, collected)
+    if work.directory is not None:
+        work.directory.update_status(
             {task.name: _STATE_TO_STATUS[task.state] for task in tasks}
         )
     return result
@@ -334,6 +433,7 @@ def _execute_manifest_real(
     resume,
     lint,
     report,
+    cancel,
     backend_kwargs,
 ) -> RealCampaignResult:
     """The real-execution drive path: same stack, wall-clock substrate.
@@ -341,8 +441,9 @@ def _execute_manifest_real(
     Mirrors the simulated path stage for stage — lint gate, resume set
     computation, group span, checkpoint attach, report analysis, status
     compaction — but hands the pending runs to a
-    :class:`~repro.savanna.realexec.RealExecutor` and persists each
-    run's real outcome into the campaign directory.
+    :class:`~repro.savanna.realexec.RealExecutor` (with the external
+    ``cancel`` signal threaded through) and persists each run's real
+    outcome into the campaign directory.
     """
     app_fn = backend_kwargs.pop("app_fn", None)
     if app_fn is None:
@@ -359,31 +460,8 @@ def _execute_manifest_real(
     if lint:
         _pre_run_lint(manifest, bus, cluster, backend_kwargs)
     group = _resolve_group(manifest, group)
-    meta = manifest.group_meta(group)
+    work = _resolve_pending(manifest, group, directory, resume)
 
-    selected = manifest.runs_in_group(group)
-    checkpoint = None
-    skipped = 0
-    if directory is not None and not isinstance(directory, CampaignDirectory):
-        directory = resolve_campaign_dir(directory, manifest, create=True)
-    if directory is not None:
-        checkpoint = CampaignCheckpoint(directory)
-        if resume:
-            status = checkpoint.effective_status()
-            before = len(selected)
-            selected = tuple(
-                r for r in selected if status[r.run_id] is not RunStatus.DONE
-            )
-            skipped = before - len(selected)
-
-    sub = CampaignManifest(
-        campaign=manifest.campaign,
-        app=manifest.app,
-        runs=selected,
-        executable=manifest.executable,
-        objective=manifest.objective,
-        groups=(dict(meta),),
-    )
     executor = create_executor(backend, **backend_kwargs)
     collected: list = []
     unsubscribe = bus.subscribe(collected.append) if report else None
@@ -392,27 +470,31 @@ def _execute_manifest_real(
         phase=BEGIN,
         campaign=manifest.campaign,
         group=group,
-        runs=len(selected),
+        runs=len(work.sub.runs),
         backend=backend,
     )
-    if skipped:
+    if work.skipped:
         bus.emit(
             GROUP_RESUMED,
             campaign=manifest.campaign,
-            total=len(selected) + skipped,
-            skipped=skipped,
-            pending=len(selected),
+            total=len(work.sub.runs) + work.skipped,
+            skipped=work.skipped,
+            pending=len(work.sub.runs),
         )
-    if checkpoint is not None:
-        checkpoint.attach(bus)
+    if work.checkpoint is not None:
+        work.checkpoint.attach(bus)
     try:
         result = executor.execute(
-            sub, app_fn, bus=bus, name=f"{manifest.campaign}/{group}"
+            work.sub,
+            app_fn,
+            bus=bus,
+            name=f"{manifest.campaign}/{group}",
+            cancel=cancel,
         )
     finally:
-        if checkpoint is not None:
-            checkpoint.detach()
-            checkpoint.compact()
+        if work.checkpoint is not None:
+            work.checkpoint.detach()
+            work.checkpoint.compact()
     bus.emit(
         GROUP,
         phase=END,
@@ -422,14 +504,14 @@ def _execute_manifest_real(
     )
     if unsubscribe is not None:
         unsubscribe()
-        _report_group(bus, directory, collected)
-    if directory is not None:
-        directory.update_status(
+        _report_group(bus, work.directory, collected)
+    if work.directory is not None:
+        work.directory.update_status(
             {rid: _REAL_TO_STATUS[r.status] for rid, r in result.results.items()}
         )
         for rid, run_result in result.results.items():
             if run_result.status != "interrupted":
-                directory.write_run_result(rid, asdict(run_result))
+                work.directory.write_run_result(rid, asdict(run_result))
     return result
 
 

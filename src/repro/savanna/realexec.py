@@ -33,7 +33,11 @@ Cancellation: ``KeyboardInterrupt`` is caught, queued futures are
 cancelled (``shutdown(cancel_futures=True)``), one
 ``campaign.interrupted`` instant is emitted, and the partial results come
 back with ``status="interrupted"`` on everything unfinished — a resumed
-drive re-queues exactly those runs.
+drive re-queues exactly those runs.  The same graceful path is reachable
+programmatically: pass ``cancel=threading.Event()`` (or any zero-argument
+truth test) to :meth:`RealExecutor.execute` and set it from another
+thread — this is how :class:`repro.savanna.service.CampaignService`
+cancels a running submission without owning the executing thread.
 
 Caveats (documented, not hidden): a *running* attempt cannot be killed
 mid-flight by either pool, so a timed-out attempt is marked failed and
@@ -81,6 +85,21 @@ from repro.resilience.policy import RetryPolicy, as_policy
 
 #: Pool kinds the engine accepts.
 POOLS = ("threads", "processes")
+
+#: How often (seconds) the engine loop re-checks an external ``cancel=``
+#: signal while blocked waiting on in-flight futures.
+_CANCEL_POLL_INTERVAL = 0.05
+
+
+class CampaignCancelled(BaseException):
+    """Internal control-flow signal: an external ``cancel=`` fired.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``, whose graceful
+    shutdown path it shares) so an app callable's blanket ``except
+    Exception`` cannot swallow a cancellation.  Never escapes
+    :meth:`RealExecutor.execute` — callers observe
+    ``result.interrupted`` instead.
+    """
 
 
 def seed_for_run(base_seed: int, run_id: str) -> int:
@@ -330,6 +349,7 @@ class RealExecutor:
         run_filter: Callable[[str], bool] | None = None,
         bus: EventBus | None = None,
         name: str | None = None,
+        cancel=None,
     ) -> RealCampaignResult:
         """Execute (a filtered subset of) a manifest on the worker pool.
 
@@ -339,6 +359,17 @@ class RealExecutor:
         the exact taxonomy the checkpoint journal and the trace analytics
         consume.  Raises ``ValueError`` on duplicate ``run_id``s rather
         than silently keeping the last result.
+
+        ``cancel`` is an optional external stop signal — a
+        ``threading.Event`` or any zero-argument callable returning
+        truthy to stop.  It is polled between submissions (and at least
+        every ``0.05s`` while blocked on in-flight work); once set, the
+        engine takes the same graceful path as ``Ctrl-C``: queued futures
+        are cancelled, one ``campaign.interrupted`` instant is emitted,
+        and unfinished runs come back ``status="interrupted"`` (resumable
+        — they compact to PENDING in the checkpoint journal).  Running
+        attempts still cannot be killed mid-flight; they are abandoned to
+        the pool.
         """
         selected = [
             r for r in manifest.runs if run_filter is None or run_filter(r.run_id)
@@ -355,6 +386,9 @@ class RealExecutor:
         if bus is None:
             bus = EventBus(name="realexec")  # unobserved: emits are no-ops
         name = name or manifest.campaign
+        cancelled = (
+            cancel.is_set if hasattr(cancel, "is_set") else cancel
+        )  # Event or plain callable
 
         # One time base for events: the bus clock when it has one (the
         # drive layer's wall bus, or any caller-provided clock), else
@@ -559,6 +593,8 @@ class RealExecutor:
         pool = self._make_pool()
         try:
             while pending or delayed or running:
+                if cancelled is not None and cancelled():
+                    raise CampaignCancelled
                 mono = time.monotonic()
                 while delayed and delayed[0][0] <= mono:
                     pending.append([heapq.heappop(delayed)[2]])
@@ -568,6 +604,8 @@ class RealExecutor:
                 wakeups += [
                     i.deadline for i in running.values() if i.deadline is not None
                 ]
+                if cancelled is not None:  # poll the external stop signal
+                    wakeups.append(time.monotonic() + _CANCEL_POLL_INTERVAL)
                 wait_for = set(running) | set(abandoned)
                 if not wait_for:
                     if wakeups:  # only backoff delays remain: sleep them off
@@ -608,7 +646,7 @@ class RealExecutor:
                     settle(info, outcomes)
                 expire_overdue()
             pool.shutdown(wait=not abandoned, cancel_futures=False)
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, CampaignCancelled):
             result.interrupted = True
             # Graceful cancellation: queued futures are cancelled, running
             # ones are left to die with the pool; nothing blocks.

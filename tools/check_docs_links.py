@@ -15,6 +15,10 @@ verifies each against the working tree / the importable package:
    fenced code blocks.  Each must resolve: the longest importable
    module prefix is imported and the remaining segments looked up with
    ``getattr`` (so ``repro.cheetah.Campaign.to_manifest`` works).
+4. Fenced ``python`` blocks — every one must *compile*
+   (``compile(src, doc, "exec")``), so a doc example cannot rot into a
+   SyntaxError.  Examples with deliberate ellipses should use a
+   non-``python`` fence language (or none).
 
 Run directly (exits 1 and lists problems if any)::
 
@@ -133,6 +137,16 @@ def _fence_module_claims(lang: str, body: str):
     return claims
 
 
+def _compile_error(body: str, filename: str) -> str | None:
+    """Compile one fenced ``python`` block; return a short error string
+    on SyntaxError (line numbers are fence-relative), None when fine."""
+    try:
+        compile(body, filename, "exec")
+    except SyntaxError as exc:
+        return f"{exc.msg} (fence line {exc.lineno})"
+    return None
+
+
 def check_doc(doc: Path) -> list[str]:
     rel = doc.relative_to(REPO_ROOT)
     problems: list[str] = []
@@ -155,6 +169,10 @@ def check_doc(doc: Path) -> list[str]:
                 problems.append(f"{rel}: file `{candidate}` not found")
 
     for lang, body in fences:
+        if lang == "python":
+            err = _compile_error(body, str(rel))
+            if err:
+                problems.append(f"{rel}: ```python block does not compile: {err}")
         for claim in _fence_module_claims(lang, body):
             if not resolve_module_path(claim):
                 problems.append(f"{rel}: module path `{claim}` (in ```{lang} block) does not resolve")
@@ -177,7 +195,7 @@ def main() -> int:
     if problems:
         print(f"{len(problems)} problem(s) across {checked} docs")
         return 1
-    print(f"ok: {checked} docs, no broken links or module paths")
+    print(f"ok: {checked} docs — links, module paths, and python examples all check out")
     return 0
 
 

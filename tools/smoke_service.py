@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI smoke: three concurrent campaigns through one ``CampaignService``.
+
+Submits three campaigns on the ``local-threads`` backend to a
+two-worker service, cancels one mid-flight, and asserts:
+
+- every submission reaches a terminal state (DONE, DONE, CANCELLED);
+- the two surviving campaigns completed every run;
+- the cancelled one actually started and was cut short (some runs
+  ``interrupted``), proving cancellation reached a *running* drive;
+- the monitoring bus interleaved ``service.*`` lifecycle instants with
+  forwarded per-submission execution events.
+
+Run from the repo root (CI's ``service-smoke`` job does)::
+
+    PYTHONPATH=src python tools/smoke_service.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+
+from repro.cheetah import AppSpec, Campaign, RangeParameter, Sweep
+from repro.savanna import CampaignService, SubmissionState
+
+
+def app(params):
+    time.sleep(params.get("sleep", 0.01))
+    return params["x"] * 2
+
+
+def make_manifest(name: str, runs: int, sleep: float):
+    campaign = Campaign(name, app=AppSpec("smoke-app"))
+    group = campaign.sweep_group("g", nodes=2, walltime=600.0)
+    group.add(Sweep([RangeParameter("x", 0, runs - 1)]))
+    for run in (manifest := campaign.to_manifest()).runs:
+        run.parameters["sleep"] = sleep
+    return manifest
+
+
+async def drive() -> int:
+    events = []
+    service = CampaignService(max_workers=2, max_queue_depth=8)
+    service.bus.subscribe(events.append)
+
+    async with service:
+        fast_a = service.submit(make_manifest("smoke-a", 8, 0.01),
+                                backend="local-threads", app_fn=app,
+                                tenant="lab-a")
+        slow = service.submit(make_manifest("smoke-slow", 40, 0.1),
+                              backend="local-threads", app_fn=app,
+                              tenant="lab-b")
+        fast_b = service.submit(make_manifest("smoke-b", 8, 0.01),
+                                backend="local-threads", app_fn=app,
+                                tenant="lab-a")
+
+        # Let the slow campaign get genuinely underway, then cut it.
+        await asyncio.sleep(0.5)
+        slow.cancel()
+        await asyncio.gather(fast_a.wait(), slow.wait(), fast_b.wait())
+
+    failures: list[str] = []
+
+    def check(cond: bool, what: str) -> None:
+        (print(f"  ok: {what}") if cond else failures.append(what))
+
+    check(fast_a.status() is SubmissionState.DONE, "fast-a DONE")
+    check(fast_b.status() is SubmissionState.DONE, "fast-b DONE")
+    check(slow.status() is SubmissionState.CANCELLED, "slow CANCELLED")
+    for handle, label in ((fast_a, "fast-a"), (fast_b, "fast-b")):
+        result = handle.result["g"]
+        check(result.all_done, f"{label} completed every run")
+    slow_statuses = list(slow.result["g"].statuses().values())
+    check("interrupted" in slow_statuses,
+          f"cancel cut a running campaign ({slow_statuses.count('interrupted')} interrupted)")
+
+    names = [e.name for e in events]
+    check(names.count("service.submitted") == 3, "3 service.submitted events")
+    check(names.count("service.finished") == 2, "2 service.finished events")
+    check(names.count("service.cancelled") == 1, "1 service.cancelled event")
+    forwarded = [e for e in events if e.fields.get("submission")]
+    check(len({e.fields["submission"] for e in forwarded}) == 3,
+          "execution events forwarded from all 3 submissions")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print(f"service smoke ok: 3 submissions, {len(events)} bus events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(drive()))
