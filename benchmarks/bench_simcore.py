@@ -1,0 +1,350 @@
+#!/usr/bin/env python
+"""Simulator-core throughput benchmark: the perf-trajectory anchor.
+
+Measures three things and writes them, schema-versioned, to
+``benchmarks/results/BENCH_simcore.json``:
+
+- **simulated tasks/sec** of the default vectorized engine
+  (``repro.savanna._vector``) on the Figure-6 campaign workload — both
+  executors (static set-synchronized + dynamic pilot), GC disabled,
+  best-of-N rounds;
+- the same workload through the **per-event reference engine**
+  (``REPRO_SIMCORE=event``), with rounds *interleaved* vector/event so
+  machine drift hits both engines equally;
+- **report-fold latency**: events/sec of the streaming analytics builder
+  (:class:`~repro.observability.analysis.StreamingCampaignReport`)
+  folding the committed fig6 Chrome trace.
+
+Plus peak RSS for the whole benchmark process.
+
+Modes
+-----
+``--quick``
+    The committed Figure-6 shape (120 tasks / 20 nodes).  Small enough
+    for CI; the per-event dispatch overhead is only partially exposed at
+    this scale.
+full (default)
+    The fig6 campaign scaled to production size (20 000 tasks / 500
+    nodes, ~40 000 attempts).  This is where the vectorized core's
+    headline speedup vs the pre-change engine is measured.
+
+``--check BASELINE.json`` re-runs the current mode and gates against a
+committed baseline: exit 1 if tasks/sec regressed more than
+``--tolerance`` (default 20%), a loud warning — not a failure — if it
+*improved* more than the tolerance without the baseline being
+regenerated (an unexplained speedup usually means the workload changed,
+not the machine).
+
+Protocol notes
+--------------
+GC is collected then disabled around every timed region (the Task ↔
+TaskAttempt reference cycles otherwise trigger gen-2 collections mid
+run, adding double-digit-percent noise).  Timings are best-of-N because
+throughput is noise-bounded from above: the fastest round is the one
+least perturbed by the machine.  The ``prechange`` reference numbers
+were measured at commit 06aa00e (the last commit before the vectorized
+core landed) with this same script's workload, protocol, and
+interleaved A/B runs on the development machine; they are carried here
+so ``speedup_vs_prechange`` stays meaningful after the event engine
+itself picks up optimizations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cluster.cluster import ClusterSpec, SimulatedCluster  # noqa: E402
+from repro.cluster.job import Task  # noqa: E402
+from repro.observability.analysis import StreamingCampaignReport  # noqa: E402
+from repro.observability.recorder import events_from_trace  # noqa: E402
+from repro.savanna.pilot import PilotExecutor  # noqa: E402
+from repro.savanna.static import StaticSetExecutor  # noqa: E402
+
+SCHEMA = "repro.bench.simcore/v1"
+RESULTS = REPO / "benchmarks" / "results"
+DEFAULT_OUTPUT = RESULTS / "BENCH_simcore.json"
+FOLD_TRACE = RESULTS / "fig6_utilization_timeline.trace.json"
+
+#: Campaign seeds shared with the fig6 experiment drivers.
+SEED = 21
+
+MODES = {
+    # The fig6 campaign family at a CI-friendly size: ~16k attempts, a
+    # ~20 ms vector timed region (large enough that the +-20% CI gate
+    # does not flap on timer noise), a few seconds end to end.
+    "quick": {"n_tasks": 8_000, "nodes": 100, "walltime": 1.0e6, "rounds": 7},
+    # The same campaign family at production scale: ~40k task attempts
+    # across the two executors per round.
+    "full": {"n_tasks": 20_000, "nodes": 500, "walltime": 1.0e6, "rounds": 5},
+}
+
+#: Pre-change engine throughput, measured at commit 06aa00e (the last
+#: commit before the vectorized core) with this protocol — GC-off,
+#: best-of-N, interleaved A/B subprocess runs against the current tree
+#: on the development machine.  Session-to-session machine drift is
+#: +-15-20%, so the full-shape value is the *median of per-session
+#: bests* across eleven interleaved sessions (per-session bests ranged
+#: 64k-77k tasks/s) — the central estimate of the old engine's speed,
+#: not either tail.  The quick-shape value is the best observed in its
+#: interleaved session.
+PRECHANGE = {
+    "commit": "06aa00e",
+    "quick_tasks_per_sec": 84_160.0,
+    "full_tasks_per_sec": 73_153.0,
+    "protocol": (
+        "gc-disabled best-of-N wall time over both executors; rounds "
+        "interleaved with the candidate tree in alternating subprocesses; "
+        "full-shape reference is the median of per-session bests"
+    ),
+}
+
+
+def irf_tasks(n: int, seed: int = SEED) -> list[Task]:
+    """The fig6 iRF sweep: lognormal durations around a 600 s median."""
+    rng = np.random.default_rng(seed)
+    durations = rng.lognormal(mean=np.log(600.0), sigma=0.35, size=n)
+    return [Task(name=f"irf-{i:05d}", duration=float(d)) for i, d in enumerate(durations)]
+
+
+def one_round(n_tasks: int, nodes: int, walltime: float) -> tuple[float, int]:
+    """Run both executors over fresh state; return (seconds, attempts)."""
+    spec = ClusterSpec(
+        nodes=nodes, queue_sigma=0.0, queue_median_wait=120.0, node_mttf=2.0e6
+    )
+    c_static = SimulatedCluster(spec, seed=SEED)
+    c_pilot = SimulatedCluster(spec, seed=SEED)
+    t_static = irf_tasks(n_tasks)
+    t_pilot = irf_tasks(n_tasks)
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        r1 = StaticSetExecutor(c_static, set_gap=60.0).run(
+            t_static, nodes=nodes, walltime=walltime, max_allocations=1
+        )
+        r2 = PilotExecutor(c_pilot).run(
+            t_pilot, nodes=nodes, walltime=walltime, max_allocations=1
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    attempts = sum(len(o.attempts) for o in r1.outcomes) + sum(
+        len(o.attempts) for o in r2.outcomes
+    )
+    return elapsed, attempts
+
+
+def measure_engines(n_tasks: int, nodes: int, walltime: float, rounds: int):
+    """Interleaved best-of-N for the vector and event engines."""
+    best = {"vector": float("inf"), "event": float("inf")}
+    attempts = 0
+    for _ in range(rounds):
+        for engine in ("vector", "event"):
+            if engine == "event":
+                os.environ["REPRO_SIMCORE"] = "event"
+            else:
+                os.environ.pop("REPRO_SIMCORE", None)
+            elapsed, attempts = one_round(n_tasks, nodes, walltime)
+            best[engine] = min(best[engine], elapsed)
+    os.environ.pop("REPRO_SIMCORE", None)
+    return best, attempts
+
+
+def measure_report_fold() -> dict:
+    """Streaming-analytics fold rate over the committed fig6 trace."""
+    if not FOLD_TRACE.exists():
+        return {"trace": None, "events": 0, "seconds": None, "events_per_sec": None}
+    events = events_from_trace(FOLD_TRACE)
+    builder = StreamingCampaignReport()
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        builder.on_batch(events)
+        reports = builder.reports()
+        elapsed = time.perf_counter() - t0
+    finally:
+        gc.enable()
+    return {
+        "trace": FOLD_TRACE.name,
+        "events": len(events),
+        "seconds": elapsed,
+        "events_per_sec": len(events) / elapsed if elapsed > 0 else None,
+        "campaigns": len(reports),
+    }
+
+
+def run_bench(mode: str) -> dict:
+    shape = MODES[mode]
+    n_tasks, nodes, walltime, rounds = (
+        shape["n_tasks"],
+        shape["nodes"],
+        shape["walltime"],
+        shape["rounds"],
+    )
+    best, attempts = measure_engines(n_tasks, nodes, walltime, rounds)
+    tasks_per_sec = attempts / best["vector"]
+    event_tasks_per_sec = attempts / best["event"]
+    prechange_ref = PRECHANGE[f"{mode}_tasks_per_sec"]
+    # ru_maxrss is KiB on Linux, bytes on macOS; normalize to bytes.
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_rss_bytes = rss if sys.platform == "darwin" else rss * 1024
+    return {
+        "mode": mode,
+        "workload": {
+            "name": "fig6-irf-campaign" + ("" if mode == "quick" else "-scaled"),
+            "n_tasks": n_tasks,
+            "nodes": nodes,
+            "walltime": walltime,
+            "executors": ["static-set(set_gap=60)", "pilot"],
+            "seed": SEED,
+        },
+        "protocol": f"gc-disabled best-of-{rounds}, vector/event rounds interleaved",
+        "rounds": rounds,
+        "attempts": attempts,
+        "best_seconds": best["vector"],
+        "tasks_per_sec": tasks_per_sec,
+        "event_tasks_per_sec": event_tasks_per_sec,
+        "speedup_vs_event": tasks_per_sec / event_tasks_per_sec,
+        "prechange": {
+            "commit": PRECHANGE["commit"],
+            "tasks_per_sec": prechange_ref,
+            "protocol": PRECHANGE["protocol"],
+        },
+        "speedup_vs_prechange": tasks_per_sec / prechange_ref,
+        "peak_rss_bytes": peak_rss_bytes,
+        "report_fold": measure_report_fold(),
+    }
+
+
+def check_against(result: dict, baseline_path: Path, tolerance: float) -> int:
+    """Gate ``result`` against a committed baseline; returns exit code."""
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("schema") != SCHEMA:
+        print(
+            f"FAIL: baseline {baseline_path} has schema "
+            f"{baseline.get('schema')!r}, expected {SCHEMA!r}"
+        )
+        return 1
+    mode_baseline = baseline.get("modes", {}).get(result["mode"])
+    if mode_baseline is None:
+        print(
+            f"FAIL: baseline {baseline_path} has no {result['mode']!r} "
+            "entry; regenerate the baseline"
+        )
+        return 1
+    base = mode_baseline["tasks_per_sec"]
+    cur = result["tasks_per_sec"]
+    ratio = cur / base
+    line = (
+        f"tasks/sec: current {cur:,.0f} vs baseline {base:,.0f} "
+        f"({ratio - 1.0:+.1%} vs baseline, tolerance +-{tolerance:.0%})"
+    )
+    if ratio < 1.0 - tolerance:
+        print(f"FAIL: {line}")
+        print(
+            "The simulator core regressed beyond tolerance. If this is "
+            "expected (intentional trade-off), regenerate the baseline: "
+            "python benchmarks/bench_simcore.py --quick"
+        )
+        return 1
+    if ratio > 1.0 + tolerance:
+        print(f"WARN: {line}")
+        print(
+            "Unexplained speedup beyond tolerance — the workload or the "
+            "machine class likely changed. Regenerate the committed "
+            "baseline so the gate keeps teeth."
+        )
+        return 0
+    print(f"OK: {line}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI shape (8000 tasks / 100 nodes)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help=f"where to write the JSON (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed BENCH_simcore.json; exit 1 on "
+        "regression beyond tolerance, warn on unexplained speedup",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="relative tasks/sec tolerance for --check (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    result = run_bench(mode)
+    print(
+        f"[{mode}] {result['attempts']} attempts in {result['best_seconds']:.3f}s "
+        f"best-of-{result['rounds']}: {result['tasks_per_sec']:,.0f} tasks/s "
+        f"(event engine {result['event_tasks_per_sec']:,.0f}, "
+        f"{result['speedup_vs_event']:.2f}x; pre-change reference "
+        f"{result['prechange']['tasks_per_sec']:,.0f} @ "
+        f"{result['prechange']['commit']}, "
+        f"{result['speedup_vs_prechange']:.2f}x)"
+    )
+    fold = result["report_fold"]
+    if fold["events"]:
+        print(
+            f"[report-fold] {fold['events']} events in {fold['seconds']:.4f}s "
+            f"({fold['events_per_sec']:,.0f} events/s, "
+            f"{fold['campaigns']} campaign(s))"
+        )
+    print(f"[rss] peak {result['peak_rss_bytes'] / 1e6:,.1f} MB")
+
+    exit_code = 0
+    if args.check is not None:
+        exit_code = check_against(result, args.check, args.tolerance)
+
+    # The committed file carries one entry per mode (full = the headline
+    # speedup evidence, quick = the CI gate baseline); writing one mode
+    # merges into the other's entry instead of discarding it.  Under
+    # --check the fresh result is only written when --output names an
+    # explicit destination (CI uploads it as an artifact) so a gate run
+    # never clobbers the committed baseline it just compared against.
+    if args.check is None or args.output is not None:
+        output = args.output or DEFAULT_OUTPUT
+        output.parent.mkdir(parents=True, exist_ok=True)
+        document = {"schema": SCHEMA, "modes": {}}
+        if output.exists():
+            try:
+                existing = json.loads(output.read_text())
+                if existing.get("schema") == SCHEMA:
+                    document = existing
+            except (json.JSONDecodeError, OSError):
+                pass
+        document.setdefault("modes", {})[mode] = result
+        output.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"[wrote {output} ({mode} entry)]")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,9 +30,12 @@ class TaskState(enum.Enum):
 _task_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One schedulable unit of work.
+
+    Slotted like :class:`TaskAttempt`: the simulator's hot loops read
+    ``duration``/``state``/``attempts`` once or more per attempt.
 
     Parameters
     ----------
@@ -64,9 +67,13 @@ class Task:
         return self.state is TaskState.DONE
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskAttempt:
-    """One placement of a task onto nodes: start/end times and outcome."""
+    """One placement of a task onto nodes: start/end times and outcome.
+
+    Slotted: campaigns create one of these per attempt on the simulator
+    hot path, so construction and field access are worth keeping lean.
+    """
 
     task: Task
     node_indices: list[int]

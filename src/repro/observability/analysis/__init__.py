@@ -4,12 +4,16 @@ PR 1 taught every layer to *emit* structured events; this package reads
 them back out: span-tree reconstruction (:mod:`.spans`), the campaign
 performance report — critical path, wait-time attribution, stragglers,
 retry hotspots, utilization timeline — (:mod:`.report`), baseline/candidate
-diffing with a CI regression gate (:mod:`.diff`), and the report file
-format (:mod:`.io`).
+diffing with a CI regression gate (:mod:`.diff`), the report file
+format (:mod:`.io`), and the streaming builder that folds a live stream
+into the same reports without buffering it (:mod:`.streaming`).
 
 Entry points:
 
 - ``analyze_events(recorder.events)`` — reports for a live capture;
+- ``StreamingCampaignReport().attach(bus)`` — the same reports folded
+  incrementally off the live bus (O(1) memory per event, mid-run
+  ``progress()`` snapshots), no event buffer;
 - ``analyze_events(events_from_trace("fig6.trace.json"))`` — the same for
   a saved Chrome trace;
 - ``python -m repro.observability report <trace.json>`` /
@@ -33,6 +37,7 @@ from repro.observability.analysis.report import (
     robust_threshold,
 )
 from repro.observability.analysis.spans import AllocSpan, CampaignSpan, SpanTrace, TaskSpan
+from repro.observability.analysis.streaming import StreamingCampaignReport
 
 __all__ = [
     "REPORT_SCHEMA",
@@ -42,6 +47,7 @@ __all__ = [
     "CampaignSpan",
     "ReportDiff",
     "SpanTrace",
+    "StreamingCampaignReport",
     "TaskSpan",
     "analyze_events",
     "diff_reports",

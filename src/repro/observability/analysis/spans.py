@@ -106,7 +106,18 @@ class CampaignSpan:
 
 @dataclass
 class SpanTrace:
-    """Every reconstructed span plus the instants analysis cares about."""
+    """Every reconstructed span plus the instants analysis cares about.
+
+    Two ways to build one:
+
+    - :meth:`from_events` — the classic one-shot pass over a complete
+      stream (live capture or loaded trace);
+    - :meth:`feed` one event at a time (or :meth:`feed_batch`), then
+      :meth:`close_open` when the stream ends — the incremental form the
+      streaming report builder (:mod:`.streaming`) drives directly off
+      the bus.  Both produce identical traces for identical streams:
+      ``from_events`` *is* the feed loop.
+    """
 
     campaigns: list = field(default_factory=list)  # list[CampaignSpan]
     allocs: list = field(default_factory=list)  # list[AllocSpan]
@@ -117,115 +128,144 @@ class SpanTrace:
     last_time: float = 0.0
     n_events: int = 0
 
+    def __post_init__(self) -> None:
+        # Per-pid open-span state.  The emission contract nests spans
+        # physically (task inside alloc inside campaign), so "the open
+        # alloc on this pid" is unambiguous at any point in the stream.
+        self._open_campaign: dict[int, CampaignSpan] = {}
+        self._open_group: dict[int, dict] = {}
+        self._open_alloc: dict[int, AllocSpan] = {}
+        self._open_tasks: dict[tuple, TaskSpan] = {}
+        self._pending_submits: dict[tuple, float] = {}  # (pid, job) -> submit
+
     @classmethod
     def from_events(cls, events) -> "SpanTrace":
         """One ordered pass over the stream; see the module docstring."""
         trace = cls()
-        # Per-pid open-span state.  The emission contract nests spans
-        # physically (task inside alloc inside campaign), so "the open
-        # alloc on this pid" is unambiguous at any point in the stream.
-        open_campaign: dict[int, CampaignSpan] = {}
-        open_group: dict[int, dict] = {}
-        open_alloc: dict[int, AllocSpan] = {}
-        open_tasks: dict[tuple, TaskSpan] = {}
-        pending_submits: dict[tuple, float] = {}  # (pid, job) -> submit time
-        retries = trace.retries_by_task
-        backoffs = trace.backoff_by_task
-
+        feed = trace.feed
         for event in events:
-            trace.n_events += 1
-            trace.last_time = max(trace.last_time, event.time)
-            pid, f = event.pid, event.fields
-            if event.name == CAMPAIGN:
-                if event.phase == BEGIN:
-                    span = CampaignSpan(
-                        pid=pid,
-                        name=f.get("campaign", "(campaign)"),
-                        start=event.time,
-                        tasks=f.get("tasks"),
-                        group=(open_group.get(pid) or {}).get("group"),
-                    )
-                    open_campaign[pid] = span
-                    trace.campaigns.append(span)
-                elif event.phase == END and pid in open_campaign:
-                    span = open_campaign.pop(pid)
-                    span.end = event.time
-                    span.completed = f.get("completed")
-                    span.allocations = f.get("allocations")
-            elif event.name == GROUP and event.phase == BEGIN:
-                open_group[pid] = dict(f)
-            elif event.name == GROUP and event.phase == END:
-                open_group.pop(pid, None)
-            elif event.name == GROUP_RESUMED:
-                campaign = open_campaign.get(pid)
-                if campaign is not None:
-                    campaign.resumed_skipped = f.get("skipped", 0)
-            elif event.name == ALLOC_SUBMITTED:
-                pending_submits[(pid, f.get("job"))] = event.time
-            elif event.name == ALLOC:
-                if event.phase == BEGIN:
-                    span = AllocSpan(
-                        pid=pid,
-                        index=f.get("alloc", len(trace.allocs)),
-                        job=f.get("job"),
-                        nodes=tuple(f.get("nodes", ())),
-                        start=event.time,
-                        deadline=f.get("deadline"),
-                        submitted=pending_submits.pop((pid, f.get("job")), None),
-                        campaign=getattr(open_campaign.get(pid), "name", None),
-                    )
-                    open_alloc[pid] = span
-                    trace.allocs.append(span)
-                elif event.phase == END and pid in open_alloc:
-                    span = open_alloc.pop(pid)
-                    span.end = event.time
-                    span.reason = f.get("reason")
-            elif event.name == TASK:
-                key = (pid, f.get("task_id"))
-                if event.phase == BEGIN:
-                    alloc = open_alloc.get(pid)
-                    span = TaskSpan(
-                        pid=pid,
-                        task_id=f.get("task_id"),
-                        name=f.get("task", "(task)"),
-                        node=f.get("node"),
-                        nodes=tuple(f.get("nodes") or ((f.get("node"),) if f.get("node") is not None else ())),
-                        attempt=f.get("attempt", 1),
-                        start=event.time,
-                        payload=dict(f.get("payload") or {}),
-                        alloc=alloc.index if alloc is not None else None,
-                        group=(open_group.get(pid) or {}).get("group"),
-                        campaign=getattr(open_campaign.get(pid), "name", None),
-                    )
-                    open_tasks[key] = span
-                    trace.tasks.append(span)
-                elif event.phase == END and key in open_tasks:
-                    span = open_tasks.pop(key)
-                    span.end = event.time
-                    span.outcome = f.get("outcome")
-                    span.retries_granted = retries.get(key, 0)
-                    span.backoff = backoffs.get(key, 0.0)
-            elif event.name == TASK_RETRY:
-                key = (pid, f.get("task_id"))
-                retries[key] = retries.get(key, 0) + 1
-                backoffs[key] = backoffs.get(key, 0.0) + float(f.get("delay") or 0.0)
-            elif event.name == TASK_TIMEOUT:
-                span = open_tasks.get((pid, f.get("task_id")))
-                if span is not None:
-                    span.timed_out = True
-            elif event.name == TASK_FAULT_INJECTED:
-                span = open_tasks.get((pid, f.get("task_id")))
-                if span is not None:
-                    span.faults += 1
-            elif event.name == TASK_REQUEUED:
-                trace.requeues.append(event)
-
-        # Close anything a truncated capture left open at the last
-        # observed instant, so durations stay finite and analyzable.
-        for span in (*open_tasks.values(), *open_alloc.values(), *open_campaign.values()):
-            if span.end is None:
-                span.end = trace.last_time
+            feed(event)
+        trace.close_open()
         return trace
+
+    def feed_batch(self, events) -> None:
+        """Fold a batch of events, in order (``EventBus.publish_batch``)."""
+        feed = self.feed
+        for event in events:
+            feed(event)
+
+    def feed(self, event) -> None:
+        """Fold one event into the span tree as it arrives."""
+        open_campaign = self._open_campaign
+        open_group = self._open_group
+        open_alloc = self._open_alloc
+        open_tasks = self._open_tasks
+        pending_submits = self._pending_submits
+        retries = self.retries_by_task
+        backoffs = self.backoff_by_task
+
+        self.n_events += 1
+        self.last_time = max(self.last_time, event.time)
+        pid, f = event.pid, event.fields
+        if event.name == CAMPAIGN:
+            if event.phase == BEGIN:
+                span = CampaignSpan(
+                    pid=pid,
+                    name=f.get("campaign", "(campaign)"),
+                    start=event.time,
+                    tasks=f.get("tasks"),
+                    group=(open_group.get(pid) or {}).get("group"),
+                )
+                open_campaign[pid] = span
+                self.campaigns.append(span)
+            elif event.phase == END and pid in open_campaign:
+                span = open_campaign.pop(pid)
+                span.end = event.time
+                span.completed = f.get("completed")
+                span.allocations = f.get("allocations")
+        elif event.name == GROUP and event.phase == BEGIN:
+            open_group[pid] = dict(f)
+        elif event.name == GROUP and event.phase == END:
+            open_group.pop(pid, None)
+        elif event.name == GROUP_RESUMED:
+            campaign = open_campaign.get(pid)
+            if campaign is not None:
+                campaign.resumed_skipped = f.get("skipped", 0)
+        elif event.name == ALLOC_SUBMITTED:
+            pending_submits[(pid, f.get("job"))] = event.time
+        elif event.name == ALLOC:
+            if event.phase == BEGIN:
+                span = AllocSpan(
+                    pid=pid,
+                    index=f.get("alloc", len(self.allocs)),
+                    job=f.get("job"),
+                    nodes=tuple(f.get("nodes", ())),
+                    start=event.time,
+                    deadline=f.get("deadline"),
+                    submitted=pending_submits.pop((pid, f.get("job")), None),
+                    campaign=getattr(open_campaign.get(pid), "name", None),
+                )
+                open_alloc[pid] = span
+                self.allocs.append(span)
+            elif event.phase == END and pid in open_alloc:
+                span = open_alloc.pop(pid)
+                span.end = event.time
+                span.reason = f.get("reason")
+        elif event.name == TASK:
+            key = (pid, f.get("task_id"))
+            if event.phase == BEGIN:
+                alloc = open_alloc.get(pid)
+                span = TaskSpan(
+                    pid=pid,
+                    task_id=f.get("task_id"),
+                    name=f.get("task", "(task)"),
+                    node=f.get("node"),
+                    nodes=tuple(f.get("nodes") or ((f.get("node"),) if f.get("node") is not None else ())),
+                    attempt=f.get("attempt", 1),
+                    start=event.time,
+                    payload=dict(f.get("payload") or {}),
+                    alloc=alloc.index if alloc is not None else None,
+                    group=(open_group.get(pid) or {}).get("group"),
+                    campaign=getattr(open_campaign.get(pid), "name", None),
+                )
+                open_tasks[key] = span
+                self.tasks.append(span)
+            elif event.phase == END and key in open_tasks:
+                span = open_tasks.pop(key)
+                span.end = event.time
+                span.outcome = f.get("outcome")
+                span.retries_granted = retries.get(key, 0)
+                span.backoff = backoffs.get(key, 0.0)
+        elif event.name == TASK_RETRY:
+            key = (pid, f.get("task_id"))
+            retries[key] = retries.get(key, 0) + 1
+            backoffs[key] = backoffs.get(key, 0.0) + float(f.get("delay") or 0.0)
+        elif event.name == TASK_TIMEOUT:
+            span = open_tasks.get((pid, f.get("task_id")))
+            if span is not None:
+                span.timed_out = True
+        elif event.name == TASK_FAULT_INJECTED:
+            span = open_tasks.get((pid, f.get("task_id")))
+            if span is not None:
+                span.faults += 1
+        elif event.name == TASK_REQUEUED:
+            self.requeues.append(event)
+
+    def close_open(self) -> None:
+        """Close anything the stream left open at the last observed time.
+
+        Durations stay finite and analyzable for truncated captures
+        (a crashed driver, a partial recording).  Idempotent; call when
+        the stream ends — further :meth:`feed` calls still work, but a
+        span closed here stays closed.
+        """
+        for span in (
+            *self._open_tasks.values(),
+            *self._open_alloc.values(),
+            *self._open_campaign.values(),
+        ):
+            if span.end is None:
+                span.end = self.last_time
 
     # -- selection -----------------------------------------------------------
 

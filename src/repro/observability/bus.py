@@ -16,6 +16,15 @@ Two subscription scopes exist:
 Emission is near-free when nobody listens: ``emit`` returns ``None``
 without building an :class:`Event`, so instrumented hot paths cost one
 truthiness check per event in unobserved runs.
+
+Batched emission: hot paths that produce many events at one code site
+(the vectorized executors, trace replay, bench harnesses) can hand the
+bus a whole batch at once via :meth:`EventBus.publish_batch`.  Ordering
+and sequence numbering are identical to the equivalent ``emit`` loop —
+subscribers that only understand single events observe the exact same
+stream — but subscribers that declare an ``on_batch`` method (the
+Chrome-trace recorder, the streaming report builder) receive the batch
+in one call, dropping the per-event Python function-call overhead.
 """
 
 from __future__ import annotations
@@ -32,8 +41,11 @@ class SubscriberError(UserWarning):
 
     Delivery is isolated: a raising subscriber (a buggy analyzer, a
     broken metrics sink) must not kill the simulation it observes, so
-    ``emit`` catches the exception, issues one warning per subscriber,
-    and keeps delivering to the rest.  Filter with
+    ``emit`` catches the exception, issues one warning per subscriber
+    *per event name* — each warning names the event that triggered it,
+    so a subscriber that chokes on ``task`` events and later on
+    ``alloc`` events reports both without a local repro — and keeps
+    delivering to the rest.  Filter with
     ``warnings.filterwarnings("error", category=SubscriberError)`` to
     surface subscriber bugs hard in tests.
     """
@@ -94,9 +106,13 @@ class EventBus:
         Returns an unsubscribe callable (idempotent).  Subscribers run
         synchronously in subscription order.  An exception in one is
         *isolated*: it is reported as a :class:`SubscriberError` warning
-        (once per subscriber per bus) and delivery continues — an
-        observer bug must not alter, let alone kill, the run it
-        observes.
+        (once per subscriber per event name per bus, naming the event
+        that triggered it) and delivery continues — an observer bug must
+        not alter, let alone kill, the run it observes.
+
+        A subscriber object may additionally expose an ``on_batch(events)``
+        method; :meth:`publish_batch` will then deliver whole batches in
+        one call instead of one call per event.
         """
         self._subscribers.append(callback)
 
@@ -141,17 +157,82 @@ class EventBus:
             try:
                 callback(event)
             except Exception as exc:
-                if id(callback) not in self._warned:
-                    self._warned.add(id(callback))
-                    warnings.warn(
-                        f"subscriber {callback!r} on {self.name} raised "
-                        f"{exc!r} at event {name!r}; it stays subscribed "
-                        "and delivery continues (further failures of this "
-                        "subscriber are silent)",
-                        SubscriberError,
-                        stacklevel=2,
-                    )
+                self._warn_subscriber(callback, name, exc)
         return event
+
+    def publish_batch(self, specs) -> list[Event] | None:
+        """Build and deliver many events in one call; returns them.
+
+        ``specs`` is an iterable of ``(name, phase, time, fields)``
+        tuples (``phase``/``time``/``fields`` optional — ``None`` means
+        the :meth:`emit` default).  Sequence numbers are assigned in
+        input order, so the resulting stream is indistinguishable from
+        the equivalent ``emit`` loop; returns ``None`` without building
+        anything when nobody listens.
+
+        Subscribers exposing an ``on_batch(events)`` method receive the
+        whole batch in a single call (the Chrome-trace recorder and the
+        streaming report builder do); plain callables are invoked once
+        per event, in order.  Isolation matches :meth:`emit`: a raising
+        subscriber is warned about (with the event name that triggered
+        it) and the rest of the delivery proceeds.
+        """
+        if not self._subscribers and not _GLOBAL_SUBSCRIBERS:
+            return None
+        default_time = None
+        events: list[Event] = []
+        seq = self._seq
+        for spec in specs:
+            name, phase, time, fields = spec
+            if phase is None:
+                phase = INSTANT
+            if time is None:
+                if default_time is None:
+                    default_time = self.clock() if self.clock is not None else 0.0
+                time = default_time
+            events.append(
+                Event(
+                    name=name,
+                    time=float(time),
+                    phase=phase,
+                    seq=seq,
+                    pid=self.pid,
+                    fields=dict(fields) if fields else {},
+                )
+            )
+            seq += 1
+        self._seq = seq
+        if not events:
+            return events
+        for callback in (*self._subscribers, *_GLOBAL_SUBSCRIBERS):
+            batch_cb = getattr(callback, "on_batch", None)
+            if batch_cb is not None:
+                try:
+                    batch_cb(events)
+                except Exception as exc:
+                    self._warn_subscriber(callback, events[0].name, exc, batch=len(events))
+                continue
+            for event in events:
+                try:
+                    callback(event)
+                except Exception as exc:
+                    self._warn_subscriber(callback, event.name, exc)
+        return events
+
+    def _warn_subscriber(self, callback, name: str, exc: Exception, batch: int = 0) -> None:
+        """Report one isolated subscriber failure (once per event name)."""
+        key = (id(callback), name)
+        if key in self._warned:
+            return
+        self._warned.add(key)
+        where = f"batch of {batch} events starting at {name!r}" if batch else f"event {name!r}"
+        warnings.warn(
+            f"subscriber {callback!r} on {self.name} raised {exc!r} at "
+            f"{where}; it stays subscribed and delivery continues (further "
+            f"failures of this subscriber at {name!r} are silent)",
+            SubscriberError,
+            stacklevel=3,
+        )
 
     @contextmanager
     def span(self, name: str, **fields):

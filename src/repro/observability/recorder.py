@@ -70,8 +70,13 @@ class TraceRecorder:
     # -- attachment ----------------------------------------------------------
 
     def attach(self, bus: EventBus) -> "TraceRecorder":
-        """Subscribe to one bus (chainable); see also :meth:`recording`."""
-        self._unsubscribers.append(bus.subscribe(self.record))
+        """Subscribe to one bus (chainable); see also :meth:`recording`.
+
+        The recorder subscribes as *itself* (it is callable), so the bus
+        sees its :meth:`on_batch` method and delivers batched emissions
+        (:meth:`EventBus.publish_batch`) in one call per batch.
+        """
+        self._unsubscribers.append(bus.subscribe(self))
         return self
 
     def detach(self) -> None:
@@ -92,7 +97,7 @@ class TraceRecorder:
                 fig6_timeline()
             rec.write_chrome_trace("fig6.json")
         """
-        unsubscribe = subscribe_all(self.record)
+        unsubscribe = subscribe_all(self)
         try:
             yield self
         finally:
@@ -104,6 +109,20 @@ class TraceRecorder:
         """Append one event and fold it into the standard metrics."""
         self.events.append(event)
         self._update_metrics(event)
+
+    #: Recorders are plain callables too, so ``bus.subscribe(rec)`` works
+    #: and per-event delivery hits :meth:`record` directly.
+    __call__ = record
+
+    def record_batch(self, events: list[Event]) -> None:
+        """Append a whole batch (one list extend, then metric folds)."""
+        self.events.extend(events)
+        update = self._update_metrics
+        for event in events:
+            update(event)
+
+    #: Batch-aware subscriber protocol hook (see ``EventBus.publish_batch``).
+    on_batch = record_batch
 
     def _update_metrics(self, event: Event) -> None:
         m = self.metrics

@@ -1,0 +1,1122 @@
+"""Vectorized within-allocation fast path (internal).
+
+The event-driven engines in :mod:`repro.savanna._alloc` pay several
+Python function calls, one simulator event, and one scalar RNG draw per
+task attempt.  For the workloads the figure benches actually run —
+single-node bag-of-tasks campaigns with no fault injector — the whole
+allocation can instead be simulated *synchronously* inside ``start()``
+with a local binary heap, batched failure draws, and direct
+busy-interval writes, then surfaced to the rest of the stack through a
+single simulator event (the early finish) or the scheduler's existing
+walltime kill.
+
+The contract is **bit-exactness**, not approximation.  A vectorized run
+must be indistinguishable from the event-driven run it replaces:
+
+- identical task states, attempt records (start/end/outcome/placement),
+  and outcome lists (``attempts``/``completed``/``failed``/``killed``)
+  in identical order;
+- identical node ``busy_intervals``;
+- an identical event stream on the cluster bus when anyone is
+  subscribed, emitted through
+  :meth:`~repro.observability.EventBus.publish_batch` with the same
+  names, phases, timestamps, field dicts, and sequence numbers the
+  per-event path would have produced;
+- identical failure-RNG stream consumption, so campaigns that mix
+  vectorized and event-driven allocations stay reproducible.  Batched
+  ``Generator.exponential`` draws are bit-identical to the equivalent
+  scalar draws, so :class:`_FailureDraws` samples speculatively from a
+  deep-copied generator and then advances the real stream by exactly
+  the number of draws consumed.
+
+Eligibility (:func:`vector_eligible`): no fault injector (its per-launch
+``decide`` consults a separate stream and can degrade nodes mid-attempt)
+and single-node tasks only.  Everything else — heterogeneous node
+speeds, failure sampling, retry policies with backoff and budgets,
+timeouts, walltime kills, multi-allocation resume — is handled here.
+``REPRO_SIMCORE=event`` in the environment forces the event-driven path
+(the bench harness uses it to measure the speedup).
+
+The semantic fine print replicated from the event path, for the next
+reader who has to extend this: at equal timestamps the walltime-kill
+event always wins (it is scheduled before any task event, so it holds a
+lower sequence number) — an attempt ending exactly at the deadline is
+KILLED; freed nodes re-enter a FIFO free list and survive set barriers;
+killed tasks are finalized in launch order with busy intervals cut at
+the deadline; a backoff timer that outlives its allocation resolves to
+a terminal failure for that allocation's outcome without touching task
+state.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from collections import deque
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
+from itertools import islice
+from operator import attrgetter
+
+import numpy as np
+
+from repro.cluster.job import TaskAttempt, TaskState
+from repro.observability.events import (
+    BEGIN,
+    END,
+    INSTANT,
+    NODE_BUSY,
+    NODE_IDLE,
+    TASK,
+    TASK_REQUEUED,
+    TASK_RETRY,
+    TASK_TIMEOUT,
+)
+from repro.resilience.policy import RetryPolicy
+from repro.savanna._alloc import PilotRun, StaticSetRun
+
+_DONE = TaskState.DONE
+_FAILED = TaskState.FAILED
+_KILLED = TaskState.KILLED
+_PENDING = TaskState.PENDING
+_RUNNING = TaskState.RUNNING
+
+#: Local heap entry kinds: [time, seq, kind, task, attempt|index, node, result, timed_out]
+_END_EV, _REQUEUE_EV, _RELAUNCH_EV, _BARRIER_EV = 0, 1, 2, 3
+
+
+def simcore_mode() -> str:
+    """Which within-allocation engine to prefer: ``vector`` or ``event``."""
+    return os.environ.get("REPRO_SIMCORE", "vector")
+
+
+_task_nodes = attrgetter("nodes")
+
+
+def vector_eligible(cluster, tasks) -> bool:
+    """True when the allocation can take the vectorized fast path."""
+    if simcore_mode() == "event":
+        return False
+    if cluster.faults is not None:
+        return False
+    # set(map(...)) scans at C speed; campaigns hand us tens of
+    # thousands of tasks and this runs per allocation.
+    counts = set(map(_task_nodes, tasks))
+    return not counts or counts == {1}
+
+
+class _FailureDraws:
+    """Batched failure sampling that preserves the scalar RNG stream.
+
+    Draws come from a deep copy of the failure model's generator in
+    growing batches (batched ``exponential`` is bit-identical to the
+    same number of scalar draws); :meth:`commit` then advances the
+    *real* generator by exactly the consumed count, leaving its state
+    byte-identical to what the event-driven path (one scalar draw per
+    launch) would have produced.
+    """
+
+    __slots__ = ("_failures", "_scale", "_clone", "_buf", "_pos", "_size", "_consumed")
+
+    def __init__(self, failures, hint: int = 64):
+        # Caller guarantees failures.mttf is not None.  Replicate the
+        # event path's arithmetic exactly: scale = 1.0 / (nodes / mttf)
+        # with nodes == 1, which is not always bit-equal to mttf itself.
+        hazard = 1 / failures.mttf
+        self._scale = 1.0 / hazard
+        self._failures = failures
+        self._clone = copy.deepcopy(failures._rng)
+        self._buf = ()
+        self._pos = 0
+        self._size = max(8, hint)
+        self._consumed = 0
+
+    def next(self, duration: float) -> float | None:
+        """Time-to-failure within ``[0, duration)``, or None (one draw)."""
+        pos = self._pos
+        if pos == len(self._buf):
+            self._buf = self._clone.exponential(self._scale, size=self._size)
+            self._size = min(self._size * 2, 8192)
+            pos = 0
+        t = self._buf[pos]
+        self._pos = pos + 1
+        self._consumed += 1
+        return float(t) if t < duration else None
+
+    def refill_list(self) -> list[float]:
+        """Next batch of speculative draws as plain Python floats.
+
+        Used by the unobserved fast loops, which walk the list with
+        local index variables instead of calling :meth:`next` per
+        launch; they report consumption through :meth:`note_consumed`.
+        ``tolist()`` converts ``float64`` values exactly, so comparisons
+        against durations are bit-identical to the scalar path.
+        """
+        buf = self._clone.exponential(self._scale, size=self._size)
+        self._size = min(self._size * 2, 8192)
+        return buf.tolist()
+
+    def note_consumed(self, count: int) -> None:
+        """Record draws consumed via :meth:`refill_list` batches."""
+        self._consumed += count
+
+    def commit(self) -> None:
+        """Advance the real stream by exactly the draws consumed."""
+        if self._consumed:
+            self._failures._rng.exponential(self._scale, size=self._consumed)
+
+
+class _VectorAllocationMixin:
+    """Synchronous-simulation machinery shared by both vectorized runs."""
+
+    def _vector_setup(self, task_count: int) -> None:
+        self._free_nodes = deque(self.alloc.nodes)
+        self._heap: list[list] = []
+        self._vseq = 0
+        #: task_id -> heap entry; insertion order == launch order, which
+        #: is the order on_walltime_kill finalizes interrupted attempts.
+        self._vrunning: dict[int, list] = {}
+        self._observed = self.bus.has_subscribers
+        self._specs: list | None = [] if self._observed else None
+        failures = self.cluster.failures
+        self._draws = (
+            _FailureDraws(failures, hint=task_count) if failures.mttf is not None else None
+        )
+        # Policies that don't override timeout_for (all the built-ins)
+        # have a task-independent cap; hoist it out of the launch loop.
+        if type(self.policy).timeout_for is RetryPolicy.timeout_for:
+            self._timeout_const = True
+            self._timeout = self.policy.task_timeout
+        else:
+            self._timeout_const = False
+            self._timeout = None
+
+    def _vlaunch(self, task, now: float) -> None:
+        """Place one single-node task; mirrors ``_BaseAllocationRun._launch``."""
+        node = self._free_nodes.popleft()
+        task.state = _RUNNING
+        attempt = TaskAttempt(task=task, node_indices=[node.index], start=now)
+        task.attempts.append(attempt)
+        self.outcome.attempts.append(attempt)
+        # effective_speed == speed while no fault has degraded the node
+        # (x / 1.0 is exact), and eligibility excludes the fault injector.
+        elapsed = task.duration / node.speed
+        result = _DONE
+        timed_out = False
+        if self._draws is not None:
+            fail_at = self._draws.next(elapsed)
+            if fail_at is not None:
+                elapsed = fail_at
+                result = _FAILED
+        timeout = self._timeout if self._timeout_const else self.policy.timeout_for(task)
+        if timeout is not None and timeout < elapsed:
+            elapsed, result, timed_out = timeout, _FAILED, True
+        seq = self._vseq
+        self._vseq = seq + 1
+        entry = [float(now + elapsed), seq, _END_EV, task, attempt, node, result, timed_out]
+        heappush(self._heap, entry)
+        self._vrunning[task.task_id] = entry
+        if self._observed:
+            self._specs.append((NODE_BUSY, INSTANT, now, {"node": node.index}))
+            self._specs.append(
+                (
+                    TASK,
+                    BEGIN,
+                    now,
+                    {
+                        "task": task.name,
+                        "task_id": task.task_id,
+                        "node": node.index,
+                        "nodes": [node.index],
+                        "attempt": len(task.attempts),
+                        "payload": dict(task.payload),
+                    },
+                )
+            )
+
+    def _vfinish_attempt(self, entry: list, t: float):
+        """End-of-attempt bookkeeping; mirrors ``_on_task_end`` pre-dispatch."""
+        task, attempt, node, result, timed_out = (
+            entry[3],
+            entry[4],
+            entry[5],
+            entry[6],
+            entry[7],
+        )
+        del self._vrunning[task.task_id]
+        attempt.end = t
+        attempt.outcome = result
+        task.state = result
+        node.busy_intervals.append((attempt.start, t))
+        self._free_nodes.append(node)
+        if self._observed:
+            specs = self._specs
+            specs.append((NODE_IDLE, INSTANT, t, {"node": node.index}))
+            if timed_out:
+                specs.append(
+                    (
+                        TASK_TIMEOUT,
+                        INSTANT,
+                        t,
+                        {
+                            "task": task.name,
+                            "task_id": task.task_id,
+                            "node": node.index,
+                            "timeout": self._timeout
+                            if self._timeout_const
+                            else self.policy.timeout_for(task),
+                        },
+                    )
+                )
+            specs.append(
+                (
+                    TASK,
+                    END,
+                    t,
+                    {
+                        "task": task.name,
+                        "task_id": task.task_id,
+                        "node": node.index,
+                        "outcome": result.value,
+                    },
+                )
+            )
+        if result is _DONE:
+            self.outcome.completed.append(task)
+        return task, result
+
+    def _vgrant_retry(self, task, t: float) -> int | None:
+        """Mirror of ``grant_retry`` emitting into the spec batch."""
+        retries = self._retry_counts.get(task.task_id, 0)
+        if not self.policy.allows(retries) or not self.budget_left():
+            return None
+        index = retries + 1
+        self._retry_counts[task.task_id] = index
+        self.allocation_retries += 1
+        if self._observed:
+            self._specs.append(
+                (
+                    TASK_RETRY,
+                    INSTANT,
+                    t,
+                    {
+                        "task": task.name,
+                        "task_id": task.task_id,
+                        "retries": index,
+                        "delay": self.policy.delay(index),
+                    },
+                )
+            )
+        return index
+
+    def _vector_kill(self, deadline: float) -> None:
+        """Finalize attempts still running at the walltime deadline.
+
+        Event order mirrors the real kill: the scheduler's node close
+        emits ``node.idle`` per still-busy node in allocation order,
+        then ``on_walltime_kill`` ends the tasks in launch order.  The
+        real deadline event still fires later; it finds nothing running
+        (``self.running`` was never populated) and no busy nodes, so it
+        is a pure no-op apart from releasing the pool.
+        """
+        running = self._vrunning
+        if self._observed and running:
+            busy = {entry[5].index for entry in running.values()}
+            for node in self.alloc.nodes:
+                if node.index in busy:
+                    self._specs.append((NODE_IDLE, INSTANT, deadline, {"node": node.index}))
+        for entry in running.values():
+            task, attempt, node = entry[3], entry[4], entry[5]
+            attempt.end = deadline
+            attempt.outcome = _KILLED
+            task.state = _KILLED
+            node.busy_intervals.append((attempt.start, deadline))
+            self.outcome.killed.append(task)
+            if self._observed:
+                self._specs.append(
+                    (
+                        TASK,
+                        END,
+                        deadline,
+                        {
+                            "task": task.name,
+                            "task_id": task.task_id,
+                            "node": node.index,
+                            "outcome": _KILLED.value,
+                        },
+                    )
+                )
+        running.clear()
+
+    def _vector_finalize(self, done_time: float | None) -> None:
+        """Commit RNG consumption, publish the batch, arrange the finish."""
+        if self._draws is not None:
+            self._draws.commit()
+        if self._observed and self._specs:
+            self.bus.publish_batch(self._specs)
+            self._specs = []
+        if done_time is not None:
+            self.finished = True
+            if self.done_cb is not None:
+                self.cluster.sim.schedule_at(done_time, self.done_cb)
+
+
+class VectorPilotRun(_VectorAllocationMixin, PilotRun):
+    """Bit-exact synchronous replay of :class:`PilotRun`'s event loop."""
+
+    def start(self) -> None:
+        self._vector_setup(len(self.pending))
+        if self._observed:
+            self._start_observed()
+        else:
+            self._start_fast()
+
+    def _start_fast(self) -> None:
+        """Unobserved hot loop: no spec building, tuple queue entries,
+        plain-float draw buffers, and no running-task dict (interrupted
+        attempts are recovered from the queue remnants at the deadline).
+
+        The event queue is a sorted list with a read cursor and a
+        *lookahead window*, not a binary heap.  No relaunch can finish
+        earlier than the shortest task wall, so every event in
+        ``[t, t + min_wall)`` is already in the queue: that whole
+        contiguous slice is processed without any per-event sift, new
+        end times are collected unsorted and merged in one timsort
+        (two-run galloping merge) per window.  The window bound is a
+        heuristic, never a correctness condition — an entry that does
+        land inside the open window (failure-shortened attempt, backoff
+        timer) is spliced in at its bisect position.  The ``(time,
+        seq)`` tuple prefix gives the identical total order the event
+        engine's heap uses.  Inlined on purpose — this loop is the
+        simulator's throughput floor, and each method call it sheds is
+        ~0.15 µs/task.
+        """
+        sim = self.cluster.sim
+        deadline = self.alloc.deadline
+        pending = self.pending
+        free = self._free_nodes
+        q: list[tuple] = []
+        qi = 0
+        outcome = self.outcome
+        attempts_out = outcome.attempts
+        completed = outcome.completed
+        failed = outcome.failed
+        policy = self.policy
+        retry_failed = self.retry_failed
+        retry_counts = self._retry_counts
+        timeout = self._timeout
+        timeout_for = None if self._timeout_const else policy.timeout_for
+        draws = self._draws
+        dbuf: list[float] = []
+        dlen = 0
+        dpos = 0
+        seq = 0
+        nrunning = 0
+        backing_off = 0
+        done_time = None
+        # Local rebinds: every attribute lookup shed here is paid once
+        # per simulated attempt in the loop below.
+        push = insort
+        q_push = q.append
+        Attempt = TaskAttempt
+        pend_pop, pend_push = pending.popleft, pending.append
+        free_pop, free_push = free.popleft, free.append
+        out_push = attempts_out.append
+        done_push = completed.append
+        launches_before = len(attempts_out)
+        t = sim.now
+        while pending and free:
+            task = pend_pop()
+            node = free_pop()
+            task.state = _RUNNING
+            a = Attempt(task, [node.index], t)
+            task.attempts.append(a)
+            out_push(a)
+            wall = task.duration / node.speed
+            result = _DONE
+            if draws is not None:
+                if dpos == dlen:
+                    dbuf = draws.refill_list()
+                    dlen = len(dbuf)
+                    dpos = 0
+                fail_at = dbuf[dpos]
+                dpos += 1
+                if fail_at < wall:
+                    wall = fail_at
+                    result = _FAILED
+            if timeout_for is not None:
+                timeout = timeout_for(task)
+            if timeout is not None and timeout < wall:
+                wall = timeout
+                result = _FAILED
+            q_push((t + wall, seq, _END_EV, task, a, node, result))
+            seq += 1
+            nrunning += 1
+        q.sort()
+        # Lookahead window bound: nothing launched at time t can end
+        # before t + (shortest duration / fastest node), so that span of
+        # the queue is complete and can be drained without sifting.  A
+        # constant timeout can only shorten walls, so it tightens the
+        # bound.  This is purely a throughput knob: entries that beat it
+        # (failure cuts, per-task timeouts, short backoffs) are spliced
+        # into the open window at their bisect position.
+        sarr = self.cluster.pool.speed_array
+        max_speed = float(sarr.max()) if len(sarr) else 1.0
+        speed0 = (
+            float(sarr[0]) if len(sarr) and bool((sarr == sarr[0]).all()) else None
+        )
+        bound = min([task.duration for task in pending], default=1.0) / max_speed
+        if self._timeout_const and timeout is not None and timeout < bound:
+            bound = timeout
+        bisect = bisect_left
+        while qi < len(q):
+            if qi > 4096:  # amortized compaction of the consumed prefix
+                del q[:qi]
+                qi = 0
+            t = q[qi][0]
+            if t >= deadline:
+                break
+            wend = t + bound
+            if wend > deadline:
+                wend = deadline
+            # (wend,) sorts before any (wend, seq, ...) entry, so this
+            # is the first event at or past the window end.
+            j = bisect(q, (wend,), qi)
+            newbuf = []
+            new_push = newbuf.append
+            # Whole-window batch: when every event in the window is a
+            # successful END and none of the replacement launches fails
+            # or times out (peeked against the draw stream without
+            # consuming it), the window's contents are *closed* — no new
+            # entry can land inside it (a relaunch wall is >= the window
+            # bound by construction, and the failure cuts that could
+            # beat it were just ruled out).  The whole slice then folds
+            # with batched numpy wall/end arithmetic and zero splice
+            # checks, exactly like the static executor's set batches.
+            m = j - qi
+            batched = False
+            if m > 8 and timeout_for is None:
+                win = q[qi:j]
+                for e in win:
+                    if e[2] is not _END_EV or e[6] is not _DONE:
+                        break
+                else:
+                    launch_n = min(m, len(pending))
+                    walls = None
+                    if launch_n:
+                        walls = np.fromiter(
+                            [task.duration for task in islice(pending, launch_n)],
+                            np.float64,
+                            launch_n,
+                        )
+                        if speed0 is not None:
+                            if speed0 != 1.0:
+                                walls /= speed0
+                        else:
+                            walls /= np.fromiter(
+                                [win[i][5].speed for i in range(launch_n)],
+                                np.float64,
+                                launch_n,
+                            )
+                    fits = not launch_n or timeout is None or not bool(
+                        (walls > timeout).any()
+                    )
+                    if fits and launch_n and draws is not None:
+                        while dlen - dpos < launch_n:  # peek, don't consume
+                            dbuf = dbuf[dpos:]
+                            dpos = 0
+                            dbuf += draws.refill_list()
+                            dlen = len(dbuf)
+                        vals = dbuf[dpos : dpos + launch_n]
+                        if bool(
+                            (np.fromiter(vals, np.float64, launch_n) < walls).any()
+                        ):
+                            fits = False
+                    if fits:
+                        batched = True
+                        if launch_n:
+                            if draws is not None:
+                                dpos += launch_n
+                            ends_l = (
+                                np.fromiter(
+                                    [win[i][0] for i in range(launch_n)],
+                                    np.float64,
+                                    launch_n,
+                                )
+                                + walls
+                            ).tolist()
+                        qi = j
+                        i = 0
+                        for entry in win:
+                            te, _s, _k, task, a, node, _r = entry
+                            a.end = te
+                            a.outcome = _DONE
+                            task.state = _DONE
+                            node.busy_intervals.append((a.start, te))
+                            if i < launch_n:
+                                task = pend_pop()
+                                task.state = _RUNNING
+                                a = Attempt(task, [node.index], te)
+                                task.attempts.append(a)
+                                out_push(a)
+                                new_push(
+                                    (ends_l[i], seq, _END_EV, task, a, node, _DONE)
+                                )
+                                seq += 1
+                                i += 1
+                            else:
+                                free_push(node)
+                        # Bulk equivalent of the per-event done_push
+                        # interleaving — the same completed order.
+                        completed.extend(e[3] for e in win)
+                        nrunning -= m - launch_n
+                        t = win[-1][0]
+                        if not nrunning and not pending and not backing_off:
+                            done_time = t
+            while not batched and qi < j:
+                entry = q[qi]
+                t = entry[0]
+                qi += 1
+                if entry[2] == _END_EV:
+                    task, a, node, result = entry[3], entry[4], entry[5], entry[6]
+                    nrunning -= 1
+                    a.end = t
+                    a.outcome = result
+                    task.state = result
+                    node.busy_intervals.append((a.start, t))
+                    if result is _DONE:
+                        done_push(task)
+                        if pending and not free:
+                            # Steady state: the freed node is the FIFO
+                            # head, so the next pending task lands on it
+                            # directly — no deque round trip, and the
+                            # finish check can't pass with a task just
+                            # launched.
+                            task = pend_pop()
+                            task.state = _RUNNING
+                            a = Attempt(task, [node.index], t)
+                            task.attempts.append(a)
+                            out_push(a)
+                            wall = task.duration / node.speed
+                            result = _DONE
+                            if draws is not None:
+                                if dpos == dlen:
+                                    dbuf = draws.refill_list()
+                                    dlen = len(dbuf)
+                                    dpos = 0
+                                fail_at = dbuf[dpos]
+                                dpos += 1
+                                if fail_at < wall:
+                                    wall = fail_at
+                                    result = _FAILED
+                            if timeout_for is not None:
+                                timeout = timeout_for(task)
+                            if timeout is not None and timeout < wall:
+                                wall = timeout
+                                result = _FAILED
+                            e = (t + wall, seq, _END_EV, task, a, node, result)
+                            seq += 1
+                            nrunning += 1
+                            if e[0] >= wend:
+                                new_push(e)
+                            else:  # beat the window: splice in place
+                                pos = bisect(q, e, qi)
+                                q.insert(pos, e)
+                                if pos < j:
+                                    j += 1
+                            continue
+                        free_push(node)
+                    else:
+                        free_push(node)
+                        retries = retry_counts.get(task.task_id, 0)
+                        if (
+                            retry_failed
+                            and policy.allows(retries)
+                            and self.budget_left()
+                        ):
+                            index = retries + 1
+                            retry_counts[task.task_id] = index
+                            self.allocation_retries += 1
+                            delay = policy.delay(index)
+                            if delay > 0:
+                                backing_off += 1
+                                e = (t + delay, seq, _REQUEUE_EV, task, index)
+                                seq += 1
+                                if e[0] >= wend:
+                                    new_push(e)
+                                else:
+                                    pos = bisect(q, e, qi)
+                                    q.insert(pos, e)
+                                    if pos < j:
+                                        j += 1
+                            else:
+                                task.state = _PENDING
+                                pend_push(task)
+                        else:
+                            failed.append(task)
+                else:  # _REQUEUE_EV: the backoff timer fired
+                    backing_off -= 1
+                    task = entry[3]
+                    task.state = _PENDING
+                    pend_push(task)
+                while pending and free:
+                    task = pend_pop()
+                    node = free_pop()
+                    task.state = _RUNNING
+                    a = Attempt(task, [node.index], t)
+                    task.attempts.append(a)
+                    out_push(a)
+                    wall = task.duration / node.speed
+                    result = _DONE
+                    if draws is not None:
+                        if dpos == dlen:
+                            dbuf = draws.refill_list()
+                            dlen = len(dbuf)
+                            dpos = 0
+                        fail_at = dbuf[dpos]
+                        dpos += 1
+                        if fail_at < wall:
+                            wall = fail_at
+                            result = _FAILED
+                    if timeout_for is not None:
+                        timeout = timeout_for(task)
+                    if timeout is not None and timeout < wall:
+                        wall = timeout
+                        result = _FAILED
+                    e = (t + wall, seq, _END_EV, task, a, node, result)
+                    seq += 1
+                    nrunning += 1
+                    if e[0] >= wend:
+                        new_push(e)
+                    else:
+                        pos = bisect(q, e, qi)
+                        q.insert(pos, e)
+                        if pos < j:
+                            j += 1
+                if not nrunning and not pending and not backing_off:
+                    done_time = t
+                    break
+            if done_time is not None:
+                break
+            if newbuf:
+                if len(newbuf) < 3:
+                    for e in newbuf:
+                        push(q, e, qi)
+                else:
+                    # One two-run galloping merge instead of per-event
+                    # sifts: the tail and the sorted new ends.
+                    newbuf.sort()
+                    tail = q[qi:]
+                    tail += newbuf
+                    tail.sort()
+                    q[qi:] = tail
+        if done_time is None:
+            # Walltime kill: interrupted attempts finalize in launch
+            # order (== local seq order); leftover backoff timers were
+            # *real* simulator events on the event-driven path, so they
+            # are re-materialized as such — each fires after the kill,
+            # sees ``finished``, and records a terminal failure (the
+            # clock advances identically in both engines).
+            remnants = q[qi:]
+            for entry in sorted(remnants, key=lambda e: e[1]):
+                if entry[2] == _END_EV:
+                    task, a, node = entry[3], entry[4], entry[5]
+                    a.end = deadline
+                    a.outcome = _KILLED
+                    task.state = _KILLED
+                    node.busy_intervals.append((a.start, deadline))
+                    outcome.killed.append(task)
+            for entry in remnants:  # already in (time, seq) order
+                if entry[2] == _REQUEUE_EV:
+                    sim.schedule_at(entry[0], self._requeue, entry[3], entry[4])
+        if draws is not None:
+            # Exactly one draw is consumed per launch, and every launch
+            # appends one attempt — no need for a per-launch counter.
+            draws.note_consumed(len(attempts_out) - launches_before)
+        self._backing_off = backing_off
+        self._vseq = seq
+        self._vector_finalize(done_time)
+
+    def _start_observed(self) -> None:
+        now = self.cluster.sim.now
+        deadline = self.alloc.deadline
+        pending = self.pending
+        free = self._free_nodes
+        heap = self._heap
+        running = self._vrunning
+        retry_failed = self.retry_failed
+        while pending and free:
+            self._vlaunch(pending.popleft(), now)
+        done_time = None
+        while heap and heap[0][0] < deadline:
+            entry = heappop(heap)
+            t = entry[0]
+            if entry[2] == _END_EV:
+                task, result = self._vfinish_attempt(entry, t)
+                if result is _FAILED:
+                    index = self._vgrant_retry(task, t) if retry_failed else None
+                    if index is not None:
+                        delay = self.policy.delay(index)
+                        self._backing_off += 1
+                        if delay > 0:
+                            seq = self._vseq
+                            self._vseq = seq + 1
+                            heappush(
+                                heap,
+                                [t + delay, seq, _REQUEUE_EV, task, index, None, None, False],
+                            )
+                        else:
+                            self._backing_off -= 1
+                            task.state = _PENDING
+                            pending.append(task)
+                            if self._observed:
+                                self._specs.append(
+                                    (
+                                        TASK_REQUEUED,
+                                        INSTANT,
+                                        t,
+                                        {
+                                            "task": task.name,
+                                            "task_id": task.task_id,
+                                            "retries": index,
+                                        },
+                                    )
+                                )
+                    else:
+                        self.outcome.failed.append(task)
+            else:  # _REQUEUE_EV: the backoff timer fired
+                self._backing_off -= 1
+                task = entry[3]
+                task.state = _PENDING
+                pending.append(task)
+                if self._observed:
+                    self._specs.append(
+                        (
+                            TASK_REQUEUED,
+                            INSTANT,
+                            t,
+                            {"task": task.name, "task_id": task.task_id, "retries": entry[4]},
+                        )
+                    )
+            while pending and free:
+                self._vlaunch(pending.popleft(), t)
+            if not running and not pending and not self._backing_off:
+                done_time = t
+                break
+        if done_time is None:
+            self._vector_kill(deadline)
+            # Backoff timers outliving the allocation were real simulator
+            # events on the event-driven path; re-materialize them so
+            # each fires post-kill, sees ``finished``, and records the
+            # terminal failure at the same simulation time.
+            while heap:
+                entry = heappop(heap)
+                if entry[2] == _REQUEUE_EV:
+                    self.cluster.sim.schedule_at(
+                        entry[0], self._requeue, entry[3], entry[4]
+                    )
+        self._vector_finalize(done_time)
+
+
+class VectorStaticSetRun(_VectorAllocationMixin, StaticSetRun):
+    """Bit-exact synchronous replay of :class:`StaticSetRun`'s event loop."""
+
+    def start(self) -> None:
+        self._vector_setup(sum(len(s) for s in self.sets))
+        if self._observed:
+            self._start_observed()
+        else:
+            self._start_fast()
+
+    def _start_fast(self) -> None:
+        """Unobserved hot loop for the set-synchronized executor.
+
+        The barrier structure makes whole sets vectorizable: a set whose
+        attempts all complete (no failure draw, no timeout, no deadline
+        crossing) is processed with batched numpy arithmetic — walls and
+        end times in one vector op, completion order via a stable
+        argsort (ties break by launch order, exactly like the
+        ``(time, seq)`` heap) — and never touches an event heap at all.
+        A set that *does* interact (failure, timeout, walltime kill)
+        falls back to a scalar per-event episode that is bit-exact with
+        :class:`~repro.savanna._alloc.StaticSetRun`; batching resumes at
+        the next barrier.  Failure draws are *peeked* before committing
+        to the fast path so the fallback consumes the identical RNG
+        stream one value at a time.
+        """
+        sim = self.cluster.sim
+        deadline = self.alloc.deadline
+        free = self._free_nodes
+        heap: list[tuple] = []
+        outcome = self.outcome
+        attempts_out = outcome.attempts
+        completed = outcome.completed
+        failed = outcome.failed
+        policy = self.policy
+        retry_counts = self._retry_counts
+        timeout = self._timeout
+        timeout_for = None if self._timeout_const else policy.timeout_for
+        draws = self._draws
+        dbuf: list[float] = []
+        dlen = 0
+        dpos = 0
+        sets = self.sets
+        nsets = len(sets)
+        next_set = self.next_set
+        in_flight = self.in_flight
+        set_gap = self.set_gap
+        seq = 1
+        done_time = None
+        push, pop = heappush, heappop
+        Attempt = TaskAttempt
+        free_pop, free_push = free.popleft, free.append
+        out_push = attempts_out.append
+        done_push = completed.append
+        launches_before = len(attempts_out)
+        sarr = self.cluster.pool.speed_array
+        # Homogeneous pools (the common case) divide by one scalar; the
+        # result is bit-identical to per-node division by equal floats.
+        speed0 = float(sarr[0]) if len(sarr) and bool((sarr == sarr[0]).all()) else None
+        t = sim.now
+        while next_set < nsets:
+            batch = sets[next_set]
+            k = len(batch)
+            assigned = [free_pop() for _ in range(k)]
+            walls = np.fromiter([task.duration for task in batch], np.float64, k)
+            if speed0 is not None:
+                if speed0 != 1.0:
+                    walls /= speed0
+            else:
+                walls /= np.fromiter([n.speed for n in assigned], np.float64, k)
+            max_wall = float(walls.max())
+            # Whole-set fast path: every attempt must complete strictly
+            # before the deadline with no timeout and no failure draw.
+            fast = (
+                timeout_for is None
+                and (timeout is None or max_wall <= timeout)
+                and t + max_wall < deadline
+            )
+            vals = None
+            if fast and draws is not None:
+                while dlen - dpos < k:  # peek k stream values
+                    dbuf = dbuf[dpos:]
+                    dpos = 0
+                    dbuf += draws.refill_list()
+                    dlen = len(dbuf)
+                vals = dbuf[dpos : dpos + k]
+                if bool((np.fromiter(vals, np.float64, k) < walls).any()):
+                    fast = False
+            next_set += 1
+            if fast:
+                if vals is not None:
+                    dpos += k
+                ends = t + walls
+                ends_l = ends.tolist()
+                base = len(attempts_out)
+                for task, node in zip(batch, assigned):
+                    a = Attempt(task, [node.index], t)
+                    task.attempts.append(a)
+                    out_push(a)
+                atts = attempts_out[base:]
+                order = np.argsort(ends, kind="stable").tolist()
+                for j in order:  # completion order == (end, launch) order
+                    te = ends_l[j]
+                    a = atts[j]
+                    a.end = te
+                    a.outcome = _DONE
+                    batch[j].state = _DONE
+                    assigned[j].busy_intervals.append((t, te))
+                # Bulk equivalents of the per-event free_push/done_push
+                # interleaving — same sequences, two C-level extends.
+                free.extend(assigned[j] for j in order)
+                completed.extend(batch[j] for j in order)
+                t_last = ends_l[order[-1]]
+            else:
+                # Scalar episode: replay this set through the event heap.
+                in_flight = k
+                walls_l = walls.tolist()
+                for i, task in enumerate(batch):
+                    node = assigned[i]
+                    task.state = _RUNNING
+                    a = Attempt(task, [node.index], t)
+                    task.attempts.append(a)
+                    out_push(a)
+                    wall = walls_l[i]
+                    result = _DONE
+                    if draws is not None:
+                        if dpos == dlen:
+                            dbuf = draws.refill_list()
+                            dlen = len(dbuf)
+                            dpos = 0
+                        fail_at = dbuf[dpos]
+                        dpos += 1
+                        if fail_at < wall:
+                            wall = fail_at
+                            result = _FAILED
+                    if timeout_for is not None:
+                        timeout = timeout_for(task)
+                    if timeout is not None and timeout < wall:
+                        wall = timeout
+                        result = _FAILED
+                    push(heap, (t + wall, seq, _END_EV, task, a, node, result))
+                    seq += 1
+                t_last = t
+                while heap:
+                    entry = pop(heap)
+                    te = entry[0]
+                    if te >= deadline:
+                        push(heap, entry)
+                        break
+                    t_last = te
+                    if entry[2] == _END_EV:
+                        task, a, node, result = entry[3], entry[4], entry[5], entry[6]
+                        a.end = te
+                        a.outcome = result
+                        task.state = result
+                        node.busy_intervals.append((a.start, te))
+                        free_push(node)
+                        if result is _DONE:
+                            done_push(task)
+                        else:
+                            retries = retry_counts.get(task.task_id, 0)
+                            if policy.allows(retries) and self.budget_left():
+                                index = retries + 1
+                                retry_counts[task.task_id] = index
+                                self.allocation_retries += 1
+                                push(
+                                    heap,
+                                    (te + policy.delay(index), seq, _RELAUNCH_EV, task),
+                                )
+                                seq += 1
+                                # In-place retry: the task stays in its
+                                # set, so the barrier keeps waiting.
+                                continue
+                            failed.append(task)
+                        in_flight -= 1
+                    else:  # _RELAUNCH_EV: backoff elapsed, same set
+                        task = entry[3]
+                        node = free_pop()
+                        task.state = _RUNNING
+                        a = Attempt(task, [node.index], te)
+                        task.attempts.append(a)
+                        out_push(a)
+                        wall = task.duration / node.speed
+                        result = _DONE
+                        if draws is not None:
+                            if dpos == dlen:
+                                dbuf = draws.refill_list()
+                                dlen = len(dbuf)
+                                dpos = 0
+                            fail_at = dbuf[dpos]
+                            dpos += 1
+                            if fail_at < wall:
+                                wall = fail_at
+                                result = _FAILED
+                        if timeout_for is not None:
+                            timeout = timeout_for(task)
+                        if timeout is not None and timeout < wall:
+                            wall = timeout
+                            result = _FAILED
+                        push(heap, (te + wall, seq, _END_EV, task, a, node, result))
+                        seq += 1
+                if heap:  # deadline break: walltime kill handles the rest
+                    break
+                in_flight = 0
+            if next_set >= nsets:
+                done_time = t_last
+                break
+            t = t_last + set_gap
+            if t >= deadline:
+                # The event path had already scheduled this barrier
+                # timer; it outlives the allocation as a real simulator
+                # event (fires, sees ``finished``, and is a no-op).
+                sim.schedule_at(t, self._barrier_release)
+                break
+        if done_time is None:
+            for entry in sorted(heap, key=lambda e: e[1]):
+                if entry[2] == _END_EV:
+                    task, a, node = entry[3], entry[4], entry[5]
+                    a.end = deadline
+                    a.outcome = _KILLED
+                    task.state = _KILLED
+                    node.busy_intervals.append((a.start, deadline))
+                    outcome.killed.append(task)
+            for entry in sorted(heap):
+                if entry[2] == _RELAUNCH_EV:
+                    sim.schedule_at(entry[0], self._relaunch, entry[3])
+        if draws is not None:
+            draws.note_consumed(len(attempts_out) - launches_before)
+        self.next_set = next_set
+        self.in_flight = in_flight
+        self._vseq = seq
+        self._vector_finalize(done_time)
+
+    def _start_observed(self) -> None:
+        now = self.cluster.sim.now
+        deadline = self.alloc.deadline
+        heap = self._heap
+        running = self._vrunning
+        nsets = len(self.sets)
+        self._vlaunch_set(now)
+        done_time = None
+        while heap and heap[0][0] < deadline:
+            entry = heappop(heap)
+            t = entry[0]
+            kind = entry[2]
+            if kind == _END_EV:
+                task, result = self._vfinish_attempt(entry, t)
+                if result is _FAILED:
+                    index = self._vgrant_retry(task, t)
+                    if index is not None:
+                        # In-place retry: the task stays in its set, so
+                        # in_flight is unchanged and the barrier waits.
+                        delay = self.policy.delay(index)
+                        if delay > 0:
+                            seq = self._vseq
+                            self._vseq = seq + 1
+                            heappush(
+                                heap,
+                                [t + delay, seq, _RELAUNCH_EV, task, None, None, None, False],
+                            )
+                        else:
+                            self._vlaunch(task, t)
+                        continue
+                    self.outcome.failed.append(task)
+                self.in_flight -= 1
+                if self.in_flight == 0 and self.next_set < nsets:  # barrier reached
+                    if self.set_gap > 0:
+                        seq = self._vseq
+                        self._vseq = seq + 1
+                        heappush(
+                            heap,
+                            [t + self.set_gap, seq, _BARRIER_EV, None, None, None, None, False],
+                        )
+                    else:
+                        self._vlaunch_set(t)
+            elif kind == _RELAUNCH_EV:
+                self._vlaunch(entry[3], t)
+            else:  # _BARRIER_EV: set_gap elapsed, release the next set
+                self._vlaunch_set(t)
+            if not running and self.next_set >= nsets and self.in_flight == 0:
+                done_time = t
+                break
+        if done_time is None:
+            self._vector_kill(deadline)
+            # Same clock-parity dance as the pilot: dangling relaunch and
+            # barrier timers become real simulator events again.
+            while heap:
+                entry = heappop(heap)
+                if entry[2] == _RELAUNCH_EV:
+                    self.cluster.sim.schedule_at(entry[0], self._relaunch, entry[3])
+                elif entry[2] == _BARRIER_EV:
+                    self.cluster.sim.schedule_at(entry[0], self._barrier_release)
+        self._vector_finalize(done_time)
+
+    def _vlaunch_set(self, t: float) -> None:
+        if self.next_set >= len(self.sets):
+            return
+        batch = self.sets[self.next_set]
+        self.next_set += 1
+        self.in_flight = len(batch)
+        for task in batch:
+            self._vlaunch(task, t)

@@ -379,8 +379,10 @@ def execute_manifest(
 
     tasks = tasks_from_manifest(work.sub, duration_model)
     executor = create_executor(backend, cluster=cluster, **backend_kwargs)
-    collected: list = []
-    unsubscribe = cluster.bus.subscribe(collected.append) if report else None
+    # Streaming analysis: events fold into report state as they are
+    # emitted (batch-aware, O(1) memory per event) instead of being
+    # buffered whole and replayed after the run.
+    streaming = _make_streaming(cluster.bus) if report else None
     cluster.bus.emit(
         GROUP,
         phase=BEGIN,
@@ -413,9 +415,9 @@ def execute_manifest(
         group=group,
         completed=len(result.completed),
     )
-    if unsubscribe is not None:
-        unsubscribe()
-        _report_group(cluster.bus, work.directory, collected)
+    if streaming is not None:
+        streaming.detach()
+        _report_group(cluster.bus, work.directory, streaming.reports())
     if work.directory is not None:
         work.directory.update_status(
             {task.name: _STATE_TO_STATUS[task.state] for task in tasks}
@@ -463,8 +465,7 @@ def _execute_manifest_real(
     work = _resolve_pending(manifest, group, directory, resume)
 
     executor = create_executor(backend, **backend_kwargs)
-    collected: list = []
-    unsubscribe = bus.subscribe(collected.append) if report else None
+    streaming = _make_streaming(bus) if report else None
     bus.emit(
         GROUP,
         phase=BEGIN,
@@ -502,9 +503,9 @@ def _execute_manifest_real(
         group=group,
         completed=len(result.completed),
     )
-    if unsubscribe is not None:
-        unsubscribe()
-        _report_group(bus, work.directory, collected)
+    if streaming is not None:
+        streaming.detach()
+        _report_group(bus, work.directory, streaming.reports())
     if work.directory is not None:
         work.directory.update_status(
             {rid: _REAL_TO_STATUS[r.status] for rid, r in result.results.items()}
@@ -515,17 +516,21 @@ def _execute_manifest_real(
     return result
 
 
-def _report_group(bus, directory, events) -> None:
-    """Analyze one group's captured events and publish the results.
+def _make_streaming(bus):
+    """Attach a streaming report builder to ``bus`` (import kept local)."""
+    from repro.observability.analysis import StreamingCampaignReport
 
-    Emits one ``campaign.report`` instant per campaign span found in the
-    capture (normally one — the executor wraps the group's allocations in
-    a single campaign span) and merges the full reports into the campaign
-    end point when there is one.
+    return StreamingCampaignReport().attach(bus)
+
+
+def _report_group(bus, directory, reports) -> None:
+    """Publish one group's finalized campaign reports.
+
+    Emits one ``campaign.report`` instant per campaign span the
+    streaming builder saw (normally one — the executor wraps the group's
+    allocations in a single campaign span) and writes the full reports
+    into the campaign directory when there is one.
     """
-    from repro.observability.analysis import analyze_events
-
-    reports = analyze_events(events)
     for r in reports:
         bus.emit(CAMPAIGN_REPORT, **r.headline())
     if directory is not None and reports:

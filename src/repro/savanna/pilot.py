@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.cluster.cluster import SimulatedCluster
 from repro.resilience.policy import RetryPolicy, as_policy
 from repro.savanna._alloc import PilotRun
+from repro.savanna._vector import VectorPilotRun, vector_eligible
 from repro.savanna.executor import AllocationOutcome, CampaignResult
 from repro.savanna.runner import run_campaign
 
@@ -71,8 +72,13 @@ class PilotExecutor:
 
         The returned :class:`PilotRun` emits the ``task`` spans and the
         retry/timeout/fault instants for every attempt it dispatches.
+        Eligible workloads (single-node tasks, no fault injector) get
+        the bit-exact vectorized engine from
+        :mod:`repro.savanna._vector`; set ``REPRO_SIMCORE=event`` to
+        force the event-driven path.
         """
-        return PilotRun(
+        run_cls = VectorPilotRun if vector_eligible(self.cluster, tasks) else PilotRun
+        return run_cls(
             self.cluster,
             alloc,
             tasks,

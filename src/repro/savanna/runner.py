@@ -93,7 +93,11 @@ def run_campaign(
         return [t for t in tasks if t.state is not TaskState.DONE]
 
     def submit_next():
-        if not remaining() or state["submitted"] >= max_allocations:
+        # any() early-exits on the first unfinished task; building the
+        # full remaining() list here would be an O(n) scan per submit.
+        if state["submitted"] >= max_allocations or not any(
+            t.state is not TaskState.DONE for t in tasks
+        ):
             return
         state["submitted"] += 1
         request = AllocationRequest(
@@ -104,9 +108,20 @@ def run_campaign(
             outcome = AllocationOutcome(allocation=alloc)
             result.outcomes.append(outcome)
             done_cb = (lambda: cluster.scheduler.finish(alloc)) if end_early else None
-            batch = remaining()
-            for t in batch:
-                t.state = TaskState.PENDING  # killed/failed tasks are retried
+            # Single fused pass: select the unfinished tasks and reset
+            # killed/failed ones to PENDING so the new allocation
+            # retries them (one task scan instead of two; the store is
+            # skipped for already-pending tasks, i.e. almost all of
+            # them on the first allocation).
+            batch = []
+            append = batch.append
+            done, pend = TaskState.DONE, TaskState.PENDING
+            for t in tasks:
+                s = t.state
+                if s is not done:
+                    if s is not pend:
+                        t.state = pend
+                    append(t)
             run = executor.make_run(alloc, batch, outcome, done_cb)
             state["active_run"] = run
             run.start()
@@ -147,11 +162,15 @@ def run_campaign(
         if checkpoint is not None:
             checkpoint.detach()
             checkpoint.compact()
-    cluster.bus.emit(
-        CAMPAIGN,
-        phase=END,
-        campaign=name,
-        completed=len(result.completed),
-        allocations=len(result.outcomes),
-    )
+    if cluster.bus.has_subscribers:
+        # Guarded so the O(n) completed-list scan in the arguments is
+        # only paid when someone is listening; emit itself would drop
+        # the event anyway.
+        cluster.bus.emit(
+            CAMPAIGN,
+            phase=END,
+            campaign=name,
+            completed=len(result.completed),
+            allocations=len(result.outcomes),
+        )
     return result

@@ -20,6 +20,7 @@ from repro._util import check_nonnegative
 from repro.cluster.cluster import SimulatedCluster
 from repro.resilience.policy import RetryPolicy
 from repro.savanna._alloc import StaticSetRun
+from repro.savanna._vector import VectorStaticSetRun, vector_eligible
 from repro.savanna.executor import AllocationOutcome, CampaignResult
 from repro.savanna.runner import run_campaign
 
@@ -57,7 +58,12 @@ class StaticSetExecutor:
         self.retry_policy = retry_policy
 
     def make_run(self, alloc, tasks, outcome: AllocationOutcome, done_cb) -> StaticSetRun:
-        return StaticSetRun(
+        """Build the within-allocation engine (vectorized when eligible;
+        ``REPRO_SIMCORE=event`` forces the event-driven path)."""
+        run_cls = (
+            VectorStaticSetRun if vector_eligible(self.cluster, tasks) else StaticSetRun
+        )
+        return run_cls(
             self.cluster,
             alloc,
             tasks,

@@ -2,6 +2,9 @@
 
 import warnings
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 import pytest
 
 from repro.observability import (
@@ -119,7 +122,7 @@ class TestSubscriberIsolation:
         assert event is not None  # emit itself succeeded
         assert [e.name for e in seen] == ["task"]  # later subscriber still ran
 
-    def test_raising_subscriber_stays_subscribed_and_warns_once(self):
+    def test_raising_subscriber_stays_subscribed_and_warns_once_per_event_name(self):
         bus = EventBus()
         calls = []
 
@@ -128,12 +131,17 @@ class TestSubscriberIsolation:
             raise ValueError("still broken")
 
         bus.subscribe(broken)
-        with pytest.warns(SubscriberError):
+        # First failure at each event name warns, and the warning names
+        # the event so the failure is debuggable without a local repro.
+        with pytest.warns(SubscriberError, match="event 'a'"):
             bus.emit("a")
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # a second warning would fail here
+        with pytest.warns(SubscriberError, match="event 'b'"):
             bus.emit("b")
-        assert calls == ["a", "b"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # repeat failures are silent
+            bus.emit("a")
+            bus.emit("b")
+        assert calls == ["a", "b", "a", "b"]
 
     def test_subscriber_error_escalates_under_error_filter(self):
         # Tests can surface observer bugs hard by raising the category.
@@ -417,3 +425,129 @@ class TestRecorder:
             self._task_span(bus, 0, 0.0, 5.0)
         EventBus().emit("late")
         assert [e.name for e in rec.events] == [TASK, TASK]
+
+
+class TestPublishBatch:
+    """Batched emission must be indistinguishable from the emit loop."""
+
+    def test_returns_none_without_subscribers(self):
+        bus = EventBus()
+        assert bus.publish_batch([("task", BEGIN, 1.0, {"task_id": 0})]) is None
+
+    def test_seq_and_order_match_emit_loop(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("before")
+        events = bus.publish_batch(
+            [
+                ("task", BEGIN, 1.0, {"task_id": 0}),
+                ("task", END, 2.0, {"task_id": 0, "outcome": "done"}),
+            ]
+        )
+        bus.emit("after")
+        assert [e.seq for e in seen] == [0, 1, 2, 3]
+        assert events == seen[1:3]
+
+    def test_none_phase_and_time_use_emit_defaults(self):
+        clock = iter([7.0]).__next__
+        bus = EventBus(clock=lambda: 7.0)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish_batch([("mark", None, None, {}), ("mark2", None, None, {})])
+        assert [(e.phase, e.time) for e in seen] == [(INSTANT, 7.0), (INSTANT, 7.0)]
+
+    def test_batch_subscriber_gets_one_call(self):
+        bus = EventBus()
+        calls = []
+
+        class Sink:
+            def __call__(self, event):
+                calls.append(("single", event))
+
+            def on_batch(self, events):
+                calls.append(("batch", list(events)))
+
+        bus.subscribe(Sink())
+        bus.publish_batch([("a", None, 0.0, {}), ("b", None, 0.0, {})])
+        assert len(calls) == 1 and calls[0][0] == "batch"
+        assert [e.name for e in calls[0][1]] == ["a", "b"]
+
+    def test_raising_batch_subscriber_is_isolated_and_names_event(self):
+        bus = EventBus()
+        seen = []
+
+        class Broken:
+            def __call__(self, event):
+                pass
+
+            def on_batch(self, events):
+                raise RuntimeError("boom")
+
+        bus.subscribe(Broken())
+        bus.subscribe(seen.append)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bus.publish_batch([("task", BEGIN, 0.0, {"task_id": 1})])
+        assert len(seen) == 1
+        assert len(caught) == 1 and issubclass(caught[0].category, SubscriberError)
+        assert "'task'" in str(caught[0].message)
+        assert "batch of 1" in str(caught[0].message)
+
+
+class TestBatchedEmissionProperty:
+    """Property: per-event emit vs any batched chunking of the same
+    stream yields *byte-identical* recorder output (Chrome trace JSON,
+    after normalizing the process-global bus pid)."""
+
+    NAMES = ["task", "alloc", "node.busy", "campaign", "custom.metric"]
+    PHASES = [BEGIN, END, INSTANT]
+
+    @staticmethod
+    def _normalized_trace(recorder):
+        import json
+
+        out = []
+        for entry in recorder.to_chrome_trace():
+            entry = dict(entry)
+            entry["pid"] = 0
+            out.append(entry)
+        return json.dumps(out)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_chunking_is_byte_identical_to_emit_loop(self, data):
+        specs = data.draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(self.NAMES),
+                    st.sampled_from(self.PHASES),
+                    st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+                    st.fixed_dictionaries(
+                        {},
+                        optional={
+                            "task_id": st.integers(0, 5),
+                            "node": st.integers(0, 5),
+                            "outcome": st.sampled_from(["done", "failed"]),
+                            "k": st.one_of(st.integers(-5, 5), st.just("x")),
+                        },
+                    ),
+                ),
+                max_size=30,
+            )
+        )
+        # Reference: one emit per event.
+        bus_a = EventBus()
+        rec_a = TraceRecorder().attach(bus_a)
+        for name, phase, time, fields in specs:
+            bus_a.emit(name, phase=phase, time=time, **fields)
+        # Candidate: the same stream in randomly-drawn batch chunks.
+        bus_b = EventBus()
+        rec_b = TraceRecorder().attach(bus_b)
+        i = 0
+        while i < len(specs):
+            size = data.draw(st.integers(1, len(specs) - i))
+            bus_b.publish_batch(specs[i : i + size])
+            i += size
+        assert self._normalized_trace(rec_a) == self._normalized_trace(rec_b)
+        assert rec_a.metrics.snapshot() == rec_b.metrics.snapshot()

@@ -1,0 +1,258 @@
+"""Bit-exactness of the vectorized simulator core (`repro.savanna._vector`).
+
+Every scenario here runs twice — once with ``REPRO_SIMCORE=event``
+(the per-event reference engine in ``repro.savanna._alloc``) and once
+with the vectorized default — and asserts the runs are
+*indistinguishable*: identical task states and attempt records,
+identical outcome lists in identical order, identical node busy
+intervals, an identical failure-RNG stream position, and (when a
+recorder is attached) a byte-identical Chrome trace.
+
+Two process-global counters must be normalized before comparing runs
+that execute in the same process:
+
+- bus ``pid`` values come from a process-wide counter, so every new
+  cluster gets a fresh pid — forced to 0;
+- ``Task.task_id`` comes from a process-wide ``itertools.count`` — ids
+  are rebased to the smallest id in the run's own task list.
+
+Everything else must match exactly, with no tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterSpec, SimulatedCluster
+from repro.cluster.job import Task
+from repro.observability.recorder import TraceRecorder
+from repro.resilience.policy import (
+    ExponentialBackoffPolicy,
+    FixedDelayPolicy,
+    RetryPolicy,
+)
+from repro.savanna import PilotExecutor, StaticSetExecutor
+
+# ---------------------------------------------------------------------------
+# scenario definitions
+
+
+class _PerTaskTimeout(RetryPolicy):
+    """Custom ``timeout_for`` override: exercises the non-hoistable path."""
+
+    def timeout_for(self, task):
+        return 450.0 if task.payload.get("capped") else None
+
+
+def _tasks(n: int, seed: int, mean: float = 600.0, sigma: float = 0.6, cap_half=False):
+    rng = np.random.default_rng(seed)
+    durations = rng.lognormal(mean=math.log(mean), sigma=sigma, size=n)
+    return [
+        Task(
+            name=f"t{i:03d}",
+            duration=float(d),
+            payload={"capped": True} if cap_half and i % 2 else {},
+        )
+        for i, d in enumerate(durations)
+    ]
+
+
+def _spec(nodes, mttf, speed_sigma=0.0):
+    return ClusterSpec(
+        nodes=nodes,
+        queue_sigma=0.0,
+        queue_median_wait=120.0,
+        node_mttf=mttf,
+        node_speed_sigma=speed_sigma,
+    )
+
+
+SCENARIOS = {
+    # name: (spec, executor factory, task factory, run kwargs)
+    "pilot-fig6": (
+        _spec(8, 8000.0),
+        lambda c: PilotExecutor(c),
+        lambda: _tasks(40, 3),
+        {"nodes": 8, "walltime": 40000.0},
+    ),
+    "static-fig6": (
+        _spec(8, 8000.0),
+        lambda c: StaticSetExecutor(c, set_gap=60.0),
+        lambda: _tasks(40, 3),
+        {"nodes": 8, "walltime": 40000.0},
+    ),
+    "pilot-backoff-budget": (
+        _spec(6, 3000.0),
+        lambda c: PilotExecutor(
+            c,
+            retry_policy=FixedDelayPolicy(
+                max_retries=3, delay_seconds=250.0, allocation_budget=4
+            ),
+        ),
+        lambda: _tasks(30, 11),
+        {"nodes": 6, "walltime": 60000.0},
+    ),
+    "static-exp-backoff": (
+        _spec(6, 3000.0),
+        lambda c: StaticSetExecutor(
+            c,
+            set_gap=30.0,
+            retry_policy=ExponentialBackoffPolicy(
+                max_retries=2, base=45.0, jitter=0.5, seed=7
+            ),
+        ),
+        lambda: _tasks(30, 11),
+        {"nodes": 6, "walltime": 60000.0},
+    ),
+    "pilot-walltime-kill": (
+        _spec(8, 4000.0),
+        lambda c: PilotExecutor(
+            c, retry_policy=FixedDelayPolicy(max_retries=2, delay_seconds=400.0)
+        ),
+        lambda: _tasks(40, 5),
+        {"nodes": 8, "walltime": 1500.0},
+    ),
+    "static-kill-no-failures": (
+        _spec(8, None),
+        lambda c: StaticSetExecutor(c, set_gap=60.0),
+        lambda: _tasks(40, 5),
+        {"nodes": 8, "walltime": 1500.0},
+    ),
+    "pilot-per-task-timeout": (
+        _spec(6, 9000.0),
+        lambda c: PilotExecutor(c, retry_policy=_PerTaskTimeout(max_retries=1)),
+        lambda: _tasks(30, 9, cap_half=True),
+        {"nodes": 6, "walltime": 50000.0},
+    ),
+    "pilot-heterogeneous": (
+        _spec(8, 6000.0, speed_sigma=0.3),
+        lambda c: PilotExecutor(c),
+        lambda: _tasks(40, 17),
+        {"nodes": 8, "walltime": 50000.0},
+    ),
+    "static-multi-alloc-inplace": (
+        _spec(6, 5000.0),
+        lambda c: StaticSetExecutor(
+            c, set_gap=45.0, retry_policy=FixedDelayPolicy(max_retries=2)
+        ),
+        lambda: _tasks(36, 23),
+        {"nodes": 6, "walltime": 2500.0, "max_allocations": 3},
+    ),
+    "pilot-const-timeout": (
+        _spec(6, None),
+        lambda c: PilotExecutor(
+            c, retry_policy=RetryPolicy(max_retries=1, task_timeout=700.0)
+        ),
+        lambda: _tasks(30, 29),
+        {"nodes": 6, "walltime": 50000.0},
+    ),
+}
+
+SEED = 21
+
+
+# ---------------------------------------------------------------------------
+# run + snapshot machinery
+
+
+def _run(name: str, mode: str, traced: bool, monkeypatch):
+    """Execute one scenario under the given engine; snapshot everything."""
+    if mode == "event":
+        monkeypatch.setenv("REPRO_SIMCORE", "event")
+    else:
+        monkeypatch.delenv("REPRO_SIMCORE", raising=False)
+    spec, make_executor, make_tasks, run_kwargs = SCENARIOS[name]
+    cluster = SimulatedCluster(spec, seed=SEED)
+    recorder = TraceRecorder().attach(cluster.bus) if traced else None
+    tasks = make_tasks()
+    result = make_executor(cluster).run(tasks, **run_kwargs)
+    if recorder is not None:
+        recorder.detach()
+    return _snapshot(cluster, tasks, result, recorder)
+
+
+def _snapshot(cluster, tasks, result, recorder):
+    base = min(t.task_id for t in tasks)
+    snap = {
+        "tasks": [
+            (
+                t.name,
+                t.state.value,
+                [
+                    (a.start, a.end, a.outcome.value, tuple(a.node_indices))
+                    for a in t.attempts
+                ],
+            )
+            for t in tasks
+        ],
+        "outcomes": [
+            {
+                "attempts": [
+                    (a.task.task_id - base, a.start, a.end, a.outcome.value)
+                    for a in o.attempts
+                ],
+                "completed": [t.task_id - base for t in o.completed],
+                "failed": [t.task_id - base for t in o.failed],
+                "killed": [t.task_id - base for t in o.killed],
+            }
+            for o in result.outcomes
+        ],
+        "intervals": [list(n.busy_intervals) for n in cluster.pool.nodes],
+        "rng": cluster.failures._rng.bit_generator.state,
+        "now": cluster.sim.now,
+    }
+    if recorder is not None:
+        snap["trace"] = _normalized_trace(recorder, base)
+    return snap
+
+
+def _normalized_trace(recorder, base):
+    out = []
+    for entry in recorder.to_chrome_trace():
+        entry = dict(entry)
+        entry["pid"] = 0
+        args = dict(entry.get("args") or {})
+        if "task_id" in args:
+            args["task_id"] -= base
+        entry["args"] = args
+        out.append(entry)
+    # Serialize: catches dict-ordering and float-representation drift too.
+    return json.dumps(out)
+
+
+# ---------------------------------------------------------------------------
+# tests
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_untraced_runs_are_bit_identical(name, monkeypatch):
+    """Fast (unobserved) vectorized loops match the event engine exactly."""
+    assert _run(name, "vector", False, monkeypatch) == _run(
+        name, "event", False, monkeypatch
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_traced_runs_produce_identical_chrome_traces(name, monkeypatch):
+    """Observed vectorized runs emit byte-identical event streams."""
+    vec = _run(name, "vector", True, monkeypatch)
+    evt = _run(name, "event", True, monkeypatch)
+    assert vec["trace"] == evt["trace"]
+    assert vec == evt
+
+
+def test_scenarios_cover_interesting_behavior(monkeypatch):
+    """Meta-test: the suite actually exercises retries, kills, timeouts."""
+    seen = {"failed": 0, "killed": 0, "retries": 0, "multi": 0}
+    for name in SCENARIOS:
+        snap = _run(name, "vector", False, monkeypatch)
+        for o in snap["outcomes"]:
+            seen["failed"] += len(o["failed"])
+            seen["killed"] += len(o["killed"])
+        seen["retries"] += sum(len(attempts) > 1 for _, _, attempts in snap["tasks"])
+        seen["multi"] += len(snap["outcomes"]) > 1
+    assert all(seen.values()), f"degenerate scenario coverage: {seen}"

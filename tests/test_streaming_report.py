@@ -1,0 +1,121 @@
+"""Streaming analytics equivalence: fold-as-you-go == batch replay.
+
+The contract under test (see ``repro.observability.analysis.streaming``):
+a :class:`StreamingCampaignReport` fed the same event stream as
+:func:`analyze_events` — one event at a time, or in arbitrary batch
+chunkings — produces *serialized-identical* reports.  The committed
+Chrome traces under ``benchmarks/results/`` are the fixtures: every
+``*.trace.json`` in the repo is replayed through both paths.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec, SimulatedCluster
+from repro.cluster.job import Task
+from repro.observability.analysis import StreamingCampaignReport, analyze_events
+from repro.observability.recorder import TraceRecorder, events_from_trace
+from repro.savanna import PilotExecutor
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+COMMITTED_TRACES = sorted(RESULTS.glob("*.trace.json"))
+
+
+def _serialize(reports) -> str:
+    return json.dumps([r.to_dict() for r in reports], sort_keys=True)
+
+
+def test_committed_traces_exist():
+    """The fixture set must never silently go empty."""
+    assert COMMITTED_TRACES, f"no committed *.trace.json under {RESULTS}"
+
+
+@pytest.mark.parametrize(
+    "trace_path", COMMITTED_TRACES, ids=[p.stem for p in COMMITTED_TRACES]
+)
+def test_streaming_matches_batch_event_by_event(trace_path):
+    """Feeding one event at a time reproduces the batch reports exactly."""
+    events = events_from_trace(trace_path)
+    builder = StreamingCampaignReport()
+    for event in events:
+        builder.feed(event)
+    assert _serialize(builder.reports()) == _serialize(analyze_events(events))
+
+
+@pytest.mark.parametrize(
+    "trace_path", COMMITTED_TRACES, ids=[p.stem for p in COMMITTED_TRACES]
+)
+@pytest.mark.parametrize("chunk", [1, 7, 64, 100000])
+def test_streaming_matches_batch_under_any_chunking(trace_path, chunk):
+    """on_batch delivery in arbitrary chunk sizes changes nothing."""
+    events = events_from_trace(trace_path)
+    builder = StreamingCampaignReport()
+    for i in range(0, len(events), chunk):
+        builder.on_batch(events[i : i + chunk])
+    assert _serialize(builder.reports()) == _serialize(analyze_events(events))
+
+
+def _small_campaign(bus_taps):
+    """Run a small simulated campaign with extra bus subscribers attached."""
+    cluster = SimulatedCluster(
+        ClusterSpec(nodes=6, queue_sigma=0.0, queue_median_wait=60.0, node_mttf=4000.0),
+        seed=5,
+    )
+    taps = [tap(cluster.bus) for tap in bus_taps]
+    tasks = [Task(name=f"t{i}", duration=300.0 + 17.0 * i) for i in range(24)]
+    PilotExecutor(cluster).run(tasks, nodes=6, walltime=20000.0)
+    return taps
+
+
+def test_live_capture_matches_recorder_replay():
+    """Attached to a live bus, streaming == record-then-analyze."""
+    recorder = TraceRecorder()
+    builder = StreamingCampaignReport()
+    _small_campaign([recorder.attach, builder.attach])
+    recorder.detach()
+    builder.detach()
+    assert _serialize(builder.reports()) == _serialize(analyze_events(recorder.events))
+
+
+def test_progress_is_available_midstream_and_consistent():
+    events = events_from_trace(COMMITTED_TRACES[0])
+    builder = StreamingCampaignReport()
+    half = len(events) // 2
+    builder.on_batch(events[:half])
+    mid = builder.progress()
+    assert mid["events"] == half
+    assert mid["attempts_started"] >= mid["done"] + mid["failed"] + mid["killed"]
+    builder.on_batch(events[half:])
+    final = builder.progress()
+    assert final["events"] == len(events)
+    # The running counters must agree with the finalized report counts.
+    totals = {"done": 0, "failed": 0, "killed": 0, "attempts": 0}
+    for report in builder.reports():
+        for key in ("done", "failed", "killed", "attempts"):
+            totals[key] += report.counts[key]
+    assert final["done"] == totals["done"]
+    assert final["failed"] == totals["failed"]
+    assert final["killed"] == totals["killed"]
+    assert final["attempts_started"] == totals["attempts"]
+    assert final["peak_concurrency"] >= 1
+    assert final["busy_node_seconds"] > 0.0
+
+
+def test_feeding_after_finalize_is_an_error():
+    events = events_from_trace(COMMITTED_TRACES[0])
+    builder = StreamingCampaignReport()
+    builder.on_batch(events)
+    builder.reports()
+    with pytest.raises(RuntimeError, match="finalized"):
+        builder.feed(events[0])
+
+
+def test_reports_are_cached_and_stable():
+    events = events_from_trace(COMMITTED_TRACES[0])
+    builder = StreamingCampaignReport()
+    builder.on_batch(events)
+    assert builder.reports() is builder.reports()

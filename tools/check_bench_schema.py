@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Validate committed benchmark artifacts against their declared schemas.
+
+Every machine-readable benchmark artifact in this repo is a
+``benchmarks/results/BENCH_*.json`` document carrying a top-level
+``"schema"`` identifier (e.g. ``"repro.bench.simcore/v1"``).  CI runs
+this script so that a hand edit, a merge accident, or a bench-script
+change that silently alters the artifact shape fails loudly instead of
+poisoning the perf-trajectory gate downstream.
+
+Usage::
+
+    python tools/check_bench_schema.py            # validate all BENCH_*.json
+    python tools/check_bench_schema.py FILE...    # validate specific files
+
+Exit status is non-zero if any file fails validation.  Adding a new
+benchmark artifact family means registering its schema id and validator
+in ``VALIDATORS`` below — unknown schema ids are an error by design.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+
+class SchemaError(Exception):
+    """A document does not conform to its declared schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _positive_number(doc: dict, key: str, where: str) -> None:
+    value = doc.get(key)
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{where}: {key!r} must be a number, got {value!r}",
+    )
+    _require(value > 0, f"{where}: {key!r} must be positive, got {value!r}")
+
+
+def _check_simcore_mode(name: str, entry: dict) -> None:
+    where = f"modes[{name!r}]"
+    _require(isinstance(entry, dict), f"{where}: must be an object")
+    _require(entry.get("mode") == name, f"{where}: 'mode' must equal the key")
+    for key in ("tasks_per_sec", "event_tasks_per_sec", "best_seconds",
+                "speedup_vs_event", "speedup_vs_prechange"):
+        _positive_number(entry, key, where)
+    _require(
+        isinstance(entry.get("attempts"), int) and entry["attempts"] > 0,
+        f"{where}: 'attempts' must be a positive integer",
+    )
+    _require(
+        isinstance(entry.get("rounds"), int) and entry["rounds"] > 0,
+        f"{where}: 'rounds' must be a positive integer",
+    )
+    _require(
+        isinstance(entry.get("peak_rss_bytes"), int) and entry["peak_rss_bytes"] > 0,
+        f"{where}: 'peak_rss_bytes' must be a positive integer",
+    )
+    _require(
+        isinstance(entry.get("protocol"), str) and entry["protocol"],
+        f"{where}: 'protocol' must be a non-empty string",
+    )
+
+    workload = entry.get("workload")
+    _require(isinstance(workload, dict), f"{where}: 'workload' must be an object")
+    for key in ("n_tasks", "nodes"):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"{where}.workload: {key!r} must be a positive integer",
+        )
+    _require(
+        isinstance(workload.get("name"), str) and workload["name"],
+        f"{where}.workload: 'name' must be a non-empty string",
+    )
+    _require("seed" in workload, f"{where}.workload: missing 'seed'")
+
+    prechange = entry.get("prechange")
+    _require(isinstance(prechange, dict), f"{where}: 'prechange' must be an object")
+    _require(
+        isinstance(prechange.get("commit"), str) and prechange["commit"],
+        f"{where}.prechange: 'commit' must be a non-empty string",
+    )
+    _positive_number(prechange, "tasks_per_sec", f"{where}.prechange")
+
+    fold = entry.get("report_fold")
+    _require(isinstance(fold, dict), f"{where}: 'report_fold' must be an object")
+    for key in ("events", "campaigns"):
+        _require(
+            isinstance(fold.get(key), int) and fold[key] > 0,
+            f"{where}.report_fold: {key!r} must be a positive integer",
+        )
+    for key in ("seconds", "events_per_sec"):
+        _positive_number(fold, key, f"{where}.report_fold")
+    trace = fold.get("trace")
+    _require(
+        isinstance(trace, str) and trace,
+        f"{where}.report_fold: 'trace' must be a non-empty string",
+    )
+    _require(
+        (RESULTS / trace).is_file(),
+        f"{where}.report_fold: trace fixture {trace!r} is not committed "
+        f"under benchmarks/results/",
+    )
+
+
+def check_simcore_v1(doc: dict) -> None:
+    modes = doc.get("modes")
+    _require(
+        isinstance(modes, dict) and modes,
+        "'modes' must be a non-empty object",
+    )
+    known = {"quick", "full"}
+    unknown = set(modes) - known
+    _require(not unknown, f"unknown mode entries: {sorted(unknown)}")
+    for name, entry in sorted(modes.items()):
+        _check_simcore_mode(name, entry)
+
+
+#: Registered schema id -> validator.  Unknown ids fail validation.
+VALIDATORS = {
+    "repro.bench.simcore/v1": check_simcore_v1,
+}
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a list of problems with *path* (empty if it validates)."""
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"not readable JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    schema = doc.get("schema")
+    if not isinstance(schema, str) or not schema:
+        return ["missing top-level 'schema' identifier"]
+    validator = VALIDATORS.get(schema)
+    if validator is None:
+        return [
+            f"unregistered schema id {schema!r} — register a validator in "
+            f"tools/check_bench_schema.py"
+        ]
+    try:
+        validator(doc)
+    except SchemaError as exc:
+        return [str(exc)]
+    return []
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        paths = [Path(arg) for arg in argv]
+    else:
+        paths = sorted(RESULTS.glob("BENCH_*.json"))
+        if not paths:
+            print(f"error: no BENCH_*.json found under {RESULTS}", file=sys.stderr)
+            return 1
+    failures = 0
+    for path in paths:
+        problems = check_file(path)
+        rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL {rel}: {problem}")
+        else:
+            schema = json.loads(path.read_text())["schema"]
+            print(f"ok   {rel} ({schema})")
+    if failures:
+        print(f"{failures} of {len(paths)} benchmark artifact(s) failed validation")
+        return 1
+    print(f"all {len(paths)} benchmark artifact(s) conform to their schemas")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
