@@ -225,6 +225,46 @@ class CampaignDirectory:
             return []
         return json.loads(path.read_text()).get("reports", [])
 
+    def _lint_path(self) -> Path:
+        return self.root / self.METADATA_DIR / "lint.json"
+
+    def write_lint_report(self, report) -> Path:
+        """Persist a lint verdict into ``.cheetah/lint.json``.
+
+        ``report`` is a :class:`repro.lint.LintReport` (or its
+        ``to_dict()`` form).  The drive writes the merged manifest +
+        ``app_fn`` report here on every gated execution, so the campaign
+        end point carries the analysis that admitted it — provenance for
+        the lint gate, next to the run results it vouched for.
+        """
+        payload = report if isinstance(report, dict) else report.to_dict()
+        path = self._lint_path()
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.lint.report/v1",
+                    "campaign": self.manifest.campaign,
+                    "report": payload,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        return path
+
+    def read_lint_report(self):
+        """The persisted lint verdict as a :class:`repro.lint.LintReport`,
+        or ``None`` if the campaign was never linted (or ``lint=False``)."""
+        path = self._lint_path()
+        if not path.exists():
+            return None
+        # Imported lazily: repro.lint imports this module at load time.
+        from repro.lint.findings import LintReport
+
+        data = json.loads(path.read_text())
+        return LintReport.from_dict(data.get("report", {}))
+
 
 def resolve_campaign_dir(
     root, manifest: CampaignManifest | None = None, create: bool = False

@@ -27,10 +27,11 @@ See ``docs/lint.md`` for the full rule catalog.
 
 from repro.lint.findings import Finding, LintReport, Severity
 from repro.lint.rules import REGISTRY, FunctionRule, Rule, RuleRegistry, rule
-from repro.lint.context import LintContext, ModelArtifact, SourceArtifact
+from repro.lint.context import FunctionArtifact, LintContext, ModelArtifact, SourceArtifact
 from repro.lint.engine import (
     CampaignLintError,
     lint,
+    lint_app_fn,
     lint_campaign,
     lint_component,
     lint_generated,
@@ -42,6 +43,8 @@ from repro.lint.engine import (
     lint_source,
     suppressions_of,
 )
+from repro.lint.fixes import AppliedFix, FileFixes, fix_paths, fix_source
+from repro.lint.flow import FlowAnalysis, FunctionScope, ModuleIndex, analyze_callable
 from repro.lint.reporters import render, render_json, render_text
 
 __all__ = [
@@ -56,8 +59,10 @@ __all__ = [
     "LintContext",
     "SourceArtifact",
     "ModelArtifact",
+    "FunctionArtifact",
     "CampaignLintError",
     "lint",
+    "lint_app_fn",
     "lint_campaign",
     "lint_component",
     "lint_generated",
@@ -68,6 +73,14 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "suppressions_of",
+    "AppliedFix",
+    "FileFixes",
+    "fix_paths",
+    "fix_source",
+    "FlowAnalysis",
+    "FunctionScope",
+    "ModuleIndex",
+    "analyze_callable",
     "render",
     "render_json",
     "render_text",

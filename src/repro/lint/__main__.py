@@ -6,6 +6,9 @@ Usage::
     python -m repro.lint examples/               # a tree of files
     python -m repro.lint manifest.json --format json
     python -m repro.lint runs/ --fail-on warn    # stricter CI gate
+    python -m repro.lint runs/ --no-cache        # bypass .cheetah/lintcache.json
+    python -m repro.lint app.py --fix            # dry-run auto-fix (unified diffs)
+    python -m repro.lint app.py --fix --write    # apply the fixes in place
     python -m repro.lint --list-rules            # the rule catalog
 
 Exit status: 0 when no finding reaches the ``--fail-on`` threshold,
@@ -17,9 +20,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.lint.engine import lint_paths
 from repro.lint.findings import Severity
+from repro.lint.fixes import fix_paths
 from repro.lint.reporters import render
 from repro.lint.rules import REGISTRY
 
@@ -33,6 +38,25 @@ def _rule_catalog_text() -> str:
             f"{row['id']:<9}{row['severity']:<9}{row['target']:<11}{row['title']}"
         )
     return "\n".join(lines)
+
+
+def _parse_suppressions(parser: argparse.ArgumentParser, values) -> frozenset:
+    """Comma-separated rule ids, validated against the registry.
+
+    A typo in a suppression used to be silently ignored — the most
+    dangerous possible failure mode for an opt-out flag.  Unknown ids
+    are now a usage error naming the known catalog.
+    """
+    requested = set()
+    for chunk in values:
+        requested.update(s.strip() for s in chunk.split(",") if s.strip())
+    unknown = sorted(rule_id for rule_id in requested if rule_id not in REGISTRY)
+    if unknown:
+        parser.error(
+            f"unknown rule id(s) in --suppress: {', '.join(unknown)} "
+            f"(known: {', '.join(REGISTRY.ids())})"
+        )
+    return frozenset(requested)
 
 
 def main(argv=None) -> int:
@@ -61,10 +85,36 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--suppress",
-        default="",
+        action="append",
+        default=[],
         metavar="ID,ID",
-        help="comma-separated rule ids to suppress (additive with each "
-        "campaign's own metadata suppressions)",
+        help="comma-separated rule ids to suppress (repeatable; additive "
+        "with each campaign's own metadata suppressions); unknown ids "
+        "are a usage error",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update per-campaign lint caches "
+        "(.cheetah/lintcache.json)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the rendered report to FILE (e.g. a SARIF "
+        "artifact for CI upload)",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="auto-fix the safe subset (seeding preamble, bare except, "
+        "run-relative paths) and print unified diffs; dry run unless "
+        "--write is given",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="with --fix: apply the fixes to the files in place",
     )
     parser.add_argument(
         "--list-rules",
@@ -78,14 +128,32 @@ def main(argv=None) -> int:
         return 0
     if not args.paths:
         parser.error("no paths given (or use --list-rules)")
+    if args.write and not args.fix:
+        parser.error("--write only makes sense with --fix")
 
-    suppress = frozenset(s.strip() for s in args.suppress.split(",") if s.strip())
+    suppress = _parse_suppressions(parser, args.suppress)
+
+    if args.fix:
+        try:
+            outcomes = fix_paths(args.paths, write=args.write)
+        except FileNotFoundError as exc:
+            parser.error(str(exc))
+        changed = [o for o in outcomes if o.changed]
+        for outcome in changed:
+            print(outcome.diff(), end="")
+        verb = "fixed" if args.write else "fixable (dry run; re-run with --write)"
+        print(f"{len(changed)} file(s) {verb}, {len(outcomes)} scanned")
+        return 0
+
     try:
-        report = lint_paths(args.paths, suppress=suppress)
+        report = lint_paths(args.paths, suppress=suppress, cache=not args.no_cache)
     except FileNotFoundError as exc:
         parser.error(str(exc))
 
-    print(render(report, args.format))
+    rendered = render(report, args.format)
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
     threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
     return 1 if report.exceeds(threshold) else 0
 

@@ -1,0 +1,109 @@
+"""Incremental lint cache: near-O(changed) re-linting of campaign trees.
+
+A campaign directory's lint verdict is a pure function of three inputs:
+the manifest JSON, the source artifacts on disk, and the rule set (plus
+any CLI-level suppressions).  So the engine hashes exactly those inputs
+into a content digest and memoizes the finished
+:class:`~repro.lint.findings.LintReport` in
+``.cheetah/lintcache.json`` — next to the manifest, so the cache travels
+with the campaign and a copied tree stays warm.
+
+Re-linting an unchanged directory then costs file reads + one SHA-256,
+not manifest parsing and thirty rule evaluations; a million-entry
+catalog re-lints in time proportional to what actually changed.  The
+digest covers the rule catalog itself (ids, severities, titles), so
+upgrading ``repro`` or registering a new rule invalidates every cached
+verdict — a stale cache can never mask a new class of debt.  Writes are
+best-effort: a read-only tree lints fine, it just stays cold.
+
+``python -m repro.lint --no-cache`` (or ``cache=False`` on the engine
+entry points) bypasses both lookup and store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.lint.findings import LintReport
+from repro.lint.rules import REGISTRY
+
+#: Bump when the cached payload shape changes.
+CACHE_SCHEMA = "repro.lint.cache/v1"
+
+#: File name under the campaign's ``.cheetah`` metadata directory.
+CACHE_FILENAME = "lintcache.json"
+
+
+def rules_signature() -> str:
+    """Digest of the registered rule catalog — part of every cache key."""
+    catalog = json.dumps(REGISTRY.catalog(), sort_keys=True)
+    return hashlib.sha256(catalog.encode("utf-8")).hexdigest()
+
+
+def campaign_digest(manifest_text: str, sources, suppress=()) -> str:
+    """Content digest of everything a campaign-directory lint reads.
+
+    ``sources`` is an iterable of ``(relative_path, bytes)`` pairs in a
+    deterministic order.
+    """
+    digest = hashlib.sha256()
+    digest.update(CACHE_SCHEMA.encode("utf-8"))
+    digest.update(rules_signature().encode("utf-8"))
+    digest.update(manifest_text.encode("utf-8"))
+    for relative, data in sources:
+        digest.update(b"\x00")
+        digest.update(str(relative).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(data)
+    digest.update(repr(sorted(suppress)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def cache_path_for(campaign_dir) -> Path:
+    return Path(campaign_dir) / ".cheetah" / CACHE_FILENAME
+
+
+def load_cached_report(cache_path, digest: str) -> LintReport | None:
+    """The memoized report, or ``None`` on miss/stale/corrupt cache."""
+    try:
+        payload = json.loads(Path(cache_path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != CACHE_SCHEMA:
+        return None
+    if payload.get("digest") != digest:
+        return None
+    try:
+        return LintReport.from_dict(payload.get("report", {}))
+    except (KeyError, ValueError, TypeError):
+        return None
+
+
+def store_cached_report(cache_path, digest: str, report: LintReport) -> None:
+    """Memoize ``report``; silently a no-op on unwritable trees."""
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "digest": digest,
+        "report": report.to_dict(),
+    }
+    cache_path = Path(cache_path)
+    try:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = cache_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp.replace(cache_path)
+    except OSError:
+        pass
+
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CACHE_FILENAME",
+    "rules_signature",
+    "campaign_digest",
+    "cache_path_for",
+    "load_cached_report",
+    "store_cached_report",
+]

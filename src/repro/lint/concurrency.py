@@ -1,0 +1,396 @@
+"""FAIR5xx — concurrency-safety rules for worker code.
+
+Since real backends landed (``local-threads``/``local-processes``) and
+the multi-tenant :class:`~repro.savanna.service.CampaignService`, the
+dominant runtime failure mode is no longer a malformed manifest but an
+``app_fn`` that is structurally unsafe to fan out: it mutates module
+state every worker shares, draws from the ambient RNG so runs are not
+reproducible, captures state that cannot cross a process boundary, or
+writes every run's output to the same path.  These rules find that
+statically, before an allocation is burned.
+
+Rules bind to the ``"function"`` target and receive a
+:class:`~repro.lint.context.FunctionArtifact` — a
+:class:`~repro.lint.flow.FlowAnalysis` (entry function + reachable
+module-level callees) plus execution context: whether the function is
+known worker code (``role="worker"``) and whether the backend pickles
+it (``local-processes``).  Outside worker context severities soften to
+WARNING and the pickling/primitive rules stand down, which is what
+keeps a tree scan over ordinary driver scripts quiet.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Severity
+from repro.lint.flow import MUTATING_METHODS
+from repro.lint.rules import rule
+
+#: ``random`` module draws that consume the shared global RNG stream.
+RANDOM_DRAWS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "triangular",
+        "vonmisesvariate",
+        "weibullvariate",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* ambient draws (seeding,
+#: generator construction — the things we want people to call instead).
+_NUMPY_NON_DRAWS = frozenset(
+    {"seed", "default_rng", "Generator", "RandomState", "SeedSequence", "BitGenerator"}
+)
+
+_RNG_FACTORIES = frozenset(
+    {"random.Random", "numpy.random.default_rng", "numpy.random.RandomState"}
+)
+
+_SYNC_PRIMITIVES = frozenset(
+    {
+        "threading.Thread",
+        "threading.Timer",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Event",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+        "multiprocessing.Process",
+        "multiprocessing.Pool",
+        "multiprocessing.Manager",
+        "multiprocessing.Queue",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+        "multiprocessing.Event",
+        "multiprocessing.Semaphore",
+        "multiprocessing.Value",
+        "multiprocessing.Array",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+    }
+)
+
+#: Blocking calls that stall the event loop when awaited code runs them.
+_BLOCKING_IN_ASYNC = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    }
+)
+
+_WRITE_MODES = frozenset("wax")
+
+
+def _where(scope, node) -> str:
+    return f"{scope.name}() line {node.lineno}"
+
+
+def _soften(artifact, severity: Severity) -> Severity:
+    """Outside known worker context an ERROR is advice, not a gate."""
+    return severity if artifact.role == "worker" else min(severity, Severity.WARNING)
+
+
+# ---------------------------------------------------------------------------
+# FAIR501 — shared module state mutated from worker code
+
+
+@rule(
+    "FAIR501",
+    Severity.ERROR,
+    "function",
+    "worker mutates shared module state",
+    "Workers run the same function concurrently; a `global` write, a store "
+    "into a module-level object, or an in-place mutation of one is a data "
+    "race under local-threads and silently diverging copies under "
+    "local-processes.",
+)
+def shared_state_mutation(artifact, ctx):
+    for scope in artifact.iter_scopes():
+        severity = _soften(artifact, Severity.ERROR)
+        for node in scope.walk():
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in scope.declared_global:
+                        yield (
+                            f"assigns module global {target.id!r} declared with "
+                            "`global`; every concurrent run races on it",
+                            _where(scope, node),
+                            severity,
+                        )
+                    elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                        resolved = scope.resolve(target.value)
+                        if resolved.kind in ("module", "import"):
+                            yield (
+                                f"writes into module-level object "
+                                f"{resolved.dotted or ast.unparse(target.value)!r}; "
+                                "shared across every concurrent run",
+                                _where(scope, node),
+                                severity,
+                            )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in MUTATING_METHODS:
+                    continue
+                resolved = scope.resolve(node.func.value)
+                if resolved.kind in ("module", "import"):
+                    yield (
+                        f"calls {node.func.attr}() on module-level object "
+                        f"{resolved.dotted!r}, mutating state every run shares",
+                        _where(scope, node),
+                        severity,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# FAIR502 — ambient randomness without a run-derived seed
+
+
+def _is_draw(resolved) -> bool:
+    dotted = resolved.dotted
+    if not dotted:
+        return False
+    if dotted.startswith("random."):
+        return dotted.split(".", 1)[1] in RANDOM_DRAWS
+    if dotted.startswith("numpy.random."):
+        return dotted.rsplit(".", 1)[1] not in _NUMPY_NON_DRAWS
+    return False
+
+
+def _mentions_seed_for_run(node: ast.expr) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and "seed_for_run" in child.id:
+            return True
+        if isinstance(child, ast.Attribute) and "seed_for_run" in child.attr:
+            return True
+    return False
+
+
+def _seed_evidence(analysis) -> bool:
+    """True when any reachable code seeds with a run-varying value or
+    builds a seeded generator — the reproducible idioms."""
+    for scope in analysis.scopes:
+        for call in scope.calls():
+            resolved = scope.resolve_call(call)
+            dotted = resolved.dotted
+            seedy = dotted.endswith(".seed") and (
+                dotted.startswith("random.") or dotted.startswith("numpy.random.")
+            )
+            factory = dotted in _RNG_FACTORIES
+            if not (seedy or factory):
+                continue
+            if not call.args and not call.keywords:
+                continue
+            args = list(call.args) + [kw.value for kw in call.keywords]
+            for arg in args:
+                if _mentions_seed_for_run(arg) or not scope.is_constant(arg):
+                    return True
+    return False
+
+
+@rule(
+    "FAIR502",
+    Severity.WARNING,
+    "function",
+    "ambient randomness without a run-derived seed",
+    "Drawing from the shared `random`/`numpy.random` stream without seeding "
+    "it from run identity makes runs irreproducible and, under threads, "
+    "interleaves one global stream across workers; derive a seed per run "
+    "(`seed_for_run`) or build a local seeded Generator.",
+)
+def unseeded_randomness(artifact, ctx):
+    analysis = artifact.analysis
+    if analysis is None or _seed_evidence(analysis):
+        return
+    for scope, call, resolved in unseeded_draw_sites(analysis, artifact.iter_scopes()):
+        yield (
+            f"{resolved.dotted}() draws from the ambient RNG with no "
+            "run-derived seed in sight; runs are not reproducible and "
+            "threads share one stream",
+            _where(scope, call),
+        )
+
+
+def unseeded_draw_sites(analysis, scopes=None):
+    """Draw sites ``(scope, call, resolution)`` — shared with ``--fix``."""
+    if _seed_evidence(analysis):
+        return
+    for scope in scopes if scopes is not None else analysis.scopes:
+        for call in scope.calls():
+            resolved = scope.resolve_call(call)
+            if _is_draw(resolved):
+                yield scope, call, resolved
+
+
+# ---------------------------------------------------------------------------
+# FAIR503 — captures that cannot pickle under local-processes
+
+
+@rule(
+    "FAIR503",
+    Severity.ERROR,
+    "function",
+    "app_fn cannot pickle under local-processes",
+    "local-processes ships the function to workers by pickling it; lambdas, "
+    "nested functions, and closures serialize by importable name and fail "
+    "at dispatch time — after the queue slot is already spent.",
+)
+def unpicklable_capture(artifact, ctx):
+    if not artifact.requires_pickling or artifact.pickle_failure is None:
+        return
+    reasons = "; ".join(artifact.pickle_hints) or artifact.pickle_failure
+    yield (
+        f"cannot be shipped to process workers: {reasons} "
+        f"(pickle says: {artifact.pickle_failure})",
+    )
+
+
+# ---------------------------------------------------------------------------
+# FAIR504 — every run writes the same path
+
+
+def _call_write_target(scope, call: ast.Call):
+    """The path expression a call writes to, or ``None``."""
+
+    def mode_of(args_index: int):
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                return kw.value
+        if len(call.args) > args_index:
+            return call.args[args_index]
+        return None
+
+    def writes(mode_node) -> bool:
+        return isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str) and (
+            bool(set(mode_node.value) & _WRITE_MODES) or "+" in mode_node.value
+        )
+
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in ("write_text", "write_bytes"):
+            return call.func.value
+        if attr == "open" and writes(mode_of(0)):
+            return call.func.value
+    resolved = scope.resolve_call(call)
+    if resolved.dotted == "open" and call.args and writes(mode_of(1)):
+        return call.args[0]
+    if resolved.dotted in ("numpy.save", "numpy.savetxt", "numpy.savez",
+                           "numpy.savez_compressed") and call.args:
+        return call.args[0]
+    return None
+
+
+def constant_write_sites(analysis, scopes=None):
+    """``(scope, call, path_expr)`` where the path is run-invariant."""
+    for scope in scopes if scopes is not None else analysis.scopes:
+        for call in scope.calls():
+            target = _call_write_target(scope, call)
+            if target is not None and scope.is_constant(target):
+                yield scope, call, target
+
+
+@rule(
+    "FAIR504",
+    Severity.ERROR,
+    "function",
+    "cross-run write race: output path is run-invariant",
+    "A write target built only from literals and module constants is the "
+    "same file for every run in the sweep — concurrent runs clobber each "
+    "other; derive the path from the run's parameters or per-run directory.",
+)
+def constant_path_write(artifact, ctx):
+    analysis = artifact.analysis
+    if analysis is None:
+        return
+    severity = _soften(artifact, Severity.ERROR)
+    for scope, call, target in constant_write_sites(analysis, artifact.iter_scopes()):
+        yield (
+            f"writes to {ast.unparse(target)}, a path identical for every "
+            "run; concurrent runs race on it",
+            _where(scope, call),
+            severity,
+        )
+
+
+# ---------------------------------------------------------------------------
+# FAIR505 — synchronization primitives built inside a task
+
+
+@rule(
+    "FAIR505",
+    Severity.WARNING,
+    "function",
+    "task spawns its own threads/processes",
+    "A task that creates Thread/Pool/Lock primitives multiplies the "
+    "backend's parallelism (oversubscription) and, under local-processes, "
+    "nests process pools inside pool workers; concurrency belongs to the "
+    "executor, not the task.",
+)
+def sync_primitive_in_task(artifact, ctx):
+    if artifact.role != "worker":
+        return
+    for scope in artifact.iter_scopes():
+        for call in scope.calls():
+            resolved = scope.resolve_call(call)
+            if resolved.dotted in _SYNC_PRIMITIVES:
+                yield (
+                    f"creates {resolved.dotted} inside a task the executor "
+                    "already parallelizes",
+                    _where(scope, call),
+                )
+
+
+# ---------------------------------------------------------------------------
+# FAIR506 — blocking calls inside async code
+
+
+@rule(
+    "FAIR506",
+    Severity.WARNING,
+    "function",
+    "blocking call inside async code",
+    "`time.sleep`, sync file I/O, or a subprocess wait inside an `async "
+    "def` stalls the whole event loop — every other campaign the service "
+    "is juggling stops with it; await the async equivalent or push the "
+    "work through a thread.",
+)
+def blocking_call_in_async(artifact, ctx):
+    for scope in artifact.iter_scopes():
+        if not scope.is_async:
+            continue
+        for call in scope.calls():
+            resolved = scope.resolve_call(call)
+            dotted = resolved.dotted
+            if dotted in _BLOCKING_IN_ASYNC or dotted.startswith("requests."):
+                yield (
+                    f"calls blocking {dotted}() inside `async def "
+                    f"{scope.name}`; the event loop (and every other "
+                    "submission) waits with it",
+                    _where(scope, call),
+                )

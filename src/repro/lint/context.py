@@ -52,6 +52,41 @@ class SourceArtifact:
 
 
 @dataclass(frozen=True)
+class FunctionArtifact:
+    """A function under concurrency-safety analysis (FAIR5xx).
+
+    ``analysis`` is a :class:`~repro.lint.flow.FlowAnalysis` (entry
+    function plus reachable module-level callees), or ``None`` when
+    source was unavailable — runtime facts (``pickle_failure``) still
+    apply then.  ``role`` distinguishes known worker code (``"worker"``:
+    an ``app_fn`` headed for a real backend, full severity) from a
+    generic tree scan (``"unknown"``: gating severities soften to
+    WARNING and worker-only rules stand down).  ``interprocedural``
+    controls whether findings are reported from reachable callees too
+    (the app_fn gate) or only from the entry function (the file scan,
+    where every module function is its own entry and callee findings
+    would duplicate).
+    """
+
+    name: str
+    path: str = "<function>"
+    analysis: object | None = None
+    role: str = "unknown"
+    requires_pickling: bool = False
+    pickle_failure: str | None = None
+    pickle_hints: tuple = ()
+    interprocedural: bool = False
+
+    def iter_scopes(self):
+        """The scopes findings may be reported from."""
+        if self.analysis is None:
+            return []
+        if self.interprocedural:
+            return list(self.analysis.scopes)
+        return [self.analysis.entry]
+
+
+@dataclass(frozen=True)
 class ModelArtifact:
     """A Skel model bound to the template library it will render.
 
@@ -65,4 +100,4 @@ class ModelArtifact:
     extra_names: frozenset = frozenset()
 
 
-__all__ = ["LintContext", "SourceArtifact", "ModelArtifact"]
+__all__ = ["LintContext", "SourceArtifact", "ModelArtifact", "FunctionArtifact"]

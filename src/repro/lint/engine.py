@@ -9,6 +9,7 @@ Entry points mirror the layers the analyzer understands::
     lint_model(model, library)    # Skel model vs. its templates
     lint_generated(files)         # skel GeneratedFile output
     lint_source(text, path)       # one source artifact
+    lint_app_fn(fn, pool=...)     # concurrency safety of a live app_fn
     lint_paths([...])             # CLI face: campaign dirs + files
 
 plus :func:`lint`, which dispatches on the subject's type.  Nothing is
@@ -29,8 +30,16 @@ from pathlib import Path
 from repro.cheetah.campaign import Campaign
 from repro.cheetah.directory import resolve_campaign_dir
 from repro.cheetah.manifest import CampaignManifest, manifest_from_json
-from repro.lint import campaign_rules, code_rules, gauge_rules, graph_rules  # noqa: F401  (rule registration)
-from repro.lint.context import LintContext, ModelArtifact, SourceArtifact
+from repro.lint import (  # noqa: F401  (rule registration)
+    campaign_rules,
+    code_rules,
+    concurrency,
+    gauge_rules,
+    graph_rules,
+)
+from repro.lint import cache as _cache
+from repro.lint import flow as _flow
+from repro.lint.context import FunctionArtifact, LintContext, ModelArtifact, SourceArtifact
 from repro.lint.findings import Finding, LintReport
 from repro.lint.rules import REGISTRY
 
@@ -173,7 +182,61 @@ def lint_source(
         parameters=frozenset(parameters),
     )
     ctx = LintContext(subject_name=str(path), model=model, suppress=suppress)
-    return LintReport.of(_run_rules("source", artifact, ctx), suppress)
+    findings = _run_rules("source", artifact, ctx)
+    if artifact.is_python:
+        findings += _function_findings(text, str(path), ctx)
+    return LintReport.of(findings, suppress)
+
+
+def _function_findings(text: str, path: str, ctx: LintContext) -> list:
+    """Concurrency-safety pass over each module-level function.
+
+    Every top-level function is analyzed as its own entry point (with
+    full interprocedural context for exculpatory evidence like seeding),
+    but findings are reported from the entry scope only — callees are
+    entries of their own pass, so nothing is missed or duplicated.
+    """
+    index = _flow.ModuleIndex.from_source(text, path)
+    if index is None:
+        return []
+    findings: list[Finding] = []
+    for name, node in index.functions.items():
+        artifact = FunctionArtifact(
+            name=name,
+            path=path,
+            analysis=_flow.analyze_function(index, node),
+            role="unknown",
+            interprocedural=False,
+        )
+        findings.extend(_run_rules("function", artifact, ctx))
+    return findings
+
+
+def lint_app_fn(app_fn, pool: str = "threads", suppress=(), subject: str = "") -> LintReport:
+    """Concurrency-safety analysis of a live ``app_fn`` callable.
+
+    This is the pre-flight gate ``savanna.drive`` and
+    ``CampaignService.submit`` run before handing a function to a real
+    backend: the function's module source is analyzed interprocedurally
+    (entry plus reachable module-level callees) at full ``"worker"``
+    severity, and under ``pool="processes"`` the callable is also
+    pickle-probed — nothing from the function is ever *called*.
+    """
+    suppress = frozenset(suppress)
+    requires_pickling = pool == "processes"
+    name = getattr(app_fn, "__qualname__", None) or getattr(app_fn, "__name__", "app_fn")
+    artifact = FunctionArtifact(
+        name=name,
+        path=getattr(getattr(app_fn, "__code__", None), "co_filename", "<function>"),
+        analysis=_flow.analyze_callable(app_fn),
+        role="worker",
+        requires_pickling=requires_pickling,
+        pickle_failure=_flow.probe_pickle(app_fn) if requires_pickling else None,
+        pickle_hints=_flow.pickle_hints_for(app_fn),
+        interprocedural=True,
+    )
+    ctx = LintContext(subject_name=subject or f"app_fn {name!r}", suppress=suppress)
+    return LintReport.of(_run_rules("function", artifact, ctx), suppress)
 
 
 def lint_generated(files, model=None, suppress=()) -> LintReport:
@@ -234,15 +297,42 @@ def _is_campaign_dir(path: Path) -> bool:
     return (path / ".cheetah" / "manifest.json").is_file()
 
 
-def _lint_campaign_dir(path: Path, suppress=()) -> LintReport:
-    """Manifest rules + source rules over every run artifact on disk."""
+def _campaign_sources(path: Path) -> list[Path]:
+    return sorted(
+        file
+        for file in path.rglob("*")
+        if file.suffix in _SOURCE_SUFFIXES and file.is_file()
+    )
+
+
+def _lint_campaign_dir(path: Path, suppress=(), cache: bool = True) -> LintReport:
+    """Manifest rules + source rules over every run artifact on disk.
+
+    With ``cache`` (the default) the finished report is memoized in
+    ``.cheetah/lintcache.json`` keyed by a content digest of the
+    manifest, the source artifacts, the rule catalog, and the caller's
+    suppressions — an unchanged directory costs file reads plus one
+    hash, no rule runs.  Manifest-metadata suppressions need no key of
+    their own: they live inside the hashed manifest text.
+    """
+    sources = _campaign_sources(path)
+    cache_path = _cache.cache_path_for(path)
+    digest = None
+    manifest_text = (path / ".cheetah" / "manifest.json").read_text()
+    if cache:
+        digest = _cache.campaign_digest(
+            manifest_text,
+            ((str(f.relative_to(path)), f.read_bytes()) for f in sources),
+            suppress,
+        )
+        cached = _cache.load_cached_report(cache_path, digest)
+        if cached is not None:
+            return cached
     directory = resolve_campaign_dir(path)
     manifest = directory.manifest
     suppress = frozenset(suppress) | suppressions_of(manifest)
     report = lint_manifest(manifest, suppress=suppress)
-    for file in sorted(path.rglob("*")):
-        if file.suffix not in _SOURCE_SUFFIXES or not file.is_file():
-            continue
+    for file in sources:
         relative = file.relative_to(path)
         report = report.merged(
             lint_source(
@@ -251,6 +341,8 @@ def _lint_campaign_dir(path: Path, suppress=()) -> LintReport:
                 suppress=suppress,
             )
         )
+    if cache and digest is not None:
+        _cache.store_cached_report(cache_path, digest, report)
     return report
 
 
@@ -261,23 +353,24 @@ def _looks_like_manifest(path: Path) -> bool:
     return '"schema_version"' in head and '"runs"' in head
 
 
-def lint_path(path, suppress=()) -> LintReport:
+def lint_path(path, suppress=(), cache: bool = True) -> LintReport:
     """Lint one path: a campaign directory, a directory tree, or a file."""
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no such path: {path}")
     if path.is_dir():
         if _is_campaign_dir(path):
-            return _lint_campaign_dir(path, suppress)
+            return _lint_campaign_dir(path, suppress, cache=cache)
         report = LintReport()
-        campaign_roots = []
+        campaign_roots = set()
         for candidate in sorted(p for p in path.rglob(".cheetah") if p.is_dir()):
             root = candidate.parent
             if _is_campaign_dir(root):
-                campaign_roots.append(root)
-                report = report.merged(_lint_campaign_dir(root, suppress))
+                campaign_roots.add(root)
+                report = report.merged(_lint_campaign_dir(root, suppress, cache=cache))
         for file in sorted(path.rglob("*.py")):
-            if any(root in file.parents for root in campaign_roots):
+            # set lookup per ancestor, not a scan over every campaign root
+            if any(parent in campaign_roots for parent in file.parents):
                 continue
             report = report.merged(
                 lint_source(file.read_text(), path=str(file), suppress=suppress)
@@ -289,9 +382,9 @@ def lint_path(path, suppress=()) -> LintReport:
     return lint_source(path.read_text(), path=str(path), suppress=suppress)
 
 
-def lint_paths(paths, suppress=()) -> LintReport:
+def lint_paths(paths, suppress=(), cache: bool = True) -> LintReport:
     """Lint several paths into one merged report."""
     report = LintReport()
     for path in paths:
-        report = report.merged(lint_path(path, suppress))
+        report = report.merged(lint_path(path, suppress, cache=cache))
     return report

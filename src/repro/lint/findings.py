@@ -76,6 +76,26 @@ class Finding:
     def sort_key(self) -> tuple:
         return (-int(self.severity), self.rule_id, self.subject, self.location, self.message)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (lint cache, campaign-directory persistence)."""
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            rule_id=str(payload["rule_id"]),
+            severity=Severity.parse(payload["severity"]),
+            message=str(payload["message"]),
+            subject=str(payload.get("subject", "")),
+            location=str(payload.get("location", "")),
+        )
+
 
 @dataclass(frozen=True)
 class LintReport:
@@ -145,6 +165,20 @@ class LintReport:
 
     def __bool__(self) -> bool:
         return bool(self.findings)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LintReport":
+        return cls(
+            findings=tuple(Finding.from_dict(f) for f in payload.get("findings", ())),
+            suppressed=tuple(Finding.from_dict(f) for f in payload.get("suppressed", ())),
+        )
 
 
 def relocate(finding: Finding, subject: str) -> Finding:

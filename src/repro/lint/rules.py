@@ -15,6 +15,7 @@ FAIR1xx    dataflow graphs
 FAIR2xx    gauge debt (components vs. their declared tiers)
 FAIR3xx    generated / analyzed source code
 FAIR4xx    Skel models and template libraries
+FAIR5xx    concurrency safety of worker functions
 FAIR9xx    meta (suppression hygiene)
 =========  ==============================================================
 """
@@ -26,7 +27,7 @@ from typing import Iterable, Protocol, runtime_checkable
 from repro.lint.findings import Finding, Severity
 
 #: Valid analyzer targets a rule may bind to.
-TARGETS = ("campaign", "manifest", "graph", "component", "source", "model")
+TARGETS = ("campaign", "manifest", "graph", "component", "source", "model", "function")
 
 
 @runtime_checkable

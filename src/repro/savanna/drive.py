@@ -53,7 +53,7 @@ from repro.cheetah.directory import CampaignDirectory, RunStatus, resolve_campai
 from repro.cheetah.manifest import CampaignManifest
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.job import TaskState
-from repro.lint.engine import CampaignLintError, lint_manifest
+from repro.lint.engine import CampaignLintError, lint_app_fn, lint_manifest, suppressions_of
 from repro.observability import (
     BEGIN,
     CAMPAIGN_LINTED,
@@ -84,21 +84,36 @@ _REAL_TO_STATUS = {
 }
 
 
-def _pre_run_lint(manifest, bus, cluster, backend_kwargs) -> None:
+def _pool_of(backend: str) -> str:
+    """Which worker pool a real backend dispatches to (pickling matters)."""
+    return "processes" if "process" in backend else "threads"
+
+
+def _pre_run_lint(manifest, bus, cluster, backend_kwargs, app_fn=None, pool="threads"):
     """The ``repro.lint`` gate: refuse campaigns with ERROR findings.
 
     Runs the manifest rules with the cluster spec (when there is a
     cluster — real backends lint without one) and the retry policy the
-    execution will actually use, emits one ``campaign.linted`` instant
-    with the finding counts, and raises
+    execution will actually use.  For real backends the ``app_fn``
+    headed to the workers gets the FAIR5xx concurrency-safety pass too
+    (:func:`~repro.lint.engine.lint_app_fn`, honouring the manifest's
+    own suppressions), so a function that mutates shared state or
+    cannot pickle under ``local-processes`` is refused before a queue
+    slot is spent.  Emits one ``campaign.linted`` instant with the
+    merged finding counts and raises
     :class:`~repro.lint.engine.CampaignLintError` on any ERROR —
     misconfiguration surfaces at submit time, not mid-allocation.
+    Returns the merged report so callers can persist it.
     """
     report = lint_manifest(
         manifest,
         cluster=cluster,
         retry_policy=backend_kwargs.get("retry_policy"),
     )
+    if app_fn is not None:
+        report = report.merged(
+            lint_app_fn(app_fn, pool=pool, suppress=suppressions_of(manifest))
+        )
     counts = report.counts()
     bus.emit(
         CAMPAIGN_LINTED,
@@ -110,6 +125,7 @@ def _pre_run_lint(manifest, bus, cluster, backend_kwargs) -> None:
     )
     if report.errors:
         raise CampaignLintError(report, campaign=manifest.campaign)
+    return report
 
 
 def _resolve_group(manifest: CampaignManifest, group: str | None) -> str:
@@ -233,7 +249,14 @@ def execute_campaign(
         # a time base and any subscriber sees the full story.
         backend_kwargs.setdefault("bus", wall_clock_bus(f"drive-{manifest.campaign}"))
         if lint:
-            _pre_run_lint(manifest, backend_kwargs["bus"], cluster, backend_kwargs)
+            _pre_run_lint(
+                manifest,
+                backend_kwargs["bus"],
+                cluster,
+                backend_kwargs,
+                app_fn=backend_kwargs.get("app_fn"),
+                pool=_pool_of(backend),
+            )
     else:
         if cluster is None:
             raise ValueError(
@@ -459,10 +482,16 @@ def _execute_manifest_real(
         bus = cluster.bus if cluster is not None else wall_clock_bus(
             f"drive-{manifest.campaign}"
         )
+    lint_report = None
     if lint:
-        _pre_run_lint(manifest, bus, cluster, backend_kwargs)
+        lint_report = _pre_run_lint(
+            manifest, bus, cluster, backend_kwargs,
+            app_fn=app_fn, pool=_pool_of(backend),
+        )
     group = _resolve_group(manifest, group)
     work = _resolve_pending(manifest, group, directory, resume)
+    if work.directory is not None and lint_report is not None:
+        work.directory.write_lint_report(lint_report)
 
     executor = create_executor(backend, **backend_kwargs)
     streaming = _make_streaming(bus) if report else None

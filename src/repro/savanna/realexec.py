@@ -136,6 +136,37 @@ class RealTaskSpec:
     seed: int
     attempt: int = 1
 
+    def ensure_picklable(self) -> None:
+        """Raise ``TypeError`` naming the offending parameter when this
+        spec cannot cross a process boundary.
+
+        A bare ``pickle.dumps(spec)`` failure reports only the leaf type
+        (``cannot pickle '_thread.lock' object``), forcing a bisection
+        over the parameter dict; this probes each value individually so
+        the error says *which* key to fix.
+        """
+        try:
+            pickle.dumps(self)
+            return
+        except Exception as exc:  # noqa: BLE001 - re-raised with context below
+            cause = exc
+        offenders = []
+        for key, value in sorted(self.parameters.items()):
+            try:
+                pickle.dumps(value)
+            except Exception:  # noqa: BLE001 - the probe *is* the test
+                offenders.append(f"{key!r} ({type(value).__module__}.{type(value).__qualname__})")
+        detail = (
+            f"unpicklable parameter(s) {', '.join(offenders)}"
+            if offenders
+            else f"spec does not pickle: {cause}"
+        )
+        raise TypeError(
+            f"run {self.run_id!r}: {detail}; pool='processes' requires every "
+            "parameter value to pickle (use pool='threads' or pass "
+            "picklable handles instead)"
+        ) from cause
+
 
 @dataclass
 class LocalRunResult:
@@ -226,7 +257,14 @@ def _run_attempt(app_fn, spec: RealTaskSpec, ensure_picklable: bool) -> _Attempt
         if ensure_picklable:
             # Fail *here*, with a clear message, rather than poisoning
             # the result pipe back to the driver.
-            pickle.dumps(value)
+            try:
+                pickle.dumps(value)
+            except Exception as exc:  # noqa: BLE001 - named, not bisected
+                raise TypeError(
+                    f"run {spec.run_id!r}: unpicklable return value "
+                    f"({type(value).__module__}.{type(value).__qualname__}); "
+                    "pool='processes' requires picklable results"
+                ) from exc
         return _AttemptOutcome(
             run_id=spec.run_id,
             ok=True,
@@ -427,6 +465,12 @@ class RealExecutor:
         retries_used: dict = {}  # {run_id: retries granted}
         budget_spent = 0
         ensure_picklable = self.pool == "processes"
+        if ensure_picklable:
+            # Fail before the pool spins up, naming the offending key —
+            # otherwise the pickle error surfaces as an opaque result-pipe
+            # failure on whichever chunk carried the bad spec.
+            for spec in specs:
+                spec.ensure_picklable()
 
         emit(CAMPAIGN, BEGIN, campaign=name, tasks=len(selected), max_allocations=1)
         emit(ALLOC_SUBMITTED, job=job, nodes=self.max_workers, walltime=None)

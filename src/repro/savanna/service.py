@@ -67,6 +67,7 @@ from enum import Enum
 from typing import Any
 
 from repro.cheetah.manifest import CampaignManifest
+from repro.lint.engine import CampaignLintError, lint_app_fn, suppressions_of
 from repro.observability import (
     SERVICE_CANCELLED,
     SERVICE_FINISHED,
@@ -76,7 +77,7 @@ from repro.observability import (
     EventBus,
 )
 from repro.savanna.backends import backend_kind
-from repro.savanna.drive import execute_campaign
+from repro.savanna.drive import _pool_of, execute_campaign
 from repro.savanna.realexec import wall_clock_bus
 
 
@@ -157,6 +158,9 @@ class _Submission:
     result: Any = None
     error: BaseException | None = None
     enqueued_at: float = 0.0
+    #: Pre-queue FAIR5xx concurrency-safety verdict on the submission's
+    #: ``app_fn`` (None for simulated backends or ``lint=False``).
+    lint_report: Any = None
     #: Polled by the drive pipeline (real backends every 0.05s, simulated
     #: between groups) — set by :meth:`SubmissionHandle.cancel`.
     cancel_event: threading.Event = field(default_factory=threading.Event)
@@ -197,6 +201,15 @@ class SubmissionHandle:
     @property
     def priority(self) -> int:
         return self._sub.priority
+
+    @property
+    def lint_report(self):
+        """The pre-queue concurrency-safety verdict on this submission's
+        ``app_fn`` — a :class:`repro.lint.LintReport` carrying any
+        WARNING/INFO findings the gate admitted (ERRORs never get a
+        handle: :meth:`CampaignService.submit` raises instead).  ``None``
+        for simulated backends or ``lint=False`` submissions."""
+        return self._sub.lint_report
 
     # -- the three verbs -----------------------------------------------------
 
@@ -375,10 +388,33 @@ class CampaignService:
         submissions are already waiting, and ``KeyError`` for an unknown
         backend (checked here, at submit time, not when a worker fails
         later).
+
+        Real-backend submissions with an ``app_fn`` are concurrency-linted
+        *before* queueing: an ERROR-severity FAIR5xx finding raises
+        :class:`~repro.lint.engine.CampaignLintError` here, at the submit
+        call site, rather than crashing a worker mid-campaign.  The
+        verdict (including admitted WARNINGs) rides on
+        :attr:`SubmissionHandle.lint_report`; suppress via the manifest's
+        ``lint.suppress`` metadata or ``lint=False``.
         """
         if self._closing:
             raise RuntimeError("service is stopping; submissions are closed")
         backend_kind(backend)  # unknown backend fails at submit time
+        lint_report = None
+        app_fn = drive_kwargs.get("app_fn")
+        if (
+            backend_kind(backend) == "real"
+            and app_fn is not None
+            and drive_kwargs.get("lint", True)
+        ):
+            lint_report = lint_app_fn(
+                app_fn,
+                pool=_pool_of(backend),
+                suppress=suppressions_of(manifest),
+                subject=f"{manifest.campaign} app_fn",
+            )
+            if lint_report.errors:
+                raise CampaignLintError(lint_report, campaign=manifest.campaign)
         if len(self._queue) >= self.max_queue_depth:
             self.bus.emit(
                 SERVICE_SATURATED,
@@ -400,6 +436,7 @@ class CampaignService:
             priority=priority,
             tenant=tenant,
             kwargs=dict(drive_kwargs),
+            lint_report=lint_report,
             seq=seq,
             enqueued_at=self._now(),
         )

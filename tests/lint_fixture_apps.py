@@ -1,0 +1,116 @@
+"""Importable fixture ``app_fn``s for the FAIR5xx fire/silent suite.
+
+Each pair below is the smallest function that violates exactly one
+concurrency-safety rule, next to the idiomatic rewrite that stays
+silent.  They live in a real module (not a test body) because
+``lint_app_fn`` resolves a callable through its module source — exactly
+how user app functions reach the drive/service gate.  Nothing here is
+ever executed by the lint tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+
+import numpy as np
+
+#: Module state the bad fixtures race on.
+RESULTS: dict = {}
+TOTAL = 0.0
+
+
+def clean(params):
+    """A wholly well-behaved worker: pure, picklable, path-free."""
+    return params["x"] ** 2
+
+
+# -- FAIR501 ----------------------------------------------------------------
+
+
+def mutates_global(params):
+    global TOTAL
+    TOTAL += params["x"]
+    return TOTAL
+
+
+def mutates_module_dict(params):
+    RESULTS[params["run_id"]] = params["x"]
+    return len(RESULTS)
+
+
+# -- FAIR502 ----------------------------------------------------------------
+
+
+def unseeded(params):
+    return random.random() + np.random.rand()
+
+
+def seeded(params):
+    seed = zlib.crc32(repr(sorted(params.items())).encode("utf-8"))
+    random.seed(seed)
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+# -- FAIR503 ----------------------------------------------------------------
+
+
+def make_closure_app():
+    cache: dict = {}
+
+    def app(params):
+        cache[params["x"]] = True
+        return params["x"]
+
+    return app
+
+
+# -- FAIR504 ----------------------------------------------------------------
+
+
+def constant_path(params):
+    with open("shared_results.txt", "a") as fh:
+        fh.write(str(params["x"]))
+    return 0
+
+
+def run_relative_path(params):
+    with open(params["out_path"], "w") as fh:
+        fh.write("ok")
+    return 0
+
+
+# -- FAIR505 ----------------------------------------------------------------
+
+
+def spawns_threads(params):
+    worker = threading.Thread(target=time.sleep, args=(0,))
+    worker.start()
+    worker.join()
+    return 0
+
+
+# -- FAIR506 ----------------------------------------------------------------
+
+
+async def blocking_callback(event):
+    time.sleep(0.01)
+    return event
+
+
+async def friendly_callback(event):
+    return event
+
+
+# -- interprocedural: the violation lives in a reachable helper -------------
+
+
+def _noisy_helper(scale):
+    return random.gauss(0.0, scale)
+
+
+def calls_noisy_helper(params):
+    return _noisy_helper(params["sigma"])

@@ -245,6 +245,19 @@ class TestEngine:
         run = result.results["g/run-0000"]
         assert run.status == "failed"
         assert run.error  # a clear per-run error, not a crashed campaign
+        assert "unpicklable return value" in run.error  # and a named one
+
+    def test_unpicklable_parameter_is_named(self):
+        import threading
+
+        man = make_manifest(values=(1,), name="bad-param")
+        for run in man.runs:
+            run.parameters["lock"] = threading.Lock()
+        with pytest.raises(TypeError, match=r"'lock' \(_thread\.lock\)"):
+            RealExecutor(max_workers=1, pool="processes").execute(man, square)
+        # threads need no pickling: the same campaign runs fine
+        result = RealExecutor(max_workers=1, pool="threads").execute(man, square)
+        assert result.all_done
 
 
 def make_unpicklable(params):

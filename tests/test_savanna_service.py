@@ -17,6 +17,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+import warnings
 
 import pytest
 
@@ -319,6 +320,72 @@ class TestThreadSafeBus:
         assert len(events) == 800
         seqs = [e.seq for e in events]
         assert len(set(seqs)) == 800
+
+    def test_concurrent_publishers_lose_and_interleave_nothing(self):
+        """Every emit from every publisher arrives exactly once, and each
+        publisher's own events stay in emission order (the lock makes
+        delivery atomic, so no subscriber sees a half-published event)."""
+        bus = ThreadSafeBus(name="stress")
+        events = []
+        bus.subscribe(events.append)
+        publishers, per_publisher = 8, 250
+        barrier = threading.Barrier(publishers)
+
+        def hammer(tag):
+            barrier.wait()  # maximise overlap
+            for i in range(per_publisher):
+                bus.emit("tick", tag=tag, i=i)
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(publishers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(events) == publishers * per_publisher
+        for tag in range(publishers):
+            mine = [e.fields["i"] for e in events if e.fields["tag"] == tag]
+            assert mine == list(range(per_publisher))  # nothing lost, in order
+        # seq is globally unique and delivery order matches assignment order
+        assert [e.seq for e in events] == sorted(e.seq for e in events)
+
+    def test_failing_subscriber_warns_once_under_concurrency(self):
+        """Subscriber isolation: a raising subscriber never breaks
+        delivery to the others, and its warning fires exactly once per
+        (subscriber, event name) even with many racing publishers."""
+        from repro.observability import SubscriberError
+
+        bus = ThreadSafeBus(name="isolated")
+        good: list = []
+
+        def bad_one(event):
+            raise RuntimeError("boom-1")
+
+        def bad_two(event):
+            raise RuntimeError("boom-2")
+
+        bus.subscribe(bad_one)
+        bus.subscribe(bad_two)
+        bus.subscribe(good.append)
+        barrier = threading.Barrier(6)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(100):
+                bus.emit("tick")
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            threads = [threading.Thread(target=hammer) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(good) == 600  # the healthy subscriber saw everything
+        isolation = [w for w in caught if issubclass(w.category, SubscriberError)]
+        assert len(isolation) == 2  # once per failing subscriber, not per event
+        assert {("boom-1" in str(w.message)) for w in isolation} == {True, False}
 
 
 class TestCheckpointSingleWriter:

@@ -125,9 +125,65 @@ def check_simcore_v1(doc: dict) -> None:
         _check_simcore_mode(name, entry)
 
 
+def _check_lint_mode(name: str, entry: dict) -> None:
+    where = f"modes[{name!r}]"
+    _require(isinstance(entry, dict), f"{where}: must be an object")
+    _require(entry.get("mode") == name, f"{where}: 'mode' must equal the key")
+    for key in (
+        "cold_seconds",
+        "warm_seconds",
+        "touched_seconds",
+        "campaigns_per_sec_cold",
+        "campaigns_per_sec_warm",
+        "speedup_cold_over_warm",
+        "speedup_cold_over_touched",
+    ):
+        _positive_number(entry, key, where)
+    _require(
+        isinstance(entry.get("rounds"), int) and entry["rounds"] > 0,
+        f"{where}: 'rounds' must be a positive integer",
+    )
+    _require(
+        isinstance(entry.get("protocol"), str) and entry["protocol"],
+        f"{where}: 'protocol' must be a non-empty string",
+    )
+    workload = entry.get("workload")
+    _require(isinstance(workload, dict), f"{where}: 'workload' must be an object")
+    for key in ("n_campaigns", "sources_per_campaign"):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"{where}.workload: {key!r} must be a positive integer",
+        )
+    _require(
+        isinstance(workload.get("name"), str) and workload["name"],
+        f"{where}.workload: 'name' must be a non-empty string",
+    )
+    # The acceptance bar for the incremental cache: an unchanged catalog
+    # re-lints at least an order of magnitude faster than a cold one.
+    _require(
+        entry["speedup_cold_over_warm"] >= 10.0,
+        f"{where}: 'speedup_cold_over_warm' is "
+        f"{entry['speedup_cold_over_warm']:.1f}, below the 10x acceptance bar",
+    )
+
+
+def check_lint_v1(doc: dict) -> None:
+    modes = doc.get("modes")
+    _require(
+        isinstance(modes, dict) and modes,
+        "'modes' must be a non-empty object",
+    )
+    known = {"quick", "full"}
+    unknown = set(modes) - known
+    _require(not unknown, f"unknown mode entries: {sorted(unknown)}")
+    for name, entry in sorted(modes.items()):
+        _check_lint_mode(name, entry)
+
+
 #: Registered schema id -> validator.  Unknown ids fail validation.
 VALIDATORS = {
     "repro.bench.simcore/v1": check_simcore_v1,
+    "repro.bench.lint/v1": check_lint_v1,
 }
 
 

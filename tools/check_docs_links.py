@@ -19,6 +19,10 @@ verifies each against the working tree / the importable package:
    (``compile(src, doc, "exec")``), so a doc example cannot rot into a
    SyntaxError.  Examples with deliberate ellipses should use a
    non-``python`` fence language (or none).
+5. The rule catalog in ``docs/lint.md`` — the set of ``FAIRnnn`` ids in
+   its table must equal the live registry (what ``python -m repro.lint
+   --list-rules`` prints), so adding or retiring a rule without
+   regenerating the doc fails here.
 
 Run directly (exits 1 and lists problems if any)::
 
@@ -180,10 +184,36 @@ def check_doc(doc: Path) -> list[str]:
     return problems
 
 
+RULE_TABLE_ROW = re.compile(r"^\|\s*(FAIR\d{3})\s*\|", re.MULTILINE)
+
+
+def check_rule_catalog() -> list[str]:
+    """The ``docs/lint.md`` rule table vs. the registered catalog."""
+    doc = REPO_ROOT / "docs" / "lint.md"
+    documented = set(RULE_TABLE_ROW.findall(doc.read_text()))
+    from repro.lint.rules import REGISTRY
+
+    registered = set(REGISTRY.ids())
+    problems = []
+    rel = doc.relative_to(REPO_ROOT)
+    for rule_id in sorted(registered - documented):
+        problems.append(
+            f"{rel}: rule {rule_id} is registered (see --list-rules) but "
+            "missing from the catalog table — regenerate it"
+        )
+    for rule_id in sorted(documented - registered):
+        problems.append(
+            f"{rel}: rule {rule_id} is documented but not registered — "
+            "stale catalog table"
+        )
+    return problems
+
+
 def collect_problems() -> list[str]:
     problems: list[str] = []
     for doc in doc_files():
         problems.extend(check_doc(doc))
+    problems.extend(check_rule_catalog())
     return problems
 
 
