@@ -65,11 +65,13 @@ def campaign_service_demo(
     async def drive():
         events = []
         service = CampaignService(
-            max_workers=max_workers, max_queue_depth=max(campaigns, 2)
+            max_workers=max_workers, max_queue_depth=max(campaigns, 2),
+            serve_telemetry=True,
         )
         service.bus.subscribe(events.append)
         handles = []
         async with service:
+            address = service.telemetry_server.address
             for i in range(campaigns):
                 manifest = _make_manifest(
                     f"service-demo-{i}", runs_per_campaign, sleep
@@ -87,10 +89,11 @@ def campaign_service_demo(
             if cancel_one and len(handles) > 1:
                 handles[1].cancel()
             await asyncio.gather(*(h.wait() for h in handles))
-        return service, handles, events
+            telemetry = service.telemetry.status()
+        return service, handles, events, address, telemetry
 
     t0 = time.perf_counter()
-    service, handles, events = asyncio.run(drive())
+    service, handles, events, address, telemetry = asyncio.run(drive())
     elapsed = time.perf_counter() - t0
 
     from repro.savanna import SubmissionState
@@ -113,6 +116,10 @@ def campaign_service_demo(
     cancelled = sum(
         1 for s in service.submissions().values() if s is SubmissionState.CANCELLED
     )
+    tenant_tasks = {
+        tenant: stats["tasks_done"]
+        for tenant, stats in sorted(telemetry["tenants"].items())
+    }
     return ExperimentResult(
         name="campaign service",
         description=(
@@ -126,6 +133,12 @@ def campaign_service_demo(
             f"{len(events) - len(service_events)} forwarded campaign events "
             f"on the monitoring bus",
             f"{cancelled} submission(s) cancelled, wall time {elapsed:.2f}s",
+            f"live telemetry served at {address} "
+            f"(tasks_done per tenant: {tenant_tasks}; "
+            f"see docs/telemetry.md and `python -m repro.observability top`)",
         ],
-        extra={"events": [e.name for e in service_events]},
+        extra={
+            "events": [e.name for e in service_events],
+            "telemetry": telemetry,
+        },
     )

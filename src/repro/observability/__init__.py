@@ -23,7 +23,12 @@ Entry points:
   it into a :class:`~repro.observability.analysis.CampaignReport`
   (critical path, wait-time attribution, stragglers, utilization);
 - ``python -m repro.observability report <trace.json>`` / ``... diff`` —
-  the same analytics from the command line, with a CI regression gate.
+  the same analytics from the command line, with a CI regression gate;
+- :mod:`repro.observability.live` — the *live* telemetry plane for a
+  running :class:`~repro.savanna.service.CampaignService`: Prometheus
+  ``/metrics`` + JSON ``/status`` exposition, JSON-lines structured
+  logs, worker resource profiling, and ``python -m repro.observability
+  top`` (contract in ``docs/telemetry.md``).
 
 The full events contract lives in ``docs/observability.md``.
 """
@@ -54,9 +59,17 @@ from repro.observability.events import (
     TASK_REQUEUED,
     TASK_RETRY,
     TASK_TIMEOUT,
+    WORKER_SAMPLE,
     Event,
+    new_trace_id,
     span_key,
     validate_event_stream,
+)
+from repro.observability.live import (
+    JsonLogSubscriber,
+    TelemetrySampler,
+    TelemetryServer,
+    WorkerResourceProfiler,
 )
 from repro.observability.metrics import (
     Counter,
@@ -105,6 +118,12 @@ __all__ = [
     "TASK_FAULT_INJECTED",
     "NODE_BUSY",
     "NODE_IDLE",
+    "WORKER_SAMPLE",
+    "new_trace_id",
+    "TelemetrySampler",
+    "TelemetryServer",
+    "JsonLogSubscriber",
+    "WorkerResourceProfiler",
     "Counter",
     "GaugeMetric",
     "Histogram",

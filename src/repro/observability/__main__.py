@@ -8,8 +8,13 @@ Usage::
     python -m repro.observability diff baseline.json candidate.json
     python -m repro.observability diff base.report.json new.trace.json \\
         --fail-on-regression 10
+    python -m repro.observability top http://127.0.0.1:9178
+    python -m repro.observability top http://127.0.0.1:9178 --once
 
-``report`` analyzes a saved Chrome ``trace_event`` capture (any file
+``top`` attaches to a live :class:`~repro.savanna.service.CampaignService`
+telemetry endpoint (``serve_telemetry=True``) and redraws a per-tenant /
+per-backend / per-worker table every ``--interval`` seconds — the live
+complement to the post-hoc commands below.  ``report`` analyzes a saved Chrome ``trace_event`` capture (any file
 ``--trace`` or the benchmarks wrote) and prints the critical path,
 wait-time attribution, straggler list, retry hotspots, and concurrency
 timeline per campaign found in it.  ``diff`` compares two report files
@@ -64,6 +69,25 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from urllib.error import URLError
+
+    from repro.observability.live import watch
+
+    iterations = 1 if args.once else args.frames
+    try:
+        frames = watch(
+            args.url,
+            interval=args.interval,
+            iterations=iterations,
+            clear=not args.once,
+        )
+    except URLError as exc:
+        print(f"cannot reach {args.url}: {exc.reason}", file=sys.stderr)
+        return 2
+    return 0 if frames else 2
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.observability",
@@ -102,6 +126,26 @@ def main(argv=None) -> int:
         "--format", choices=("text", "json"), default="text", help="output format"
     )
     diff.set_defaults(func=_cmd_diff)
+
+    top = sub.add_parser(
+        "top", help="live per-tenant table over a running service's /status endpoint"
+    )
+    top.add_argument(
+        "url", help="telemetry server base URL, e.g. http://127.0.0.1:9178"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period (default: 1.0)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="stop after N refreshes (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single snapshot without clearing the screen and exit",
+    )
+    top.set_defaults(func=_cmd_top)
 
     args = parser.parse_args(argv)
     try:

@@ -38,6 +38,8 @@ name                 phase    fields
 ``service.finished`` instant  submission, campaign, tenant, outcome, elapsed
 ``service.cancelled``  instant  submission, campaign, tenant, while
 ``service.saturated``  instant  queued, limit, campaign, tenant
+``worker.sample``    instant  worker, pid, cpu_seconds, cpu_pct, rss_bytes,
+                              trace_id
 ===================  =======  ===============================================
 
 The real-execution engine (:mod:`repro.savanna.realexec`) emits the same
@@ -100,6 +102,27 @@ SERVICE_STARTED = "service.started"  # a worker picked the submission up
 SERVICE_FINISHED = "service.finished"  # a submission reached done/failed
 SERVICE_CANCELLED = "service.cancelled"  # a submission was cancelled
 SERVICE_SATURATED = "service.saturated"  # submit() hit the queue-depth bound
+
+# -- live-telemetry instants ---------------------------------------------------
+
+WORKER_SAMPLE = "worker.sample"  # one resource-profiler reading of a pool worker
+
+
+def new_trace_id() -> str:
+    """Mint one trace id (16 hex chars) for a drive/submission.
+
+    Trace ids tie every observation of one campaign execution together
+    across process boundaries: the campaign service stamps its
+    lifecycle instants with it, the drive pipeline stamps group/task
+    events, the real-execution engine carries it inside each picklable
+    :class:`~repro.savanna.realexec.RealTaskSpec` so the *worker
+    process* can echo it back, and the structured-log adapter
+    (:class:`~repro.observability.live.JsonLogSubscriber`) surfaces it
+    as a first-class log field — grep one id, see the whole story.
+    """
+    import uuid
+
+    return uuid.uuid4().hex[:16]
 
 
 @dataclass(frozen=True)

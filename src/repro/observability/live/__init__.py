@@ -1,0 +1,56 @@
+"""repro.observability.live — the live telemetry plane.
+
+Where :mod:`repro.observability.analysis` answers "what happened" from a
+saved trace, this package answers "what is happening" from a running
+service:
+
+- :class:`TelemetrySampler` — subscribe to a service monitoring bus and
+  keep O(1) per-tenant / per-backend running aggregates (queue depth,
+  lifecycle counts, fair-share service counts, bounded-reservoir
+  queue-wait and latency distributions, retry/fault counters, worker
+  saturation);
+- :class:`TelemetryServer` — stdlib-only HTTP exposition: Prometheus
+  text at ``/metrics``, JSON at ``/status`` and ``/status/<tenant>``;
+- :class:`JsonLogSubscriber` — one JSON log line per bus event, with
+  submission / tenant / backend / trace-id correlation keys promoted;
+- :class:`WorkerResourceProfiler` — a sampling thread publishing
+  ``worker.sample`` CPU/RSS readings for real-execution pool workers;
+- :func:`watch` / :func:`render_top` — the ``repro top`` table, usable
+  against a URL or in-process against a sampler.
+
+Everything is opt-in and stdlib-only: a service constructed without
+``serve_telemetry=True`` runs exactly as before, and the overhead of a
+fully enabled plane is gated below 5% by
+``benchmarks/bench_telemetry_overhead.py``.  The full contract lives in
+``docs/telemetry.md``.
+"""
+
+from repro.observability.live.logs import PROMOTED_FIELDS, JsonLogSubscriber
+from repro.observability.live.profiler import (
+    DEFAULT_INTERVAL,
+    WorkerResourceProfiler,
+    sample_process,
+)
+from repro.observability.live.sampler import (
+    DEFAULT_RESERVOIR,
+    STATUS_SCHEMA,
+    TelemetrySampler,
+)
+from repro.observability.live.server import PROMETHEUS_CONTENT_TYPE, TelemetryServer
+from repro.observability.live.top import fetch_status, render_top, watch
+
+__all__ = [
+    "TelemetrySampler",
+    "TelemetryServer",
+    "JsonLogSubscriber",
+    "WorkerResourceProfiler",
+    "sample_process",
+    "fetch_status",
+    "render_top",
+    "watch",
+    "STATUS_SCHEMA",
+    "DEFAULT_RESERVOIR",
+    "DEFAULT_INTERVAL",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PROMOTED_FIELDS",
+]

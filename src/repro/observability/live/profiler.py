@@ -1,0 +1,201 @@
+"""Worker resource profiling: CPU and RSS of pool workers, while running.
+
+The post-run :class:`~repro.observability.analysis.CampaignReport` can
+tell you *which run was* a straggler; this module tells you *which
+worker is one right now*.  :class:`WorkerResourceProfiler` runs a
+sampling thread that, every ``interval`` seconds, reads CPU time and
+resident-set size for each worker of a real-execution pool and publishes
+one ``worker.sample`` instant per worker — the
+:class:`~repro.observability.live.TelemetrySampler` folds them into the
+``/metrics`` worker families, and ``repro top`` renders them live.
+
+Sampling sources, most portable first that applies:
+
+- ``/proc/<pid>/stat`` (Linux): utime+stime clock ticks and RSS pages —
+  works for *any* pid, which is what a ``local-processes`` pool needs;
+- ``resource.getrusage(RUSAGE_SELF)``: the calling process only — the
+  fallback for ``local-threads`` pools (all work shares the driver
+  process) on platforms without ``/proc``;
+- neither available for a foreign pid → that worker is skipped for the
+  tick (no exception, no partial sample).
+
+The profiler never touches the bus directly: it is handed an ``emit``
+callable by its owner (:meth:`~repro.savanna.realexec.RealExecutor.execute`
+passes its lock-serialized emitter), so publication respects whatever
+thread-safety discipline the owning bus requires.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+
+from repro.observability.events import WORKER_SAMPLE
+
+#: Default sampling period (seconds).
+DEFAULT_INTERVAL = 0.25
+
+_TICKS = None
+_PAGE = None
+
+
+def _units() -> tuple[float, int]:
+    """(clock ticks per second, page size in bytes), cached."""
+    global _TICKS, _PAGE
+    if _TICKS is None:
+        try:
+            _TICKS = float(os.sysconf("SC_CLK_TCK"))
+            _PAGE = int(os.sysconf("SC_PAGE_SIZE"))
+        except (AttributeError, ValueError, OSError):  # pragma: no cover
+            _TICKS, _PAGE = 100.0, 4096
+    return _TICKS, _PAGE
+
+
+def sample_process(pid: int) -> dict | None:
+    """One resource reading for ``pid``: ``{"cpu_seconds", "rss_bytes"}``.
+
+    Reads ``/proc/<pid>/stat`` when available; for the calling process
+    on non-/proc platforms, falls back to ``resource.getrusage``.
+    Returns ``None`` when the pid cannot be sampled (gone, foreign pid
+    without /proc) — callers skip the tick rather than crash.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            raw = fh.read().decode("ascii", "replace")
+    except OSError:
+        raw = None
+    if raw is not None:
+        try:
+            # comm (field 2) may contain spaces/parens: split after the
+            # *last* ')' so the fixed-position tail parses reliably.
+            tail = raw[raw.rindex(")") + 2:].split()
+            ticks, page = _units()
+            utime, stime = int(tail[11]), int(tail[12])  # fields 14, 15
+            rss_pages = int(tail[21])  # field 24
+            return {
+                "cpu_seconds": (utime + stime) / ticks,
+                "rss_bytes": rss_pages * page,
+            }
+        except (ValueError, IndexError):  # pragma: no cover - malformed stat
+            return None
+    if pid != os.getpid():
+        return None
+    try:  # portable self-sampling fallback
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+    except (ImportError, OSError):  # pragma: no cover - e.g. Windows
+        return None
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    scale = 1 if sys.platform == "darwin" else 1024
+    return {
+        "cpu_seconds": usage.ru_utime + usage.ru_stime,
+        "rss_bytes": int(usage.ru_maxrss) * scale,
+    }
+
+
+class WorkerResourceProfiler:
+    """Sample a changing set of worker pids and publish ``worker.sample``.
+
+    Parameters
+    ----------
+    emit:
+        ``callable(name, **fields)`` used to publish each sample — the
+        owner decides which bus and what locking.
+    pids:
+        Zero-argument callable returning the *current* ``{label: pid}``
+        map; re-evaluated every tick, so lazily-spawned pool workers
+        appear as soon as they exist.
+    interval:
+        Seconds between sampling rounds.
+    trace_id:
+        Optional trace id stamped on every sample (ties worker load to
+        the campaign execution it belongs to).
+    """
+
+    def __init__(self, emit, pids, interval: float = DEFAULT_INTERVAL,
+                 trace_id: str | None = None):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._emit = emit
+        self._pids = pids
+        self.interval = interval
+        self.trace_id = trace_id
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        # {pid: (cpu_seconds, monotonic)} for utilization deltas.
+        self._last: dict[int, tuple[float, float]] = {}
+        self.samples = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WorkerResourceProfiler":
+        """Spawn the sampling thread (idempotent, chainable)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="worker-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Take one final sample round, then stop the thread."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "WorkerResourceProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            stopping = self._stop.wait(self.interval)
+            self.sample_once()
+            if stopping:
+                return
+
+    def sample_once(self) -> int:
+        """One sampling round over the current pid map; returns how many
+        workers were successfully sampled (also runs inside the thread —
+        public so tests and the ``top`` attach path can poll without one).
+        """
+        try:
+            pids = dict(self._pids())
+        except Exception:  # noqa: BLE001 - pool may be tearing down
+            return 0
+        sampled = 0
+        mono = time.monotonic()
+        for label, pid in sorted(pids.items()):
+            reading = sample_process(pid)
+            if reading is None:
+                continue
+            cpu_pct = None
+            last = self._last.get(pid)
+            if last is not None and mono > last[1]:
+                cpu_pct = max(
+                    0.0, 100.0 * (reading["cpu_seconds"] - last[0]) / (mono - last[1])
+                )
+            self._last[pid] = (reading["cpu_seconds"], mono)
+            self._emit(
+                WORKER_SAMPLE,
+                worker=str(label),
+                pid=pid,
+                cpu_seconds=reading["cpu_seconds"],
+                cpu_pct=cpu_pct,
+                rss_bytes=reading["rss_bytes"],
+                trace_id=self.trace_id,
+            )
+            sampled += 1
+            self.samples += 1
+        return sampled

@@ -1,0 +1,148 @@
+"""Stdlib-only HTTP exposition for the live telemetry plane.
+
+:class:`TelemetryServer` serves a :class:`~repro.observability.live.TelemetrySampler`
+over plain ``http.server`` — no third-party dependency, off by default,
+enabled per service with ``CampaignService(serve_telemetry=True)``:
+
+- ``GET /metrics`` — Prometheus text format 0.0.4 (scrape it, or point
+  ``python -m repro.observability top`` at the sibling ``/status``);
+- ``GET /status`` — the full JSON snapshot (schema
+  ``repro.telemetry.status/v1``: service totals, per-tenant and
+  per-backend aggregates, worker resource samples);
+- ``GET /status/<tenant>`` — one tenant's aggregates (404 for unknown
+  tenants).
+
+The server binds ``127.0.0.1`` on an ephemeral port by default (pass
+``port=`` to pin one) and runs on a daemon thread; ``start()`` returns
+once the socket is listening, so :attr:`address` is immediately
+scrapeable.  Request handling is threaded and each read takes the
+sampler's lock only long enough to snapshot — scraping never blocks the
+service's event emission for more than one fold.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Content type Prometheus scrapers expect from a text-format endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class TelemetryServer:
+    """Serve one sampler's live state at ``/metrics`` and ``/status``.
+
+    Example (in-process scrape)::
+
+        sampler = TelemetrySampler().attach(service.bus)
+        server = TelemetryServer(sampler).start()
+        urllib.request.urlopen(server.address + "/metrics").read()
+        server.stop()
+    """
+
+    def __init__(self, sampler, host: str = "127.0.0.1", port: int = 0):
+        self.sampler = sampler
+        self.host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        """Bind the socket and start serving (idempotent, chainable)."""
+        if self._httpd is not None:
+            return self
+        handler = _make_handler(self.sampler)
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="telemetry-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the listener down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- addressing ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (the ephemeral one when ``port=0`` was asked)."""
+        if self._httpd is None:
+            raise RuntimeError("telemetry server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the live listener."""
+        return f"http://{self.host}:{self.port}"
+
+
+def _make_handler(sampler):
+    """A request-handler class closed over one sampler."""
+
+    class _TelemetryHandler(BaseHTTPRequestHandler):
+        server_version = "repro-telemetry/1"
+
+        def do_GET(self):  # noqa: N802 - http.server contract
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            if path == "/metrics":
+                body = sampler.prometheus().encode("utf-8")
+                self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/status":
+                body = json.dumps(sampler.status(), indent=1).encode("utf-8")
+                self._reply(200, "application/json", body)
+            elif path.startswith("/status/"):
+                tenant = path[len("/status/"):]
+                doc = sampler.tenant_status(tenant)
+                if doc is None:
+                    self._reply(
+                        404, "application/json",
+                        json.dumps({"error": f"unknown tenant {tenant!r}"}).encode(),
+                    )
+                else:
+                    self._reply(200, "application/json",
+                                json.dumps(doc, indent=1).encode("utf-8"))
+            else:
+                self._reply(
+                    404, "application/json",
+                    json.dumps({
+                        "error": f"no route {path!r}",
+                        "routes": ["/metrics", "/status", "/status/<tenant>"],
+                    }).encode(),
+                )
+
+        def _reply(self, code: int, content_type: str, body: bytes) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            """Silence per-request stderr lines; the bus is the log."""
+
+    return _TelemetryHandler

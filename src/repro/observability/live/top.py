@@ -1,0 +1,156 @@
+"""``repro top``: a refreshing per-tenant table over a live service.
+
+``python -m repro.observability top http://127.0.0.1:9178`` polls the
+telemetry server's ``/status`` endpoint and redraws one screen per
+interval — queue depth, active/finished/failed/cancelled counts,
+fair-share service counts, and queue-wait / latency quantiles per
+tenant, plus a backend table and the per-worker CPU/RSS readings from
+the resource profiler.  It is deliberately shaped like ``top``: glance
+at it while a campaign fleet runs and see which tenant is starved and
+which worker is pinning a core.
+
+The same renderer also attaches **in-process**: :func:`watch` accepts a
+URL, a :class:`~repro.observability.live.TelemetrySampler`, or a
+:class:`~repro.savanna.service.CampaignService` started with
+``serve_telemetry=True`` — anything that can produce a status document.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.request
+
+from repro._util.tables import format_table
+
+#: ANSI "clear screen, home cursor" prefix used between refreshes.
+CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_status(url: str, timeout: float = 5.0) -> dict:
+    """GET ``<url>/status`` and parse the JSON document."""
+    target = url.rstrip("/")
+    if not target.endswith("/status"):
+        target += "/status"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _status_of(source) -> dict:
+    """Resolve one status document from a URL / sampler / service."""
+    if isinstance(source, str):
+        return fetch_status(source)
+    telemetry = getattr(source, "telemetry", None)
+    if telemetry is not None and hasattr(telemetry, "status"):
+        return telemetry.status()  # a CampaignService(serve_telemetry=True)
+    if hasattr(source, "status"):
+        return source.status()  # a TelemetrySampler
+    raise TypeError(
+        f"cannot read telemetry from {type(source).__name__}: pass a URL, "
+        "a TelemetrySampler, or a CampaignService(serve_telemetry=True)"
+    )
+
+
+def _quantiles(summary: dict) -> str:
+    if not summary or not summary.get("count"):
+        return "-"
+    return f"{summary['p50']:.3f}/{summary['p95']:.3f}"
+
+
+def render_top(status: dict) -> str:
+    """Render one ``/status`` document as the full ``top`` screen."""
+    service = status.get("service", {})
+    saturation = service.get("saturation")
+    header = (
+        f"repro top — uptime {status.get('uptime', 0.0):7.1f}s   "
+        f"events {status.get('events', 0)}   "
+        f"running {service.get('running', 0)}"
+        + (f"/{service.get('capacity')}" if service.get("capacity") else "")
+        + (f" ({saturation:.0%} saturated)" if saturation is not None else "")
+        + f"   queued {service.get('queued', 0)}   "
+        f"refused {service.get('saturated_total', 0)}"
+    )
+    sections = [header]
+
+    tenants = status.get("tenants", {})
+    if tenants:
+        rows = [
+            (
+                name,
+                s["queued"], s["active"], s["started"],
+                s["finished"], s["failed"], s["cancelled"],
+                f"{s['tasks_done']}/{s['tasks_done'] + s['tasks_failed']}",
+                _quantiles(s.get("queue_wait", {})),
+                _quantiles(s.get("latency", {})),
+            )
+            for name, s in sorted(tenants.items())
+        ]
+        sections.append(format_table(
+            ("tenant", "queued", "active", "served", "done", "fail",
+             "canc", "tasks", "qwait p50/p95", "latency p50/p95"),
+            rows,
+        ))
+
+    backends = status.get("backends", {})
+    if backends:
+        rows = [
+            (
+                name, s["active"], s["tasks_done"], s["tasks_failed"],
+                s["retries"], s["timeouts"],
+            )
+            for name, s in sorted(backends.items())
+        ]
+        sections.append(format_table(
+            ("backend", "active", "tasks done", "tasks fail",
+             "retries", "timeouts"),
+            rows,
+        ))
+
+    workers = status.get("workers", {})
+    if workers:
+        rows = []
+        for name, w in sorted(workers.items()):
+            cpu_pct = w.get("cpu_pct")
+            rss = w.get("rss_bytes")
+            rows.append((
+                name,
+                w.get("pid", "-"),
+                f"{w['cpu_seconds']:.2f}" if w.get("cpu_seconds") is not None else "-",
+                f"{cpu_pct:.0f}%" if cpu_pct is not None else "-",
+                f"{rss / 1e6:.1f}MB" if rss is not None else "-",
+            ))
+        sections.append(format_table(
+            ("worker", "pid", "cpu s", "cpu %", "rss"), rows
+        ))
+
+    return "\n\n".join(sections)
+
+
+def watch(
+    source,
+    interval: float = 1.0,
+    iterations: int | None = None,
+    out=None,
+    clear: bool = True,
+) -> int:
+    """Poll ``source`` and redraw the table until interrupted.
+
+    ``iterations=None`` runs until Ctrl-C; a number renders that many
+    frames (what ``--once`` and the tests use).  Returns the number of
+    frames rendered.
+    """
+    out = out if out is not None else sys.stdout
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            screen = render_top(_status_of(source))
+            out.write((CLEAR if clear and frames else "") + screen + "\n")
+            out.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return frames

@@ -11,7 +11,9 @@ that consumes the event stream directly.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+from zlib import crc32
 
 
 def percentile(values, q: float) -> float:
@@ -74,12 +76,18 @@ class GaugeMetric:
 class Histogram:
     """Streaming summary of observed values, with quantiles.
 
-    Besides the running count/sum/min/max, every observation is retained
-    (up to ``max_samples``; beyond that the quantiles describe the first
-    ``max_samples`` observations — deterministic, and far above anything
-    a simulated campaign produces), so ``summary()`` can report p50/p95/
-    p99 and the trace analyzer can reuse :meth:`quantile` for its
-    straggler thresholds.
+    The running count/sum/min/max are exact.  Quantiles come from a
+    bounded **seeded reservoir** (Vitter's algorithm R): the first
+    ``max_samples`` observations are kept verbatim, after which each new
+    observation replaces a uniformly-chosen retained one with probability
+    ``max_samples / count`` — so a histogram inside a long-lived service
+    (the live telemetry plane feeds one per tenant, forever) stays at a
+    fixed memory bound while the retained set remains a uniform sample of
+    *everything* observed, not just the first window.  Replacement draws
+    come from a private :class:`random.Random` seeded from ``seed`` and
+    ``name`` alone (no process entropy), so ``summary()`` is
+    deterministic for a given observation sequence and seed — tests can
+    pin quantiles, and two replicas fed the same stream agree.
     """
 
     name: str
@@ -87,8 +95,18 @@ class Histogram:
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
-    max_samples: int = 100_000
+    max_samples: int = 4096
+    seed: int = 0
     samples: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_samples < 1:
+            raise ValueError(
+                f"histogram {self.name!r}: max_samples must be >= 1, "
+                f"got {self.max_samples}"
+            )
+        # crc32, not hash(): str hashing is per-process randomized.
+        self._rng = random.Random(crc32(f"{self.seed}:{self.name}".encode()))
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -97,6 +115,10 @@ class Histogram:
         self.max = max(self.max, value)
         if len(self.samples) < self.max_samples:
             self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self.samples[slot] = value
 
     @property
     def mean(self) -> float:

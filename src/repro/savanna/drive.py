@@ -61,6 +61,7 @@ from repro.observability import (
     END,
     GROUP,
     GROUP_RESUMED,
+    new_trace_id,
 )
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.savanna.backends import backend_kind, create_executor
@@ -223,6 +224,7 @@ def execute_campaign(
     lint: bool = True,
     report: bool = False,
     cancel=None,
+    trace_id: str | None = None,
     **backend_kwargs,
 ) -> dict:
     """Execute every SweepGroup of a campaign, in declaration order.
@@ -243,7 +245,14 @@ def execute_campaign(
     also interrupts the group currently executing (see
     :meth:`~repro.savanna.realexec.RealExecutor.execute`).  The campaign
     service drives every submission through this parameter.
+
+    ``trace_id`` is the campaign's correlation id (minted here when not
+    supplied — the campaign service mints one per submission): every
+    group span and, on real backends, every task event down to the
+    worker processes carries it, so one ``grep trace_id=...`` lines up
+    the whole execution across logs and buses.
     """
+    trace_id = trace_id or new_trace_id()
     if backend_kind(backend) == "real":
         # One wall-clock bus for the whole campaign, so the groups share
         # a time base and any subscriber sees the full story.
@@ -281,6 +290,7 @@ def execute_campaign(
             lint=False,
             report=report,
             cancel=cancel,
+            trace_id=trace_id,
             **backend_kwargs,
         )
     return results
@@ -299,6 +309,7 @@ def execute_manifest(
     lint: bool = True,
     report: bool = False,
     cancel=None,
+    trace_id: str | None = None,
     **backend_kwargs,
 ) -> CampaignResult | RealCampaignResult:
     """Execute (part of) a campaign manifest through a named backend.
@@ -376,7 +387,12 @@ def execute_manifest(
         ``status="interrupted"`` and compact to PENDING — resumable);
         simulated backends honour it only between groups (the
         discrete-event simulation of one group is atomic).
+    trace_id:
+        Correlation id stamped on the group span events and — on real
+        backends — propagated into every task spec and worker process
+        (minted fresh when not supplied).
     """
+    trace_id = trace_id or new_trace_id()
     if backend_kind(backend) == "real":
         return _execute_manifest_real(
             manifest,
@@ -388,6 +404,7 @@ def execute_manifest(
             lint=lint,
             report=report,
             cancel=cancel,
+            trace_id=trace_id,
             backend_kwargs=backend_kwargs,
         )
     if duration_model is None or cluster is None:
@@ -413,6 +430,7 @@ def execute_manifest(
         group=group,
         runs=len(tasks),
         backend=backend,
+        trace_id=trace_id,
     )
     if work.skipped:
         cluster.bus.emit(
@@ -421,6 +439,7 @@ def execute_manifest(
             total=len(work.sub.runs) + work.skipped,
             skipped=work.skipped,
             pending=len(tasks),
+            trace_id=trace_id,
         )
     result = executor.run(
         tasks,
@@ -437,6 +456,7 @@ def execute_manifest(
         campaign=manifest.campaign,
         group=group,
         completed=len(result.completed),
+        trace_id=trace_id,
     )
     if streaming is not None:
         streaming.detach()
@@ -459,6 +479,7 @@ def _execute_manifest_real(
     lint,
     report,
     cancel,
+    trace_id,
     backend_kwargs,
 ) -> RealCampaignResult:
     """The real-execution drive path: same stack, wall-clock substrate.
@@ -502,6 +523,7 @@ def _execute_manifest_real(
         group=group,
         runs=len(work.sub.runs),
         backend=backend,
+        trace_id=trace_id,
     )
     if work.skipped:
         bus.emit(
@@ -510,6 +532,7 @@ def _execute_manifest_real(
             total=len(work.sub.runs) + work.skipped,
             skipped=work.skipped,
             pending=len(work.sub.runs),
+            trace_id=trace_id,
         )
     if work.checkpoint is not None:
         work.checkpoint.attach(bus)
@@ -520,6 +543,7 @@ def _execute_manifest_real(
             bus=bus,
             name=f"{manifest.campaign}/{group}",
             cancel=cancel,
+            trace_id=trace_id,
         )
     finally:
         if work.checkpoint is not None:
@@ -531,6 +555,7 @@ def _execute_manifest_real(
         campaign=manifest.campaign,
         group=group,
         completed=len(result.completed),
+        trace_id=trace_id,
     )
     if streaming is not None:
         streaming.detach()

@@ -50,8 +50,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import pickle
 import random
+import threading
 import time
 import traceback
 from collections import deque
@@ -135,6 +137,11 @@ class RealTaskSpec:
     parameters: dict
     seed: int
     attempt: int = 1
+    #: Correlation id of the owning execution — crosses the process
+    #: boundary with the spec and is round-tripped through the worker's
+    #: :class:`_AttemptOutcome`, so a ``task`` END event's trace id is
+    #: proof the *worker* saw it, not just the driver.
+    trace_id: str | None = None
 
     def ensure_picklable(self) -> None:
         """Raise ``TypeError`` naming the offending parameter when this
@@ -238,6 +245,8 @@ class _AttemptOutcome:
     error: str | None = None
     traceback: str | None = None
     elapsed: float = 0.0
+    #: ``spec.trace_id`` echoed back from inside the worker.
+    trace_id: str | None = None
 
 
 def _run_attempt(app_fn, spec: RealTaskSpec, ensure_picklable: bool) -> _AttemptOutcome:
@@ -270,6 +279,7 @@ def _run_attempt(app_fn, spec: RealTaskSpec, ensure_picklable: bool) -> _Attempt
             ok=True,
             value=value,
             elapsed=time.perf_counter() - t0,
+            trace_id=spec.trace_id,
         )
     except Exception as exc:  # noqa: BLE001 - per-run fault isolation
         return _AttemptOutcome(
@@ -278,6 +288,7 @@ def _run_attempt(app_fn, spec: RealTaskSpec, ensure_picklable: bool) -> _Attempt
             error=f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
             elapsed=time.perf_counter() - t0,
+            trace_id=spec.trace_id,
         )
 
 
@@ -323,6 +334,15 @@ class RealExecutor:
     mp_context:
         Optional multiprocessing start-method name (``"fork"``,
         ``"spawn"``, ``"forkserver"``) for the process pool.
+    profile_interval:
+        When set (seconds), run a
+        :class:`~repro.observability.live.WorkerResourceProfiler` for
+        the duration of each :meth:`execute` call: every interval one
+        ``worker.sample`` instant per pool worker (CPU seconds, CPU %,
+        RSS) lands on the bus — per worker *process* under
+        ``pool="processes"``, for the driver process (all threads share
+        it) under ``pool="threads"``.  ``None`` (default) profiles
+        nothing and adds no thread.
     """
 
     pool_kind = "real"  # executor-protocol marker (vs simulated make_run)
@@ -335,17 +355,21 @@ class RealExecutor:
         seed: int = 0,
         chunk_size: int = 1,
         mp_context: str | None = None,
+        profile_interval: float | None = None,
     ):
         check_positive("max_workers", max_workers)
         check_positive("chunk_size", chunk_size)
         if pool not in POOLS:
             raise ValueError(f"pool must be one of {POOLS}, got {pool!r}")
+        if profile_interval is not None:
+            check_positive("profile_interval", profile_interval)
         self.max_workers = max_workers
         self.pool = pool
         self.retry_policy = as_policy(retry_policy)
         self.seed = int(seed)
         self.chunk_size = int(chunk_size)
         self.mp_context = mp_context
+        self.profile_interval = profile_interval
 
     # -- pool construction ---------------------------------------------------
 
@@ -388,6 +412,7 @@ class RealExecutor:
         bus: EventBus | None = None,
         name: str | None = None,
         cancel=None,
+        trace_id: str | None = None,
     ) -> RealCampaignResult:
         """Execute (a filtered subset of) a manifest on the worker pool.
 
@@ -408,6 +433,11 @@ class RealExecutor:
         — they compact to PENDING in the checkpoint journal).  Running
         attempts still cannot be killed mid-flight; they are abandoned to
         the pool.
+
+        ``trace_id`` (optional) is stamped on every event this call
+        emits *and* into every :class:`RealTaskSpec`, whose worker
+        echoes it back — the ``task`` END events carry the worker-
+        round-tripped value, proving propagation into the pool.
         """
         selected = [
             r for r in manifest.runs if run_filter is None or run_filter(r.run_id)
@@ -437,8 +467,19 @@ class RealExecutor:
         else:
             now = lambda: time.monotonic() - t0
 
+        # The profiler thread emits onto the same (possibly plain,
+        # single-emitter) bus as the engine loop, so when profiling is
+        # on, every emission from this call is serialized by one lock.
+        emit_lock = threading.Lock() if self.profile_interval is not None else None
+
         def emit(event_name, phase=INSTANT, **fields):
-            bus.emit(event_name, phase=phase, time=now(), **fields)
+            if trace_id is not None:
+                fields.setdefault("trace_id", trace_id)
+            if emit_lock is not None:
+                with emit_lock:
+                    bus.emit(event_name, phase=phase, time=now(), **fields)
+            else:
+                bus.emit(event_name, phase=phase, time=now(), **fields)
 
         result = RealCampaignResult(pool=self.pool)
         job = f"{name}-pool"
@@ -451,6 +492,7 @@ class RealExecutor:
                 run_id=r.run_id,
                 parameters=dict(r.parameters),
                 seed=seed_for_run(self.seed, r.run_id),
+                trace_id=trace_id,
             )
             for r in selected
         ]
@@ -569,9 +611,19 @@ class RealExecutor:
             )
 
         def settle(info: _Inflight, outcomes: list) -> None:
-            """Fold one finished chunk's outcomes into results/retries."""
+            """Fold one finished chunk's outcomes into results/retries.
+
+            The END event's trace id is the *worker-echoed* one (from the
+            outcome, not the driver's variable) — its presence on the
+            monitoring stream proves the id crossed the pool boundary.
+            """
             for spec, outcome in zip(info.chunk, outcomes):
                 tid = info.task_ids[spec.run_id]
+                echoed = (
+                    {"trace_id": outcome.trace_id}
+                    if outcome.trace_id is not None
+                    else {}
+                )
                 if outcome.ok:
                     emit(
                         TASK,
@@ -580,6 +632,7 @@ class RealExecutor:
                         task_id=tid,
                         node=info.slot,
                         outcome="done",
+                        **echoed,
                     )
                     record_terminal(spec, outcome, "done")
                 else:
@@ -590,6 +643,7 @@ class RealExecutor:
                         task_id=tid,
                         node=info.slot,
                         outcome="failed",
+                        **echoed,
                     )
                     consider_retry(spec, tid, outcome, reason="exception")
 
@@ -635,6 +689,25 @@ class RealExecutor:
                     consider_retry(spec, tid, synthetic, reason="timeout")
 
         pool = self._make_pool()
+        profiler = None
+        if self.profile_interval is not None:
+            from repro.observability.live import WorkerResourceProfiler
+
+            def worker_pids() -> dict:
+                """Current ``{label: pid}`` — per worker process for the
+                process pool (workers appear as the pool lazily spawns
+                them), the shared driver process for the thread pool."""
+                if self.pool == "processes":
+                    procs = getattr(pool, "_processes", None) or {}
+                    return {f"worker-{pid}": pid for pid in list(procs)}
+                return {"driver": os.getpid()}
+
+            profiler = WorkerResourceProfiler(
+                emit,
+                worker_pids,
+                interval=self.profile_interval,
+                trace_id=trace_id,
+            ).start()
         try:
             while pending or delayed or running:
                 if cancelled is not None and cancelled():
@@ -738,6 +811,8 @@ class RealExecutor:
                 pending=len(result.unfinished),
             )
         finally:
+            if profiler is not None:
+                profiler.stop()  # takes one final sample before the span closes
             emit(
                 ALLOC,
                 END,

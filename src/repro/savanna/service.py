@@ -47,7 +47,8 @@ bus* (:attr:`CampaignService.bus`).  Lifecycle instants
 (``service.submitted`` / ``service.started`` / ``service.finished`` /
 ``service.cancelled`` / ``service.saturated``) are emitted there, and
 every event from each submission's own execution bus is forwarded onto
-it tagged with ``submission=`` and ``tenant=`` fields.  The forwarded
+it tagged with ``submission=``, ``tenant=``, ``backend=``, and
+``trace_id=`` fields.  The forwarded
 feed interleaves many concurrent campaigns, so treat it as a monitoring
 stream (filter by ``submission``), not a strict single-campaign trace —
 per-submission checkpoints and ``report=True`` analytics ride each
@@ -75,7 +76,9 @@ from repro.observability import (
     SERVICE_STARTED,
     SERVICE_SUBMITTED,
     EventBus,
+    new_trace_id,
 )
+from repro.observability.live import TelemetrySampler, TelemetryServer
 from repro.savanna.backends import backend_kind
 from repro.savanna.drive import _pool_of, execute_campaign
 from repro.savanna.realexec import wall_clock_bus
@@ -158,6 +161,10 @@ class _Submission:
     result: Any = None
     error: BaseException | None = None
     enqueued_at: float = 0.0
+    #: Correlation id minted at submit time (or supplied by the caller);
+    #: stamped on every lifecycle instant, forwarded execution event, and
+    #: — for real backends — round-tripped through the worker processes.
+    trace_id: str = ""
     #: Pre-queue FAIR5xx concurrency-safety verdict on the submission's
     #: ``app_fn`` (None for simulated backends or ``lint=False``).
     lint_report: Any = None
@@ -201,6 +208,14 @@ class SubmissionHandle:
     @property
     def priority(self) -> int:
         return self._sub.priority
+
+    @property
+    def trace_id(self) -> str:
+        """The submission's correlation id — ``grep`` it in the
+        :class:`~repro.observability.live.JsonLogSubscriber` output and
+        the service lifecycle, drive pipeline, and in-worker events line
+        up."""
+        return self._sub.trace_id
 
     @property
     def lint_report(self):
@@ -295,6 +310,17 @@ class CampaignService:
         The monitoring bus; defaults to a fresh thread-safe wall-clock
         bus (:func:`service_bus`).  Must be safe for concurrent emission
         if you bring your own.
+    serve_telemetry:
+        When True, attach a
+        :class:`~repro.observability.live.TelemetrySampler` to the
+        monitoring bus and serve it over HTTP for the service's lifetime
+        — Prometheus text at ``/metrics``, JSON at ``/status`` (see
+        ``docs/telemetry.md``).  Off by default: no sampler, no socket,
+        zero overhead.
+    telemetry_port:
+        Port for the telemetry server (default 0 = ephemeral; read
+        :attr:`telemetry_server` ``.address`` after :meth:`start`).
+        Ignored unless ``serve_telemetry=True``.
 
     Use as an async context manager (``async with service:``), or call
     :meth:`start` / :meth:`stop` explicitly.  ``submit`` may be called
@@ -306,6 +332,8 @@ class CampaignService:
         max_workers: int = 2,
         max_queue_depth: int = 16,
         bus: EventBus | None = None,
+        serve_telemetry: bool = False,
+        telemetry_port: int = 0,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -314,6 +342,13 @@ class CampaignService:
         self.max_workers = max_workers
         self.max_queue_depth = max_queue_depth
         self.bus = bus if bus is not None else service_bus()
+        self.telemetry: TelemetrySampler | None = None
+        self.telemetry_server: TelemetryServer | None = None
+        if serve_telemetry:
+            self.telemetry = TelemetrySampler(capacity=max_workers).attach(self.bus)
+            self.telemetry_server = TelemetryServer(
+                self.telemetry, port=telemetry_port
+            )
         self._queue: list[_Submission] = []  # QUEUED, scheduler picks from here
         self._submissions: dict[str, _Submission] = {}
         self._served: dict[str, int] = {}  # {tenant: submissions started}
@@ -325,10 +360,13 @@ class CampaignService:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the worker pool (idempotent); with ``serve_telemetry``,
+        also bind the telemetry HTTP listener."""
         if self._workers:
             return
         self._closing = False
+        if self.telemetry_server is not None:
+            self.telemetry_server.start()
         self._workers = [
             asyncio.create_task(self._worker(), name=f"campaign-service-{i}")
             for i in range(self.max_workers)
@@ -354,6 +392,8 @@ class CampaignService:
         if self._workers:
             await asyncio.gather(*self._workers)
             self._workers = []
+        if self.telemetry_server is not None:
+            self.telemetry_server.stop()
 
     async def __aenter__(self) -> "CampaignService":
         await self.start()
@@ -429,6 +469,8 @@ class CampaignService:
                 "max_queue_depth"
             )
         seq = next(self._ids)
+        trace_id = drive_kwargs.get("trace_id") or new_trace_id()
+        drive_kwargs["trace_id"] = trace_id
         sub = _Submission(
             id=f"sub-{seq:04d}",
             manifest=manifest,
@@ -439,6 +481,7 @@ class CampaignService:
             lint_report=lint_report,
             seq=seq,
             enqueued_at=self._now(),
+            trace_id=trace_id,
         )
         self._queue.append(sub)
         self._submissions[sub.id] = sub
@@ -449,6 +492,7 @@ class CampaignService:
             tenant=tenant,
             priority=priority,
             backend=backend,
+            trace_id=trace_id,
         )
         self._wake.set()
         return SubmissionHandle(self, sub)
@@ -522,7 +566,9 @@ class CampaignService:
             submission=sub.id,
             campaign=sub.manifest.campaign,
             tenant=sub.tenant,
+            backend=sub.backend,
             queued_for=started - sub.enqueued_at,
+            trace_id=sub.trace_id,
         )
         try:
             sub.result = await asyncio.to_thread(self._drive, sub)
@@ -541,6 +587,8 @@ class CampaignService:
                 submission=sub.id,
                 campaign=sub.manifest.campaign,
                 tenant=sub.tenant,
+                backend=sub.backend,
+                trace_id=sub.trace_id,
                 **{"while": "running"},
             )
         else:
@@ -549,9 +597,11 @@ class CampaignService:
                 submission=sub.id,
                 campaign=sub.manifest.campaign,
                 tenant=sub.tenant,
+                backend=sub.backend,
                 outcome=sub.state.value,
                 elapsed=elapsed,
                 error=str(sub.error) if sub.error is not None else None,
+                trace_id=sub.trace_id,
             )
         sub.done.set()
 
@@ -579,6 +629,8 @@ class CampaignService:
                 fields = dict(event.fields)
                 fields.setdefault("submission", sub.id)
                 fields.setdefault("tenant", sub.tenant)
+                fields.setdefault("backend", sub.backend)
+                fields.setdefault("trace_id", sub.trace_id)
                 self.bus.emit(event.name, phase=event.phase, **fields)
 
             unsubscribe = ebus.subscribe(forward)
@@ -604,6 +656,8 @@ class CampaignService:
                 submission=sub.id,
                 campaign=sub.manifest.campaign,
                 tenant=sub.tenant,
+                backend=sub.backend,
+                trace_id=sub.trace_id,
                 **{"while": "queued"},
             )
             sub.done.set()

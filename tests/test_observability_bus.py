@@ -315,6 +315,51 @@ class TestQuantiles:
         assert snap["p50"] == pytest.approx(2.0)
 
 
+class TestHistogramReservoir:
+    """The bounded seeded reservoir behind Histogram quantiles."""
+
+    def test_memory_is_bounded_but_totals_are_exact(self):
+        h = Histogram("elapsed", max_samples=64)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h.samples) == 64  # reservoir never grows past the cap
+        assert h.count == 10_000  # ...while count/total/min/max stay exact
+        assert h.total == pytest.approx(sum(range(10_000)))
+        assert h.min == 0.0 and h.max == 9999.0
+
+    def test_quantiles_deterministic_under_fixed_seed(self):
+        def fill(seed):
+            h = Histogram("elapsed", max_samples=128, seed=seed)
+            for v in range(5_000):
+                h.observe(float(v))
+            return h
+
+        a, b = fill(seed=7), fill(seed=7)
+        assert a.samples == b.samples  # identical reservoirs, not just close
+        assert a.summary() == b.summary()
+        # A different seed keeps a different (but equally valid) subsample.
+        c = fill(seed=8)
+        assert c.samples != a.samples
+
+    def test_reservoir_quantiles_approximate_truth(self):
+        h = Histogram("elapsed", max_samples=512)
+        for v in range(20_000):
+            h.observe(float(v))
+        # Uniform data: reservoir p50 should land near the true median.
+        assert h.quantile(50) == pytest.approx(10_000, rel=0.15)
+
+    def test_small_streams_are_exact(self):
+        # Below the cap the reservoir is the full stream: quantiles exact.
+        h = Histogram("elapsed", max_samples=4096)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(50) == pytest.approx(50.5)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Histogram("elapsed", max_samples=0)
+
+
 class TestEventsFromTrace:
     def _capture(self):
         bus = EventBus()

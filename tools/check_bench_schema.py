@@ -180,10 +180,73 @@ def check_lint_v1(doc: dict) -> None:
         _check_lint_mode(name, entry)
 
 
+def _check_telemetry_mode(name: str, entry: dict) -> None:
+    where = f"modes[{name!r}]"
+    _require(isinstance(entry, dict), f"{where}: must be an object")
+    _require(entry.get("mode") == name, f"{where}: 'mode' must equal the key")
+    for key in ("off_seconds", "on_seconds"):
+        _positive_number(entry, key, where)
+    overhead = entry.get("overhead_pct")
+    _require(
+        isinstance(overhead, (int, float)) and not isinstance(overhead, bool),
+        f"{where}: 'overhead_pct' must be a number, got {overhead!r}",
+    )
+    _require(
+        isinstance(entry.get("rounds"), int) and entry["rounds"] > 0,
+        f"{where}: 'rounds' must be a positive integer",
+    )
+    _require(
+        isinstance(entry.get("protocol"), str) and entry["protocol"],
+        f"{where}: 'protocol' must be a non-empty string",
+    )
+    workload = entry.get("workload")
+    _require(isinstance(workload, dict), f"{where}: 'workload' must be an object")
+    for key in ("n_campaigns", "runs_per_campaign", "tenants"):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"{where}.workload: {key!r} must be a positive integer",
+        )
+    _require(
+        isinstance(workload.get("name"), str) and workload["name"],
+        f"{where}.workload: 'name' must be a non-empty string",
+    )
+    # Evidence the plane actually ran during the 'on' configuration —
+    # a zero here means the measurement compared off against off.
+    telemetry = entry.get("telemetry")
+    _require(isinstance(telemetry, dict), f"{where}: 'telemetry' must be an object")
+    for key in ("events", "log_lines", "worker_samples", "scrape_bytes"):
+        _require(
+            isinstance(telemetry.get(key), int) and telemetry[key] > 0,
+            f"{where}.telemetry: {key!r} must be a positive integer",
+        )
+    # The acceptance bar from docs/telemetry.md: the whole plane (sampler
+    # + exposition + logs + profiler) stays under 5% end-to-end overhead.
+    # Negative values pass — that is noise saying the plane is free.
+    _require(
+        overhead < 5.0,
+        f"{where}: 'overhead_pct' is {overhead:.2f}, at or above the "
+        f"5% acceptance bar",
+    )
+
+
+def check_telemetry_v1(doc: dict) -> None:
+    modes = doc.get("modes")
+    _require(
+        isinstance(modes, dict) and modes,
+        "'modes' must be a non-empty object",
+    )
+    known = {"quick", "full"}
+    unknown = set(modes) - known
+    _require(not unknown, f"unknown mode entries: {sorted(unknown)}")
+    for name, entry in sorted(modes.items()):
+        _check_telemetry_mode(name, entry)
+
+
 #: Registered schema id -> validator.  Unknown ids fail validation.
 VALIDATORS = {
     "repro.bench.simcore/v1": check_simcore_v1,
     "repro.bench.lint/v1": check_lint_v1,
+    "repro.bench.telemetry/v1": check_telemetry_v1,
 }
 
 
