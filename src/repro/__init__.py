@@ -22,6 +22,8 @@ depends on:
                         timeouts, budgets), campaign checkpoint/resume
 :mod:`repro.dataflow`   streaming workflow substrate (virtual data queues,
                         runtime-installable policies, generated comms)
+:mod:`repro.store`      durable campaign/result store (batched sqlite
+                        ingestion, SQL catalog queries, migration CLI)
 :mod:`repro.apps`       GWAS paste workflow, iRF / iRF-LOOP, reaction-
                         diffusion + checkpoint-restart
 :mod:`repro.experiments` one driver per paper figure (1-7)
@@ -59,6 +61,7 @@ from repro import (
     resilience,
     savanna,
     skel,
+    store,
 )
 from repro.research import export_research_object, load_research_object
 
@@ -72,6 +75,7 @@ __all__ = [
     "savanna",
     "cluster",
     "resilience",
+    "store",
     "dataflow",
     "apps",
     "experiments",

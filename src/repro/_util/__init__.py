@@ -4,8 +4,16 @@ Nothing in this package is part of the public API; modules elsewhere in
 :mod:`repro` import from here freely, external users should not.
 """
 
+from repro._util.io import atomic_write_text, path_lock
 from repro._util.rng import as_generator, spawn_children
 from repro._util.tables import format_table, format_series
+from repro._util.tagged import (
+    UnserializableValueError,
+    dumps_tagged,
+    loads_tagged,
+    tagged_default,
+    tagged_object_hook,
+)
 from repro._util.validate import (
     check_positive,
     check_nonnegative,
@@ -15,6 +23,13 @@ from repro._util.validate import (
 )
 
 __all__ = [
+    "atomic_write_text",
+    "path_lock",
+    "UnserializableValueError",
+    "dumps_tagged",
+    "loads_tagged",
+    "tagged_default",
+    "tagged_object_hook",
     "as_generator",
     "spawn_children",
     "format_table",

@@ -15,6 +15,18 @@ Layout::
 
 Status is the machine-actionable face of "users may simply re-submit a
 partially completed SweepGroup ... to continue execution" (§V-D).
+
+**Durability.** Every ``.cheetah/`` metadata file and per-run record is
+written atomically (temp file + fsync + ``os.replace`` — see
+:func:`repro._util.atomic_write_text`), so a driver killed mid-write can
+never leave torn JSON behind, and the read-modify-write cycles on
+``status.json`` are serialized per directory (:func:`repro._util.path_lock`)
+so concurrent campaign-service submissions cannot drop each other's
+status transitions.  When a campaign-result store
+(:mod:`repro.store`) has been materialized at ``.cheetah/store.sqlite``,
+status updates and reports are mirrored into it and
+:meth:`CampaignDirectory.read_run_result` falls back to it — the store
+is the durable record at scale, the JSON files the human-readable face.
 """
 
 from __future__ import annotations
@@ -23,18 +35,26 @@ import enum
 import json
 from pathlib import Path
 
+from repro._util import (
+    atomic_write_text,
+    dumps_tagged,
+    loads_tagged,
+    path_lock,
+    tagged_default,
+)
 from repro.cheetah.manifest import CampaignManifest, manifest_from_json, manifest_to_json
 
 
 def _jsonable(value):
-    """json.dumps ``default=`` hook: numpy-aware, never raises."""
-    tolist = getattr(value, "tolist", None)
-    if callable(tolist):
-        try:
-            return tolist()
-        except Exception:  # noqa: BLE001 - fall through to repr
-            pass
-    return repr(value)
+    """json.dumps ``default=`` hook: lossless tagged encoding.
+
+    Known non-JSON types (numpy, complex, bytes, set, Path, datetime)
+    are encoded with an explicit ``__repro__`` tag and round-trip
+    exactly; anything else raises
+    :class:`repro._util.UnserializableValueError` instead of silently
+    persisting a non-round-trippable ``repr`` string into the record.
+    """
+    return tagged_default(value)
 
 
 class RunStatus(enum.Enum):
@@ -54,6 +74,7 @@ class CampaignDirectory:
     def __init__(self, root: Path, manifest: CampaignManifest):
         self.root = Path(root) / manifest.campaign
         self.manifest = manifest
+        self._run_ids: frozenset | None = None
 
     # -- creation ------------------------------------------------------------
 
@@ -67,18 +88,20 @@ class CampaignDirectory:
             raise RuntimeError(
                 f"campaign directory {self.root} already holds a different manifest"
             )
-        manifest_path.write_text(text)
+        atomic_write_text(manifest_path, text)
         for run in self.manifest.runs:
             run_dir = self.root / run.run_id
             run_dir.mkdir(parents=True, exist_ok=True)
-            (run_dir / "params.json").write_text(
-                json.dumps(run.parameters, indent=2, sort_keys=True)
+            atomic_write_text(
+                run_dir / "params.json",
+                dumps_tagged(run.parameters, indent=2, sort_keys=True),
             )
         status_path = meta / "status.json"
-        if not status_path.exists():
-            self._write_status(
-                {run.run_id: RunStatus.PENDING.value for run in self.manifest.runs}
-            )
+        with path_lock(status_path):
+            if not status_path.exists():
+                self._write_status(
+                    {run.run_id: RunStatus.PENDING.value for run in self.manifest.runs}
+                )
         return self.root
 
     @classmethod
@@ -90,6 +113,7 @@ class CampaignDirectory:
         obj = cls.__new__(cls)
         obj.root = campaign_root
         obj.manifest = manifest
+        obj._run_ids = None
         return obj
 
     # -- status --------------------------------------------------------------
@@ -98,7 +122,9 @@ class CampaignDirectory:
         return self.root / self.METADATA_DIR / "status.json"
 
     def _write_status(self, status: dict) -> None:
-        self._status_path().write_text(json.dumps(status, indent=2, sort_keys=True))
+        atomic_write_text(
+            self._status_path(), json.dumps(status, indent=2, sort_keys=True)
+        )
 
     def read_status(self) -> dict:
         """``{run_id: RunStatus}`` for every run."""
@@ -106,20 +132,27 @@ class CampaignDirectory:
         return {run_id: RunStatus(value) for run_id, value in raw.items()}
 
     def set_status(self, run_id: str, status: RunStatus) -> None:
-        current = json.loads(self._status_path().read_text())
-        if run_id not in current:
-            raise KeyError(f"unknown run_id {run_id!r}")
-        current[run_id] = status.value
-        self._write_status(current)
+        """Record one run's status (read-modify-write, locked per directory)."""
+        self.update_status({run_id: status})
 
     def update_status(self, updates: dict) -> None:
-        """Batch status update ``{run_id: RunStatus}``."""
-        current = json.loads(self._status_path().read_text())
-        for run_id, status in updates.items():
-            if run_id not in current:
-                raise KeyError(f"unknown run_id {run_id!r}")
-            current[run_id] = status.value
-        self._write_status(current)
+        """Batch status update ``{run_id: RunStatus}``.
+
+        The read-modify-write cycle runs under the per-directory lock
+        (:func:`repro._util.path_lock`), so two concurrent submissions
+        sharing a campaign directory serialize instead of silently
+        dropping each other's transitions; the final write is atomic.
+        When the campaign's result store has been materialized, the
+        statuses are mirrored into it as well.
+        """
+        with path_lock(self._status_path()):
+            current = json.loads(self._status_path().read_text())
+            for run_id, status in updates.items():
+                if run_id not in current:
+                    raise KeyError(f"unknown run_id {run_id!r}")
+                current[run_id] = status.value
+            self._write_status(current)
+        self._mirror_status(updates)
 
     def pending_runs(self, group: str | None = None) -> tuple:
         """RunSpecs not yet DONE (FAILED counts as pending for resubmission)."""
@@ -161,6 +194,14 @@ class CampaignDirectory:
     def run_dir(self, run_id: str) -> Path:
         return self.root / run_id
 
+    @property
+    def run_ids(self) -> frozenset:
+        """The manifest's run ids, cached (membership checks are O(1)
+        even for very large campaigns)."""
+        if self._run_ids is None:
+            self._run_ids = frozenset(run.run_id for run in self.manifest.runs)
+        return self._run_ids
+
     # -- real-run outcomes ---------------------------------------------------
 
     def write_run_result(self, run_id: str, payload: dict) -> Path:
@@ -168,26 +209,90 @@ class CampaignDirectory:
 
         ``payload`` is the run's outcome record (status, value, error +
         traceback, elapsed, seed, attempts — whatever the real executor
-        reports).  Values that are not JSON-serializable are coerced:
-        anything with ``tolist()`` (numpy arrays/scalars) is listified,
-        everything else falls back to ``repr`` — the run directory must
-        always hold *some* durable record of what came back.
+        reports).  The write is atomic, and values outside plain JSON
+        are encoded losslessly with the tagged form (numpy, complex,
+        bytes, set, Path, datetime); a value that cannot round-trip
+        raises :class:`repro._util.UnserializableValueError` instead of
+        corrupting the record.
+
+        This is the *human-inspection export*: at scale the drive
+        records outcomes into the campaign store
+        (:meth:`record_results` / :mod:`repro.store`) and writes these
+        JSON files only on request.
         """
-        if run_id not in {run.run_id for run in self.manifest.runs}:
+        if run_id not in self.run_ids:
             raise KeyError(f"unknown run_id {run_id!r}")
         path = self.run_dir(run_id) / "result.json"
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n"
+        atomic_write_text(
+            path,
+            json.dumps(payload, indent=2, sort_keys=True, default=_jsonable) + "\n",
         )
         return path
 
     def read_run_result(self, run_id: str) -> dict | None:
-        """The persisted outcome of one run (``None`` if never written)."""
+        """The persisted outcome of one run (``None`` if never recorded).
+
+        Prefers the ``result.json`` export when present (tagged values
+        decode back to their original types), and otherwise falls back
+        to the campaign store at ``.cheetah/store.sqlite`` — so callers
+        keep one read API whether outcomes were exported as JSON or
+        recorded durably in SQL.
+        """
         path = self.run_dir(run_id) / "result.json"
-        if not path.exists():
-            return None
-        return json.loads(path.read_text())
+        if path.exists():
+            return loads_tagged(path.read_text())
+        if self.store_path().exists():
+            with self.open_store() as store:
+                return store.read_run_result(self.manifest.campaign, run_id)
+        return None
+
+    # -- result store --------------------------------------------------------
+
+    def store_path(self) -> Path:
+        """Where this campaign's SQL-backed result store lives."""
+        return self.root / self.METADATA_DIR / "store.sqlite"
+
+    def open_store(self):
+        """Open (creating on first use) the campaign's result store.
+
+        Returns a :class:`repro.store.CampaignStore` bound to
+        ``.cheetah/store.sqlite`` with this campaign's manifest already
+        ingested.  Use as a context manager; the store flushes its
+        write-behind buffer and closes on exit.
+        """
+        from repro.store import CampaignStore  # lazy: repro.store imports us
+
+        store = CampaignStore(self.store_path())
+        store.ensure_campaign(self.manifest)
+        return store
+
+    def record_results(self, results: dict, json_export: bool = False) -> None:
+        """Record really-executed run outcomes into the campaign store.
+
+        ``results`` maps ``run_id`` to an outcome record (a
+        :class:`~repro.savanna.realexec.LocalRunResult` or its dict
+        form).  Outcomes land in ``.cheetah/store.sqlite`` via chunked
+        bulk ingestion; ``json_export=True`` additionally writes the
+        per-run ``result.json`` files for human inspection.  Interrupted
+        runs are never recorded — they are pending, not outcomes.
+        """
+        with self.open_store() as store:
+            store.record_run_results(self.manifest.campaign, results)
+        if json_export:
+            from dataclasses import asdict, is_dataclass
+
+            for run_id, outcome in results.items():
+                payload = asdict(outcome) if is_dataclass(outcome) else dict(outcome)
+                if payload.get("status") != "interrupted":
+                    self.write_run_result(run_id, payload)
+
+    def _mirror_status(self, updates: dict) -> None:
+        """Mirror status transitions into the store, when one exists."""
+        if not self.store_path().exists():
+            return
+        with self.open_store() as store:
+            store.set_statuses(self.manifest.campaign, updates)
 
     # -- performance reports -------------------------------------------------
 
@@ -206,16 +311,22 @@ class CampaignDirectory:
         """
         incoming = [r if isinstance(r, dict) else r.to_dict() for r in reports]
         path = self._report_path()
-        existing: list = []
-        schema = "repro.observability.report/v1"
-        if path.exists():
-            data = json.loads(path.read_text())
-            existing = data.get("reports", [])
-            schema = data.get("schema", schema)
-        key = lambda r: (r.get("campaign"), r.get("group"))
-        replaced = {key(r) for r in incoming}
-        merged = [r for r in existing if key(r) not in replaced] + incoming
-        path.write_text(json.dumps({"schema": schema, "reports": merged}, indent=1) + "\n")
+        with path_lock(path):
+            existing: list = []
+            schema = "repro.observability.report/v1"
+            if path.exists():
+                data = json.loads(path.read_text())
+                existing = data.get("reports", [])
+                schema = data.get("schema", schema)
+            key = lambda r: (r.get("campaign"), r.get("group"))
+            replaced = {key(r) for r in incoming}
+            merged = [r for r in existing if key(r) not in replaced] + incoming
+            atomic_write_text(
+                path, json.dumps({"schema": schema, "reports": merged}, indent=1) + "\n"
+            )
+        if self.store_path().exists():
+            with self.open_store() as store:
+                store.record_reports(self.manifest.campaign, incoming)
         return path
 
     def read_report(self) -> list:
@@ -239,7 +350,8 @@ class CampaignDirectory:
         """
         payload = report if isinstance(report, dict) else report.to_dict()
         path = self._lint_path()
-        path.write_text(
+        atomic_write_text(
+            path,
             json.dumps(
                 {
                     "schema": "repro.lint.report/v1",

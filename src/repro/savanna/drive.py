@@ -34,7 +34,10 @@ with the headline numbers (makespan, utilization, critical path,
 stragglers) is emitted, and — when a ``directory`` is in play — the full
 report is merged into the campaign end point's ``.cheetah/report.json``.
 Real runs additionally persist each run's outcome (value, error +
-traceback, seed, attempts) as ``<run>/result.json`` in the directory.
+traceback, seed, attempts) durably: bulk-recorded into the campaign
+store at ``.cheetah/store.sqlite`` (:mod:`repro.store`, the default) and
+— with ``json_results=True`` — exported as per-run ``<run>/result.json``
+files for human inspection.
 
 The drive is internally a *pipeline of stages* — lint gate, resume-set
 resolution, sub-manifest construction, execution, report analysis,
@@ -223,6 +226,8 @@ def execute_campaign(
     resume: bool = True,
     lint: bool = True,
     report: bool = False,
+    store: bool = True,
+    json_results: bool = False,
     cancel=None,
     trace_id: str | None = None,
     **backend_kwargs,
@@ -289,6 +294,8 @@ def execute_campaign(
             resume=resume,
             lint=False,
             report=report,
+            store=store,
+            json_results=json_results,
             cancel=cancel,
             trace_id=trace_id,
             **backend_kwargs,
@@ -308,6 +315,8 @@ def execute_manifest(
     resume: bool = True,
     lint: bool = True,
     report: bool = False,
+    store: bool = True,
+    json_results: bool = False,
     cancel=None,
     trace_id: str | None = None,
     **backend_kwargs,
@@ -333,8 +342,12 @@ def execute_manifest(
     5. **report analysis** (``report=True``) — the group's captured
        events become a ``CampaignReport`` + one ``campaign.report``
        instant;
-    6. **status compaction** — final statuses land in ``status.json``
-       (and, for real runs, per-run ``result.json`` files).
+    6. **result + status compaction** — real-run outcomes are
+       bulk-recorded into the campaign store
+       (``.cheetah/store.sqlite`` — ``store=True``, the default; pass
+       ``json_results=True`` to additionally export per-run
+       ``result.json`` files), then final statuses land in
+       ``status.json`` and are mirrored into the store.
 
     Parameters
     ----------
@@ -380,6 +393,17 @@ def execute_manifest(
         ``directory.read_report()``).  For real backends the spans are
         genuine wall-clock measurements, so the critical path and the
         straggler list describe the machine you actually ran on.
+    store:
+        With a ``directory``, real-run outcomes are bulk-recorded into
+        the durable campaign store at ``.cheetah/store.sqlite``
+        (:mod:`repro.store`) — chunked ``executemany`` ingestion, one
+        transaction per chunk, instead of one fsynced JSON file per run.
+        ``store=False`` restores the legacy per-file-only persistence.
+    json_results:
+        Opt-in per-run ``result.json`` export alongside the store
+        (``directory.read_run_result`` reads either form transparently).
+        Ignored when ``store=False`` — the legacy path always writes
+        the files.
     cancel:
         External stop signal (``threading.Event`` or zero-argument
         callable).  Real backends poll it while executing and take the
@@ -403,6 +427,8 @@ def execute_manifest(
             resume=resume,
             lint=lint,
             report=report,
+            store=store,
+            json_results=json_results,
             cancel=cancel,
             trace_id=trace_id,
             backend_kwargs=backend_kwargs,
@@ -478,6 +504,8 @@ def _execute_manifest_real(
     resume,
     lint,
     report,
+    store,
+    json_results,
     cancel,
     trace_id,
     backend_kwargs,
@@ -561,12 +589,18 @@ def _execute_manifest_real(
         streaming.detach()
         _report_group(bus, work.directory, streaming.reports())
     if work.directory is not None:
+        if store:
+            # Durable path: outcomes land in .cheetah/store.sqlite via
+            # chunked bulk ingestion; per-run JSON files are the opt-in
+            # human-inspection export.
+            work.directory.record_results(result.results, json_export=json_results)
+        else:
+            for rid, run_result in result.results.items():
+                if run_result.status != "interrupted":
+                    work.directory.write_run_result(rid, asdict(run_result))
         work.directory.update_status(
             {rid: _REAL_TO_STATUS[r.status] for rid, r in result.results.items()}
         )
-        for rid, run_result in result.results.items():
-            if run_result.status != "interrupted":
-                work.directory.write_run_result(rid, asdict(run_result))
     return result
 
 

@@ -1,0 +1,275 @@
+"""The SQL-pushdown face of the §II-C codesign catalog.
+
+:class:`StoreCatalog` answers the same queries as the in-memory
+:class:`repro.cheetah.CampaignCatalog` — ``best``, ``rank``, the Pareto
+front, per-parameter impact — but evaluates them *inside* the store's
+SQL engine instead of materializing every record in Python:
+
+- ``best``/``rank`` are ``ORDER BY`` scans over the ``metrics(name,
+  value)`` index (ties broken by ``run_id``, exactly the in-memory
+  rule);
+- the Pareto front is a dominance anti-join (``NOT EXISTS`` over the
+  metric pivot) generated for the requested objectives;
+- ``parameter_impact`` is a ``GROUP BY`` over the parameters table with
+  the grand mean folded from the same aggregate pass.
+
+The answers are equivalent by construction and pinned by
+``tests/test_store_catalog_equivalence.py``: identical run ids in
+identical order for ``best``/``rank``/``pareto_front``, and the same
+``KeyError``/``ValueError`` contracts on missing metrics and empty
+catalogs.  One deliberate strictness difference: every objective query
+here validates the metric on *every* run up front (first missing run in
+run-id order names itself), where the in-memory catalog only discovers
+a missing metric lazily while comparing (and not at all for a
+single-record ``best``).
+"""
+
+from __future__ import annotations
+
+from repro._util import loads_tagged
+from repro.cheetah.catalog import RunRecord
+from repro.cheetah.objectives import Direction, Objective
+
+
+class StoreCatalog:
+    """Campaign catalog queries pushed down to the campaign store."""
+
+    def __init__(self, store, campaign: str):
+        self.store = store
+        self.campaign = campaign
+        self._cid = store.campaign_id(campaign)
+
+    def __len__(self) -> int:
+        return self.store.query(
+            "SELECT COUNT(*) FROM runs r WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL", (self._cid,)
+        )[0][0]
+
+    # -- record access ---------------------------------------------------------
+
+    def records(self) -> list[RunRecord]:
+        """Every run as a :class:`RunRecord`, ordered by run id."""
+        params: dict[str, dict] = {}
+        for run_id, name, value_json in self.store.query(
+            "SELECT r.run_id, p.name, p.value_json FROM parameters p "
+            "JOIN runs r ON r.id = p.run_key WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL",
+            (self._cid,),
+        ):
+            params.setdefault(run_id, {})[name] = loads_tagged(value_json)
+        metrics: dict[str, dict] = {}
+        for run_id, name, value in self.store.query(
+            "SELECT r.run_id, m.name, m.value FROM metrics m "
+            "JOIN runs r ON r.id = m.run_key WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL",
+            (self._cid,),
+        ):
+            metrics.setdefault(run_id, {})[name] = value
+        run_ids = [
+            row[0]
+            for row in self.store.query(
+                "SELECT run_id FROM runs r WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL ORDER BY run_id",
+                (self._cid,),
+            )
+        ]
+        return [
+            RunRecord(
+                run_id=run_id,
+                parameters=params.get(run_id, {}),
+                metrics=metrics.get(run_id, {}),
+            )
+            for run_id in run_ids
+        ]
+
+    def metric_names(self) -> set:
+        """Every metric name any run of the campaign reports."""
+        return {
+            name
+            for (name,) in self.store.query(
+                "SELECT DISTINCT m.name FROM metrics m "
+                "JOIN runs r ON r.id = m.run_key WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL",
+                (self._cid,),
+            )
+        }
+
+    def record(self, run_id: str) -> RunRecord:
+        """One run's record (KeyError if the run is unknown)."""
+        for rec in self.records():
+            if rec.run_id == run_id:
+                return rec
+        raise KeyError(f"unknown run_id {run_id!r}")
+
+    # -- objective queries -----------------------------------------------------
+
+    def best(self, objective: Objective) -> RunRecord:
+        """The single best run under ``objective`` (SQL ``ORDER BY ... LIMIT 1``)."""
+        if len(self) == 0:
+            raise ValueError("catalog is empty")
+        self._require_metric_everywhere(objective.metric)
+        order = "DESC" if objective.direction is Direction.MAXIMIZE else "ASC"
+        rows = self.store.query(
+            "SELECT r.run_id FROM runs r "
+            "JOIN metrics m ON m.run_key = r.id AND m.name = ? "
+            f"WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL ORDER BY m.value {order}, r.run_id ASC LIMIT 1",
+            (objective.metric, self._cid),
+        )
+        return self.record(rows[0][0])
+
+    def rank(self, objective: Objective, k: int | None = None) -> list[RunRecord]:
+        """Runs ordered best-first under ``objective`` (index-order scan)."""
+        self._require_metric_everywhere(objective.metric)
+        order = "DESC" if objective.direction is Direction.MAXIMIZE else "ASC"
+        limit = "" if k is None else f" LIMIT {int(k)}"
+        rows = self.store.query(
+            "SELECT r.run_id FROM runs r "
+            "JOIN metrics m ON m.run_key = r.id AND m.name = ? "
+            f"WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL ORDER BY m.value {order}, r.run_id ASC{limit}",
+            (objective.metric, self._cid),
+        )
+        by_id = {rec.run_id: rec for rec in self.records()}
+        return [by_id[run_id] for (run_id,) in rows]
+
+    def pareto_front(self, objectives) -> list[RunRecord]:
+        """Non-dominated runs under competing objectives (dominance anti-join).
+
+        The query pivots the requested metrics into one row per run and
+        keeps the rows for which no other row is at least as good on
+        every objective and strictly better on one — the §II-C dominance
+        rule evaluated entirely inside the engine.
+        """
+        objectives = list(objectives)
+        if not objectives:
+            raise ValueError("need at least one objective")
+        for objective in objectives:
+            self._require_metric_everywhere(objective.metric)
+        joins = []
+        for i, _ in enumerate(objectives):
+            joins.append(
+                f"JOIN metrics m{i} ON m{i}.run_key = r.id AND m{i}.name = ?"
+            )
+        at_least_as_good = []
+        strictly_better = []
+        for i, objective in enumerate(objectives):
+            better, worse = ("<", ">") if objective.direction is Direction.MINIMIZE else (">", "<")
+            at_least_as_good.append(f"NOT (b.v{i} {worse} a.v{i})")
+            strictly_better.append(f"b.v{i} {better} a.v{i}")
+        pivot = (
+            "SELECT r.id AS id, r.run_id AS run_id, "
+            + ", ".join(f"m{i}.value AS v{i}" for i in range(len(objectives)))
+            + " FROM runs r "
+            + " ".join(joins)
+            + " WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL"
+        )
+        sql = (
+            f"WITH v AS ({pivot}) SELECT a.run_id FROM v a "
+            "WHERE NOT EXISTS (SELECT 1 FROM v b WHERE b.id != a.id AND "
+            f"{' AND '.join(at_least_as_good)} AND ({' OR '.join(strictly_better)})) "
+            "ORDER BY a.run_id"
+        )
+        params = tuple(o.metric for o in objectives) + (self._cid,)
+        rows = self.store.query(sql, params)
+        by_id = {rec.run_id: rec for rec in self.records()}
+        return [by_id[run_id] for (run_id,) in rows]
+
+    # -- parameter impact ------------------------------------------------------
+
+    def parameter_impact(self, parameter: str, metric: str) -> dict:
+        """Impact of one swept parameter on one metric (SQL ``GROUP BY``).
+
+        Same report shape as the in-memory catalog: per-value metric
+        means, the grand mean over every included run, and ``effect`` =
+        spread of group means / |grand mean|.
+        """
+        rows = self.store.query(
+            "SELECT p.value_json, AVG(m.value), SUM(m.value), COUNT(*) "
+            "FROM runs r "
+            "JOIN parameters p ON p.run_key = r.id AND p.name = ? "
+            "JOIN metrics m ON m.run_key = r.id AND m.name = ? "
+            "WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL GROUP BY p.value_json",
+            (parameter, metric, self._cid),
+        )
+        if not rows:
+            raise ValueError(
+                f"no runs carry both parameter {parameter!r} and metric {metric!r}"
+            )
+        means = {}
+        total = 0.0
+        count = 0
+        for value_json, mean, group_sum, group_count in rows:
+            key = loads_tagged(value_json)
+            means[key] = float(mean)
+            total += group_sum
+            count += group_count
+        grand = total / count
+        spread = max(means.values()) - min(means.values())
+        return {
+            "parameter": parameter,
+            "metric": metric,
+            "group_means": means,
+            "grand_mean": grand,
+            "effect": spread / abs(grand) if grand != 0 else float("inf"),
+        }
+
+    def impact_ranking(self, metric: str) -> list[tuple[str, float]]:
+        """Parameters ordered by their effect on ``metric`` (largest first)."""
+        names = [
+            name
+            for (name,) in self.store.query(
+                "SELECT DISTINCT p.name FROM parameters p "
+                "JOIN runs r ON r.id = p.run_key "
+                "WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL ORDER BY p.name",
+                (self._cid,),
+            )
+        ]
+        rows = []
+        for name in names:
+            try:
+                impact = self.parameter_impact(name, metric)
+            except ValueError:
+                continue
+            rows.append((name, impact["effect"]))
+        rows.sort(key=lambda pair: -pair[1])
+        return rows
+
+    def to_table(self, metrics=None) -> str:
+        """Render the catalog as an aligned text table (sorted by run_id)."""
+        from repro._util import format_table
+
+        records = self.records()
+        if not records:
+            return f"campaign {self.campaign!r}: (empty catalog)"
+        params = sorted({k for r in records for k in r.parameters})
+        metrics = sorted(self.metric_names()) if metrics is None else list(metrics)
+        headers = ["run_id", *params, *metrics]
+        rows = []
+        for r in records:
+            rows.append(
+                [r.run_id]
+                + [r.parameters.get(p, "") for p in params]
+                + [r.metrics.get(m, "") for m in metrics]
+            )
+        return format_table(headers, rows)
+
+    # -- guards ----------------------------------------------------------------
+
+    def _require_metric_everywhere(self, metric: str) -> None:
+        """KeyError parity with the in-memory catalog: every run must
+        carry ``metric`` (the first missing one, in run-id order, names
+        itself and its known metrics)."""
+        rows = self.store.query(
+            "SELECT r.run_id FROM runs r WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL AND NOT EXISTS "
+            "(SELECT 1 FROM metrics m WHERE m.run_key = r.id AND m.name = ?) "
+            "ORDER BY r.run_id LIMIT 1",
+            (self._cid, metric),
+        )
+        if not rows:
+            return
+        run_id = rows[0][0]
+        known = sorted(
+            name
+            for (name,) in self.store.query(
+                "SELECT m.name FROM metrics m JOIN runs r ON r.id = m.run_key "
+                "WHERE r.campaign_id = ? AND r.status = 'done' AND r.attempts IS NOT NULL AND r.run_id = ?",
+                (self._cid, run_id),
+            )
+        )
+        raise KeyError(
+            f"run {run_id!r} has no metric {metric!r}; known: {known}"
+        )

@@ -1,0 +1,119 @@
+"""Pluggable storage engines behind the campaign store.
+
+The store speaks plain DB-API through a tiny engine contract
+(:class:`StorageEngine`), so the SQL backend is swappable: sqlite ships
+in-tree (zero dependencies, one file per campaign directory), and a
+server-class engine (PostgreSQL, DuckDB, ...) plugs in by registering a
+factory under a URL scheme — the ingestion batching and the catalog
+query pushdown above this layer do not change.
+
+Resolution rules (:func:`engine_for`)::
+
+    ":memory:"              -> in-memory sqlite (tests, scratch queries)
+    "sqlite:///path/to.db"  -> sqlite at that path
+    any other path          -> sqlite at that path
+    "scheme://..."          -> the engine registered for "scheme"
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+
+
+class StorageEngine:
+    """The engine contract: connect, and describe your SQL dialect.
+
+    Subclasses provide :meth:`connect` returning a DB-API connection.
+    ``placeholder`` is the parameter marker the dialect uses (sqlite and
+    DuckDB use ``?``; a PostgreSQL engine would use ``%s``), and
+    ``name`` labels the engine in diagnostics.
+    """
+
+    name = "abstract"
+    placeholder = "?"
+
+    def connect(self):
+        """Return a new DB-API connection to the underlying database."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable location of the data (for CLI output)."""
+        return self.name
+
+
+class SqliteEngine(StorageEngine):
+    """The in-tree engine: one sqlite file (or ``":memory:"``).
+
+    Connections are tuned for the store's write pattern — WAL journal
+    (concurrent readers during bulk ingestion), ``synchronous=NORMAL``
+    (fsync at WAL checkpoints: durable against process crash, fast for
+    chunked batches), and foreign keys enforced.  ``check_same_thread``
+    is disabled because the store serializes access with its own lock;
+    the campaign service runs drives on worker threads.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path: str | Path = ":memory:"):
+        self.path = str(path)
+
+    def connect(self) -> sqlite3.Connection:
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        conn.execute("PRAGMA foreign_keys = ON")
+        if self.path != ":memory:":
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute("PRAGMA synchronous = NORMAL")
+        return conn
+
+    def describe(self) -> str:
+        return f"sqlite://{self.path}"
+
+
+#: Registered URL scheme -> engine factory ``fn(rest_of_url) -> StorageEngine``.
+_ENGINES: dict = {}
+_ENGINES_LOCK = threading.Lock()
+
+
+def register_engine(scheme: str, factory) -> None:
+    """Register ``factory(location) -> StorageEngine`` for a URL scheme.
+
+    Registering an already-taken scheme raises — an engine silently
+    hijacking ``sqlite://`` would redirect every campaign store.
+    """
+    with _ENGINES_LOCK:
+        if scheme in _ENGINES:
+            raise ValueError(f"storage engine scheme {scheme!r} already registered")
+        _ENGINES[scheme] = factory
+
+
+def registered_engines() -> tuple:
+    """The registered URL schemes, sorted."""
+    with _ENGINES_LOCK:
+        return tuple(sorted(_ENGINES))
+
+
+def engine_for(url: str | Path | StorageEngine) -> StorageEngine:
+    """Resolve a URL, path, or ready engine to a :class:`StorageEngine`."""
+    if isinstance(url, StorageEngine):
+        return url
+    text = str(url)
+    if text == ":memory:":
+        return SqliteEngine(":memory:")
+    if "://" in text:
+        scheme, _, location = text.partition("://")
+        with _ENGINES_LOCK:
+            factory = _ENGINES.get(scheme)
+        if factory is None:
+            raise ValueError(
+                f"no storage engine registered for scheme {scheme!r} "
+                f"(registered: {sorted(_ENGINES)})"
+            )
+        return factory(location)
+    return SqliteEngine(text)
+
+
+register_engine("sqlite", lambda location: SqliteEngine(location or ":memory:"))

@@ -1,0 +1,101 @@
+"""Migration: existing campaign directories -> the campaign store.
+
+A campaign that ran before the store existed left its state as files —
+``.cheetah/manifest.json``, ``status.json`` (+ an uncompacted
+``journal.jsonl`` if the driver died), ``.cheetah/report.json``, and one
+``result.json`` per really-executed run.  :func:`ingest_directory`
+folds all of it into the store so the §II-C catalog queries run over
+SQL, and :func:`export_directory` goes the other way, materializing the
+per-run JSON files for human inspection.
+
+The migration trusts exactly what resume trusts: run statuses are the
+base ``status.json`` *overlaid with the checkpoint journal* (later
+lines win), read through
+:class:`repro.resilience.CampaignCheckpoint` — so migrating a
+crashed-mid-campaign directory lands the same pending set a resumed
+driver would compute.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cheetah.directory import CampaignDirectory, resolve_campaign_dir
+
+
+def ingest_directory(store, root: str | Path) -> dict:
+    """Ingest one campaign directory into ``store``.
+
+    Returns a summary dict: ``campaign``, ``runs`` (registered),
+    ``results`` (outcomes ingested from ``result.json`` files),
+    ``statuses`` (rows recorded), ``reports`` (reports merged).
+    """
+    directory = resolve_campaign_dir(root)
+    manifest = directory.manifest
+    store.ensure_campaign(manifest)
+
+    # Status: what resume would trust — base record + journal overlay.
+    from repro.resilience.checkpoint import CampaignCheckpoint
+
+    statuses = CampaignCheckpoint(directory).effective_status()
+    store.set_statuses(manifest.campaign, statuses)
+
+    results = 0
+    for run in manifest.runs:
+        payload = _read_result_file(directory, run.run_id)
+        if payload is None:
+            continue
+        store.add_result(
+            manifest.campaign,
+            run.run_id,
+            status=payload.get("status", "done"),
+            value=payload.get("value"),
+            error=payload.get("error"),
+            traceback=payload.get("traceback"),
+            elapsed=payload.get("elapsed"),
+            attempts=payload.get("attempts", 1),
+            seed=payload.get("seed"),
+        )
+        results += 1
+    store.flush()
+
+    reports = directory.read_report()
+    if reports:
+        store.record_reports(manifest.campaign, reports)
+
+    return {
+        "campaign": manifest.campaign,
+        "runs": len(manifest.runs),
+        "results": results,
+        "statuses": len(statuses),
+        "reports": len(reports),
+    }
+
+
+def _read_result_file(directory: CampaignDirectory, run_id: str) -> dict | None:
+    """One run's ``result.json`` payload — *files only*, so migration
+    never reads back what a partially-ingested store already holds."""
+    from repro._util import loads_tagged
+
+    path = directory.run_dir(run_id) / "result.json"
+    if not path.exists():
+        return None
+    return loads_tagged(path.read_text())
+
+
+def export_directory(store, root: str | Path) -> int:
+    """Materialize per-run ``result.json`` files from the store.
+
+    The inverse of :func:`ingest_directory`'s result pass — the opt-in
+    human-inspection export.  Returns the number of files written.
+    """
+    directory = resolve_campaign_dir(root)
+    campaign = directory.manifest.campaign
+    written = 0
+    for run in directory.manifest.runs:
+        payload = store.read_run_result(campaign, run.run_id)
+        if payload is None:
+            continue
+        directory.write_run_result(run.run_id, payload)
+        written += 1
+    return written

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.savanna",
     "repro.cluster",
     "repro.resilience",
+    "repro.store",
     "repro.dataflow",
     "repro.experiments",
     "repro.apps.gwas",

@@ -1,0 +1,418 @@
+"""Tests for repro.store: engines, ingestion, catalog, migration, CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cheetah import AppSpec, Campaign, Objective, Sweep, SweepParameter
+from repro.cheetah.directory import CampaignDirectory, RunStatus
+from repro.store import (
+    CampaignStore,
+    SqliteEngine,
+    StoreError,
+    engine_for,
+    export_directory,
+    ingest_directory,
+    metrics_from_value,
+    register_engine,
+    registered_engines,
+)
+
+
+def make_manifest(n=4, campaign="store-test"):
+    camp = Campaign(campaign, app=AppSpec("app"), objective="minimize loss")
+    sg = camp.sweep_group("g", nodes=1, walltime=60.0)
+    sg.add(Sweep([SweepParameter("x", range(n)), SweepParameter("mode", ["a", "b"])]))
+    return camp.to_manifest()
+
+
+def fill(store, manifest, loss=lambda i: float(i % 5) + 0.5):
+    store.ensure_campaign(manifest)
+    for i, run in enumerate(manifest.runs):
+        store.add_result(
+            manifest.campaign,
+            run.run_id,
+            value={"loss": loss(i), "cost": float(len(manifest.runs) - i)},
+            elapsed=0.01 * i,
+            attempts=1,
+            seed=i,
+        )
+    store.set_statuses(
+        manifest.campaign, {r.run_id: RunStatus.DONE for r in manifest.runs}
+    )
+    return store
+
+
+class TestEngineRegistry:
+    def test_sqlite_registered_by_default(self):
+        assert "sqlite" in registered_engines()
+
+    def test_engine_for_path_and_url(self, tmp_path):
+        by_path = engine_for(tmp_path / "a.sqlite")
+        by_url = engine_for(f"sqlite://{tmp_path / 'b.sqlite'}")
+        assert isinstance(by_path, SqliteEngine)
+        assert isinstance(by_url, SqliteEngine)
+        assert str(tmp_path) in by_url.describe()
+
+    def test_engine_passthrough(self):
+        engine = SqliteEngine(":memory:")
+        assert engine_for(engine) is engine
+
+    def test_duplicate_scheme_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine("sqlite", lambda location: SqliteEngine(location))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="no storage engine registered"):
+            engine_for("voldb://nope")
+
+
+class TestIngestion:
+    def test_ensure_campaign_is_idempotent(self):
+        manifest = make_manifest()
+        with CampaignStore(":memory:") as store:
+            cid1 = store.ensure_campaign(manifest)
+            cid2 = store.ensure_campaign(manifest)
+            assert cid1 == cid2
+            assert store.run_count(manifest.campaign) == len(manifest.runs)
+
+    def test_manifest_round_trips(self):
+        manifest = make_manifest()
+        with CampaignStore(":memory:") as store:
+            store.ensure_campaign(manifest)
+            assert store.manifest(manifest.campaign) == manifest
+
+    def test_write_behind_buffer_flushes_in_chunks(self):
+        manifest = make_manifest(n=8)
+        with CampaignStore(":memory:", chunk_size=3) as store:
+            store.ensure_campaign(manifest)
+            for i, run in enumerate(manifest.runs[:2]):
+                store.add_result(manifest.campaign, run.run_id, value={"loss": float(i)})
+            # below chunk_size: still buffered
+            assert len(store._buffer) == 2
+            store.add_result(
+                manifest.campaign, manifest.runs[2].run_id, value={"loss": 9.0}
+            )
+            # hit chunk_size: flushed
+            assert len(store._buffer) == 0
+
+    def test_queries_flush_first(self):
+        manifest = make_manifest()
+        with CampaignStore(":memory:", chunk_size=500) as store:
+            store.ensure_campaign(manifest)
+            run = manifest.runs[0]
+            store.add_result(manifest.campaign, run.run_id, value={"loss": 1.0})
+            payload = store.read_run_result(manifest.campaign, run.run_id)
+            assert payload["value"] == {"loss": 1.0}
+
+    def test_unknown_campaign_raises(self):
+        with CampaignStore(":memory:") as store:
+            with pytest.raises(StoreError, match="not in the store"):
+                store.add_result("ghost", "g/run-0000", value=1)
+
+    def test_statuses_and_summary(self):
+        manifest = make_manifest()
+        with CampaignStore(":memory:") as store:
+            store.ensure_campaign(manifest)
+            assert set(store.statuses(manifest.campaign).values()) == {"pending"}
+            store.set_statuses(
+                manifest.campaign, {manifest.runs[0].run_id: RunStatus.DONE}
+            )
+            summary = store.summary(manifest.campaign)
+            assert summary["done"] == 1
+            assert summary["pending"] == len(manifest.runs) - 1
+
+    def test_read_run_result_none_until_executed(self):
+        manifest = make_manifest()
+        with CampaignStore(":memory:") as store:
+            store.ensure_campaign(manifest)
+            assert store.read_run_result(manifest.campaign, manifest.runs[0].run_id) is None
+
+    def test_record_run_results_skips_interrupted(self):
+        manifest = make_manifest()
+        with CampaignStore(":memory:") as store:
+            store.ensure_campaign(manifest)
+            store.record_run_results(
+                manifest.campaign,
+                {
+                    manifest.runs[0].run_id: {
+                        "run_id": manifest.runs[0].run_id,
+                        "status": "done", "value": {"loss": 1.0}, "error": None,
+                        "traceback": None, "elapsed": 0.1, "attempts": 1, "seed": 7,
+                    },
+                    manifest.runs[1].run_id: {
+                        "run_id": manifest.runs[1].run_id,
+                        "status": "interrupted", "value": None, "error": None,
+                        "traceback": None, "elapsed": 0.0, "attempts": 1, "seed": 8,
+                    },
+                },
+            )
+            assert store.read_run_result(manifest.campaign, manifest.runs[0].run_id)
+            assert store.read_run_result(manifest.campaign, manifest.runs[1].run_id) is None
+
+    def test_reports_round_trip(self):
+        manifest = make_manifest()
+        with CampaignStore(":memory:") as store:
+            store.ensure_campaign(manifest)
+            store.record_reports(
+                manifest.campaign,
+                [{"campaign": manifest.campaign, "group": "g", "makespan": 12.5}],
+            )
+            [report] = store.reports(manifest.campaign)
+            assert report["makespan"] == 12.5
+
+    def test_metrics_from_value_filters_non_numeric(self):
+        metrics = metrics_from_value(
+            {"loss": 1.5, "label": "x", "converged": True, "steps": 10}
+        )
+        assert metrics == {"loss": 1.5, "steps": 10.0}
+        assert metrics_from_value(3.0) == {}
+
+
+class TestPersistence:
+    def test_store_survives_reopen(self, tmp_path):
+        manifest = make_manifest()
+        db = tmp_path / "store.sqlite"
+        with CampaignStore(db) as store:
+            fill(store, manifest)
+        with CampaignStore(db) as store:
+            assert store.campaigns() == [manifest.campaign]
+            assert store.summary(manifest.campaign)["done"] == len(manifest.runs)
+            obj = Objective("o", metric="loss")
+            assert store.catalog(manifest.campaign).best(obj).run_id == "g/run-0000"
+
+
+class TestMigration:
+    def make_directory(self, tmp_path, manifest):
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        directory.update_status({r.run_id: RunStatus.DONE for r in manifest.runs})
+        for i, run in enumerate(manifest.runs):
+            directory.write_run_result(
+                run.run_id,
+                {
+                    "run_id": run.run_id, "status": "done",
+                    "value": {"loss": float(i % 5) + 0.5,
+                              "cost": float(len(manifest.runs) - i)},
+                    "error": None, "traceback": None,
+                    "elapsed": 0.01 * i, "attempts": 1, "seed": i,
+                },
+            )
+        return directory
+
+    def test_round_trip_identical_catalog_answers(self, tmp_path):
+        manifest = make_manifest(n=6)
+        directory = self.make_directory(tmp_path, manifest)
+        # the file-based in-memory catalog (the pre-store answer)
+        from repro.cheetah.catalog import CampaignCatalog
+
+        mem = CampaignCatalog(manifest.campaign)
+        for run in manifest.runs:
+            payload = directory.read_run_result(run.run_id)
+            mem.add(run.run_id, dict(run.parameters),
+                    metrics_from_value(payload["value"]))
+
+        with CampaignStore(":memory:") as store:
+            summary = ingest_directory(store, directory.root)
+            assert summary["results"] == len(manifest.runs)
+            cat = store.catalog(manifest.campaign)
+            obj = Objective("o", metric="loss")
+            cost = Objective("c", metric="cost")
+            assert cat.best(obj).run_id == mem.best(obj).run_id
+            assert [r.run_id for r in cat.rank(obj)] == [
+                r.run_id for r in mem.rank(obj)
+            ]
+            assert sorted(r.run_id for r in cat.pareto_front([obj, cost])) == sorted(
+                r.run_id for r in mem.pareto_front([obj, cost])
+            )
+
+    def test_export_materializes_result_files(self, tmp_path):
+        manifest = make_manifest()
+        directory = self.make_directory(tmp_path, manifest)
+        with CampaignStore(":memory:") as store:
+            ingest_directory(store, directory.root)
+            # wipe the files, re-export from the store
+            for run in manifest.runs:
+                (directory.run_dir(run.run_id) / "result.json").unlink()
+            written = export_directory(store, directory.root)
+        assert written == len(manifest.runs)
+        payload = directory.read_run_result(manifest.runs[0].run_id)
+        assert payload["status"] == "done"
+
+    def test_migration_respects_checkpoint_journal(self, tmp_path):
+        """Statuses come from the journal overlay — what resume trusts."""
+        from repro.resilience import CampaignCheckpoint
+
+        manifest = make_manifest()
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        checkpoint = CampaignCheckpoint(directory)
+        rid = manifest.runs[0].run_id
+        checkpoint.record(rid, RunStatus.RUNNING, time=1.0)
+        checkpoint.record(rid, RunStatus.DONE, time=2.0)
+        with CampaignStore(":memory:") as store:
+            ingest_directory(store, directory.root)
+            assert store.statuses(manifest.campaign)[rid] == "done"
+
+
+class TestDirectoryStoreIntegration:
+    def test_record_results_store_only_by_default(self, tmp_path):
+        manifest = make_manifest()
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        rid = manifest.runs[0].run_id
+        directory.record_results(
+            {rid: {"run_id": rid, "status": "done", "value": {"loss": 2.0},
+                   "error": None, "traceback": None, "elapsed": 0.1,
+                   "attempts": 1, "seed": 3}}
+        )
+        assert directory.store_path().exists()
+        assert not (directory.run_dir(rid) / "result.json").exists()
+        # one read API either way
+        assert directory.read_run_result(rid)["value"] == {"loss": 2.0}
+
+    def test_record_results_json_export_opt_in(self, tmp_path):
+        manifest = make_manifest()
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        rid = manifest.runs[0].run_id
+        directory.record_results(
+            {rid: {"run_id": rid, "status": "done", "value": 1.5, "error": None,
+                   "traceback": None, "elapsed": 0.1, "attempts": 1, "seed": 3}},
+            json_export=True,
+        )
+        assert (directory.run_dir(rid) / "result.json").exists()
+
+    def test_status_updates_mirror_into_store(self, tmp_path):
+        manifest = make_manifest()
+        directory = CampaignDirectory(tmp_path, manifest)
+        directory.create()
+        with directory.open_store() as store:  # materialize the store
+            assert store.run_count(manifest.campaign) == len(manifest.runs)
+        rid = manifest.runs[0].run_id
+        directory.set_status(rid, RunStatus.RUNNING)
+        with directory.open_store() as store:
+            assert store.statuses(manifest.campaign)[rid] == "running"
+
+
+class TestDriveIntegration:
+    def test_real_drive_records_into_store(self, tmp_path):
+        from repro.savanna import execute_manifest
+
+        manifest = make_manifest()
+        result = execute_manifest(
+            manifest,
+            backend="local-threads",
+            directory=tmp_path,
+            app_fn=_loss_app,
+            max_workers=2,
+        )
+        assert len(result.completed) == len(manifest.runs)
+        directory = CampaignDirectory.open(tmp_path / manifest.campaign)
+        assert directory.store_path().exists()
+        # store-only by default: no per-run JSON files
+        rid = manifest.runs[0].run_id
+        assert not (directory.run_dir(rid) / "result.json").exists()
+        payload = directory.read_run_result(rid)
+        assert payload["status"] == "done"
+        with directory.open_store() as store:
+            assert store.summary(manifest.campaign)["done"] == len(manifest.runs)
+            obj = Objective("o", metric="loss")
+            assert store.catalog(manifest.campaign).best(obj) is not None
+
+    def test_real_drive_json_results_opt_in(self, tmp_path):
+        from repro.savanna import execute_manifest
+
+        manifest = make_manifest()
+        execute_manifest(
+            manifest,
+            backend="local-threads",
+            directory=tmp_path,
+            app_fn=_loss_app,
+            json_results=True,
+            max_workers=2,
+        )
+        directory = CampaignDirectory.open(tmp_path / manifest.campaign)
+        assert (directory.run_dir(manifest.runs[0].run_id) / "result.json").exists()
+
+    def test_real_drive_store_false_is_legacy_path(self, tmp_path):
+        from repro.savanna import execute_manifest
+
+        manifest = make_manifest()
+        execute_manifest(
+            manifest,
+            backend="local-threads",
+            directory=tmp_path,
+            app_fn=_loss_app,
+            store=False,
+            max_workers=2,
+        )
+        directory = CampaignDirectory.open(tmp_path / manifest.campaign)
+        assert not directory.store_path().exists()
+        assert (directory.run_dir(manifest.runs[0].run_id) / "result.json").exists()
+
+
+def _loss_app(parameters):
+    return {"loss": float(parameters["x"]) + (0.25 if parameters["mode"] == "b" else 0.0)}
+
+
+class TestCli:
+    def run_cli(self, *args):
+        env = {"PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")}
+        return subprocess.run(
+            [sys.executable, "-m", "repro.store", *args],
+            capture_output=True, text=True, env=env,
+        )
+
+    @pytest.fixture()
+    def campaign_dir(self, tmp_path):
+        manifest = make_manifest()
+        directory = TestMigration().make_directory(tmp_path, manifest)
+        return directory.root
+
+    def test_migrate_then_query(self, campaign_dir):
+        migrated = self.run_cli("migrate", str(campaign_dir))
+        assert migrated.returncode == 0, migrated.stderr
+        assert "8 runs" in migrated.stdout
+
+        best = self.run_cli("query", str(campaign_dir), "best", "--metric", "loss")
+        assert best.returncode == 0, best.stderr
+        assert "g/run-0000" in best.stdout
+
+        pareto = self.run_cli(
+            "query", str(campaign_dir), "pareto",
+            "--objective", "loss:minimize", "--objective", "cost:minimize",
+        )
+        assert pareto.returncode == 0, pareto.stderr
+        assert pareto.stdout.strip()
+
+        status = self.run_cli("status", str(campaign_dir))
+        assert status.returncode == 0
+        assert "done" in status.stdout
+
+    def test_query_without_migrate_fails_cleanly(self, tmp_path):
+        db = tmp_path / "empty.sqlite"
+        CampaignStore(db).close()
+        result = self.run_cli("query", str(db), "best", "--metric", "loss")
+        assert result.returncode == 1
+        assert "error:" in result.stderr
+
+    def test_info_lists_campaigns(self, campaign_dir):
+        assert self.run_cli("migrate", str(campaign_dir)).returncode == 0
+        info = self.run_cli("info", str(campaign_dir))
+        assert info.returncode == 0
+        assert "store-test" in info.stdout
+
+    def test_export_cli(self, campaign_dir):
+        assert self.run_cli("migrate", str(campaign_dir)).returncode == 0
+        for result_file in campaign_dir.glob("g/run-*/result.json"):
+            result_file.unlink()
+        export = self.run_cli("export", str(campaign_dir))
+        assert export.returncode == 0
+        assert "exported 8" in export.stdout
+        assert json.loads(
+            (campaign_dir / "g" / "run-0000" / "result.json").read_text()
+        )["status"] == "done"

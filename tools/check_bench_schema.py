@@ -242,11 +242,97 @@ def check_telemetry_v1(doc: dict) -> None:
         _check_telemetry_mode(name, entry)
 
 
+def _check_store_tier(where: str, tier: dict) -> None:
+    _require(isinstance(tier, dict), f"{where}: must be an object")
+    _require(
+        isinstance(tier.get("runs"), int) and tier["runs"] > 0,
+        f"{where}: 'runs' must be a positive integer",
+    )
+    for key in (
+        "files_ingest_seconds",
+        "files_runs_per_sec",
+        "store_ingest_seconds",
+        "store_runs_per_sec",
+        "speedup_ingest",
+        "store_query_seconds",
+    ):
+        _positive_number(tier, key, where)
+    for key in ("files_extrapolated", "queries_match", "pareto_in_query_set"):
+        _require(
+            isinstance(tier.get(key), bool),
+            f"{where}: {key!r} must be a boolean",
+        )
+    _require(
+        tier["queries_match"] is True,
+        f"{where}: 'queries_match' must be true — the SQL catalog and the "
+        f"in-memory catalog disagreed",
+    )
+    if not tier["files_extrapolated"]:
+        _positive_number(tier, "files_query_seconds", where)
+        _positive_number(tier, "speedup_query", where)
+    # The acceptance bar: bulk SQL ingestion beats per-file persistence
+    # by at least 5x from the 10k-run tier up.
+    if tier["runs"] >= 10_000:
+        _require(
+            tier["speedup_ingest"] >= 5.0,
+            f"{where}: 'speedup_ingest' is {tier['speedup_ingest']:.1f} at "
+            f"{tier['runs']} runs, below the 5x acceptance bar",
+        )
+
+
+def _check_store_mode(name: str, entry: dict) -> None:
+    where = f"modes[{name!r}]"
+    _require(isinstance(entry, dict), f"{where}: must be an object")
+    _require(entry.get("mode") == name, f"{where}: 'mode' must equal the key")
+    _require(
+        isinstance(entry.get("rounds"), int) and entry["rounds"] > 0,
+        f"{where}: 'rounds' must be a positive integer",
+    )
+    _require(
+        isinstance(entry.get("protocol"), str) and entry["protocol"],
+        f"{where}: 'protocol' must be a non-empty string",
+    )
+    workload = entry.get("workload")
+    _require(isinstance(workload, dict), f"{where}: 'workload' must be an object")
+    _require(
+        isinstance(workload.get("name"), str) and workload["name"],
+        f"{where}.workload: 'name' must be a non-empty string",
+    )
+    for key in ("params_per_run", "metrics_per_run"):
+        _require(
+            isinstance(workload.get(key), int) and workload[key] > 0,
+            f"{where}.workload: {key!r} must be a positive integer",
+        )
+    tiers = entry.get("tiers")
+    _require(isinstance(tiers, list) and tiers, f"{where}: 'tiers' must be a non-empty list")
+    for i, tier in enumerate(tiers):
+        _check_store_tier(f"{where}.tiers[{i}]", tier)
+    if name == "full":
+        _require(
+            any(t.get("runs", 0) >= 10_000 for t in tiers),
+            f"{where}: the full mode must include a >=10k-run tier",
+        )
+
+
+def check_store_v1(doc: dict) -> None:
+    modes = doc.get("modes")
+    _require(
+        isinstance(modes, dict) and modes,
+        "'modes' must be a non-empty object",
+    )
+    known = {"quick", "full"}
+    unknown = set(modes) - known
+    _require(not unknown, f"unknown mode entries: {sorted(unknown)}")
+    for name, entry in sorted(modes.items()):
+        _check_store_mode(name, entry)
+
+
 #: Registered schema id -> validator.  Unknown ids fail validation.
 VALIDATORS = {
     "repro.bench.simcore/v1": check_simcore_v1,
     "repro.bench.lint/v1": check_lint_v1,
     "repro.bench.telemetry/v1": check_telemetry_v1,
+    "repro.bench.store/v1": check_store_v1,
 }
 
 
